@@ -1,0 +1,45 @@
+//! Field-solver scaling: dense PEEC solve cost vs conductor count and
+//! filament mesh — the cost the table method amortizes away.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlcx::geom::units::RHO_COPPER;
+use rlcx::geom::{Axis, Bar, Point3};
+use rlcx::peec::{Conductor, MeshSpec, PartialSystem};
+use std::hint::black_box;
+
+fn bus(n: usize) -> PartialSystem {
+    (0..n)
+        .map(|i| {
+            let bar =
+                Bar::new(Point3::new(0.0, i as f64 * 3.0, 9.4), Axis::X, 500.0, 2.0, 2.0).unwrap();
+            Conductor::new(bar, RHO_COPPER).unwrap()
+        })
+        .collect()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peec_scaling");
+    group.sample_size(10);
+    for n in [2usize, 4, 8, 12] {
+        let sys = bus(n);
+        group.bench_with_input(BenchmarkId::new("conductors", n), &sys, |b, sys| {
+            b.iter(|| black_box(sys.rl_at(3.2e9, MeshSpec::new(2, 2)).unwrap()))
+        });
+    }
+    for (nw, nt) in [(1, 1), (2, 2), (4, 2), (6, 3)] {
+        let sys = bus(3);
+        group.bench_with_input(
+            BenchmarkId::new("mesh", format!("{nw}x{nt}")),
+            &sys,
+            |b, sys| b.iter(|| black_box(sys.rl_at(3.2e9, MeshSpec::new(nw, nt)).unwrap())),
+        );
+    }
+    group.bench_function("dc_lp_matrix_8", |b| {
+        let sys = bus(8);
+        b.iter(|| black_box(sys.lp_matrix()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

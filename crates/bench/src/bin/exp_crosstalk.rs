@@ -1,0 +1,58 @@
+//! E8 (extension) — Section V: "the coupling effect, mainly inductive
+//! coupling, of other signals next to the clocktree can be taken care of by
+//! simply adding them in the clocktree simulation."
+//!
+//! A five-trace bus (guards + two aggressors around a quiet victim): peak
+//! victim noise with full RLC coupling, with capacitive-only coupling
+//! (mutual K removed), and with no inductance at all.
+
+use rlcx::core::{BusNetlistBuilder, WireDrive};
+use rlcx::geom::Block;
+use rlcx::spice::{Transient, Waveform};
+use rlcx_bench::{extractor, quick_tables};
+
+fn main() {
+    println!("E8: inductive vs capacitive crosstalk onto a quiet victim");
+    println!("==========================================================");
+    let ex = extractor(quick_tables());
+    for &len in &[1000.0, 2000.0, 4000.0] {
+        let block = Block::uniform_bus(len, 5, 3.0, 1.0).expect("bus block");
+        let bus = ex.extract_bus(&block).expect("bus extraction");
+        println!(
+            "\nbus length {len} um: L11 = {:.3} nH, L12 = {:.3} nH (k = {:.2}), Cc = {:.1} fF",
+            bus.l[(1, 1)] * 1e9,
+            bus.l[(0, 1)] * 1e9,
+            bus.l[(0, 1)] / (bus.l[(0, 0)] * bus.l[(1, 1)]).sqrt(),
+            bus.cc[0] * 1e15
+        );
+        let drives = vec![
+            WireDrive::Driven { resistance: 15.0, wave: Waveform::ramp(0.0, 1.8, 0.0, 40e-12) },
+            WireDrive::Quiet { resistance: 25.0 },
+            WireDrive::Driven { resistance: 15.0, wave: Waveform::ramp(0.0, 1.8, 0.0, 40e-12) },
+        ];
+        let noise = |self_l: bool, mutual: bool| {
+            let nl = BusNetlistBuilder::new()
+                .sections(6)
+                .include_self_inductance(self_l)
+                .include_mutual_inductance(mutual)
+                .build(&bus, &drives)
+                .expect("netlist");
+            let res = Transient::new(&nl)
+                .timestep(0.5e-12)
+                .duration(2e-9)
+                .run()
+                .expect("transient");
+            let v = res.voltage("out1").expect("victim");
+            v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+        };
+        let full = noise(true, true);
+        let cap_only = noise(true, false);
+        let rc = noise(false, false);
+        println!("  victim peak noise: full RLC+K {:.1} mV | no K {:.1} mV | RC {:.1} mV", full * 1e3, cap_only * 1e3, rc * 1e3);
+        println!(
+            "  inductive contribution: {:+.1}% vs no-K, {:+.1}% vs RC",
+            (full - cap_only) / cap_only * 100.0,
+            (full - rc) / rc * 100.0
+        );
+    }
+}

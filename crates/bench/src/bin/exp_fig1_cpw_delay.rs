@@ -1,0 +1,75 @@
+//! E1 — Figures 1–3: delay of a 6 mm coplanar-waveguide clock net, without
+//! and with inductance.
+//!
+//! Paper setup: 6000 µm wires, 2 µm thick, 10 µm signal, 5 µm grounds at
+//! 1 µm spacing, ~40 Ω buffer source resistance, orthogonal signal layer
+//! below. Paper result: 28.01 ps (RC only) vs 47.6 ps (RLC), with visible
+//! overshoot/undershoot in the RLC waveform.
+
+use rlcx::core::TreeNetlistBuilder;
+use rlcx::geom::{Block, SegmentTree};
+use rlcx::spice::{measure, Transient, Waveform};
+use rlcx_bench::{experiment_tables, extractor, pf, ps};
+
+fn main() {
+    println!("E1: Figure 1 coplanar-waveguide clock net, RC vs RLC delay");
+    println!("===========================================================");
+    let ex = extractor(experiment_tables());
+
+    // The Figure 1 net as a single-segment tree.
+    let mut tree = SegmentTree::new(0.0, 0.0);
+    tree.add_node(0, 6000.0, 0.0).expect("valid segment");
+    let cross = Block::coplanar_waveguide(1.0, 10.0, 5.0, 1.0).expect("valid block");
+    let seg = ex
+        .extract_segment(&cross.with_length(6000.0).expect("valid length"))
+        .expect("segment extraction");
+    println!(
+        "extracted segment: R = {:.2} ohm, L = {}, C = {}, Z0 = {:.1} ohm, tof = {}",
+        seg.r,
+        rlcx_bench::nh(seg.l),
+        pf(seg.c),
+        seg.characteristic_impedance(),
+        ps(seg.time_of_flight()),
+    );
+
+    let run = |include_l: bool, rdrv: f64| {
+        let out = TreeNetlistBuilder::new(&ex)
+            .sections_per_segment(10)
+            .include_inductance(include_l)
+            .driver_resistance(rdrv)
+            .input(Waveform::ramp(0.0, 1.8, 0.0, 50e-12))
+            .sink_cap(30e-15)
+            .build(&tree, &cross)
+            .expect("netlist");
+        let res = Transient::new(&out.netlist)
+            .timestep(0.2e-12)
+            .duration(2e-9)
+            .run()
+            .expect("transient");
+        let t = res.time().to_vec();
+        let vin = res.voltage("drv_in").expect("driver node").to_vec();
+        let vout = res.voltage(&out.sinks[0]).expect("sink node").to_vec();
+        let d = measure::delay_50(&t, &vin, &vout, 0.0, 1.8).expect("delay");
+        let os = measure::overshoot(&vout, 0.0, 1.8);
+        let us = measure::undershoot(&t, &vout, 0.0, 1.8);
+        (d, os, us)
+    };
+
+    println!("\n{:<10} {:>6} {:>14} {:>11} {:>11}", "netlist", "Rdrv", "delay(src→sink)", "overshoot", "undershoot");
+    for &rdrv in &[40.0, 15.0] {
+        let (d_rc, os_rc, us_rc) = run(false, rdrv);
+        let (d_rlc, os_rlc, us_rlc) = run(true, rdrv);
+        println!(
+            "{:<10} {:>6.0} {:>14} {:>10.1}% {:>10.1}%",
+            "RC", rdrv, ps(d_rc), os_rc * 100.0, us_rc * 100.0
+        );
+        println!(
+            "{:<10} {:>6.0} {:>14} {:>10.1}% {:>10.1}%",
+            "RLC", rdrv, ps(d_rlc), os_rlc * 100.0, us_rlc * 100.0
+        );
+        println!(
+            "  → RLC/RC delay ratio: {:.2} (paper: 47.6/28.01 = 1.70)",
+            d_rlc / d_rc
+        );
+    }
+}

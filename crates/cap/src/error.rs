@@ -1,0 +1,58 @@
+use rlcx_geom::GeomError;
+use std::fmt;
+
+/// Error type for capacitance extraction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CapError {
+    /// A geometry error from the input structures.
+    Geometry(GeomError),
+    /// A model parameter was out of its legal domain.
+    InvalidParameter {
+        /// Description of the violated precondition.
+        what: String,
+    },
+}
+
+impl fmt::Display for CapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapError::Geometry(e) => write!(f, "geometry error: {e}"),
+            CapError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CapError::Geometry(e) => Some(e),
+            CapError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<GeomError> for CapError {
+    fn from(e: GeomError) -> Self {
+        CapError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_geometry_source() {
+        let e = CapError::from(GeomError::TooFewTraces { got: 0 });
+        assert!(e.source().is_some());
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CapError>();
+    }
+}

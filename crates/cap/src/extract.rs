@@ -1,0 +1,270 @@
+//! Block-level capacitance extraction.
+//!
+//! The paper's capacitive model is deliberately short-range: for a block,
+//! "only the mutual capacitance between adjacent traces are important, and
+//! the rest of the mutual capacitance can be ignored" (Section II). So a
+//! block of *n* traces yields *n* ground capacitances and *n − 1*
+//! adjacent-pair coupling capacitances.
+
+use crate::models::{
+    coplanar_coupling_per_m, coupling_over_plane_per_m, line_over_orthogonal_layer_per_m,
+    line_over_plane_per_m,
+};
+use crate::{CapError, Result};
+use rlcx_geom::units::um_to_m;
+use rlcx_geom::{Block, Stackup};
+
+/// Extracted capacitances of one block (lumped, in farads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCap {
+    /// Ground capacitance per trace, T1..Tn (F).
+    pub cg: Vec<f64>,
+    /// Coupling capacitance between adjacent traces `(Ti, Ti+1)` (F).
+    pub cc: Vec<f64>,
+}
+
+impl BlockCap {
+    /// Total capacitance seen by trace `i`: its ground term plus its
+    /// adjacent couplings (the paper's optimistic treatment promotes
+    /// couplings to shield wires into grounded capacitance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.cg.len()`.
+    pub fn total_trace_cap(&self, i: usize) -> f64 {
+        assert!(i < self.cg.len(), "trace index out of range");
+        let mut c = self.cg[i];
+        if i > 0 {
+            c += self.cc[i - 1];
+        }
+        if i < self.cc.len() {
+            c += self.cc[i];
+        }
+        c
+    }
+}
+
+/// Extracts [`BlockCap`]s for blocks routed in a given stackup layer.
+///
+/// Ground capacitance target, in priority order:
+/// 1. a local plane in layer N−2 when the block's shield config has one,
+/// 2. otherwise the dense orthogonal routing layer N−1 (if it exists) at the
+///    configured coverage,
+/// 3. otherwise the substrate.
+///
+/// A plane above (N+2) adds a second plane term.
+#[derive(Debug, Clone)]
+pub struct BlockCapExtractor {
+    stackup: Stackup,
+    layer_index: usize,
+    orthogonal_coverage: f64,
+}
+
+impl BlockCapExtractor {
+    /// Creates an extractor for blocks in `layer_index` of `stackup`, with
+    /// a default 50 % orthogonal-layer coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::Geometry`] if the layer does not exist.
+    pub fn new(stackup: Stackup, layer_index: usize) -> Result<Self> {
+        stackup.layer(layer_index)?;
+        Ok(BlockCapExtractor { stackup, layer_index, orthogonal_coverage: 0.5 })
+    }
+
+    /// Sets the metal coverage assumed for the orthogonal layer below.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::InvalidParameter`] outside `[0, 1]`.
+    pub fn orthogonal_coverage(mut self, coverage: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&coverage) {
+            return Err(CapError::InvalidParameter {
+                what: format!("coverage must be in [0, 1], got {coverage}"),
+            });
+        }
+        self.orthogonal_coverage = coverage;
+        Ok(self)
+    }
+
+    /// Extracts lumped capacitances for `block`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::Geometry`] if a plane layer required by the
+    /// block's shield configuration does not exist.
+    pub fn extract(&self, block: &Block) -> Result<BlockCap> {
+        let layer = self.stackup.layer(self.layer_index)?;
+        let eps_r = self.stackup.eps_r();
+        let t = layer.thickness();
+        let len_m = um_to_m(block.length());
+        let shield = block.shield();
+
+        // Height to the dominant downward capacitance target.
+        enum Below {
+            Plane(f64),
+            Orthogonal(f64),
+            Substrate(f64),
+        }
+        let below = if shield.has_plane_below() {
+            let plane = self
+                .stackup
+                .plane_layer_below(self.layer_index)
+                .ok_or(rlcx_geom::GeomError::UnknownLayer {
+                    index: self.layer_index,
+                    available: self.stackup.layer_count(),
+                })?;
+            Below::Plane(layer.z_bottom() - plane.z_top())
+        } else if self.layer_index > 0 {
+            let under = self.stackup.layer(self.layer_index - 1)?;
+            Below::Orthogonal(layer.z_bottom() - under.z_top())
+        } else {
+            Below::Substrate(layer.z_bottom())
+        };
+        let above_h = if shield.has_plane_above() {
+            let plane = self
+                .stackup
+                .plane_layer_above(self.layer_index)
+                .ok_or(rlcx_geom::GeomError::UnknownLayer {
+                    index: self.layer_index + 2,
+                    available: self.stackup.layer_count(),
+                })?;
+            Some(plane.z_bottom() - layer.z_top())
+        } else {
+            None
+        };
+
+        let widths = block.widths();
+        let mut cg = Vec::with_capacity(widths.len());
+        for &w in widths {
+            let mut per_m = match below {
+                Below::Plane(h) => line_over_plane_per_m(w, t, h, eps_r),
+                Below::Orthogonal(h) => {
+                    line_over_orthogonal_layer_per_m(w, t, h, eps_r, self.orthogonal_coverage)
+                }
+                Below::Substrate(h) => line_over_plane_per_m(w, t, h.max(0.1), eps_r),
+            };
+            if let Some(h) = above_h {
+                per_m += line_over_plane_per_m(w, t, h, eps_r);
+            }
+            cg.push(per_m * len_m);
+        }
+
+        let mut cc = Vec::with_capacity(block.spacings().len());
+        for (i, &s) in block.spacings().iter().enumerate() {
+            let w_min = widths[i].min(widths[i + 1]);
+            let per_m = match below {
+                Below::Plane(h) => {
+                    // Over a plane, use the Sakurai two-line fit but never
+                    // less than the sidewall term.
+                    coupling_over_plane_per_m(w_min, t, h, s, eps_r)
+                        .max(coplanar_coupling_per_m(w_min, t, s, eps_r))
+                }
+                _ => coplanar_coupling_per_m(w_min, t, s, eps_r),
+            };
+            cc.push(per_m * len_m);
+        }
+        Ok(BlockCap { cg, cc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlcx_geom::ShieldConfig;
+
+    fn fig1_block() -> Block {
+        Block::coplanar_waveguide(6000.0, 10.0, 5.0, 1.0).unwrap()
+    }
+
+    fn extractor() -> BlockCapExtractor {
+        BlockCapExtractor::new(Stackup::hp_six_metal_copper(), 5).unwrap()
+    }
+
+    #[test]
+    fn figure1_signal_cap_is_picofarad_scale() {
+        let caps = extractor().extract(&fig1_block()).unwrap();
+        assert_eq!(caps.cg.len(), 3);
+        assert_eq!(caps.cc.len(), 2);
+        let total = caps.total_trace_cap(1);
+        assert!(total > 0.2e-12 && total < 5e-12, "C = {total}");
+    }
+
+    #[test]
+    fn cap_scales_linearly_with_length() {
+        let ex = extractor();
+        let c1 = ex.extract(&fig1_block().with_length(1000.0).unwrap()).unwrap();
+        let c2 = ex.extract(&fig1_block().with_length(2000.0).unwrap()).unwrap();
+        assert!((c2.total_trace_cap(1) / c1.total_trace_cap(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plane_below_switches_downward_target() {
+        // With zero orthogonal coverage a coplanar block has no downward
+        // ground capacitance at all; a plane below restores it.
+        let ex0 = extractor().orthogonal_coverage(0.0).unwrap();
+        let cpw = ex0.extract(&fig1_block()).unwrap();
+        assert_eq!(cpw.cg[1], 0.0);
+        let ms = ex0
+            .extract(&fig1_block().with_shield(ShieldConfig::PlaneBelow))
+            .unwrap();
+        assert!(ms.cg[1] > 0.1e-12);
+        // At full coverage the (closer) orthogonal layer dominates the
+        // (farther) N−2 plane — the geometric ordering, not a model quirk.
+        let ex1 = extractor().orthogonal_coverage(1.0).unwrap();
+        let cpw_full = ex1.extract(&fig1_block()).unwrap();
+        assert!(cpw_full.cg[1] > ms.cg[1]);
+    }
+
+    #[test]
+    fn plane_both_raises_cap_further() {
+        let ex = extractor();
+        // Use layer 3 so N+2 = 5 exists.
+        let ex3 = BlockCapExtractor::new(Stackup::hp_six_metal_copper(), 3).unwrap();
+        let below = ex3
+            .extract(&fig1_block().with_shield(ShieldConfig::PlaneBelow))
+            .unwrap();
+        let both = ex3
+            .extract(&fig1_block().with_shield(ShieldConfig::PlaneBoth))
+            .unwrap();
+        assert!(both.cg[1] > below.cg[1]);
+        let _ = ex; // silence unused in this configuration
+    }
+
+    #[test]
+    fn wider_trace_has_more_ground_cap() {
+        let ex = extractor();
+        let caps = ex.extract(&fig1_block()).unwrap();
+        // Signal (10 µm) exceeds grounds (5 µm).
+        assert!(caps.cg[1] > caps.cg[0]);
+        assert!((caps.cg[0] - caps.cg[2]).abs() < 1e-20);
+    }
+
+    #[test]
+    fn missing_plane_layer_is_reported() {
+        let ex = BlockCapExtractor::new(Stackup::hp_six_metal_copper(), 1).unwrap();
+        let block = fig1_block().with_shield(ShieldConfig::PlaneBelow);
+        assert!(ex.extract(&block).is_err());
+    }
+
+    #[test]
+    fn coverage_validation() {
+        let ex = extractor();
+        assert!(ex.clone().orthogonal_coverage(0.7).is_ok());
+        assert!(ex.clone().orthogonal_coverage(-0.1).is_err());
+        assert!(ex.orthogonal_coverage(1.5).is_err());
+    }
+
+    #[test]
+    fn total_trace_cap_sums_neighbors() {
+        let caps = BlockCap { cg: vec![1.0, 2.0, 3.0], cc: vec![0.5, 0.25] };
+        assert_eq!(caps.total_trace_cap(0), 1.5);
+        assert_eq!(caps.total_trace_cap(1), 2.75);
+        assert_eq!(caps.total_trace_cap(2), 3.25);
+    }
+
+    #[test]
+    fn unknown_layer_rejected() {
+        assert!(BlockCapExtractor::new(Stackup::hp_six_metal_copper(), 9).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Capacitance and resistance models with statistical process variation.
+//!
+//! The paper pairs its inductance tables with pre-characterized capacitance
+//! tables and analytic resistance \[4\], and studies process-variation impact
+//! by combining *nominal* inductance with *statistically generated* RC.
+//! This crate is that substrate:
+//!
+//! * [`models`] — per-unit-length capacitance formulas: parallel-plate +
+//!   fringe to a plane (Sakurai–Tamaru style empirical fit) and coplanar
+//!   line-to-line coupling,
+//! * [`extract`] — [`BlockCapExtractor`]: per-trace ground and adjacent-
+//!   trace coupling capacitance for a [`rlcx_geom::Block`] (the paper's
+//!   short-range assumption: only adjacent-trace coupling matters),
+//! * [`resistance`] — analytic trace resistance,
+//! * [`table`] — pre-characterized per-unit-length capacitance tables with
+//!   bi-cubic spline lookup (the paper's companion to the L tables \[4\]),
+//! * [`variation`] — Monte-Carlo geometry perturbation for the statistical
+//!   RC generation flow (paper Section V: nominal L + statistical RC).
+//!
+//! # Example
+//!
+//! ```
+//! use rlcx_cap::BlockCapExtractor;
+//! use rlcx_geom::{Block, Stackup};
+//!
+//! # fn main() -> Result<(), rlcx_cap::CapError> {
+//! let stackup = Stackup::hp_six_metal_copper();
+//! let block = Block::coplanar_waveguide(6000.0, 10.0, 5.0, 1.0)?;
+//! let caps = BlockCapExtractor::new(stackup, 5)?.extract(&block)?;
+//! // The 6 mm signal trace carries on the order of a picofarad.
+//! let total = caps.total_trace_cap(1);
+//! assert!(total > 0.2e-12 && total < 5e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod extract;
+pub mod models;
+pub mod resistance;
+pub mod table;
+pub mod variation;
+
+mod error;
+
+pub use error::CapError;
+pub use extract::{BlockCap, BlockCapExtractor};
+pub use table::CapTable;
+pub use variation::VariationSpec;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CapError>;

@@ -1,0 +1,148 @@
+//! Per-unit-length capacitance formulas.
+//!
+//! Empirical fits in the Sakurai–Tamaru tradition: a line of width `w` and
+//! thickness `t` at height `h` over a plane, and line-to-line coupling at
+//! spacing `s`. All geometry in **microns**, results in **F/m** (multiply by
+//! length in metres for the lumped value).
+
+use rlcx_geom::units::EPS_0;
+
+/// Capacitance per metre (F/m) of a line over a ground plane:
+/// `C = ε [1.15 (w/h) + 2.80 (t/h)^0.222]` — the Sakurai–Tamaru single-line
+/// fit (±6 % against field-solver data over 0.3 < w/h < 30).
+///
+/// * `w` — line width (µm), `t` — line thickness (µm),
+/// * `h` — dielectric height between line bottom and plane top (µm),
+/// * `eps_r` — relative permittivity.
+///
+/// # Panics
+///
+/// Panics (debug) on non-positive arguments.
+pub fn line_over_plane_per_m(w: f64, t: f64, h: f64, eps_r: f64) -> f64 {
+    debug_assert!(w > 0.0 && t > 0.0 && h > 0.0 && eps_r > 0.0);
+    EPS_0 * eps_r * (1.15 * (w / h) + 2.80 * (t / h).powf(0.222))
+}
+
+/// Coupling capacitance per metre (F/m) between two parallel lines over a
+/// plane, Sakurai's two-line fit:
+/// `C_c = ε [0.03 (w/h) + 0.83 (t/h) − 0.07 (t/h)^0.222] (s/h)^−1.34`.
+///
+/// # Panics
+///
+/// Panics (debug) on non-positive arguments.
+pub fn coupling_over_plane_per_m(w: f64, t: f64, h: f64, s: f64, eps_r: f64) -> f64 {
+    debug_assert!(w > 0.0 && t > 0.0 && h > 0.0 && s > 0.0 && eps_r > 0.0);
+    let c = EPS_0
+        * eps_r
+        * (0.03 * (w / h) + 0.83 * (t / h) - 0.07 * (t / h).powf(0.222))
+        * (s / h).powf(-1.34);
+    c.max(0.0)
+}
+
+/// Coupling capacitance per metre (F/m) between two coplanar lines with no
+/// plane: sidewall parallel-plate term plus a logarithmic fringe term,
+/// `C_c = ε [ t/s + (2/π) ln(1 + w_eff/s) ]` with `w_eff` the smaller width.
+///
+/// This is the no-plane fallback for coplanar-waveguide blocks where the
+/// sidewall field dominates at the paper's 1 µm shield spacings.
+///
+/// # Panics
+///
+/// Panics (debug) on non-positive arguments.
+pub fn coplanar_coupling_per_m(w_min: f64, t: f64, s: f64, eps_r: f64) -> f64 {
+    debug_assert!(w_min > 0.0 && t > 0.0 && s > 0.0 && eps_r > 0.0);
+    EPS_0 * eps_r * (t / s + std::f64::consts::FRAC_2_PI * (1.0 + w_min / s).ln())
+}
+
+/// Capacitance per metre (F/m) of a line to a *dense orthogonal routing
+/// layer* below, treated as a partial plane with the given metal coverage
+/// (0–1): the plane formula scaled by coverage.
+///
+/// The paper's configurations assume an orthogonal signal layer below the
+/// clock layer (Figure 1); at typical 40–60 % routing density it behaves
+/// capacitively like a partial plane.
+///
+/// # Panics
+///
+/// Panics (debug) if `coverage` is outside `[0, 1]` or other arguments are
+/// non-positive.
+pub fn line_over_orthogonal_layer_per_m(
+    w: f64,
+    t: f64,
+    h: f64,
+    eps_r: f64,
+    coverage: f64,
+) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&coverage), "coverage must be in [0, 1]");
+    line_over_plane_per_m(w, t, h, eps_r) * coverage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlcx_geom::units::EPS_R_SIO2;
+
+    #[test]
+    fn wide_line_approaches_parallel_plate() {
+        // For w/h ≫ 1 the 1.15 w/h term dominates and tracks ε w/h within
+        // the 15 % fringe factor.
+        let (w, t, h) = (50.0, 1.0, 1.0);
+        let c = line_over_plane_per_m(w, t, h, EPS_R_SIO2);
+        let pp = EPS_0 * EPS_R_SIO2 * w / h;
+        assert!(c > pp && c < 1.3 * pp, "c = {c}, pp = {pp}");
+    }
+
+    #[test]
+    fn typical_clock_wire_cap_is_hundreds_of_pf_per_m() {
+        // 10 µm wide, 2 µm thick, ~3 µm over the plane: ~0.2 pF/mm scale.
+        let c = line_over_plane_per_m(10.0, 2.0, 3.0, EPS_R_SIO2);
+        assert!(c > 1e-10 && c < 4e-10, "c = {c} F/m");
+    }
+
+    #[test]
+    fn coupling_decays_with_spacing() {
+        let mut last = f64::INFINITY;
+        for s in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            let c = coupling_over_plane_per_m(1.0, 2.0, 3.0, s, EPS_R_SIO2);
+            assert!(c < last && c >= 0.0, "s = {s}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn coplanar_coupling_decays_with_spacing() {
+        let mut last = f64::INFINITY;
+        for s in [0.5, 1.0, 2.0, 4.0] {
+            let c = coplanar_coupling_per_m(5.0, 2.0, s, EPS_R_SIO2);
+            assert!(c < last && c > 0.0, "s = {s}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn coplanar_coupling_grows_with_thickness() {
+        let thin = coplanar_coupling_per_m(5.0, 0.5, 1.0, EPS_R_SIO2);
+        let thick = coplanar_coupling_per_m(5.0, 2.0, 1.0, EPS_R_SIO2);
+        assert!(thick > thin);
+    }
+
+    #[test]
+    fn orthogonal_layer_scales_with_coverage() {
+        let full = line_over_orthogonal_layer_per_m(10.0, 2.0, 3.0, EPS_R_SIO2, 1.0);
+        let half = line_over_orthogonal_layer_per_m(10.0, 2.0, 3.0, EPS_R_SIO2, 0.5);
+        let none = line_over_orthogonal_layer_per_m(10.0, 2.0, 3.0, EPS_R_SIO2, 0.0);
+        assert!((half - full / 2.0).abs() < 1e-18);
+        assert_eq!(none, 0.0);
+        assert_eq!(full, line_over_plane_per_m(10.0, 2.0, 3.0, EPS_R_SIO2));
+    }
+
+    #[test]
+    fn figure1_signal_total_cap_order_of_magnitude() {
+        // Figure 1: 10 µm signal, 2 µm thick, 1 µm gaps to 5 µm grounds,
+        // orthogonal layer below. Expect ~1–2 pF over 6 mm.
+        let cg = line_over_orthogonal_layer_per_m(10.0, 2.0, 3.0, EPS_R_SIO2, 0.5);
+        let cc = coplanar_coupling_per_m(5.0, 2.0, 1.0, EPS_R_SIO2);
+        let total = (cg + 2.0 * cc) * 6.0e-3;
+        assert!(total > 0.4e-12 && total < 4e-12, "total = {total}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Analytic trace resistance.
+//!
+//! The paper computes resistance analytically \[4\]; skin-effect-corrected AC
+//! resistance comes from the PEEC filament solve in `rlcx-peec` when needed.
+
+use rlcx_geom::units::um_to_m;
+
+/// DC resistance (Ω) of a trace: `R = ρ l / (w t)`.
+///
+/// Geometry in **microns**, resistivity in Ω·m.
+///
+/// # Panics
+///
+/// Panics (debug) on non-positive arguments.
+pub fn trace_resistance(length: f64, width: f64, thickness: f64, rho: f64) -> f64 {
+    debug_assert!(length > 0.0 && width > 0.0 && thickness > 0.0 && rho > 0.0);
+    rho * um_to_m(length) / (um_to_m(width) * um_to_m(thickness))
+}
+
+/// Sheet resistance (Ω/□) of a layer: `R_s = ρ / t`.
+///
+/// # Panics
+///
+/// Panics (debug) on non-positive arguments.
+pub fn sheet_resistance(thickness: f64, rho: f64) -> f64 {
+    debug_assert!(thickness > 0.0 && rho > 0.0);
+    rho / um_to_m(thickness)
+}
+
+/// First-order AC resistance correction: when the skin depth `delta` (µm) is
+/// smaller than half the smaller cross-section dimension, current is
+/// confined to a perimeter shell of depth `delta` and resistance scales by
+/// the area ratio. Returns the multiplicative factor ≥ 1.
+///
+/// The PEEC filament solve supersedes this for accuracy; the closed form is
+/// used by quick estimates and the statistical RC sampler.
+pub fn skin_factor(width: f64, thickness: f64, delta: f64) -> f64 {
+    debug_assert!(width > 0.0 && thickness > 0.0 && delta > 0.0);
+    let full = width * thickness;
+    let w_core = (width - 2.0 * delta).max(0.0);
+    let t_core = (thickness - 2.0 * delta).max(0.0);
+    let shell = full - w_core * t_core;
+    if shell <= 0.0 {
+        1.0
+    } else {
+        (full / shell).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlcx_geom::units::{skin_depth, RHO_COPPER};
+
+    #[test]
+    fn figure1_signal_resistance() {
+        let r = trace_resistance(6000.0, 10.0, 2.0, RHO_COPPER);
+        assert!((r - 5.16).abs() < 0.05);
+    }
+
+    #[test]
+    fn sheet_resistance_of_2um_copper() {
+        // ρ/t = 1.72e-8 / 2e-6 = 8.6 mΩ/□.
+        let rs = sheet_resistance(2.0, RHO_COPPER);
+        assert!((rs - 8.6e-3).abs() < 1e-4);
+    }
+
+    #[test]
+    fn skin_factor_is_one_at_dc() {
+        // Huge skin depth → no correction.
+        assert_eq!(skin_factor(10.0, 2.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn skin_factor_grows_with_frequency() {
+        let d1 = skin_depth(RHO_COPPER, 1e9) * 1e6; // µm
+        let d10 = skin_depth(RHO_COPPER, 1e10) * 1e6;
+        let f1 = skin_factor(10.0, 2.0, d1);
+        let f10 = skin_factor(10.0, 2.0, d10);
+        assert!(f10 > f1);
+        assert!(f1 >= 1.0);
+    }
+
+    #[test]
+    fn resistance_scales_with_geometry() {
+        let base = trace_resistance(1000.0, 1.0, 1.0, RHO_COPPER);
+        assert!((trace_resistance(2000.0, 1.0, 1.0, RHO_COPPER) / base - 2.0).abs() < 1e-12);
+        assert!((trace_resistance(1000.0, 2.0, 1.0, RHO_COPPER) / base - 0.5).abs() < 1e-12);
+    }
+}

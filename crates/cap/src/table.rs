@@ -1,0 +1,230 @@
+//! Pre-characterized capacitance tables.
+//!
+//! The paper's Section V flow looks *both* electricals up from tables:
+//! "via the pre-characterized capacitance and inductance table look-up as
+//! discussed in \[4\] and in previous sections respectively". Capacitance is
+//! linear in length, so the table stores **per-micron** ground and coupling
+//! capacitance over a (signal width, spacing) grid per shield
+//! configuration, interpolated with the same bi-cubic splines as the
+//! inductance tables.
+
+use crate::extract::BlockCapExtractor;
+use crate::{CapError, Result};
+use rlcx_geom::units::um_to_m;
+use rlcx_geom::{Block, ShieldConfig, Stackup};
+use rlcx_numeric::spline::BicubicSpline;
+
+/// Per-unit-length capacitance table for guarded signals in one shield
+/// configuration, over (signal width, spacing to the guards).
+#[derive(Debug, Clone)]
+pub struct CapTable {
+    shield: ShieldConfig,
+    ground_width_ratio: f64,
+    widths: Vec<f64>,
+    spacings: Vec<f64>,
+    /// Ground capacitance per micron (F/µm).
+    cg_spline: BicubicSpline,
+    /// One-side coupling capacitance per micron (F/µm).
+    cc_spline: BicubicSpline,
+}
+
+impl CapTable {
+    /// Characterizes a table with `extractor` for the given grid: every
+    /// grid point extracts a G-S-G block (grounds at
+    /// `ground_width_ratio × width`) of a reference length and normalizes
+    /// to per-micron values.
+    ///
+    /// # Errors
+    ///
+    /// * [`CapError::InvalidParameter`] for bad axes or ratio < 1,
+    /// * extraction errors from the capacitance model.
+    pub fn characterize(
+        extractor: &BlockCapExtractor,
+        shield: ShieldConfig,
+        ground_width_ratio: f64,
+        widths: Vec<f64>,
+        spacings: Vec<f64>,
+    ) -> Result<CapTable> {
+        if ground_width_ratio < 1.0 {
+            return Err(CapError::InvalidParameter {
+                what: format!("ground width ratio must be ≥ 1, got {ground_width_ratio}"),
+            });
+        }
+        for (name, axis) in [("width", &widths), ("spacing", &spacings)] {
+            if axis.len() < 2 || axis.windows(2).any(|w| w[1] <= w[0]) || axis[0] <= 0.0 {
+                return Err(CapError::InvalidParameter {
+                    what: format!("{name} axis must be ≥ 2 strictly increasing positive points"),
+                });
+            }
+        }
+        // Capacitance is linear in length; characterize at 1000 µm.
+        let ref_len = 1000.0;
+        let mut cg_grid = Vec::with_capacity(widths.len());
+        let mut cc_grid = Vec::with_capacity(widths.len());
+        for &w in &widths {
+            let mut cg_row = Vec::with_capacity(spacings.len());
+            let mut cc_row = Vec::with_capacity(spacings.len());
+            for &s in &spacings {
+                let block = Block::coplanar_waveguide(ref_len, w, w * ground_width_ratio, s)?
+                    .with_shield(shield);
+                let caps = extractor.extract(&block)?;
+                cg_row.push(caps.cg[1] / ref_len);
+                cc_row.push(caps.cc[0] / ref_len);
+            }
+            cg_grid.push(cg_row);
+            cc_grid.push(cc_row);
+        }
+        let cg_spline = BicubicSpline::new(&widths, &spacings, &cg_grid)
+            .map_err(|e| CapError::InvalidParameter { what: format!("cg spline: {e}") })?;
+        let cc_spline = BicubicSpline::new(&widths, &spacings, &cc_grid)
+            .map_err(|e| CapError::InvalidParameter { what: format!("cc spline: {e}") })?;
+        Ok(CapTable { shield, ground_width_ratio, widths, spacings, cg_spline, cc_spline })
+    }
+
+    /// Shield configuration of the characterization structure.
+    pub fn shield(&self) -> ShieldConfig {
+        self.shield
+    }
+
+    /// Ground-to-signal width ratio of the characterization structure.
+    pub fn ground_width_ratio(&self) -> f64 {
+        self.ground_width_ratio
+    }
+
+    /// Ground capacitance per micron (F/µm) at the given signal width and
+    /// guard spacing (µm).
+    pub fn cg_per_um(&self, width: f64, spacing: f64) -> f64 {
+        self.cg_spline.eval(width, spacing)
+    }
+
+    /// One-side coupling capacitance per micron (F/µm).
+    pub fn cc_per_um(&self, width: f64, spacing: f64) -> f64 {
+        self.cc_spline.eval(width, spacing)
+    }
+
+    /// Total lumped signal capacitance (F) of a guarded segment: ground
+    /// term plus both guard couplings (treated as grounded, per the paper).
+    pub fn total_signal_cap(&self, width: f64, spacing: f64, length: f64) -> f64 {
+        (self.cg_per_um(width, spacing) + 2.0 * self.cc_per_um(width, spacing)) * length
+    }
+
+    /// Returns `true` when the query interpolates rather than extrapolates.
+    pub fn covers(&self, width: f64, spacing: f64) -> bool {
+        width >= self.widths[0]
+            && width <= *self.widths.last().expect("validated")
+            && spacing >= self.spacings[0]
+            && spacing <= *self.spacings.last().expect("validated")
+    }
+}
+
+/// Convenience: characterize a [`CapTable`] directly from a stackup/layer.
+///
+/// # Errors
+///
+/// Propagates [`CapTable::characterize`] errors.
+pub fn characterize_cap_table(
+    stackup: Stackup,
+    layer_index: usize,
+    shield: ShieldConfig,
+    widths: Vec<f64>,
+    spacings: Vec<f64>,
+) -> Result<CapTable> {
+    let extractor = BlockCapExtractor::new(stackup, layer_index)?;
+    CapTable::characterize(&extractor, shield, 1.0, widths, spacings)
+}
+
+/// Sanity helper: the parallel-plate bound `ε w / h` (F/µm) a physical cg
+/// lookup should exceed only by a bounded fringe factor. Used by tests and
+/// diagnostics.
+pub fn parallel_plate_per_um(width: f64, height: f64, eps_r: f64) -> f64 {
+    rlcx_geom::units::EPS_0 * eps_r * width / height * um_to_m(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(shield: ShieldConfig) -> CapTable {
+        characterize_cap_table(
+            Stackup::hp_six_metal_copper(),
+            5,
+            shield,
+            vec![1.0, 2.0, 3.5, 5.0, 10.0],
+            vec![0.5, 0.75, 1.0, 1.5, 2.5, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_matches_direct_extraction() {
+        let t = table(ShieldConfig::Coplanar);
+        let ex = BlockCapExtractor::new(Stackup::hp_six_metal_copper(), 5).unwrap();
+        for (w, s, len) in [(3.0, 0.7, 800.0), (7.5, 1.5, 2500.0)] {
+            let block = Block::coplanar_waveguide(len, w, w, s).unwrap();
+            let direct = ex.extract(&block).unwrap();
+            let direct_total = direct.total_trace_cap(1);
+            let tabled = t.total_signal_cap(w, s, len);
+            let rel = (tabled - direct_total).abs() / direct_total;
+            // The 1/s-like coupling curvature dominates the interpolation
+            // error; the production grid is denser below 1 µm spacing.
+            assert!(rel < 0.03, "w={w}, s={s}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn cg_grows_with_width_cc_falls_with_spacing() {
+        let t = table(ShieldConfig::Coplanar);
+        assert!(t.cg_per_um(10.0, 1.0) > t.cg_per_um(2.0, 1.0));
+        assert!(t.cc_per_um(5.0, 0.5) > t.cc_per_um(5.0, 4.0));
+    }
+
+    #[test]
+    fn microstrip_has_more_ground_cap_than_coplanar_at_zero_coverage() {
+        // With the default 50 % orthogonal coverage both have downward
+        // terms; the plane-below table must exceed the sidewall-only part.
+        let cpw = table(ShieldConfig::Coplanar);
+        let ms = table(ShieldConfig::PlaneBelow);
+        // Same total capacitance order of magnitude.
+        let c_cpw = cpw.total_signal_cap(5.0, 1.0, 1000.0);
+        let c_ms = ms.total_signal_cap(5.0, 1.0, 1000.0);
+        assert!(c_ms > 0.5 * c_cpw && c_ms < 3.0 * c_cpw);
+    }
+
+    #[test]
+    fn linear_in_length_by_construction() {
+        let t = table(ShieldConfig::Coplanar);
+        let c1 = t.total_signal_cap(5.0, 1.0, 1000.0);
+        let c2 = t.total_signal_cap(5.0, 1.0, 3000.0);
+        assert!((c2 / c1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covers_reports_grid_bounds() {
+        let t = table(ShieldConfig::Coplanar);
+        assert!(t.covers(5.0, 1.0));
+        assert!(!t.covers(0.2, 1.0));
+        assert!(!t.covers(5.0, 9.0));
+        assert_eq!(t.shield(), ShieldConfig::Coplanar);
+        assert_eq!(t.ground_width_ratio(), 1.0);
+    }
+
+    #[test]
+    fn validation_of_axes_and_ratio() {
+        let ex = BlockCapExtractor::new(Stackup::hp_six_metal_copper(), 5).unwrap();
+        assert!(CapTable::characterize(&ex, ShieldConfig::Coplanar, 0.5, vec![1.0, 2.0], vec![1.0, 2.0]).is_err());
+        assert!(CapTable::characterize(&ex, ShieldConfig::Coplanar, 1.0, vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(CapTable::characterize(&ex, ShieldConfig::Coplanar, 1.0, vec![2.0, 1.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn physical_bound_against_parallel_plate() {
+        // cg per µm for a wide line must exceed the pure plate term to its
+        // target but stay within a bounded fringe multiple of it.
+        let t = table(ShieldConfig::PlaneBelow);
+        // Plane below M6 is M4: gap = 9.4 − 5.4 = 4.0 µm.
+        let plate = parallel_plate_per_um(10.0, 4.0, rlcx_geom::units::EPS_R_SIO2);
+        let cg = t.cg_per_um(10.0, 5.0);
+        assert!(cg > plate, "cg {cg} vs plate {plate}");
+        assert!(cg < 4.0 * plate, "fringe factor too large: {}", cg / plate);
+    }
+}

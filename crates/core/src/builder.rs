@@ -1,0 +1,333 @@
+//! Table characterization: driving the field solver over geometry grids.
+//!
+//! This is the "pre-compute inductance tables" half of the paper's method
+//! (Section III): for each layer, run the 3-D solver — our PEEC engine in
+//! place of Raphael RI3 — at the significant frequency over grids of widths,
+//! spacings and lengths, and store the results for spline lookup.
+//!
+//! "Only 2-trace subproblems need to be solved, because results to 1-trace
+//! subproblems are parts of results to 2-trace subproblems" — we still
+//! characterize the self table from 1-trace solves because our solver makes
+//! them equally cheap, and it keeps the self table exact for isolated wide
+//! traces.
+
+use crate::table::{InductanceTables, LoopLTable, MutualLTable, SelfLTable};
+use crate::Result;
+use rlcx_geom::{Axis, Bar, Block, Point3, ShieldConfig, Stackup};
+use rlcx_peec::{BlockExtractor, Conductor, MeshSpec, PartialSystem};
+
+/// Builds [`InductanceTables`] for one routing layer of a stackup.
+///
+/// # Example
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    stackup: Stackup,
+    layer_index: usize,
+    frequency: f64,
+    mesh: MeshSpec,
+    widths: Vec<f64>,
+    spacings: Vec<f64>,
+    lengths: Vec<f64>,
+    shields: Vec<ShieldConfig>,
+    ground_width_ratio: f64,
+    loop_spacing: f64,
+    plane_strips: usize,
+}
+
+impl TableBuilder {
+    /// Creates a builder with representative defaults for a late-1990s
+    /// clock layer: widths {1, 2, 5, 10, 20} µm, spacings {0.5, 1, 2, 5} µm,
+    /// lengths {100 … 6400} µm (doubling), 3.2 GHz significant frequency,
+    /// coplanar loop table only, equal-width grounds at 1 µm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::Geometry`] if the layer does not exist.
+    pub fn new(stackup: Stackup, layer_index: usize) -> Result<Self> {
+        stackup.layer(layer_index)?;
+        Ok(TableBuilder {
+            stackup,
+            layer_index,
+            frequency: 3.2e9,
+            mesh: MeshSpec::default(),
+            widths: vec![1.0, 2.0, 5.0, 10.0, 20.0],
+            spacings: vec![0.5, 1.0, 2.0, 5.0],
+            lengths: vec![100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0],
+            shields: vec![ShieldConfig::Coplanar],
+            ground_width_ratio: 1.0,
+            loop_spacing: 1.0,
+            plane_strips: 10,
+        })
+    }
+
+    /// Sets the characterization (significant) frequency (Hz).
+    #[must_use]
+    pub fn frequency(mut self, f: f64) -> Self {
+        self.frequency = f;
+        self
+    }
+
+    /// Sets the filament mesh used for traces during characterization.
+    #[must_use]
+    pub fn mesh(mut self, mesh: MeshSpec) -> Self {
+        self.mesh = mesh;
+        self
+    }
+
+    /// Sets the width axis (µm, strictly increasing).
+    #[must_use]
+    pub fn widths(mut self, widths: Vec<f64>) -> Self {
+        self.widths = widths;
+        self
+    }
+
+    /// Sets the spacing axis for the mutual table (µm).
+    #[must_use]
+    pub fn spacings(mut self, spacings: Vec<f64>) -> Self {
+        self.spacings = spacings;
+        self
+    }
+
+    /// Sets the length axis (µm).
+    #[must_use]
+    pub fn lengths(mut self, lengths: Vec<f64>) -> Self {
+        self.lengths = lengths;
+        self
+    }
+
+    /// Sets which shield configurations get loop tables.
+    #[must_use]
+    pub fn shields(mut self, shields: Vec<ShieldConfig>) -> Self {
+        self.shields = shields;
+        self
+    }
+
+    /// Sets the ground-to-signal width ratio of the loop characterization
+    /// structure (≥ 1 per the paper's shielding rule).
+    #[must_use]
+    pub fn ground_width_ratio(mut self, ratio: f64) -> Self {
+        self.ground_width_ratio = ratio;
+        self
+    }
+
+    /// Sets the signal-to-ground spacing of the loop structure (µm).
+    #[must_use]
+    pub fn loop_spacing(mut self, spacing: f64) -> Self {
+        self.loop_spacing = spacing;
+        self
+    }
+
+    /// Sets the number of strips ground planes are meshed into.
+    #[must_use]
+    pub fn plane_strips(mut self, strips: usize) -> Self {
+        self.plane_strips = strips.max(1);
+        self
+    }
+
+    /// Runs the characterization and assembles the tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; returns [`crate::CoreError::BadAxis`] for invalid
+    /// axes.
+    pub fn build(&self) -> Result<InductanceTables> {
+        let layer = self.stackup.layer(self.layer_index)?;
+        let rho = layer.resistivity();
+        let t = layer.thickness();
+        let z = layer.z_bottom();
+
+        // Self table: 1-trace solves at the significant frequency.
+        let mut self_grid = Vec::with_capacity(self.widths.len());
+        for &w in &self.widths {
+            let mut row = Vec::with_capacity(self.lengths.len());
+            for &len in &self.lengths {
+                let bar = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, w, t)?;
+                let sys: PartialSystem = [Conductor::new(bar, rho)?].into_iter().collect();
+                let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
+                row.push(l[(0, 0)]);
+            }
+            self_grid.push(row);
+        }
+        let self_l = SelfLTable::from_grid(self.widths.clone(), self.lengths.clone(), self_grid)?;
+
+        // Mutual table: 2-trace solves, symmetric in the width pair.
+        let nw = self.widths.len();
+        let mut mutual_grid =
+            vec![vec![Vec::<Vec<f64>>::new(); nw]; nw];
+        for i in 0..nw {
+            for j in i..nw {
+                let mut per_spacing = Vec::with_capacity(self.spacings.len());
+                for &s in &self.spacings {
+                    let mut per_len = Vec::with_capacity(self.lengths.len());
+                    for &len in &self.lengths {
+                        let a = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, self.widths[i], t)?;
+                        let b = Bar::new(
+                            Point3::new(0.0, self.widths[i] + s, z),
+                            Axis::X,
+                            len,
+                            self.widths[j],
+                            t,
+                        )?;
+                        let sys: PartialSystem =
+                            [Conductor::new(a, rho)?, Conductor::new(b, rho)?].into_iter().collect();
+                        let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
+                        per_len.push(l[(0, 1)]);
+                    }
+                    per_spacing.push(per_len);
+                }
+                mutual_grid[i][j] = per_spacing.clone();
+                mutual_grid[j][i] = per_spacing;
+            }
+        }
+        let mutual_l = MutualLTable::from_grid(
+            self.widths.clone(),
+            self.spacings.clone(),
+            self.lengths.clone(),
+            mutual_grid,
+        )?;
+
+        // Loop tables: full G-S-G (+ plane) block extraction per config.
+        let extractor = BlockExtractor::new(self.stackup.clone(), self.layer_index)?
+            .frequency(self.frequency)
+            .mesh(self.mesh)
+            .plane_strips(self.plane_strips);
+        let mut loop_tables = Vec::with_capacity(self.shields.len());
+        for &shield in &self.shields {
+            let mut l_grid = Vec::with_capacity(self.widths.len());
+            let mut r_grid = Vec::with_capacity(self.widths.len());
+            for &w in &self.widths {
+                let mut l_row = Vec::with_capacity(self.lengths.len());
+                let mut r_row = Vec::with_capacity(self.lengths.len());
+                for &len in &self.lengths {
+                    let block = Block::coplanar_waveguide(
+                        len,
+                        w,
+                        w * self.ground_width_ratio,
+                        self.loop_spacing,
+                    )?
+                    .with_shield(shield);
+                    let out = extractor.extract(&block)?;
+                    l_row.push(out.loop_l[(0, 0)]);
+                    r_row.push(out.loop_r[(0, 0)]);
+                }
+                l_grid.push(l_row);
+                r_grid.push(r_row);
+            }
+            loop_tables.push(LoopLTable::from_grid(
+                shield,
+                self.ground_width_ratio,
+                self.loop_spacing,
+                self.widths.clone(),
+                self.lengths.clone(),
+                l_grid,
+                r_grid,
+            )?);
+        }
+        Ok(InductanceTables::new(self_l, mutual_l, loop_tables, self.frequency))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreError;
+    use rlcx_peec::partial::self_partial_ruehli;
+
+    fn small_builder() -> TableBuilder {
+        TableBuilder::new(Stackup::hp_six_metal_copper(), 5)
+            .unwrap()
+            .widths(vec![2.0, 5.0, 10.0])
+            .spacings(vec![0.5, 1.0, 2.0])
+            .lengths(vec![200.0, 400.0, 800.0])
+            .mesh(MeshSpec::new(2, 1))
+    }
+
+    #[test]
+    fn build_small_tables_and_lookup() {
+        let tables = small_builder().build().unwrap();
+        // Self table values track the closed form at low-ish frequency to
+        // within the skin-effect correction (a few percent).
+        let l_tab = tables.self_l.lookup(5.0, 400.0);
+        let l_ruehli = self_partial_ruehli(400.0, 5.0, 2.0);
+        assert!((l_tab - l_ruehli).abs() / l_ruehli < 0.08, "{l_tab} vs {l_ruehli}");
+        // Mutual lookup is positive and below self.
+        let m = tables.mutual_l.lookup(5.0, 5.0, 1.0, 400.0);
+        assert!(m > 0.0 && m < l_tab);
+        // Loop table present for the default coplanar config.
+        let lt = tables.loop_table(ShieldConfig::Coplanar).unwrap();
+        let l_loop = lt.lookup_l(5.0, 400.0);
+        assert!(l_loop > 0.0);
+        // Loop L exceeds the *partial* self L minus mutual couplings — in
+        // fact for a CPW, L_loop ≈ Ls + Lg/2 − 2M: check the physical band.
+        assert!(l_loop < 2.0 * l_tab && l_loop > 0.1 * l_tab, "L_loop = {l_loop}");
+    }
+
+    #[test]
+    fn interpolation_matches_direct_solve_between_grid_points() {
+        let tables = small_builder().build().unwrap();
+        // Direct 1-trace solve at an off-grid point.
+        let stack = Stackup::hp_six_metal_copper();
+        let layer = stack.layer(5).unwrap();
+        let bar = Bar::new(
+            Point3::new(0.0, 0.0, layer.z_bottom()),
+            Axis::X,
+            600.0,
+            7.0,
+            layer.thickness(),
+        )
+        .unwrap();
+        let sys: PartialSystem =
+            [Conductor::new(bar, layer.resistivity()).unwrap()].into_iter().collect();
+        let (_, l) = sys.rl_at(3.2e9, MeshSpec::new(2, 1)).unwrap();
+        let direct = l[(0, 0)];
+        let table = tables.self_l.lookup(7.0, 600.0);
+        let rel = (table - direct).abs() / direct;
+        assert!(rel < 0.03, "table {table} vs direct {direct}: rel {rel}");
+    }
+
+    #[test]
+    fn loop_tables_for_multiple_shields() {
+        let tables = small_builder()
+            .shields(vec![ShieldConfig::Coplanar, ShieldConfig::PlaneBelow])
+            .plane_strips(6)
+            .build()
+            .unwrap();
+        let cpw = tables.loop_table(ShieldConfig::Coplanar).unwrap();
+        let ms = tables.loop_table(ShieldConfig::PlaneBelow).unwrap();
+        for &w in &[2.0, 5.0, 10.0] {
+            for &len in &[200.0, 400.0, 800.0] {
+                let ratio = ms.lookup_l(w, len) / cpw.lookup_l(w, len);
+                // The plane can never raise loop L materially; for wide
+                // signals (whose in-layer grounds are no tighter than the
+                // plane) it must clearly reduce it.
+                assert!(ratio < 1.01, "plane raised loop L at w={w}, len={len}: {ratio}");
+                if w >= 5.0 {
+                    assert!(ratio < 0.95, "plane should help wide signals: w={w}, len={len}, {ratio}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_axes_are_rejected_at_build() {
+        let b = small_builder().widths(vec![5.0]);
+        assert!(matches!(b.build(), Err(CoreError::BadAxis { .. })));
+        let b = small_builder().lengths(vec![400.0, 200.0]);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn missing_layer_rejected() {
+        assert!(TableBuilder::new(Stackup::hp_six_metal_copper(), 10).is_err());
+    }
+
+    #[test]
+    fn superlinearity_preserved_by_table() {
+        let tables = small_builder().build().unwrap();
+        let l1 = tables.self_l.lookup(10.0, 400.0);
+        let l2 = tables.self_l.lookup(10.0, 800.0);
+        assert!(l2 / l1 > 2.05, "table should preserve super-linear growth: {}", l2 / l1);
+    }
+}

@@ -1,0 +1,112 @@
+use rlcx_cap::CapError;
+use rlcx_geom::GeomError;
+use rlcx_numeric::NumericError;
+use rlcx_peec::PeecError;
+use rlcx_spice::SpiceError;
+use std::fmt;
+
+/// Error type for table building, lookup and netlist formulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Geometry error from input structures.
+    Geometry(GeomError),
+    /// Field-solver error during characterization.
+    Peec(PeecError),
+    /// Capacitance model error.
+    Cap(CapError),
+    /// Numerical error (spline construction, …).
+    Numeric(NumericError),
+    /// Netlist construction error.
+    Spice(SpiceError),
+    /// A table axis was invalid (too few points, not increasing, …).
+    BadAxis {
+        /// Which axis.
+        axis: String,
+        /// Description of the defect.
+        what: String,
+    },
+    /// A lookup referenced a configuration the tables were not built for.
+    MissingTable {
+        /// Description of the missing entry.
+        what: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Geometry(e) => write!(f, "geometry error: {e}"),
+            CoreError::Peec(e) => write!(f, "field solver error: {e}"),
+            CoreError::Cap(e) => write!(f, "capacitance error: {e}"),
+            CoreError::Numeric(e) => write!(f, "numeric error: {e}"),
+            CoreError::Spice(e) => write!(f, "netlist error: {e}"),
+            CoreError::BadAxis { axis, what } => write!(f, "bad table axis {axis}: {what}"),
+            CoreError::MissingTable { what } => write!(f, "missing table: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Geometry(e) => Some(e),
+            CoreError::Peec(e) => Some(e),
+            CoreError::Cap(e) => Some(e),
+            CoreError::Numeric(e) => Some(e),
+            CoreError::Spice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for CoreError {
+    fn from(e: GeomError) -> Self {
+        CoreError::Geometry(e)
+    }
+}
+
+impl From<PeecError> for CoreError {
+    fn from(e: PeecError) -> Self {
+        CoreError::Peec(e)
+    }
+}
+
+impl From<CapError> for CoreError {
+    fn from(e: CapError) -> Self {
+        CoreError::Cap(e)
+    }
+}
+
+impl From<NumericError> for CoreError {
+    fn from(e: NumericError) -> Self {
+        CoreError::Numeric(e)
+    }
+}
+
+impl From<SpiceError> for CoreError {
+    fn from(e: SpiceError) -> Self {
+        CoreError::Spice(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn sources_are_chained() {
+        let e = CoreError::from(GeomError::TooFewTraces { got: 1 });
+        assert!(e.source().is_some());
+        let e = CoreError::BadAxis { axis: "width".into(), what: "empty".into() };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("width"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

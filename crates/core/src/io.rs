@@ -1,0 +1,347 @@
+//! Plain-text serialization of characterized tables.
+//!
+//! Characterization is the expensive half of the paper's method — a real
+//! flow runs it once per process/layer and ships the tables. The format is
+//! a line-oriented text file (stable, diffable, no external dependencies):
+//!
+//! ```text
+//! rlcx-tables v1
+//! frequency 3.2e9
+//! self <nw> <nl>
+//! <width axis>
+//! <length axis>
+//! <nw rows of nl values>
+//! mutual <nw> <ns> <nl>
+//! <width axis> / <spacing axis> / <length axis>
+//! <nw*nw blocks of ns rows × nl values>
+//! loop <shield> <ratio> <spacing> <nw> <nl>
+//! ... (repeated per shield configuration)
+//! end
+//! ```
+
+use crate::table::{InductanceTables, LoopLTable, MutualLTable, SelfLTable};
+use crate::{CoreError, Result};
+use rlcx_geom::ShieldConfig;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn shield_name(s: ShieldConfig) -> &'static str {
+    match s {
+        ShieldConfig::Coplanar => "coplanar",
+        ShieldConfig::PlaneBelow => "plane-below",
+        ShieldConfig::PlaneAbove => "plane-above",
+        ShieldConfig::PlaneBoth => "plane-both",
+    }
+}
+
+fn shield_from_name(name: &str) -> Result<ShieldConfig> {
+    match name {
+        "coplanar" => Ok(ShieldConfig::Coplanar),
+        "plane-below" => Ok(ShieldConfig::PlaneBelow),
+        "plane-above" => Ok(ShieldConfig::PlaneAbove),
+        "plane-both" => Ok(ShieldConfig::PlaneBoth),
+        other => Err(CoreError::MissingTable { what: format!("unknown shield config {other}") }),
+    }
+}
+
+fn write_axis(out: &mut String, axis: &[f64]) {
+    let cells: Vec<String> = axis.iter().map(|v| format!("{v:.17e}")).collect();
+    let _ = writeln!(out, "{}", cells.join(" "));
+}
+
+fn write_grid(out: &mut String, grid: &[Vec<f64>]) {
+    for row in grid {
+        write_axis(out, row);
+    }
+}
+
+/// Renders a table set to the text format.
+pub fn to_string(tables: &InductanceTables) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "rlcx-tables v1");
+    let _ = writeln!(out, "frequency {:.17e}", tables.frequency);
+
+    let s = &tables.self_l;
+    let _ = writeln!(out, "self {} {}", s.widths().len(), s.lengths().len());
+    write_axis(&mut out, s.widths());
+    write_axis(&mut out, s.lengths());
+    write_grid(&mut out, s.grid());
+
+    let m = &tables.mutual_l;
+    let _ = writeln!(
+        out,
+        "mutual {} {} {}",
+        m.widths().len(),
+        m.spacings().len(),
+        m.lengths().len()
+    );
+    write_axis(&mut out, m.widths());
+    write_axis(&mut out, m.spacings());
+    write_axis(&mut out, m.lengths());
+    for row in m.grid() {
+        for grid in row {
+            write_grid(&mut out, grid);
+        }
+    }
+
+    for lt in tables.loop_tables() {
+        let _ = writeln!(
+            out,
+            "loop {} {:.17e} {:.17e} {} {}",
+            shield_name(lt.shield()),
+            lt.ground_width_ratio(),
+            lt.spacing(),
+            lt.widths().len(),
+            lt.lengths().len()
+        );
+        write_axis(&mut out, lt.widths());
+        write_axis(&mut out, lt.lengths());
+        write_grid(&mut out, lt.l_grid());
+        write_grid(&mut out, lt.r_grid());
+    }
+    let _ = writeln!(out, "end");
+    out
+}
+
+struct Lines<'a> {
+    inner: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn next_line(&mut self) -> Result<&'a str> {
+        loop {
+            let line = self.inner.next().ok_or(CoreError::MissingTable {
+                what: format!("unexpected end of table file after line {}", self.line_no),
+            })?;
+            self.line_no += 1;
+            let trimmed = line.trim();
+            if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                return Ok(trimmed);
+            }
+        }
+    }
+
+    fn axis(&mut self, n: usize) -> Result<Vec<f64>> {
+        let line = self.next_line()?;
+        let vals: Vec<f64> = line
+            .split_whitespace()
+            .map(|t| t.parse::<f64>())
+            .collect::<std::result::Result<_, _>>()
+            .map_err(|e| CoreError::MissingTable {
+                what: format!("bad number on line {}: {e}", self.line_no),
+            })?;
+        if vals.len() != n {
+            return Err(CoreError::MissingTable {
+                what: format!("line {}: expected {n} values, got {}", self.line_no, vals.len()),
+            });
+        }
+        Ok(vals)
+    }
+
+    fn grid(&mut self, rows: usize, cols: usize) -> Result<Vec<Vec<f64>>> {
+        (0..rows).map(|_| self.axis(cols)).collect()
+    }
+}
+
+/// Parses a table set from the text format.
+///
+/// # Errors
+///
+/// Returns [`CoreError::MissingTable`] with a line diagnostic for any
+/// malformed content, and [`CoreError::BadAxis`] for axes that fail the
+/// usual validation.
+pub fn from_string(text: &str) -> Result<InductanceTables> {
+    let mut lines = Lines { inner: text.lines(), line_no: 0 };
+    let header = lines.next_line()?;
+    if header != "rlcx-tables v1" {
+        return Err(CoreError::MissingTable { what: format!("bad header: {header}") });
+    }
+    let freq_line = lines.next_line()?;
+    let frequency = freq_line
+        .strip_prefix("frequency ")
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .ok_or(CoreError::MissingTable { what: format!("bad frequency line: {freq_line}") })?;
+
+    // self
+    let head = lines.next_line()?;
+    let parts: Vec<&str> = head.split_whitespace().collect();
+    if parts.len() != 3 || parts[0] != "self" {
+        return Err(CoreError::MissingTable { what: format!("expected self header, got {head}") });
+    }
+    let (nw, nl): (usize, usize) = (parse_usize(parts[1])?, parse_usize(parts[2])?);
+    let widths = lines.axis(nw)?;
+    let lengths = lines.axis(nl)?;
+    let grid = lines.grid(nw, nl)?;
+    let self_l = SelfLTable::from_grid(widths, lengths, grid)?;
+
+    // mutual
+    let head = lines.next_line()?;
+    let parts: Vec<&str> = head.split_whitespace().collect();
+    if parts.len() != 4 || parts[0] != "mutual" {
+        return Err(CoreError::MissingTable { what: format!("expected mutual header, got {head}") });
+    }
+    let (nw, ns, nl) = (parse_usize(parts[1])?, parse_usize(parts[2])?, parse_usize(parts[3])?);
+    let widths = lines.axis(nw)?;
+    let spacings = lines.axis(ns)?;
+    let lengths = lines.axis(nl)?;
+    let mut values = Vec::with_capacity(nw);
+    for _ in 0..nw {
+        let mut row = Vec::with_capacity(nw);
+        for _ in 0..nw {
+            row.push(lines.grid(ns, nl)?);
+        }
+        values.push(row);
+    }
+    let mutual_l = MutualLTable::from_grid(widths, spacings, lengths, values)?;
+
+    // loop tables until `end`
+    let mut loop_tables = Vec::new();
+    loop {
+        let head = lines.next_line()?;
+        if head == "end" {
+            break;
+        }
+        let parts: Vec<&str> = head.split_whitespace().collect();
+        if parts.len() != 6 || parts[0] != "loop" {
+            return Err(CoreError::MissingTable {
+                what: format!("expected loop header or end, got {head}"),
+            });
+        }
+        let shield = shield_from_name(parts[1])?;
+        let ratio: f64 = parts[2]
+            .parse()
+            .map_err(|_| CoreError::MissingTable { what: format!("bad ratio {}", parts[2]) })?;
+        let spacing: f64 = parts[3]
+            .parse()
+            .map_err(|_| CoreError::MissingTable { what: format!("bad spacing {}", parts[3]) })?;
+        let (nw, nl) = (parse_usize(parts[4])?, parse_usize(parts[5])?);
+        let widths = lines.axis(nw)?;
+        let lengths = lines.axis(nl)?;
+        let l = lines.grid(nw, nl)?;
+        let r = lines.grid(nw, nl)?;
+        loop_tables.push(LoopLTable::from_grid(shield, ratio, spacing, widths, lengths, l, r)?);
+    }
+    Ok(InductanceTables::new(self_l, mutual_l, loop_tables, frequency))
+}
+
+fn parse_usize(token: &str) -> Result<usize> {
+    token
+        .parse()
+        .map_err(|_| CoreError::MissingTable { what: format!("bad count {token}") })
+}
+
+/// Saves tables to a file.
+///
+/// # Errors
+///
+/// Returns [`CoreError::MissingTable`] wrapping the I/O failure message.
+pub fn save(tables: &InductanceTables, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path.as_ref(), to_string(tables)).map_err(|e| CoreError::MissingTable {
+        what: format!("cannot write {}: {e}", path.as_ref().display()),
+    })
+}
+
+/// Loads tables from a file.
+///
+/// # Errors
+///
+/// Returns [`CoreError::MissingTable`] for I/O or parse failures.
+pub fn load(path: impl AsRef<Path>) -> Result<InductanceTables> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| CoreError::MissingTable {
+        what: format!("cannot read {}: {e}", path.as_ref().display()),
+    })?;
+    from_string(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TableBuilder;
+    use rlcx_geom::Stackup;
+    use rlcx_peec::MeshSpec;
+
+    fn small_tables() -> InductanceTables {
+        TableBuilder::new(Stackup::hp_six_metal_copper(), 5)
+            .unwrap()
+            .widths(vec![2.0, 5.0])
+            .spacings(vec![0.5, 1.0])
+            .lengths(vec![200.0, 800.0])
+            .shields(vec![ShieldConfig::Coplanar, ShieldConfig::PlaneBelow])
+            .mesh(MeshSpec::new(2, 1))
+            .plane_strips(6)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_all_lookups() {
+        let tables = small_tables();
+        let text = to_string(&tables);
+        let parsed = from_string(&text).unwrap();
+        assert_eq!(parsed.frequency, tables.frequency);
+        for (w, len) in [(2.0, 200.0), (3.5, 500.0), (5.0, 800.0)] {
+            assert_eq!(parsed.self_l.lookup(w, len), tables.self_l.lookup(w, len));
+            assert_eq!(
+                parsed.mutual_l.lookup(w, w, 0.7, len),
+                tables.mutual_l.lookup(w, w, 0.7, len)
+            );
+        }
+        for shield in [ShieldConfig::Coplanar, ShieldConfig::PlaneBelow] {
+            let a = tables.loop_table(shield).unwrap();
+            let b = parsed.loop_table(shield).unwrap();
+            assert_eq!(a.lookup_l(3.0, 400.0), b.lookup_l(3.0, 400.0));
+            assert_eq!(a.lookup_r(3.0, 400.0), b.lookup_r(3.0, 400.0));
+            assert_eq!(a.ground_width_ratio(), b.ground_width_ratio());
+            assert_eq!(a.spacing(), b.spacing());
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let tables = small_tables();
+        let path = std::env::temp_dir().join("rlcx_tables_test.txt");
+        save(&tables, &path).unwrap();
+        let parsed = load(&path).unwrap();
+        assert_eq!(parsed.self_l.lookup(4.0, 600.0), tables.self_l.lookup(4.0, 600.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let tables = small_tables();
+        let text = to_string(&tables);
+        let commented: String = text
+            .lines()
+            .flat_map(|l| [l, "# a comment", ""])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = from_string(&commented).unwrap();
+        assert_eq!(parsed.self_l.lookup(2.0, 200.0), tables.self_l.lookup(2.0, 200.0));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(from_string("").is_err());
+        assert!(from_string("wrong header").is_err());
+        let tables = small_tables();
+        let text = to_string(&tables);
+        // Truncate mid-file.
+        let truncated = &text[..text.len() / 2];
+        assert!(from_string(truncated).is_err());
+        // Corrupt a number.
+        let corrupted = text.replacen("self 2 2", "self 2 3", 1);
+        assert!(from_string(&corrupted).is_err());
+        // Missing end marker.
+        let no_end = text.replace("\nend", "");
+        assert!(from_string(&no_end).is_err());
+    }
+
+    #[test]
+    fn shield_names_roundtrip() {
+        for s in ShieldConfig::all() {
+            assert_eq!(shield_from_name(shield_name(s)).unwrap(), s);
+        }
+        assert!(shield_from_name("bogus").is_err());
+    }
+}

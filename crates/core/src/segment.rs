@@ -1,0 +1,69 @@
+//! Per-segment RLC models.
+//!
+//! Section V of the paper: "we extract the resistance, capacitance, and
+//! inductance respectively for each segment […] given the geometry
+//! parameters via the pre-characterized capacitance and inductance table
+//! look-up […] Resistance is calculated analytically."
+
+/// The lumped RLC model of one clocktree segment (a three-wire guarded
+/// block between two points of the tree).
+///
+/// The netlist formulation places the series R and loop L between the
+/// segment's end nodes and splits the total capacitance into π halves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentRlc {
+    /// Series resistance of the signal trace (Ω), analytic.
+    pub r: f64,
+    /// Series loop inductance (H), from the loop table at the significant
+    /// frequency.
+    pub l: f64,
+    /// Total signal capacitance (F): ground capacitance plus couplings to
+    /// the shield wires, treated as perfectly grounded (the paper's stated
+    /// optimistic assumption that offsets the pessimistic inductance).
+    pub c: f64,
+    /// Segment length (µm), kept for diagnostics and section subdivision.
+    pub length: f64,
+}
+
+impl SegmentRlc {
+    /// The segment's intrinsic time-of-flight `√(L·C)` (seconds) — when this
+    /// is comparable to the driver's rise time, inductance matters.
+    pub fn time_of_flight(&self) -> f64 {
+        (self.l * self.c).sqrt()
+    }
+
+    /// The segment's characteristic impedance `√(L/C)` (Ω).
+    pub fn characteristic_impedance(&self) -> f64 {
+        (self.l / self.c).sqrt()
+    }
+
+    /// Damping factor `ζ = (R/2)·√(C/L)` of the segment driven stiffly; a
+    /// value below 1 indicates under-damped (ringing-capable) behaviour.
+    pub fn damping_factor(&self) -> f64 {
+        0.5 * self.r * (self.c / self.l).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> SegmentRlc {
+        SegmentRlc { r: 5.0, l: 4e-9, c: 1e-12, length: 6000.0 }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = seg();
+        assert!((s.time_of_flight() - (4e-21_f64).sqrt()).abs() < 1e-15);
+        assert!((s.characteristic_impedance() - (4e-9_f64 / 1e-12).sqrt()).abs() < 1e-9);
+        // ζ = 2.5·√(1e-12/4e-9) = 2.5·0.0158 ≈ 0.0395 → strongly underdamped.
+        assert!(s.damping_factor() < 0.1);
+    }
+
+    #[test]
+    fn overdamped_segment() {
+        let s = SegmentRlc { r: 500.0, l: 1e-10, c: 1e-12, length: 100.0 };
+        assert!(s.damping_factor() > 1.0);
+    }
+}

@@ -1,0 +1,538 @@
+//! Pre-characterized inductance tables with bi-cubic spline lookup.
+//!
+//! Three tables, exactly as the paper prescribes (Sections II–III):
+//!
+//! * [`SelfLTable`] — self (partial) inductance over (width, length);
+//! * [`MutualLTable`] — mutual inductance over (w1, w2, spacing, length);
+//! * [`LoopLTable`] — loop inductance *and resistance* of a guarded signal
+//!   in a given shield configuration over (width, length), with the ground
+//!   environment (ground-width rule, spacing, planes) frozen into the table.
+//!
+//! Lookups interpolate with bi-cubic splines and extrapolate beyond the
+//! grid with the boundary cubics — the paper's stated policy \[10\].
+
+use crate::{CoreError, Result};
+use rlcx_geom::ShieldConfig;
+use rlcx_numeric::spline::BicubicSpline;
+
+fn validate_axis(name: &str, axis: &[f64]) -> Result<()> {
+    if axis.len() < 2 {
+        return Err(CoreError::BadAxis {
+            axis: name.into(),
+            what: format!("need at least 2 points, got {}", axis.len()),
+        });
+    }
+    for w in axis.windows(2) {
+        if w[1] <= w[0] {
+            return Err(CoreError::BadAxis {
+                axis: name.into(),
+                what: "points must be strictly increasing".into(),
+            });
+        }
+    }
+    if axis[0] <= 0.0 {
+        return Err(CoreError::BadAxis { axis: name.into(), what: "points must be positive".into() });
+    }
+    Ok(())
+}
+
+/// Self-inductance table over (width, length), henries.
+#[derive(Debug, Clone)]
+pub struct SelfLTable {
+    widths: Vec<f64>,
+    lengths: Vec<f64>,
+    values: Vec<Vec<f64>>,
+    spline: BicubicSpline,
+}
+
+impl SelfLTable {
+    /// Builds the table from grid samples `values[wi][li]` (H).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadAxis`] for invalid axes or a misshaped grid.
+    pub fn from_grid(widths: Vec<f64>, lengths: Vec<f64>, values: Vec<Vec<f64>>) -> Result<Self> {
+        validate_axis("width", &widths)?;
+        validate_axis("length", &lengths)?;
+        let spline = BicubicSpline::new(&widths, &lengths, &values)?;
+        Ok(SelfLTable { widths, lengths, values, spline })
+    }
+
+    /// The raw characterized grid `values[wi][li]` (H), for serialization
+    /// and diagnostics.
+    pub fn grid(&self) -> &[Vec<f64>] {
+        &self.values
+    }
+
+    /// Interpolated/extrapolated self inductance (H) at the given width and
+    /// length (µm).
+    pub fn lookup(&self, width: f64, length: f64) -> f64 {
+        self.spline.eval(width, length)
+    }
+
+    /// Returns `true` when the query point lies inside the characterized
+    /// grid (lookup interpolates rather than extrapolates).
+    pub fn covers(&self, width: f64, length: f64) -> bool {
+        width >= self.widths[0]
+            && width <= *self.widths.last().expect("validated")
+            && length >= self.lengths[0]
+            && length <= *self.lengths.last().expect("validated")
+    }
+
+    /// The width axis (µm).
+    pub fn widths(&self) -> &[f64] {
+        &self.widths
+    }
+
+    /// The length axis (µm).
+    pub fn lengths(&self) -> &[f64] {
+        &self.lengths
+    }
+}
+
+/// Mutual-inductance table over (w1, w2, spacing, length), henries.
+///
+/// Stored as one bi-cubic spline over (spacing, length) per width pair,
+/// with bilinear interpolation across the width axes (widths are discrete
+/// design choices in clocktree methodology — a handful of sanctioned values
+/// — so a dense width grid with bilinear blending matches practice).
+#[derive(Debug, Clone)]
+pub struct MutualLTable {
+    widths: Vec<f64>,
+    spacings: Vec<f64>,
+    lengths: Vec<f64>,
+    values: Vec<Vec<Vec<Vec<f64>>>>,
+    /// `splines[wi][wj]`, full (symmetric) matrix of splines.
+    splines: Vec<Vec<BicubicSpline>>,
+}
+
+impl MutualLTable {
+    /// Builds the table from samples `values[w1][w2][si][li]` (H).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadAxis`] for invalid axes or a misshaped grid.
+    pub fn from_grid(
+        widths: Vec<f64>,
+        spacings: Vec<f64>,
+        lengths: Vec<f64>,
+        values: Vec<Vec<Vec<Vec<f64>>>>,
+    ) -> Result<Self> {
+        validate_axis("width", &widths)?;
+        validate_axis("spacing", &spacings)?;
+        validate_axis("length", &lengths)?;
+        if values.len() != widths.len() || values.iter().any(|v| v.len() != widths.len()) {
+            return Err(CoreError::BadAxis {
+                axis: "width".into(),
+                what: "grid shape does not match width axis".into(),
+            });
+        }
+        let mut splines = Vec::with_capacity(widths.len());
+        for row in &values {
+            let mut srow = Vec::with_capacity(widths.len());
+            for grid in row {
+                srow.push(BicubicSpline::new(&spacings, &lengths, grid)?);
+            }
+            splines.push(srow);
+        }
+        Ok(MutualLTable { widths, spacings, lengths, values, splines })
+    }
+
+    /// The raw characterized grid `values[w1][w2][si][li]` (H).
+    pub fn grid(&self) -> &[Vec<Vec<Vec<f64>>>] {
+        &self.values
+    }
+
+    /// Interpolated mutual inductance (H) for traces of widths `w1`, `w2`
+    /// (µm) at edge-to-edge `spacing` over `length` (µm).
+    ///
+    /// Symmetric in `(w1, w2)` by construction of the characterization.
+    pub fn lookup(&self, w1: f64, w2: f64, spacing: f64, length: f64) -> f64 {
+        let (i0, i1, fx) = bracket(&self.widths, w1);
+        let (j0, j1, fy) = bracket(&self.widths, w2);
+        let v00 = self.splines[i0][j0].eval(spacing, length);
+        let v01 = self.splines[i0][j1].eval(spacing, length);
+        let v10 = self.splines[i1][j0].eval(spacing, length);
+        let v11 = self.splines[i1][j1].eval(spacing, length);
+        v00 * (1.0 - fx) * (1.0 - fy) + v01 * (1.0 - fx) * fy + v10 * fx * (1.0 - fy) + v11 * fx * fy
+    }
+
+    /// The width axis (µm).
+    pub fn widths(&self) -> &[f64] {
+        &self.widths
+    }
+
+    /// The spacing axis (µm).
+    pub fn spacings(&self) -> &[f64] {
+        &self.spacings
+    }
+
+    /// The length axis (µm).
+    pub fn lengths(&self) -> &[f64] {
+        &self.lengths
+    }
+}
+
+/// Finds the bracketing indices and fraction for linear interpolation on a
+/// sorted axis, clamping outside the range (width extrapolation clamps —
+/// spline extrapolation is reserved for the spacing/length axes where the
+/// paper applies it).
+fn bracket(axis: &[f64], x: f64) -> (usize, usize, f64) {
+    if x <= axis[0] {
+        return (0, 0, 0.0);
+    }
+    if x >= *axis.last().expect("validated axis") {
+        let last = axis.len() - 1;
+        return (last, last, 0.0);
+    }
+    let mut hi = 1;
+    while axis[hi] < x {
+        hi += 1;
+    }
+    let lo = hi - 1;
+    ((lo), (hi), (x - axis[lo]) / (axis[hi] - axis[lo]))
+}
+
+/// Loop inductance/resistance table for a guarded signal in one shield
+/// configuration, over (signal width, length).
+///
+/// The ground environment is part of the table's identity: ground wires of
+/// `ground_width_ratio × width` (the paper's "at least equal width" rule has
+/// ratio ≥ 1) at `spacing`, plus the planes implied by `shield`.
+#[derive(Debug, Clone)]
+pub struct LoopLTable {
+    shield: ShieldConfig,
+    ground_width_ratio: f64,
+    spacing: f64,
+    widths: Vec<f64>,
+    lengths: Vec<f64>,
+    l_values: Vec<Vec<f64>>,
+    r_values: Vec<Vec<f64>>,
+    l_spline: BicubicSpline,
+    r_spline: BicubicSpline,
+}
+
+impl LoopLTable {
+    /// Builds the table from grid samples `l[wi][li]` (H) and `r[wi][li]`
+    /// (Ω).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadAxis`] for invalid axes or misshaped grids.
+    pub fn from_grid(
+        shield: ShieldConfig,
+        ground_width_ratio: f64,
+        spacing: f64,
+        widths: Vec<f64>,
+        lengths: Vec<f64>,
+        l: Vec<Vec<f64>>,
+        r: Vec<Vec<f64>>,
+    ) -> Result<Self> {
+        validate_axis("width", &widths)?;
+        validate_axis("length", &lengths)?;
+        if !(ground_width_ratio >= 1.0) {
+            return Err(CoreError::BadAxis {
+                axis: "ground width ratio".into(),
+                what: format!("shielding requires ratio ≥ 1 (paper Section IV), got {ground_width_ratio}"),
+            });
+        }
+        let l_spline = BicubicSpline::new(&widths, &lengths, &l)?;
+        let r_spline = BicubicSpline::new(&widths, &lengths, &r)?;
+        Ok(LoopLTable {
+            shield,
+            ground_width_ratio,
+            spacing,
+            widths,
+            lengths,
+            l_values: l,
+            r_values: r,
+            l_spline,
+            r_spline,
+        })
+    }
+
+    /// The raw loop-inductance grid `l[wi][li]` (H).
+    pub fn l_grid(&self) -> &[Vec<f64>] {
+        &self.l_values
+    }
+
+    /// The raw loop-resistance grid `r[wi][li]` (Ω).
+    pub fn r_grid(&self) -> &[Vec<f64>] {
+        &self.r_values
+    }
+
+    /// The width axis (µm).
+    pub fn widths(&self) -> &[f64] {
+        &self.widths
+    }
+
+    /// The length axis (µm).
+    pub fn lengths(&self) -> &[f64] {
+        &self.lengths
+    }
+
+    /// Shield configuration this table was characterized in.
+    pub fn shield(&self) -> ShieldConfig {
+        self.shield
+    }
+
+    /// Ground-to-signal width ratio of the characterization structure.
+    pub fn ground_width_ratio(&self) -> f64 {
+        self.ground_width_ratio
+    }
+
+    /// Signal-to-ground spacing of the characterization structure (µm).
+    pub fn spacing(&self) -> f64 {
+        self.spacing
+    }
+
+    /// Interpolated loop inductance (H).
+    pub fn lookup_l(&self, width: f64, length: f64) -> f64 {
+        self.l_spline.eval(width, length)
+    }
+
+    /// Interpolated loop resistance (Ω) at the characterization frequency.
+    pub fn lookup_r(&self, width: f64, length: f64) -> f64 {
+        self.r_spline.eval(width, length)
+    }
+
+    /// Returns `true` when the query interpolates rather than extrapolates.
+    pub fn covers(&self, width: f64, length: f64) -> bool {
+        width >= self.widths[0]
+            && width <= *self.widths.last().expect("validated")
+            && length >= self.lengths[0]
+            && length <= *self.lengths.last().expect("validated")
+    }
+}
+
+/// The full pre-characterized table set for one routing layer.
+#[derive(Debug, Clone)]
+pub struct InductanceTables {
+    /// Self-inductance table.
+    pub self_l: SelfLTable,
+    /// Mutual-inductance table.
+    pub mutual_l: MutualLTable,
+    /// Loop tables, one per characterized shield configuration.
+    loop_tables: Vec<LoopLTable>,
+    /// Significant frequency the tables were characterized at (Hz).
+    pub frequency: f64,
+}
+
+impl InductanceTables {
+    /// Assembles a table set.
+    pub fn new(
+        self_l: SelfLTable,
+        mutual_l: MutualLTable,
+        loop_tables: Vec<LoopLTable>,
+        frequency: f64,
+    ) -> Self {
+        InductanceTables { self_l, mutual_l, loop_tables, frequency }
+    }
+
+    /// The loop table for a shield configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingTable`] when the configuration was not
+    /// characterized.
+    pub fn loop_table(&self, shield: ShieldConfig) -> Result<&LoopLTable> {
+        self.loop_tables
+            .iter()
+            .find(|t| t.shield() == shield)
+            .ok_or(CoreError::MissingTable {
+                what: format!("loop table for {shield:?}"),
+            })
+    }
+
+    /// All characterized loop tables.
+    pub fn loop_tables(&self) -> &[LoopLTable] {
+        &self.loop_tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_self_table() -> SelfLTable {
+        // L = w + 10·l as a synthetic smooth function.
+        let widths = vec![1.0, 2.0, 4.0];
+        let lengths = vec![100.0, 200.0, 400.0];
+        let values: Vec<Vec<f64>> = widths
+            .iter()
+            .map(|w| lengths.iter().map(|l| w + 10.0 * l).collect())
+            .collect();
+        SelfLTable::from_grid(widths, lengths, values).unwrap()
+    }
+
+    #[test]
+    fn self_table_reproduces_grid_and_interpolates() {
+        let t = toy_self_table();
+        assert!((t.lookup(2.0, 200.0) - 2002.0).abs() < 1e-9);
+        // Linear function → spline exact between knots too.
+        assert!((t.lookup(3.0, 300.0) - 3003.0).abs() < 1e-6);
+        assert!(t.covers(3.0, 300.0));
+        assert!(!t.covers(0.5, 300.0));
+        assert!(!t.covers(3.0, 4000.0));
+    }
+
+    #[test]
+    fn self_table_extrapolates_smoothly() {
+        let t = toy_self_table();
+        // Outside the grid the boundary cubic extends; for linear data it
+        // remains the exact line.
+        assert!((t.lookup(4.0, 800.0) - 8004.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axis_validation() {
+        assert!(SelfLTable::from_grid(vec![1.0], vec![1.0, 2.0], vec![vec![0.0, 0.0]]).is_err());
+        assert!(SelfLTable::from_grid(
+            vec![2.0, 1.0],
+            vec![1.0, 2.0],
+            vec![vec![0.0, 0.0], vec![0.0, 0.0]]
+        )
+        .is_err());
+        assert!(SelfLTable::from_grid(
+            vec![-1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![vec![0.0, 0.0], vec![0.0, 0.0]]
+        )
+        .is_err());
+    }
+
+    fn toy_mutual_table() -> MutualLTable {
+        // M = (w1 + w2)·1e-3 + 1/s + l·1e-2 — synthetic, smooth, separable.
+        let widths = vec![1.0, 2.0, 4.0];
+        let spacings = vec![0.5, 1.0, 2.0, 4.0];
+        let lengths = vec![100.0, 200.0, 400.0];
+        let f = |w1: f64, w2: f64, s: f64, l: f64| (w1 + w2) * 1e-3 + 1.0 / s + l * 1e-2;
+        let values: Vec<Vec<Vec<Vec<f64>>>> = widths
+            .iter()
+            .map(|&w1| {
+                widths
+                    .iter()
+                    .map(|&w2| {
+                        spacings
+                            .iter()
+                            .map(|&s| lengths.iter().map(|&l| f(w1, w2, s, l)).collect())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        MutualLTable::from_grid(widths, spacings, lengths, values).unwrap()
+    }
+
+    #[test]
+    fn mutual_table_four_dimensional_lookup() {
+        let t = toy_mutual_table();
+        let f = |w1: f64, w2: f64, s: f64, l: f64| (w1 + w2) * 1e-3 + 1.0 / s + l * 1e-2;
+        // On-grid exact.
+        assert!((t.lookup(2.0, 4.0, 1.0, 200.0) - f(2.0, 4.0, 1.0, 200.0)).abs() < 1e-9);
+        // Off-grid: widths bilinear (exact for the linear width term),
+        // spacing interpolated by the spline (1/s curvature → small error).
+        let got = t.lookup(1.5, 3.0, 1.5, 300.0);
+        let expect = f(1.5, 3.0, 1.5, 300.0);
+        // The 1/s term has strong curvature on this deliberately coarse
+        // grid; a few percent is the realistic interpolation accuracy.
+        assert!((got - expect).abs() / expect < 0.05, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn mutual_table_symmetric_in_widths() {
+        let t = toy_mutual_table();
+        let a = t.lookup(1.5, 3.5, 1.0, 250.0);
+        let b = t.lookup(3.5, 1.5, 1.0, 250.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_width_clamping_beyond_axis() {
+        let t = toy_mutual_table();
+        // Widths clamp to the boundary rather than extrapolating.
+        let inside = t.lookup(4.0, 4.0, 1.0, 200.0);
+        let beyond = t.lookup(9.0, 9.0, 1.0, 200.0);
+        assert_eq!(inside, beyond);
+    }
+
+    #[test]
+    fn mutual_grid_shape_checked() {
+        let widths = vec![1.0, 2.0];
+        let spacings = vec![1.0, 2.0];
+        let lengths = vec![1.0, 2.0];
+        // Wrong outer shape.
+        assert!(MutualLTable::from_grid(widths, spacings, lengths, vec![]).is_err());
+    }
+
+    fn toy_loop_table(shield: ShieldConfig) -> LoopLTable {
+        let widths = vec![1.0, 2.0, 4.0];
+        let lengths = vec![100.0, 200.0, 400.0];
+        let l: Vec<Vec<f64>> = widths
+            .iter()
+            .map(|&w: &f64| lengths.iter().map(|len| len * 1e-13 / w.sqrt()).collect())
+            .collect();
+        let r: Vec<Vec<f64>> = widths
+            .iter()
+            .map(|&w| lengths.iter().map(|len| len * 1e-3 / w).collect())
+            .collect();
+        LoopLTable::from_grid(shield, 1.0, 1.0, widths, lengths, l, r).unwrap()
+    }
+
+    #[test]
+    fn loop_table_lookup_and_metadata() {
+        let t = toy_loop_table(ShieldConfig::PlaneBelow);
+        assert_eq!(t.shield(), ShieldConfig::PlaneBelow);
+        assert_eq!(t.ground_width_ratio(), 1.0);
+        assert_eq!(t.spacing(), 1.0);
+        assert!((t.lookup_l(2.0, 200.0) - 200.0 * 1e-13 / 2.0_f64.sqrt()).abs() < 1e-20);
+        assert!((t.lookup_r(4.0, 400.0) - 0.1).abs() < 1e-12);
+        assert!(t.covers(2.0, 150.0));
+        assert!(!t.covers(8.0, 150.0));
+    }
+
+    #[test]
+    fn loop_table_requires_adequate_ground_width() {
+        let widths = vec![1.0, 2.0];
+        let lengths = vec![1.0, 2.0];
+        let grid = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        assert!(LoopLTable::from_grid(
+            ShieldConfig::Coplanar,
+            0.5,
+            1.0,
+            widths,
+            lengths,
+            grid.clone(),
+            grid
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tables_collection_finds_loop_config() {
+        let tables = InductanceTables::new(
+            toy_self_table(),
+            toy_mutual_table(),
+            vec![toy_loop_table(ShieldConfig::Coplanar), toy_loop_table(ShieldConfig::PlaneBelow)],
+            3.2e9,
+        );
+        assert!(tables.loop_table(ShieldConfig::Coplanar).is_ok());
+        assert!(tables.loop_table(ShieldConfig::PlaneBelow).is_ok());
+        assert!(matches!(
+            tables.loop_table(ShieldConfig::PlaneBoth),
+            Err(CoreError::MissingTable { .. })
+        ));
+        assert_eq!(tables.loop_tables().len(), 2);
+        assert_eq!(tables.frequency, 3.2e9);
+    }
+
+    #[test]
+    fn bracket_behaviour() {
+        let axis = [1.0, 2.0, 4.0];
+        assert_eq!(bracket(&axis, 0.5), (0, 0, 0.0));
+        assert_eq!(bracket(&axis, 9.0), (2, 2, 0.0));
+        let (lo, hi, f) = bracket(&axis, 3.0);
+        assert_eq!((lo, hi), (1, 2));
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,329 @@
+//! Rectangular conductor segments — the PEEC primitive.
+
+use crate::{GeomError, Result};
+
+/// Routing axis of a conductor segment.
+///
+/// The paper assumes adjacent metal layers route orthogonally, so every bar
+/// is axis-aligned along X or Y; bars on different axes have zero mutual
+/// partial inductance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Current flows along the global X direction.
+    X,
+    /// Current flows along the global Y direction.
+    Y,
+}
+
+impl Axis {
+    /// The orthogonal axis.
+    #[must_use]
+    pub fn perpendicular(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+/// A point in 3-D layout space, in microns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    /// X coordinate (µm).
+    pub x: f64,
+    /// Y coordinate (µm).
+    pub y: f64,
+    /// Z coordinate — height above the substrate (µm).
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Creates a point from coordinates in microns.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean distance to `other`, in microns.
+    pub fn distance(self, other: Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+/// A rectangular conductor bar: the atomic element the field solver works on.
+///
+/// The bar occupies
+/// `[start.along, start.along + length]` on its routing axis,
+/// `[transverse_min, transverse_min + width]` across it, and
+/// `[z_min, z_min + thickness]` vertically. `origin` is the minimum corner.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_geom::{Axis, Bar, Point3};
+///
+/// # fn main() -> Result<(), rlcx_geom::GeomError> {
+/// let bar = Bar::new(Point3::new(0.0, 0.0, 10.0), Axis::X, 1000.0, 10.0, 2.0)?;
+/// assert_eq!(bar.length(), 1000.0);
+/// assert_eq!(bar.cross_section_area(), 20.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bar {
+    origin: Point3,
+    axis: Axis,
+    length: f64,
+    width: f64,
+    thickness: f64,
+}
+
+impl Bar {
+    /// Creates a bar from its minimum corner, axis and dimensions (µm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonPositiveDimension`] if `length`, `width` or
+    /// `thickness` is not strictly positive (or not finite).
+    pub fn new(origin: Point3, axis: Axis, length: f64, width: f64, thickness: f64) -> Result<Self> {
+        for (what, value) in [("length", length), ("width", width), ("thickness", thickness)] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(GeomError::NonPositiveDimension { what: what.into(), value });
+            }
+        }
+        Ok(Bar { origin, axis, length, width, thickness })
+    }
+
+    /// Minimum corner of the bar.
+    pub fn origin(&self) -> Point3 {
+        self.origin
+    }
+
+    /// Routing axis.
+    pub fn axis(&self) -> Axis {
+        self.axis
+    }
+
+    /// Extent along the routing axis (µm).
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Extent across the routing axis, in-plane (µm).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Vertical extent (µm).
+    pub fn thickness(&self) -> f64 {
+        self.thickness
+    }
+
+    /// Cross-section area `width × thickness` (µm²).
+    pub fn cross_section_area(&self) -> f64 {
+        self.width * self.thickness
+    }
+
+    /// Interval occupied along the routing axis `(lo, hi)` (µm).
+    pub fn axial_span(&self) -> (f64, f64) {
+        let lo = match self.axis {
+            Axis::X => self.origin.x,
+            Axis::Y => self.origin.y,
+        };
+        (lo, lo + self.length)
+    }
+
+    /// Interval occupied across the routing axis, in-plane `(lo, hi)` (µm).
+    pub fn transverse_span(&self) -> (f64, f64) {
+        let lo = match self.axis {
+            Axis::X => self.origin.y,
+            Axis::Y => self.origin.x,
+        };
+        (lo, lo + self.width)
+    }
+
+    /// Vertical interval `(z_lo, z_hi)` (µm).
+    pub fn vertical_span(&self) -> (f64, f64) {
+        (self.origin.z, self.origin.z + self.thickness)
+    }
+
+    /// Geometric center of the bar.
+    pub fn center(&self) -> Point3 {
+        let (alo, ahi) = self.axial_span();
+        let (tlo, thi) = self.transverse_span();
+        let (zlo, zhi) = self.vertical_span();
+        match self.axis {
+            Axis::X => Point3::new(0.5 * (alo + ahi), 0.5 * (tlo + thi), 0.5 * (zlo + zhi)),
+            Axis::Y => Point3::new(0.5 * (tlo + thi), 0.5 * (alo + ahi), 0.5 * (zlo + zhi)),
+        }
+    }
+
+    /// Center-to-center distance in the cross-section plane (transverse and
+    /// vertical only), for a pair of parallel bars (µm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bars are not parallel — the caller must check
+    /// [`Bar::is_parallel`] first.
+    pub fn cross_section_distance(&self, other: &Bar) -> f64 {
+        assert!(self.is_parallel(other), "cross-section distance needs parallel bars");
+        let (t1lo, t1hi) = self.transverse_span();
+        let (t2lo, t2hi) = other.transverse_span();
+        let (z1lo, z1hi) = self.vertical_span();
+        let (z2lo, z2hi) = other.vertical_span();
+        let dt = 0.5 * (t1lo + t1hi) - 0.5 * (t2lo + t2hi);
+        let dz = 0.5 * (z1lo + z1hi) - 0.5 * (z2lo + z2hi);
+        dt.hypot(dz)
+    }
+
+    /// Returns `true` if the bars share a routing axis.
+    pub fn is_parallel(&self, other: &Bar) -> bool {
+        self.axis == other.axis
+    }
+
+    /// Edge-to-edge spacing in the transverse direction for parallel,
+    /// coplanar bars; negative values indicate transverse overlap (µm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bars are not parallel.
+    pub fn transverse_gap(&self, other: &Bar) -> f64 {
+        assert!(self.is_parallel(other), "transverse gap needs parallel bars");
+        let (a_lo, a_hi) = self.transverse_span();
+        let (b_lo, b_hi) = other.transverse_span();
+        (b_lo - a_hi).max(a_lo - b_hi)
+    }
+
+    /// Returns `true` when the two bars occupy intersecting volumes.
+    pub fn intersects(&self, other: &Bar) -> bool {
+        fn overlap((a_lo, a_hi): (f64, f64), (b_lo, b_hi): (f64, f64)) -> bool {
+            a_lo < b_hi && b_lo < a_hi
+        }
+        // Compare in global coordinates regardless of axis.
+        let span_x = |b: &Bar| match b.axis {
+            Axis::X => b.axial_span(),
+            Axis::Y => b.transverse_span(),
+        };
+        let span_y = |b: &Bar| match b.axis {
+            Axis::X => b.transverse_span(),
+            Axis::Y => b.axial_span(),
+        };
+        overlap(span_x(self), span_x(other))
+            && overlap(span_y(self), span_y(other))
+            && overlap(self.vertical_span(), other.vertical_span())
+    }
+
+    /// A copy translated by `(dx, dy, dz)` microns.
+    #[must_use]
+    pub fn translated(&self, dx: f64, dy: f64, dz: f64) -> Bar {
+        Bar {
+            origin: Point3::new(self.origin.x + dx, self.origin.y + dy, self.origin.z + dz),
+            ..*self
+        }
+    }
+
+    /// A copy with the given length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonPositiveDimension`] for non-positive lengths.
+    pub fn with_length(&self, length: f64) -> Result<Bar> {
+        Bar::new(self.origin, self.axis, length, self.width, self.thickness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar_at(y: f64, w: f64) -> Bar {
+        Bar::new(Point3::new(0.0, y, 5.0), Axis::X, 100.0, w, 2.0).unwrap()
+    }
+
+    #[test]
+    fn constructor_validates_dimensions() {
+        let p = Point3::default();
+        assert!(Bar::new(p, Axis::X, 0.0, 1.0, 1.0).is_err());
+        assert!(Bar::new(p, Axis::X, 1.0, -1.0, 1.0).is_err());
+        assert!(Bar::new(p, Axis::X, 1.0, 1.0, f64::NAN).is_err());
+        assert!(Bar::new(p, Axis::X, 1.0, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn spans_follow_axis() {
+        let b = Bar::new(Point3::new(2.0, 3.0, 4.0), Axis::Y, 50.0, 6.0, 1.5).unwrap();
+        assert_eq!(b.axial_span(), (3.0, 53.0));
+        assert_eq!(b.transverse_span(), (2.0, 8.0));
+        assert_eq!(b.vertical_span(), (4.0, 5.5));
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let b = Bar::new(Point3::new(0.0, 0.0, 0.0), Axis::X, 10.0, 4.0, 2.0).unwrap();
+        let c = b.center();
+        assert_eq!((c.x, c.y, c.z), (5.0, 2.0, 1.0));
+    }
+
+    #[test]
+    fn transverse_gap_between_coplanar_bars() {
+        let a = bar_at(0.0, 5.0); // occupies y in [0, 5]
+        let b = bar_at(6.0, 5.0); // occupies y in [6, 11]
+        assert_eq!(a.transverse_gap(&b), 1.0);
+        assert_eq!(b.transverse_gap(&a), 1.0);
+        let c = bar_at(3.0, 5.0); // overlaps a
+        assert!(a.transverse_gap(&c) < 0.0);
+    }
+
+    #[test]
+    fn cross_section_distance_is_center_to_center() {
+        let a = bar_at(0.0, 2.0); // center y = 1, z = 6
+        let b = Bar::new(Point3::new(0.0, 3.0, 9.0), Axis::X, 100.0, 2.0, 2.0).unwrap();
+        // centers: (y=1,z=6) vs (y=4,z=10) → distance 5.
+        assert!((a.cross_section_distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersects_detects_volume_overlap() {
+        let a = bar_at(0.0, 5.0);
+        let b = bar_at(4.0, 5.0);
+        assert!(a.intersects(&b));
+        let c = bar_at(5.5, 5.0);
+        assert!(!a.intersects(&c));
+        // An orthogonal bar crossing above does not intersect (different z).
+        let d = Bar::new(Point3::new(50.0, -10.0, 9.0), Axis::Y, 30.0, 2.0, 2.0).unwrap();
+        assert!(!a.intersects(&d));
+        // Same crossing bar at the same height does intersect.
+        let e = Bar::new(Point3::new(50.0, -10.0, 5.0), Axis::Y, 30.0, 2.0, 2.0).unwrap();
+        assert!(a.intersects(&e));
+    }
+
+    #[test]
+    fn translated_moves_origin_only() {
+        let a = bar_at(0.0, 5.0);
+        let t = a.translated(1.0, 2.0, 3.0);
+        assert_eq!(t.origin(), Point3::new(1.0, 2.0, 8.0));
+        assert_eq!(t.length(), a.length());
+    }
+
+    #[test]
+    fn axis_perpendicular() {
+        assert_eq!(Axis::X.perpendicular(), Axis::Y);
+        assert_eq!(Axis::Y.perpendicular(), Axis::X);
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, 6.0, 3.0);
+        assert_eq!(a.distance(b), 5.0);
+    }
+
+    #[test]
+    fn with_length_validates() {
+        let a = bar_at(0.0, 5.0);
+        assert_eq!(a.with_length(7.0).unwrap().length(), 7.0);
+        assert!(a.with_length(-1.0).is_err());
+    }
+}

@@ -1,0 +1,442 @@
+//! Blocks — the paper's Figure 4 extraction primitive.
+//!
+//! A block is *n* parallel, same-length traces in one layer. The two
+//! outermost traces (T1 and Tn) are dedicated AC-grounded traces; the inner
+//! traces are signals. A three-trace block is a coplanar waveguide — the
+//! basic building block of clocktree routing (Figure 8) — and larger blocks
+//! model shielded buses.
+
+use crate::bar::{Axis, Bar, Point3};
+use crate::stackup::Layer;
+use crate::{GeomError, Result};
+
+/// Local ground-plane environment of a block (Figures 8 and 9).
+///
+/// The plane lives in layer *N−2* and/or *N+2*; layers *N±1* route
+/// orthogonally and do not affect inductance (paper Section II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShieldConfig {
+    /// No local plane: coplanar waveguide relying on the in-layer grounds.
+    #[default]
+    Coplanar,
+    /// Local ground plane below (microstrip, Figure 9).
+    PlaneBelow,
+    /// Local ground plane above (inverted microstrip).
+    PlaneAbove,
+    /// Planes both above and below (stripline).
+    PlaneBoth,
+}
+
+impl ShieldConfig {
+    /// Returns `true` when the configuration includes a plane below.
+    pub fn has_plane_below(self) -> bool {
+        matches!(self, ShieldConfig::PlaneBelow | ShieldConfig::PlaneBoth)
+    }
+
+    /// Returns `true` when the configuration includes a plane above.
+    pub fn has_plane_above(self) -> bool {
+        matches!(self, ShieldConfig::PlaneAbove | ShieldConfig::PlaneBoth)
+    }
+
+    /// All four configurations, for sweeps and table building.
+    pub fn all() -> [ShieldConfig; 4] {
+        [
+            ShieldConfig::Coplanar,
+            ShieldConfig::PlaneBelow,
+            ShieldConfig::PlaneAbove,
+            ShieldConfig::PlaneBoth,
+        ]
+    }
+}
+
+/// A block of *n* parallel traces (Figure 4): widths `W1..Wn`, spacings
+/// `S1..S(n-1)`, one common length, plus the shield configuration.
+///
+/// Construct with [`BlockBuilder`] or the convenience constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    widths: Vec<f64>,
+    spacings: Vec<f64>,
+    length: f64,
+    shield: ShieldConfig,
+}
+
+impl Block {
+    /// Three-trace coplanar waveguide `G-S-G` (Figure 8): the signal of
+    /// width `signal_width` guarded by grounds of width `ground_width` at
+    /// `spacing` on both sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonPositiveDimension`] for non-positive inputs.
+    pub fn coplanar_waveguide(
+        length: f64,
+        signal_width: f64,
+        ground_width: f64,
+        spacing: f64,
+    ) -> Result<Block> {
+        BlockBuilder::new(length)
+            .trace(ground_width)
+            .space(spacing)
+            .trace(signal_width)
+            .space(spacing)
+            .trace(ground_width)
+            .build()
+    }
+
+    /// Same cross-section as [`Block::coplanar_waveguide`] but over a local
+    /// ground plane (microstrip, Figure 9).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonPositiveDimension`] for non-positive inputs.
+    pub fn microstrip(
+        length: f64,
+        signal_width: f64,
+        ground_width: f64,
+        spacing: f64,
+    ) -> Result<Block> {
+        BlockBuilder::new(length)
+            .trace(ground_width)
+            .space(spacing)
+            .trace(signal_width)
+            .space(spacing)
+            .trace(ground_width)
+            .shield(ShieldConfig::PlaneBelow)
+            .build()
+    }
+
+    /// A uniform bus of `n` traces of `width` at `spacing`, outermost two
+    /// being grounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::TooFewTraces`] if `n < 3`, or
+    /// [`GeomError::NonPositiveDimension`] for non-positive dimensions.
+    pub fn uniform_bus(length: f64, n: usize, width: f64, spacing: f64) -> Result<Block> {
+        if n < 3 {
+            return Err(GeomError::TooFewTraces { got: n });
+        }
+        let mut b = BlockBuilder::new(length);
+        for i in 0..n {
+            if i > 0 {
+                b = b.space(spacing);
+            }
+            b = b.trace(width);
+        }
+        b.build()
+    }
+
+    /// Number of traces in the block.
+    pub fn trace_count(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Trace widths `W1..Wn` (µm).
+    pub fn widths(&self) -> &[f64] {
+        &self.widths
+    }
+
+    /// Spacings `S1..S(n-1)` between adjacent traces (µm).
+    pub fn spacings(&self) -> &[f64] {
+        &self.spacings
+    }
+
+    /// Common trace length (µm).
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Shield configuration.
+    pub fn shield(&self) -> ShieldConfig {
+        self.shield
+    }
+
+    /// Indices of the dedicated AC-grounded traces (the outermost pair).
+    pub fn ground_indices(&self) -> Vec<usize> {
+        vec![0, self.widths.len() - 1]
+    }
+
+    /// Indices of the signal traces (everything between the grounds).
+    pub fn signal_indices(&self) -> Vec<usize> {
+        (1..self.widths.len() - 1).collect()
+    }
+
+    /// Total cross-section width from the left edge of T1 to the right edge
+    /// of Tn (µm).
+    pub fn total_width(&self) -> f64 {
+        self.widths.iter().sum::<f64>() + self.spacings.iter().sum::<f64>()
+    }
+
+    /// Transverse offset of the left edge of trace `i` from the block's left
+    /// edge (µm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.trace_count()`.
+    pub fn trace_offset(&self, i: usize) -> f64 {
+        assert!(i < self.widths.len(), "trace index out of range");
+        let mut off = 0.0;
+        for k in 0..i {
+            off += self.widths[k] + self.spacings[k];
+        }
+        off
+    }
+
+    /// Materializes the block as [`Bar`]s routed along `axis` in `layer`,
+    /// starting at axial coordinate `axial_origin`, with the left edge of T1
+    /// at transverse coordinate `transverse_origin`.
+    ///
+    /// The returned bars are in trace order T1..Tn.
+    pub fn to_bars(
+        &self,
+        layer: &Layer,
+        axis: Axis,
+        axial_origin: f64,
+        transverse_origin: f64,
+    ) -> Vec<Bar> {
+        (0..self.trace_count())
+            .map(|i| {
+                let t_off = transverse_origin + self.trace_offset(i);
+                let origin = match axis {
+                    Axis::X => Point3::new(axial_origin, t_off, layer.z_bottom()),
+                    Axis::Y => Point3::new(t_off, axial_origin, layer.z_bottom()),
+                };
+                Bar::new(origin, axis, self.length, self.widths[i], layer.thickness())
+                    .expect("block dimensions validated at construction")
+            })
+            .collect()
+    }
+
+    /// A copy of this block with a different length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonPositiveDimension`] for non-positive lengths.
+    pub fn with_length(&self, length: f64) -> Result<Block> {
+        if !(length > 0.0 && length.is_finite()) {
+            return Err(GeomError::NonPositiveDimension { what: "length".into(), value: length });
+        }
+        Ok(Block { length, ..self.clone() })
+    }
+
+    /// A copy with a different shield configuration.
+    #[must_use]
+    pub fn with_shield(&self, shield: ShieldConfig) -> Block {
+        Block { shield, ..self.clone() }
+    }
+}
+
+/// Builder for [`Block`]: alternate [`BlockBuilder::trace`] and
+/// [`BlockBuilder::space`] calls left to right.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_geom::{BlockBuilder, ShieldConfig};
+///
+/// # fn main() -> Result<(), rlcx_geom::GeomError> {
+/// let bus = BlockBuilder::new(1000.0)
+///     .trace(2.0).space(0.5)
+///     .trace(1.0).space(0.5)
+///     .trace(1.0).space(0.5)
+///     .trace(2.0)
+///     .shield(ShieldConfig::PlaneBelow)
+///     .build()?;
+/// assert_eq!(bus.trace_count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockBuilder {
+    length: f64,
+    widths: Vec<f64>,
+    spacings: Vec<f64>,
+    shield: ShieldConfig,
+}
+
+impl BlockBuilder {
+    /// Starts a block of the given trace length (µm).
+    pub fn new(length: f64) -> Self {
+        BlockBuilder { length, widths: Vec::new(), spacings: Vec::new(), shield: ShieldConfig::Coplanar }
+    }
+
+    /// Appends a trace of the given width (µm).
+    #[must_use]
+    pub fn trace(mut self, width: f64) -> Self {
+        self.widths.push(width);
+        self
+    }
+
+    /// Appends a spacing after the last trace (µm).
+    #[must_use]
+    pub fn space(mut self, spacing: f64) -> Self {
+        self.spacings.push(spacing);
+        self
+    }
+
+    /// Sets the shield configuration (default [`ShieldConfig::Coplanar`]).
+    #[must_use]
+    pub fn shield(mut self, shield: ShieldConfig) -> Self {
+        self.shield = shield;
+        self
+    }
+
+    /// Validates and builds the block.
+    ///
+    /// # Errors
+    ///
+    /// * [`GeomError::TooFewTraces`] with fewer than three traces,
+    /// * [`GeomError::NonPositiveDimension`] for any non-positive dimension,
+    /// * [`GeomError::MalformedTree`] if the trace/space counts do not
+    ///   alternate correctly (`spacings = traces − 1`).
+    pub fn build(self) -> Result<Block> {
+        if self.widths.len() < 3 {
+            return Err(GeomError::TooFewTraces { got: self.widths.len() });
+        }
+        if self.spacings.len() != self.widths.len() - 1 {
+            return Err(GeomError::MalformedTree {
+                what: format!(
+                    "{} traces need {} spacings, got {}",
+                    self.widths.len(),
+                    self.widths.len() - 1,
+                    self.spacings.len()
+                ),
+            });
+        }
+        if !(self.length > 0.0 && self.length.is_finite()) {
+            return Err(GeomError::NonPositiveDimension { what: "length".into(), value: self.length });
+        }
+        for &w in &self.widths {
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(GeomError::NonPositiveDimension { what: "width".into(), value: w });
+            }
+        }
+        for &s in &self.spacings {
+            if !(s > 0.0 && s.is_finite()) {
+                return Err(GeomError::NonPositiveDimension { what: "spacing".into(), value: s });
+            }
+        }
+        Ok(Block {
+            widths: self.widths,
+            spacings: self.spacings,
+            length: self.length,
+            shield: self.shield,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stackup::Stackup;
+
+    fn fig1_block() -> Block {
+        Block::coplanar_waveguide(6000.0, 10.0, 5.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn figure1_geometry() {
+        let b = fig1_block();
+        assert_eq!(b.trace_count(), 3);
+        assert_eq!(b.widths(), &[5.0, 10.0, 5.0]);
+        assert_eq!(b.spacings(), &[1.0, 1.0]);
+        assert_eq!(b.length(), 6000.0);
+        assert_eq!(b.total_width(), 22.0);
+        assert_eq!(b.signal_indices(), vec![1]);
+        assert_eq!(b.ground_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn trace_offsets_accumulate() {
+        let b = fig1_block();
+        assert_eq!(b.trace_offset(0), 0.0);
+        assert_eq!(b.trace_offset(1), 6.0);
+        assert_eq!(b.trace_offset(2), 17.0);
+    }
+
+    #[test]
+    fn to_bars_places_traces_in_layer() {
+        let stack = Stackup::hp_six_metal_copper();
+        let layer = stack.layer(5).unwrap();
+        let bars = fig1_block().to_bars(layer, Axis::X, 100.0, -11.0);
+        assert_eq!(bars.len(), 3);
+        for bar in &bars {
+            assert_eq!(bar.length(), 6000.0);
+            assert_eq!(bar.thickness(), layer.thickness());
+            assert_eq!(bar.vertical_span().0, layer.z_bottom());
+            assert_eq!(bar.axial_span().0, 100.0);
+        }
+        // Signal bar is centered between the grounds.
+        assert!((bars[1].transverse_span().0 - (-11.0 + 6.0)).abs() < 1e-12);
+        // Adjacent gaps equal the spacing.
+        assert!((bars[0].transverse_gap(&bars[1]) - 1.0).abs() < 1e-12);
+        assert!((bars[1].transverse_gap(&bars[2]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_bars_along_y() {
+        let stack = Stackup::hp_six_metal_copper();
+        let layer = stack.layer(4).unwrap();
+        let bars = fig1_block().to_bars(layer, Axis::Y, 0.0, 0.0);
+        assert_eq!(bars[0].axis(), Axis::Y);
+        assert_eq!(bars[0].axial_span(), (0.0, 6000.0));
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(matches!(
+            BlockBuilder::new(10.0).trace(1.0).trace(1.0).space(1.0).build(),
+            Err(GeomError::TooFewTraces { got: 2 })
+        ));
+        assert!(BlockBuilder::new(10.0)
+            .trace(1.0)
+            .trace(1.0)
+            .trace(1.0)
+            .space(1.0)
+            .build()
+            .is_err()); // wrong spacing count
+        assert!(BlockBuilder::new(-5.0)
+            .trace(1.0)
+            .space(1.0)
+            .trace(1.0)
+            .space(1.0)
+            .trace(1.0)
+            .build()
+            .is_err()); // negative length
+    }
+
+    #[test]
+    fn uniform_bus_shape() {
+        let bus = Block::uniform_bus(500.0, 6, 1.0, 0.5).unwrap();
+        assert_eq!(bus.trace_count(), 6);
+        assert_eq!(bus.signal_indices(), vec![1, 2, 3, 4]);
+        assert!((bus.total_width() - (6.0 + 2.5)).abs() < 1e-12);
+        assert!(Block::uniform_bus(500.0, 2, 1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn shield_config_queries() {
+        assert!(!ShieldConfig::Coplanar.has_plane_below());
+        assert!(ShieldConfig::PlaneBelow.has_plane_below());
+        assert!(ShieldConfig::PlaneBoth.has_plane_below());
+        assert!(ShieldConfig::PlaneBoth.has_plane_above());
+        assert!(!ShieldConfig::PlaneBelow.has_plane_above());
+        assert_eq!(ShieldConfig::all().len(), 4);
+        assert_eq!(ShieldConfig::default(), ShieldConfig::Coplanar);
+    }
+
+    #[test]
+    fn microstrip_sets_plane_below() {
+        let m = Block::microstrip(1000.0, 2.0, 2.0, 1.0).unwrap();
+        assert_eq!(m.shield(), ShieldConfig::PlaneBelow);
+    }
+
+    #[test]
+    fn with_length_and_with_shield() {
+        let b = fig1_block();
+        assert_eq!(b.with_length(100.0).unwrap().length(), 100.0);
+        assert!(b.with_length(0.0).is_err());
+        assert_eq!(b.with_shield(ShieldConfig::PlaneBoth).shield(), ShieldConfig::PlaneBoth);
+    }
+}

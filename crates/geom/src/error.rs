@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Error type for geometry construction and validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A dimension (length, width, thickness, spacing) must be positive.
+    NonPositiveDimension {
+        /// Which dimension was invalid.
+        what: String,
+        /// The offending value, in microns.
+        value: f64,
+    },
+    /// A block needs at least three traces (ground – signal(s) – ground).
+    TooFewTraces {
+        /// Number of traces provided.
+        got: usize,
+    },
+    /// A referenced layer does not exist in the stackup.
+    UnknownLayer {
+        /// The requested layer index.
+        index: usize,
+        /// Number of layers in the stackup.
+        available: usize,
+    },
+    /// Two conductors overlap in space.
+    Overlap {
+        /// Description of the overlapping pair.
+        what: String,
+    },
+    /// A tree was malformed (disconnected node, duplicate edge, cycle, …).
+    MalformedTree {
+        /// Description of the defect.
+        what: String,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::NonPositiveDimension { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            GeomError::TooFewTraces { got } => {
+                write!(f, "a block needs at least 3 traces (got {got})")
+            }
+            GeomError::UnknownLayer { index, available } => {
+                write!(f, "layer {index} does not exist ({available} layers in stackup)")
+            }
+            GeomError::Overlap { what } => write!(f, "conductors overlap: {what}"),
+            GeomError::MalformedTree { what } => write!(f, "malformed tree: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GeomError::NonPositiveDimension { what: "width".into(), value: -1.0 };
+        assert!(e.to_string().contains("width"));
+        assert!(e.to_string().contains("-1"));
+        let e = GeomError::TooFewTraces { got: 2 };
+        assert!(e.to_string().contains('2'));
+        let e = GeomError::UnknownLayer { index: 7, available: 5 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

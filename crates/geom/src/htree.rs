@@ -1,0 +1,253 @@
+//! Buffered clock H-trees (Figure 7).
+//!
+//! An H-tree distributes the clock from a central driver through recursively
+//! halved H shapes; buffers sit at the sinks of each level and drive the next
+//! level. The paper extracts RLC per segment *between adjacent buffer
+//! levels* and cascades the segments, so the natural unit here is the
+//! *stage*: the passive wire tree from one buffer to the four buffers of the
+//! next level.
+
+use crate::tree::SegmentTree;
+use crate::{GeomError, Result};
+
+/// One buffer level of an [`HTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HTreeLevel {
+    index: usize,
+    h_span: f64,
+    drivers: Vec<(f64, f64)>,
+}
+
+impl HTreeLevel {
+    /// Level index, 0 = root driver at the chip center.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Full horizontal span of this level's H shape (µm).
+    pub fn h_span(&self) -> f64 {
+        self.h_span
+    }
+
+    /// Positions of this level's driving buffers (µm).
+    pub fn drivers(&self) -> &[(f64, f64)] {
+        &self.drivers
+    }
+
+    /// The passive wire tree one driver of this level drives, in local
+    /// coordinates with the driver at the origin: a horizontal trunk of
+    /// half-length `h_span/2` each way, with vertical arms of half-length
+    /// `h_span/4` at both trunk ends — four sinks total.
+    ///
+    /// Because every driver of a level drives a congruent tree, a single
+    /// local-coordinate tree describes the whole level.
+    pub fn stage_tree(&self) -> SegmentTree {
+        let half_trunk = self.h_span / 2.0;
+        let half_arm = self.h_span / 4.0;
+        let mut t = SegmentTree::new(0.0, 0.0);
+        let left = t.add_node(0, -half_trunk, 0.0).expect("valid span");
+        let right = t.add_node(0, half_trunk, 0.0).expect("valid span");
+        t.add_node(left, -half_trunk, half_arm).expect("valid span");
+        t.add_node(left, -half_trunk, -half_arm).expect("valid span");
+        t.add_node(right, half_trunk, half_arm).expect("valid span");
+        t.add_node(right, half_trunk, -half_arm).expect("valid span");
+        t
+    }
+
+    /// Sink positions (next-level buffer inputs) for one driver at
+    /// `(cx, cy)` (µm): the four arm tips of the H.
+    pub fn sinks_of(&self, (cx, cy): (f64, f64)) -> [(f64, f64); 4] {
+        let ht = self.h_span / 2.0;
+        let ha = self.h_span / 4.0;
+        [
+            (cx - ht, cy + ha),
+            (cx - ht, cy - ha),
+            (cx + ht, cy + ha),
+            (cx + ht, cy - ha),
+        ]
+    }
+}
+
+/// A clock sink: a leaf of the final H-tree level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sink {
+    /// X position (µm).
+    pub x: f64,
+    /// Y position (µm).
+    pub y: f64,
+}
+
+/// A complete buffered H-tree: `levels` buffer stages over a square die of
+/// half-width `die_half_span` microns.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_geom::HTree;
+///
+/// # fn main() -> Result<(), rlcx_geom::GeomError> {
+/// let tree = HTree::new(3, 5000.0)?;
+/// assert_eq!(tree.levels(), 3);
+/// assert_eq!(tree.level(0)?.drivers().len(), 1);
+/// assert_eq!(tree.level(2)?.drivers().len(), 16);
+/// assert_eq!(tree.sinks().len(), 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HTree {
+    levels: Vec<HTreeLevel>,
+}
+
+impl HTree {
+    /// Builds an H-tree with the given number of buffer levels over a die of
+    /// half-span `die_half_span` (µm). The root driver sits at the origin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonPositiveDimension`] for a non-positive span,
+    /// or [`GeomError::MalformedTree`] for zero levels.
+    pub fn new(levels: usize, die_half_span: f64) -> Result<HTree> {
+        if levels == 0 {
+            return Err(GeomError::MalformedTree { what: "an H-tree needs at least one level".into() });
+        }
+        if !(die_half_span > 0.0 && die_half_span.is_finite()) {
+            return Err(GeomError::NonPositiveDimension {
+                what: "die half-span".into(),
+                value: die_half_span,
+            });
+        }
+        let mut out = Vec::with_capacity(levels);
+        let mut drivers = vec![(0.0, 0.0)];
+        let mut span = die_half_span; // level-0 H spans half the die each way
+        for index in 0..levels {
+            let level = HTreeLevel { index, h_span: span, drivers: drivers.clone() };
+            let mut next = Vec::with_capacity(drivers.len() * 4);
+            for &d in &drivers {
+                next.extend(level.sinks_of(d));
+            }
+            out.push(level);
+            drivers = next;
+            span /= 2.0;
+        }
+        Ok(HTree { levels: out })
+    }
+
+    /// Number of buffer levels.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Access one level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::UnknownLayer`] (reused as an index error) when
+    /// `index` is out of range.
+    pub fn level(&self, index: usize) -> Result<&HTreeLevel> {
+        self.levels.get(index).ok_or(GeomError::UnknownLayer {
+            index,
+            available: self.levels.len(),
+        })
+    }
+
+    /// Iterates over the levels, root first.
+    pub fn iter(&self) -> std::slice::Iter<'_, HTreeLevel> {
+        self.levels.iter()
+    }
+
+    /// Final clock sinks: the arm tips of the last level's H shapes.
+    pub fn sinks(&self) -> Vec<Sink> {
+        let last = self.levels.last().expect("at least one level");
+        last.drivers()
+            .iter()
+            .flat_map(|&d| last.sinks_of(d))
+            .map(|(x, y)| Sink { x, y })
+            .collect()
+    }
+
+    /// Total wire length over every stage of every level (µm).
+    pub fn total_wire_length(&self) -> f64 {
+        self.levels
+            .iter()
+            .map(|l| l.stage_tree().total_wire_length() * l.drivers().len() as f64)
+            .sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a HTree {
+    type Item = &'a HTreeLevel;
+    type IntoIter = std::slice::Iter<'a, HTreeLevel>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_driver_counts_are_powers_of_four() {
+        let t = HTree::new(4, 8000.0).unwrap();
+        for (i, level) in t.iter().enumerate() {
+            assert_eq!(level.drivers().len(), 4usize.pow(i as u32));
+        }
+        assert_eq!(t.sinks().len(), 4usize.pow(4));
+    }
+
+    #[test]
+    fn spans_halve_per_level() {
+        let t = HTree::new(3, 6000.0).unwrap();
+        assert_eq!(t.level(0).unwrap().h_span(), 6000.0);
+        assert_eq!(t.level(1).unwrap().h_span(), 3000.0);
+        assert_eq!(t.level(2).unwrap().h_span(), 1500.0);
+    }
+
+    #[test]
+    fn stage_tree_shape() {
+        let t = HTree::new(1, 4000.0).unwrap();
+        let stage = t.level(0).unwrap().stage_tree();
+        // Trunk halves: 2 × 2000; arms: 4 × 1000 → 8000 total.
+        assert_eq!(stage.total_wire_length(), 8000.0);
+        assert_eq!(stage.leaves().len(), 4);
+        // Each root-to-sink path has the same length (zero skew by design).
+        for leaf in stage.leaves() {
+            let len: f64 = stage.path_from_root(leaf).iter().map(|&e| stage.edge_length(e)).sum();
+            assert_eq!(len, 3000.0);
+        }
+    }
+
+    #[test]
+    fn sinks_of_are_symmetric() {
+        let t = HTree::new(1, 4000.0).unwrap();
+        let sinks = t.level(0).unwrap().sinks_of((0.0, 0.0));
+        let sum_x: f64 = sinks.iter().map(|s| s.0).sum();
+        let sum_y: f64 = sinks.iter().map(|s| s.1).sum();
+        assert_eq!(sum_x, 0.0);
+        assert_eq!(sum_y, 0.0);
+    }
+
+    #[test]
+    fn next_level_drivers_are_previous_sinks() {
+        let t = HTree::new(2, 4000.0).unwrap();
+        let l0 = t.level(0).unwrap();
+        let expected: Vec<(f64, f64)> = l0.sinks_of((0.0, 0.0)).to_vec();
+        assert_eq!(t.level(1).unwrap().drivers(), expected.as_slice());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HTree::new(0, 100.0).is_err());
+        assert!(HTree::new(2, -1.0).is_err());
+        let t = HTree::new(2, 100.0).unwrap();
+        assert!(t.level(5).is_err());
+    }
+
+    #[test]
+    fn total_wire_length_counts_all_stages() {
+        let t = HTree::new(2, 4000.0).unwrap();
+        // Level 0: one stage of 8000; level 1: four stages of 4000.
+        assert_eq!(t.total_wire_length(), 8000.0 + 4.0 * 4000.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Geometry model for on-chip interconnect extraction.
+//!
+//! Everything the field solver, the capacitance models and the clocktree
+//! extractor need to know about physical layout lives here:
+//!
+//! * [`units`] — the micron/SI conventions used across the workspace,
+//! * [`Bar`] — a rectangular conductor segment (the PEEC primitive),
+//! * [`Stackup`] / [`Layer`] — the metal stack with orthogonal routing
+//!   directions on adjacent layers (the paper's Section II assumption),
+//! * [`Block`] — the paper's Figure 4 primitive: *n* same-length parallel
+//!   traces in one layer whose outermost traces are dedicated AC grounds,
+//! * [`ShieldConfig`] — coplanar-only, microstrip (plane below), inverted
+//!   microstrip (plane above) or stripline (planes both sides), Figures 8–9,
+//! * [`SegmentTree`] — branching interconnect trees of three-wire segments
+//!   (Figure 6, used for the linear-cascading validation of Table I),
+//! * [`HTree`] — the buffered clock H-tree of Figure 7.
+//!
+//! # Conventions
+//!
+//! All geometric quantities are **microns** (`f64`); all electrical
+//! quantities are SI (henry, farad, ohm, second). [`units`] holds the
+//! conversion constants.
+//!
+//! # Example
+//!
+//! ```
+//! use rlcx_geom::{BlockBuilder, ShieldConfig};
+//!
+//! # fn main() -> Result<(), rlcx_geom::GeomError> {
+//! // The paper's Figure 1 coplanar waveguide: G-S-G, 6000 µm long.
+//! let block = BlockBuilder::new(6000.0)
+//!     .trace(5.0)   // ground
+//!     .space(1.0)
+//!     .trace(10.0)  // clock signal
+//!     .space(1.0)
+//!     .trace(5.0)   // ground
+//!     .shield(ShieldConfig::Coplanar)
+//!     .build()?;
+//! assert_eq!(block.trace_count(), 3);
+//! assert_eq!(block.signal_indices(), vec![1]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bar;
+pub mod block;
+pub mod htree;
+pub mod stackup;
+pub mod tree;
+pub mod units;
+
+mod error;
+
+pub use bar::{Axis, Bar, Point3};
+pub use block::{Block, BlockBuilder, ShieldConfig};
+pub use error::GeomError;
+pub use htree::{HTree, HTreeLevel, Sink};
+pub use stackup::{Layer, Stackup};
+pub use tree::{SegmentTree, TreeEdge, TreeNode};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, GeomError>;

@@ -1,0 +1,284 @@
+//! Metal-layer stackups.
+//!
+//! The paper's extraction operates per layer: traces in layer *N* are
+//! parallel; layers *N±1* route orthogonally (and therefore do not couple
+//! inductively); wide ground conductors in *N±2* act as local ground planes.
+
+use crate::units::{EPS_R_SIO2, RHO_ALUMINUM, RHO_COPPER};
+use crate::{GeomError, Result};
+
+/// One metal layer of the process stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    name: String,
+    z_bottom: f64,
+    thickness: f64,
+    rho: f64,
+}
+
+impl Layer {
+    /// Creates a layer.
+    ///
+    /// * `z_bottom` — height of the layer's bottom face above substrate (µm),
+    /// * `thickness` — metal thickness (µm),
+    /// * `rho` — resistivity (Ω·m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonPositiveDimension`] for non-positive
+    /// `thickness` or `rho`.
+    pub fn new(name: impl Into<String>, z_bottom: f64, thickness: f64, rho: f64) -> Result<Self> {
+        if !(thickness > 0.0 && thickness.is_finite()) {
+            return Err(GeomError::NonPositiveDimension { what: "layer thickness".into(), value: thickness });
+        }
+        if !(rho > 0.0 && rho.is_finite()) {
+            return Err(GeomError::NonPositiveDimension { what: "resistivity".into(), value: rho });
+        }
+        Ok(Layer { name: name.into(), z_bottom, thickness, rho })
+    }
+
+    /// Layer name (e.g. `"M5"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Height of the bottom face above the substrate (µm).
+    pub fn z_bottom(&self) -> f64 {
+        self.z_bottom
+    }
+
+    /// Metal thickness (µm).
+    pub fn thickness(&self) -> f64 {
+        self.thickness
+    }
+
+    /// Height of the top face (µm).
+    pub fn z_top(&self) -> f64 {
+        self.z_bottom + self.thickness
+    }
+
+    /// Height of the layer's vertical midpoint (µm).
+    pub fn z_center(&self) -> f64 {
+        self.z_bottom + 0.5 * self.thickness
+    }
+
+    /// Metal resistivity (Ω·m).
+    pub fn resistivity(&self) -> f64 {
+        self.rho
+    }
+}
+
+/// A full metal stack: ordered layers plus the dielectric constant.
+///
+/// Layer index 0 is closest to the substrate. Adjacent layers are assumed to
+/// route orthogonally (even layers along X, odd along Y, by convention).
+///
+/// # Example
+///
+/// ```
+/// use rlcx_geom::Stackup;
+///
+/// let stack = Stackup::hp_six_metal_copper();
+/// assert_eq!(stack.layer_count(), 6);
+/// // Top layer is the thick clock-routing metal.
+/// assert!(stack.layer(5).unwrap().thickness() >= 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stackup {
+    layers: Vec<Layer>,
+    eps_r: f64,
+}
+
+impl Stackup {
+    /// Creates a stackup from layers ordered bottom-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::MalformedTree`] — reused here to flag ordering —
+    /// if layers are not strictly ascending in `z`, or
+    /// [`GeomError::NonPositiveDimension`] for a non-positive `eps_r`.
+    pub fn new(layers: Vec<Layer>, eps_r: f64) -> Result<Self> {
+        if !(eps_r > 0.0 && eps_r.is_finite()) {
+            return Err(GeomError::NonPositiveDimension { what: "relative permittivity".into(), value: eps_r });
+        }
+        for pair in layers.windows(2) {
+            if pair[1].z_bottom() < pair[0].z_top() {
+                return Err(GeomError::MalformedTree {
+                    what: format!(
+                        "layer {} (z = {}) overlaps layer {} (top = {})",
+                        pair[1].name(),
+                        pair[1].z_bottom(),
+                        pair[0].name(),
+                        pair[0].z_top()
+                    ),
+                });
+            }
+        }
+        Ok(Stackup { layers, eps_r })
+    }
+
+    /// A representative six-metal copper process of the paper's era
+    /// (late-1990s high-frequency CPU design): 0.5 µm lower metals, thick
+    /// 2 µm top metal for clock routing, SiO₂ dielectric.
+    ///
+    /// The paper's Figure 1 uses 2 µm-thick wide top-layer wires; this
+    /// stackup reproduces that situation on layer index 5.
+    pub fn hp_six_metal_copper() -> Stackup {
+        let mut layers = Vec::new();
+        let mut z = 1.0;
+        for i in 0..4 {
+            let t = 0.5;
+            layers.push(Layer::new(format!("M{}", i + 1), z, t, RHO_COPPER).expect("valid layer"));
+            z += t + 0.8; // inter-layer dielectric
+        }
+        layers.push(Layer::new("M5", z, 1.0, RHO_COPPER).expect("valid layer"));
+        // Thick top dielectric under the thick clock metal, as is standard
+        // for a dedicated clock/power routing layer.
+        z += 1.0 + 2.2;
+        layers.push(Layer::new("M6", z, 2.0, RHO_COPPER).expect("valid layer"));
+        Stackup::new(layers, EPS_R_SIO2).expect("monotone by construction")
+    }
+
+    /// A representative five-metal aluminum ASIC process.
+    pub fn asic_five_metal_aluminum() -> Stackup {
+        let mut layers = Vec::new();
+        let mut z = 0.8;
+        for i in 0..4 {
+            let t = 0.6;
+            layers.push(Layer::new(format!("M{}", i + 1), z, t, RHO_ALUMINUM).expect("valid layer"));
+            z += t + 0.7;
+        }
+        layers.push(Layer::new("M5", z, 1.2, RHO_ALUMINUM).expect("valid layer"));
+        Stackup::new(layers, EPS_R_SIO2).expect("monotone by construction")
+    }
+
+    /// Number of metal layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Access a layer by index (0 = bottom).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::UnknownLayer`] if `index` is out of range.
+    pub fn layer(&self, index: usize) -> Result<&Layer> {
+        self.layers.get(index).ok_or(GeomError::UnknownLayer {
+            index,
+            available: self.layers.len(),
+        })
+    }
+
+    /// Iterates over the layers bottom-up.
+    pub fn iter(&self) -> std::slice::Iter<'_, Layer> {
+        self.layers.iter()
+    }
+
+    /// Relative permittivity of the inter-metal dielectric.
+    pub fn eps_r(&self) -> f64 {
+        self.eps_r
+    }
+
+    /// Vertical clearance between the bottom of layer `upper` and the top of
+    /// layer `lower` (µm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::UnknownLayer`] for a bad index.
+    pub fn dielectric_gap(&self, lower: usize, upper: usize) -> Result<f64> {
+        let lo = self.layer(lower)?;
+        let hi = self.layer(upper)?;
+        Ok(hi.z_bottom() - lo.z_top())
+    }
+
+    /// The layer two below `index` — where the paper's local ground plane for
+    /// a microstrip configuration lives — if it exists.
+    pub fn plane_layer_below(&self, index: usize) -> Option<&Layer> {
+        index.checked_sub(2).and_then(|i| self.layers.get(i))
+    }
+
+    /// The layer two above `index` (stripline upper plane), if it exists.
+    pub fn plane_layer_above(&self, index: usize) -> Option<&Layer> {
+        self.layers.get(index + 2)
+    }
+}
+
+impl<'a> IntoIterator for &'a Stackup {
+    type Item = &'a Layer;
+    type IntoIter = std::slice::Iter<'a, Layer>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_accessors() {
+        let l = Layer::new("M1", 1.0, 0.5, RHO_COPPER).unwrap();
+        assert_eq!(l.name(), "M1");
+        assert_eq!(l.z_top(), 1.5);
+        assert_eq!(l.z_center(), 1.25);
+    }
+
+    #[test]
+    fn layer_rejects_bad_dimensions() {
+        assert!(Layer::new("M1", 0.0, 0.0, RHO_COPPER).is_err());
+        assert!(Layer::new("M1", 0.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn stackup_rejects_overlapping_layers() {
+        let l1 = Layer::new("M1", 0.0, 1.0, RHO_COPPER).unwrap();
+        let l2 = Layer::new("M2", 0.5, 1.0, RHO_COPPER).unwrap();
+        assert!(matches!(
+            Stackup::new(vec![l1, l2], 3.9),
+            Err(GeomError::MalformedTree { .. })
+        ));
+    }
+
+    #[test]
+    fn stackup_rejects_bad_eps() {
+        assert!(Stackup::new(vec![], 0.0).is_err());
+    }
+
+    #[test]
+    fn builtin_stackups_are_consistent() {
+        for stack in [Stackup::hp_six_metal_copper(), Stackup::asic_five_metal_aluminum()] {
+            assert!(stack.layer_count() >= 5);
+            let mut prev_top = f64::NEG_INFINITY;
+            for layer in &stack {
+                assert!(layer.z_bottom() >= prev_top);
+                prev_top = layer.z_top();
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_layer_is_reported() {
+        let stack = Stackup::hp_six_metal_copper();
+        assert!(matches!(
+            stack.layer(17),
+            Err(GeomError::UnknownLayer { index: 17, available: 6 })
+        ));
+    }
+
+    #[test]
+    fn dielectric_gap_between_m6_and_m4() {
+        let stack = Stackup::hp_six_metal_copper();
+        let gap = stack.dielectric_gap(4, 5).unwrap();
+        assert!(gap > 0.0);
+    }
+
+    #[test]
+    fn plane_layers_n_plus_minus_two() {
+        let stack = Stackup::hp_six_metal_copper();
+        // Layer 5 (M6) has a potential plane in layer 3 (M4).
+        assert_eq!(stack.plane_layer_below(5).unwrap().name(), "M4");
+        assert!(stack.plane_layer_above(5).is_none());
+        assert!(stack.plane_layer_below(1).is_none());
+        assert_eq!(stack.plane_layer_above(1).unwrap().name(), "M4");
+    }
+}

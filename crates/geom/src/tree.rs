@@ -1,0 +1,336 @@
+//! Branching interconnect trees of cascadable segments (Figure 6).
+//!
+//! The paper validates that a signal wire guarded by two same-width ground
+//! wires can be *linearly cascaded*: the loop inductance of a whole tree is
+//! the series/parallel combination of the per-segment loop inductances
+//! determined independently. [`SegmentTree`] carries the topology for both
+//! the cascaded combination and the flat whole-structure solve it is
+//! compared against (Table I).
+
+use crate::bar::Axis;
+use crate::{GeomError, Result};
+
+/// A node of a [`SegmentTree`], positioned in the routing plane (µm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeNode {
+    /// X position (µm).
+    pub x: f64,
+    /// Y position (µm).
+    pub y: f64,
+}
+
+/// A directed edge (wire segment) of a [`SegmentTree`], from parent to child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeEdge {
+    /// Index of the parent node.
+    pub from: usize,
+    /// Index of the child node.
+    pub to: usize,
+}
+
+/// A rooted, axis-aligned interconnect tree.
+///
+/// Node 0 is the root (the driver end). Every other node has exactly one
+/// parent; each edge is an axis-aligned wire segment whose length is the
+/// distance between its endpoints.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_geom::SegmentTree;
+///
+/// # fn main() -> Result<(), rlcx_geom::GeomError> {
+/// let mut t = SegmentTree::new(0.0, 0.0);
+/// let b = t.add_node(0, 100.0, 0.0)?; // trunk a→b, 100 µm
+/// t.add_node(b, 100.0, 150.0)?;       // branch b→c, 150 µm
+/// t.add_node(b, 100.0, -100.0)?;      // branch b→d, 100 µm
+/// assert_eq!(t.leaves(), vec![2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentTree {
+    nodes: Vec<TreeNode>,
+    edges: Vec<TreeEdge>,
+}
+
+impl SegmentTree {
+    /// Creates a tree containing only the root at `(x, y)`.
+    pub fn new(x: f64, y: f64) -> Self {
+        SegmentTree { nodes: vec![TreeNode { x, y }], edges: Vec::new() }
+    }
+
+    /// Adds a node at `(x, y)` connected to `parent`, returning its index.
+    ///
+    /// # Errors
+    ///
+    /// * [`GeomError::MalformedTree`] if `parent` does not exist or the new
+    ///   segment is not axis-aligned,
+    /// * [`GeomError::NonPositiveDimension`] if the segment has zero length.
+    pub fn add_node(&mut self, parent: usize, x: f64, y: f64) -> Result<usize> {
+        let Some(p) = self.nodes.get(parent) else {
+            return Err(GeomError::MalformedTree { what: format!("parent {parent} does not exist") });
+        };
+        let dx = x - p.x;
+        let dy = y - p.y;
+        if dx != 0.0 && dy != 0.0 {
+            return Err(GeomError::MalformedTree {
+                what: format!("segment to ({x}, {y}) is not axis-aligned"),
+            });
+        }
+        let len = dx.abs() + dy.abs();
+        if len <= 0.0 {
+            return Err(GeomError::NonPositiveDimension { what: "segment length".into(), value: len });
+        }
+        let id = self.nodes.len();
+        self.nodes.push(TreeNode { x, y });
+        self.edges.push(TreeEdge { from: parent, to: id });
+        Ok(id)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> TreeNode {
+        self.nodes[i]
+    }
+
+    /// All edges in insertion order. Edge index `e` connects
+    /// `edges()[e].from → edges()[e].to`.
+    pub fn edges(&self) -> &[TreeEdge] {
+        &self.edges
+    }
+
+    /// Length of edge `e` (µm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge_length(&self, e: usize) -> f64 {
+        let TreeEdge { from, to } = self.edges[e];
+        let (a, b) = (self.nodes[from], self.nodes[to]);
+        (b.x - a.x).abs() + (b.y - a.y).abs()
+    }
+
+    /// Routing axis of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge_axis(&self, e: usize) -> Axis {
+        let TreeEdge { from, to } = self.edges[e];
+        let (a, b) = (self.nodes[from], self.nodes[to]);
+        if (b.x - a.x).abs() > 0.0 {
+            Axis::X
+        } else {
+            Axis::Y
+        }
+    }
+
+    /// Indices of edges leaving `node` (toward its children).
+    pub fn child_edges(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.from == node)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all leaf nodes (no outgoing edges), in index order.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&n| self.edges.iter().all(|e| e.from != n) && n != 0)
+            .collect()
+    }
+
+    /// Total wire length over all edges (µm).
+    pub fn total_wire_length(&self) -> f64 {
+        (0..self.edges.len()).map(|e| self.edge_length(e)).sum()
+    }
+
+    /// Edge indices along the path from the root to `node`, root side first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn path_from_root(&self, node: usize) -> Vec<usize> {
+        assert!(node < self.nodes.len(), "node out of range");
+        let mut path = Vec::new();
+        let mut current = node;
+        while current != 0 {
+            let (e_idx, edge) = self
+                .edges
+                .iter()
+                .enumerate()
+                .find(|(_, e)| e.to == current)
+                .expect("non-root node has a parent edge");
+            path.push(e_idx);
+            current = edge.from;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The cascaded effective inductance seen from the root: per-edge values
+    /// `edge_l(e)` combine **in series along paths and in parallel across
+    /// branches** — the paper's linear-cascading rule.
+    ///
+    /// For Figure 6(a) this evaluates
+    /// `L_ab + (L_bc + L_ce) ∥ (L_bd + L_df)`.
+    ///
+    /// Subtrees rooted at a leaf contribute zero. A branch with zero
+    /// inductance shorts a parallel combination to zero, matching the
+    /// physical series/parallel rule.
+    pub fn cascaded_inductance(&self, edge_l: &dyn Fn(usize) -> f64) -> f64 {
+        self.cascaded_from(0, edge_l)
+    }
+
+    fn cascaded_from(&self, node: usize, edge_l: &dyn Fn(usize) -> f64) -> f64 {
+        let children = self.child_edges(node);
+        if children.is_empty() {
+            return 0.0;
+        }
+        // Each child branch: edge inductance in series with its subtree.
+        let branches: Vec<f64> = children
+            .iter()
+            .map(|&e| edge_l(e) + self.cascaded_from(self.edges[e].to, edge_l))
+            .collect();
+        if branches.len() == 1 {
+            branches[0]
+        } else if branches.iter().any(|&l| l == 0.0) {
+            0.0
+        } else {
+            1.0 / branches.iter().map(|l| 1.0 / l).sum::<f64>()
+        }
+    }
+
+    /// The paper's Figure 6(a) tree: trunk `a→b`, then two branches
+    /// `b→c→e` and `b→d→f` with a direction change at each intermediate
+    /// node. Segment lengths (µm) follow the figure annotations:
+    /// ab = 100, bc = 150, ce = 250, bd = 100, df = 250.
+    pub fn fig6a() -> SegmentTree {
+        let mut t = SegmentTree::new(0.0, 0.0);
+        let b = t.add_node(0, 100.0, 0.0).expect("valid");
+        let c = t.add_node(b, 100.0, 150.0).expect("valid");
+        t.add_node(c, 350.0, 150.0).expect("valid"); // e
+        let d = t.add_node(b, 100.0, -100.0).expect("valid");
+        t.add_node(d, 350.0, -100.0).expect("valid"); // f
+        t
+    }
+
+    /// The paper's Figure 6(b) tree: a longer trunk with a short stub and a
+    /// long branch (lengths 600/300/20/600 µm per the figure annotations):
+    /// ab = 600, bc = 300, bd = 20, de = 600.
+    pub fn fig6b() -> SegmentTree {
+        let mut t = SegmentTree::new(0.0, 0.0);
+        let b = t.add_node(0, 600.0, 0.0).expect("valid");
+        t.add_node(b, 600.0, 300.0).expect("valid"); // c
+        let d = t.add_node(b, 600.0, -20.0).expect("valid");
+        t.add_node(d, 1200.0, -20.0).expect("valid"); // e
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_simple_tree() {
+        let mut t = SegmentTree::new(0.0, 0.0);
+        let b = t.add_node(0, 10.0, 0.0).unwrap();
+        let c = t.add_node(b, 10.0, 5.0).unwrap();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.edge_length(0), 10.0);
+        assert_eq!(t.edge_length(1), 5.0);
+        assert_eq!(t.edge_axis(0), Axis::X);
+        assert_eq!(t.edge_axis(1), Axis::Y);
+        assert_eq!(t.leaves(), vec![c]);
+        assert_eq!(t.total_wire_length(), 15.0);
+    }
+
+    #[test]
+    fn rejects_diagonal_and_zero_segments() {
+        let mut t = SegmentTree::new(0.0, 0.0);
+        assert!(matches!(
+            t.add_node(0, 5.0, 5.0),
+            Err(GeomError::MalformedTree { .. })
+        ));
+        assert!(matches!(
+            t.add_node(0, 0.0, 0.0),
+            Err(GeomError::NonPositiveDimension { .. })
+        ));
+        assert!(t.add_node(7, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn path_from_root_orders_edges() {
+        let t = SegmentTree::fig6a();
+        // Node 3 is `e`: path a→b, b→c, c→e = edges 0, 1, 2.
+        assert_eq!(t.path_from_root(3), vec![0, 1, 2]);
+        // Node 5 is `f`: path a→b, b→d, d→f = edges 0, 3, 4.
+        assert_eq!(t.path_from_root(5), vec![0, 3, 4]);
+        assert!(t.path_from_root(0).is_empty());
+    }
+
+    #[test]
+    fn fig6a_matches_paper_lengths() {
+        let t = SegmentTree::fig6a();
+        let lengths: Vec<f64> = (0..t.edges().len()).map(|e| t.edge_length(e)).collect();
+        assert_eq!(lengths, vec![100.0, 150.0, 250.0, 100.0, 250.0]);
+        assert_eq!(t.leaves().len(), 2);
+    }
+
+    #[test]
+    fn fig6b_matches_paper_lengths() {
+        let t = SegmentTree::fig6b();
+        let lengths: Vec<f64> = (0..t.edges().len()).map(|e| t.edge_length(e)).collect();
+        assert_eq!(lengths, vec![600.0, 300.0, 20.0, 600.0]);
+    }
+
+    #[test]
+    fn cascaded_inductance_is_series_parallel() {
+        let t = SegmentTree::fig6a();
+        // Unit inductance per µm: L_ab=100, (150+250) ∥ (100+250) = 400∥350.
+        let l = t.cascaded_inductance(&|e| t.edge_length(e));
+        let expect = 100.0 + 1.0 / (1.0 / 400.0 + 1.0 / 350.0);
+        assert!((l - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cascaded_inductance_of_chain_is_sum() {
+        let mut t = SegmentTree::new(0.0, 0.0);
+        let mut n = 0;
+        for i in 1..=4 {
+            n = t.add_node(n, 10.0 * i as f64, 0.0).unwrap();
+        }
+        let l = t.cascaded_inductance(&|e| t.edge_length(e));
+        assert!((l - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascaded_inductance_with_zero_branch_shorts() {
+        let mut t = SegmentTree::new(0.0, 0.0);
+        let b = t.add_node(0, 10.0, 0.0).unwrap();
+        t.add_node(b, 10.0, 5.0).unwrap();
+        t.add_node(b, 10.0, -5.0).unwrap();
+        let l = t.cascaded_inductance(&|e| if e == 1 { 0.0 } else { 10.0 });
+        assert_eq!(l, 10.0); // trunk only; the shorted branch kills the parallel pair
+    }
+
+    #[test]
+    fn root_only_tree_has_no_leaves_and_zero_l() {
+        let t = SegmentTree::new(1.0, 2.0);
+        assert!(t.leaves().is_empty());
+        assert_eq!(t.cascaded_inductance(&|_| 1.0), 0.0);
+        assert_eq!(t.node(0), TreeNode { x: 1.0, y: 2.0 });
+    }
+}

@@ -1,0 +1,106 @@
+//! Unit conventions and physical constants.
+//!
+//! Geometry is expressed in **microns** throughout the workspace; electrical
+//! quantities are SI. The PEEC formulas want metres, so the conversion
+//! constants live here in one place.
+
+/// Metres per micron.
+pub const METERS_PER_UM: f64 = 1.0e-6;
+
+/// Vacuum permeability µ₀ in H/m.
+pub const MU_0: f64 = 4.0e-7 * std::f64::consts::PI;
+
+/// Vacuum permittivity ε₀ in F/m.
+pub const EPS_0: f64 = 8.854_187_8128e-12;
+
+/// Relative permittivity of SiO₂ (oxide dielectric of the era's processes).
+pub const EPS_R_SIO2: f64 = 3.9;
+
+/// Resistivity of copper at room temperature, Ω·m.
+pub const RHO_COPPER: f64 = 1.72e-8;
+
+/// Resistivity of aluminum at room temperature, Ω·m.
+pub const RHO_ALUMINUM: f64 = 2.82e-8;
+
+/// Converts microns to metres.
+#[inline]
+pub fn um_to_m(um: f64) -> f64 {
+    um * METERS_PER_UM
+}
+
+/// Converts metres to microns.
+#[inline]
+pub fn m_to_um(m: f64) -> f64 {
+    m / METERS_PER_UM
+}
+
+/// The paper's *significant frequency* `f_sig = 0.32 / t_r` for a signal with
+/// minimum rise/fall time `t_r` (seconds → hertz).
+///
+/// Inductance tables are characterized at this frequency because the skin
+/// depth — and therefore L and R — depend on it.
+///
+/// # Panics
+///
+/// Panics if `rise_time_s` is not positive.
+#[inline]
+pub fn significant_frequency(rise_time_s: f64) -> f64 {
+    assert!(rise_time_s > 0.0, "rise time must be positive");
+    0.32 / rise_time_s
+}
+
+/// Skin depth in metres for a conductor of resistivity `rho` (Ω·m) at
+/// frequency `f` (Hz).
+///
+/// # Panics
+///
+/// Panics if `f` or `rho` is not positive.
+#[inline]
+pub fn skin_depth(rho: f64, f: f64) -> f64 {
+    assert!(f > 0.0 && rho > 0.0, "frequency and resistivity must be positive");
+    (rho / (std::f64::consts::PI * f * MU_0)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micron_roundtrip() {
+        assert!((m_to_um(um_to_m(123.4)) - 123.4).abs() < 1e-10);
+        assert!((um_to_m(1.0) - 1e-6).abs() < 1e-20);
+    }
+
+    #[test]
+    fn significant_frequency_of_100ps_rise() {
+        // 100 ps rise time → 3.2 GHz significant frequency.
+        let f = significant_frequency(100e-12);
+        assert!((f - 3.2e9).abs() / 3.2e9 < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn significant_frequency_rejects_zero() {
+        significant_frequency(0.0);
+    }
+
+    #[test]
+    fn copper_skin_depth_at_1ghz() {
+        // Known value: copper skin depth at 1 GHz ≈ 2.09 µm.
+        let d = skin_depth(RHO_COPPER, 1e9);
+        assert!((m_to_um(d) - 2.09).abs() < 0.03, "got {} um", m_to_um(d));
+    }
+
+    #[test]
+    fn skin_depth_scales_inverse_sqrt_frequency() {
+        let d1 = skin_depth(RHO_COPPER, 1e9);
+        let d4 = skin_depth(RHO_COPPER, 4e9);
+        assert!((d1 / d4 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mu0_eps0_give_speed_of_light() {
+        let c = 1.0 / (MU_0 * EPS_0).sqrt();
+        assert!((c - 2.998e8).abs() / 2.998e8 < 1e-3);
+    }
+}

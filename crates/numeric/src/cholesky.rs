@@ -1,0 +1,191 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+//!
+//! Partial-inductance matrices produced by the PEEC solver are symmetric
+//! positive definite (magnetic energy `½ iᵀ L i > 0` for any nonzero current
+//! pattern), so Cholesky both solves them at half the LU cost and doubles as
+//! a *physical validity check*: if the factorization fails, the extracted
+//! matrix is not a realizable inductance matrix.
+
+use crate::{Matrix, NumericError, Result};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_numeric::{Matrix, cholesky::Cholesky};
+///
+/// # fn main() -> Result<(), rlcx_numeric::NumericError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let ch = Cholesky::new(&a)?;
+/// let x = ch.solve(&[2.0, 1.0])?;
+/// assert!((4.0 * x[0] + 2.0 * x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower triangular factor, stored densely.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry is assumed, not
+    /// checked (use [`Matrix::symmetry_defect`] first if unsure).
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::DimensionMismatch`] if `a` is not square.
+    /// * [`NumericError::Singular`] if `a` is not positive definite.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(NumericError::Singular { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factorized system.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrows the lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        let mut x = b.to_vec();
+        // Forward: L y = b.
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant `ln det A` (A is SPD so the determinant is positive).
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Reports whether `a` is positive definite (by attempting a Cholesky
+/// factorization of its symmetrized copy).
+///
+/// This is the validity check used on extracted partial-inductance matrices.
+pub fn is_positive_definite(a: &Matrix) -> bool {
+    if !a.is_square() {
+        return false;
+    }
+    let n = a.rows();
+    let sym = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    Cholesky::new(&sym).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[6.0, 2.0, 1.0],
+            &[2.0, 5.0, 2.0],
+            &[1.0, 2.0, 4.0],
+        ])
+        .unwrap();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        let lt = l.transpose();
+        let prod = l.mul(&lt).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((prod[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = [1.0, 2.0];
+        let x_ch = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::lu::LuDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        for (c, l) in x_ch.iter().zip(&x_lu) {
+            assert!((c - l).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(Cholesky::new(&a), Err(NumericError::Singular { .. })));
+        assert!(!is_positive_definite(&a));
+    }
+
+    #[test]
+    fn positive_definite_accepted() {
+        let a = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 2.0]]).unwrap();
+        assert!(is_positive_definite(&a));
+    }
+
+    #[test]
+    fn log_determinant_matches_known_value() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]).unwrap();
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_determinant() - 36.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(!is_positive_definite(&Matrix::zeros(2, 3)));
+    }
+}

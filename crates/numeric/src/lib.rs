@@ -1,0 +1,50 @@
+//! Dense numerics for the `rlcx` extraction toolkit.
+//!
+//! This crate provides the numerical substrate the field solver, the table
+//! interpolation layer and the circuit simulator are built on:
+//!
+//! * [`Complex`] — a minimal `f64` complex number (the PEEC impedance solve
+//!   works on `Z = R + jωL`),
+//! * [`Matrix`] / [`CMatrix`] — dense row-major real/complex matrices,
+//! * [`lu`] — LU factorization with partial pivoting (real and complex) and
+//!   the derived solve/inverse/determinant operations,
+//! * [`cholesky`] — Cholesky factorization for symmetric positive-definite
+//!   systems (partial-inductance matrices are SPD),
+//! * [`spline`] — natural cubic and bi-cubic spline interpolation in the
+//!   style of *Numerical Recipes* (`spline`/`splint`, `splie2`/`splin2`),
+//!   which is the interpolation scheme the paper prescribes for table lookup,
+//! * [`quadrature`] — Gauss–Legendre quadrature used to evaluate geometric
+//!   mean distances between conductor cross-sections,
+//! * [`stats`] — summary statistics and normal sampling for the statistical
+//!   RC / process-variation experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use rlcx_numeric::{Matrix, lu::LuDecomposition};
+//!
+//! # fn main() -> Result<(), rlcx_numeric::NumericError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuDecomposition::new(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + 1.0 * x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cholesky;
+pub mod complex;
+pub mod lu;
+pub mod matrix;
+pub mod quadrature;
+pub mod spline;
+pub mod stats;
+
+mod error;
+
+pub use complex::Complex;
+pub use error::NumericError;
+pub use matrix::{CMatrix, Matrix};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NumericError>;

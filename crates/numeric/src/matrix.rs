@@ -1,0 +1,469 @@
+//! Dense row-major real and complex matrices.
+//!
+//! These are deliberately simple: the extraction problems this toolkit solves
+//! are dense and small-to-medium (tens to a few thousand filaments), so a
+//! contiguous `Vec<f64>` with explicit indexing outperforms anything fancier
+//! and keeps the solver auditable.
+
+use crate::{Complex, NumericError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_numeric::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 2);
+/// m[(0, 0)] = 1.0;
+/// m[(1, 1)] = 2.0;
+/// assert_eq!(m.trace(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if the rows have unequal
+    /// lengths, and [`NumericError::InsufficientData`] if `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(NumericError::InsufficientData {
+                what: "matrix rows".into(),
+                needed: 1,
+                got: 0,
+            });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(NumericError::DimensionMismatch {
+                    expected: format!("row of length {cols}"),
+                    found: format!("row {i} of length {}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrows one row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Sum of diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("length {}", x.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] on incompatible shapes.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("{} rows on rhs", self.cols),
+                found: format!("{}x{}", rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise subtraction `A − B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                found: format!("{}x{}", rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(&rhs.data) {
+            *o -= r;
+        }
+        Ok(out)
+    }
+
+    /// Extracts the submatrix selected by `row_idx × col_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> Matrix {
+        Matrix::from_fn(row_idx.len(), col_idx.len(), |i, j| self[(row_idx[i], col_idx[j])])
+    }
+
+    /// Maximum absolute element, or `0.0` for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Symmetry defect `max |A_ij − A_ji|` relative to [`Matrix::max_abs`].
+    ///
+    /// Useful to assert that extracted inductance matrices are symmetric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetry_defect(&self) -> f64 {
+        assert!(self.is_square(), "symmetry defect requires a square matrix");
+        let scale = self.max_abs().max(f64::MIN_POSITIVE);
+        let mut worst = 0.0_f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst / scale
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.5e}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A dense, row-major matrix of [`Complex`].
+///
+/// Used by the frequency-dependent PEEC impedance solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a `rows × cols` complex matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+    }
+
+    /// Creates the `n × n` complex identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Builds `R + jωL` from real resistance and inductance matrices.
+    ///
+    /// `r` contributes only to the diagonal-free real part as given; both
+    /// matrices must be square and of equal size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] on shape mismatch.
+    pub fn impedance(r: &Matrix, l: &Matrix, omega: f64) -> Result<CMatrix> {
+        if r.rows() != l.rows() || r.cols() != l.cols() {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("{}x{}", r.rows(), r.cols()),
+                found: format!("{}x{}", l.rows(), l.cols()),
+            });
+        }
+        let mut m = CMatrix::zeros(r.rows(), r.cols());
+        for i in 0..r.rows() {
+            for j in 0..r.cols() {
+                m[(i, j)] = Complex::new(r[(i, j)], omega * l[(i, j)]);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[Complex]) -> Result<Vec<Complex>> {
+        if x.len() != self.cols {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("length {}", x.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| {
+                let mut acc = Complex::ZERO;
+                for j in 0..self.cols {
+                    acc += self[(i, j)] * x[j];
+                }
+                acc
+            })
+            .collect())
+    }
+
+    /// Extracts the submatrix selected by `row_idx × col_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> CMatrix {
+        let mut out = CMatrix::zeros(row_idx.len(), col_idx.len());
+        for (i, &ri) in row_idx.iter().enumerate() {
+            for (j, &cj) in col_idx.iter().enumerate() {
+                out[(i, j)] = self[(ri, cj)];
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything_is_identity_map() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(i.mul(&a).unwrap(), a);
+        assert_eq!(a.mul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let y = a.mul_vec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn mul_vec_rejects_bad_length() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.mul_vec(&[1.0]),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let r0: &[f64] = &[1.0, 2.0];
+        let r1: &[f64] = &[3.0];
+        assert!(Matrix::from_rows(&[r0, r1]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn submatrix_picks_expected_entries() {
+        let a = Matrix::from_fn(4, 4, |i, j| (10 * i + j) as f64);
+        let s = a.submatrix(&[1, 3], &[0, 2]);
+        assert_eq!(s[(0, 0)], 10.0);
+        assert_eq!(s[(1, 1)], 32.0);
+    }
+
+    #[test]
+    fn symmetry_defect_zero_for_symmetric() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        assert_eq!(a.symmetry_defect(), 0.0);
+        let b = Matrix::from_rows(&[&[2.0, 1.0], &[0.5, 3.0]]).unwrap();
+        assert!(b.symmetry_defect() > 0.0);
+    }
+
+    #[test]
+    fn trace_sums_diagonal() {
+        let a = Matrix::from_fn(3, 3, |i, j| if i == j { (i + 1) as f64 } else { 9.0 });
+        assert_eq!(a.trace(), 6.0);
+    }
+
+    #[test]
+    fn impedance_combines_r_and_l() {
+        let r = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let l = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 4.0]]).unwrap();
+        let z = CMatrix::impedance(&r, &l, 2.0).unwrap();
+        assert_eq!(z[(0, 0)], Complex::new(1.0, 6.0));
+        assert_eq!(z[(0, 1)], Complex::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn complex_mul_vec() {
+        let mut a = CMatrix::identity(2);
+        a[(0, 1)] = Complex::I;
+        let y = a.mul_vec(&[Complex::ONE, Complex::ONE]).unwrap();
+        assert_eq!(y[0], Complex::new(1.0, 1.0));
+        assert_eq!(y[1], Complex::ONE);
+    }
+
+    #[test]
+    fn display_contains_all_entries() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let s = a.to_string();
+        assert!(s.contains("1.00000e0") && s.contains("2.00000e0"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Gauss–Legendre quadrature.
+//!
+//! The PEEC solver evaluates geometric mean distances (GMD) between conductor
+//! cross-sections as `ln g = (1/(A₁A₂)) ∬∬ ln r dA₁ dA₂`, a smooth 4-D
+//! integral for which Gauss–Legendre product rules converge rapidly.
+
+/// Nodes (first) and weights (second) of an `n`-point Gauss–Legendre rule on
+/// `[-1, 1]`, computed by Newton iteration on the Legendre polynomial.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n > 0, "quadrature order must be positive");
+    let mut nodes = vec![0.0; n];
+    let mut weights = vec![0.0; n];
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // Chebyshev-based initial guess for the i-th root.
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut pp = 0.0;
+        for _ in 0..100 {
+            // Evaluate P_n(x) and its derivative by the three-term recurrence.
+            let mut p0 = 1.0;
+            let mut p1 = 0.0;
+            for j in 0..n {
+                let p2 = p1;
+                p1 = p0;
+                p0 = ((2.0 * j as f64 + 1.0) * x * p1 - j as f64 * p2) / (j as f64 + 1.0);
+            }
+            pp = n as f64 * (x * p0 - p1) / (x * x - 1.0);
+            let dx = p0 / pp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        nodes[i] = -x;
+        nodes[n - 1 - i] = x;
+        let w = 2.0 / ((1.0 - x * x) * pp * pp);
+        weights[i] = w;
+        weights[n - 1 - i] = w;
+    }
+    (nodes, weights)
+}
+
+/// Integrates `f` over `[a, b]` with an `n`-point Gauss–Legendre rule.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn integrate<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> f64 {
+    let (xs, ws) = gauss_legendre(n);
+    let half = 0.5 * (b - a);
+    let mid = 0.5 * (a + b);
+    xs.iter()
+        .zip(&ws)
+        .map(|(&x, &w)| w * f(mid + half * x))
+        .sum::<f64>()
+        * half
+}
+
+/// Integrates `f(x, y)` over `[ax, bx] × [ay, by]` with an `n × n` product
+/// rule.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn integrate_2d<F: FnMut(f64, f64) -> f64>(
+    mut f: F,
+    (ax, bx): (f64, f64),
+    (ay, by): (f64, f64),
+    n: usize,
+) -> f64 {
+    let (xs, ws) = gauss_legendre(n);
+    let hx = 0.5 * (bx - ax);
+    let mx = 0.5 * (bx + ax);
+    let hy = 0.5 * (by - ay);
+    let my = 0.5 * (by + ay);
+    let mut acc = 0.0;
+    for (xi, wi) in xs.iter().zip(&ws) {
+        let x = mx + hx * xi;
+        for (yj, wj) in xs.iter().zip(&ws) {
+            let y = my + hy * yj;
+            acc += wi * wj * f(x, y);
+        }
+    }
+    acc * hx * hy
+}
+
+/// Integrates `f(x1, y1, x2, y2)` over the product of two rectangles using an
+/// `n`-point rule per dimension (`n⁴` evaluations).
+///
+/// Used for cross-section-pair GMD computations.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_4d<F: FnMut(f64, f64, f64, f64) -> f64>(
+    mut f: F,
+    rect1: ((f64, f64), (f64, f64)),
+    rect2: ((f64, f64), (f64, f64)),
+    n: usize,
+) -> f64 {
+    let (xs, ws) = gauss_legendre(n);
+    let map = |(a, b): (f64, f64), t: f64| (0.5 * (a + b) + 0.5 * (b - a) * t, 0.5 * (b - a));
+    let mut acc = 0.0;
+    for (t1, w1) in xs.iter().zip(&ws) {
+        let (x1, jx1) = map(rect1.0, *t1);
+        for (t2, w2) in xs.iter().zip(&ws) {
+            let (y1, jy1) = map(rect1.1, *t2);
+            for (t3, w3) in xs.iter().zip(&ws) {
+                let (x2, jx2) = map(rect2.0, *t3);
+                for (t4, w4) in xs.iter().zip(&ws) {
+                    let (y2, jy2) = map(rect2.1, *t4);
+                    acc += w1 * w2 * w3 * w4 * jx1 * jy1 * jx2 * jy2 * f(x1, y1, x2, y2);
+                }
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_interval_length() {
+        for n in [1, 2, 4, 8, 16, 32] {
+            let (_, ws) = gauss_legendre(n);
+            let total: f64 = ws.iter().sum();
+            assert!((total - 2.0).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn nodes_are_symmetric_and_sorted() {
+        let (xs, _) = gauss_legendre(7);
+        for i in 0..7 {
+            assert!((xs[i] + xs[6 - i]).abs() < 1e-12);
+            if i > 0 {
+                assert!(xs[i] > xs[i - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials_up_to_degree_2n_minus_1() {
+        // 3-point rule integrates x^5 exactly over [-1, 1] (odd → 0) and x^4.
+        let i4 = integrate(|x| x.powi(4), -1.0, 1.0, 3);
+        assert!((i4 - 0.4).abs() < 1e-13);
+        let i5 = integrate(|x| x.powi(5), -1.0, 1.0, 3);
+        assert!(i5.abs() < 1e-14);
+    }
+
+    #[test]
+    fn integrates_transcendental_accurately() {
+        let v = integrate(f64::sin, 0.0, std::f64::consts::PI, 16);
+        assert!((v - 2.0).abs() < 1e-12);
+        let v = integrate(f64::exp, 0.0, 1.0, 16);
+        assert!((v - (std::f64::consts::E - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_d_product_rule() {
+        // ∬ x·y over [0,1]² = 1/4.
+        let v = integrate_2d(|x, y| x * y, (0.0, 1.0), (0.0, 1.0), 6);
+        assert!((v - 0.25).abs() < 1e-12);
+        // Non-separable integrand.
+        let v = integrate_2d(|x, y| (x + y).sin(), (0.0, 1.0), (0.0, 1.0), 12);
+        let exact = 2.0 * 1.0_f64.sin() - 2.0_f64.sin(); // ∫∫ sin(x+y) dx dy
+        assert!((v - exact).abs() < 1e-10);
+    }
+
+    #[test]
+    fn four_d_volume() {
+        let v = integrate_4d(
+            |_, _, _, _| 1.0,
+            ((0.0, 2.0), (0.0, 3.0)),
+            ((0.0, 0.5), (0.0, 4.0)),
+            4,
+        );
+        assert!((v - 2.0 * 3.0 * 0.5 * 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn four_d_separable_product() {
+        // ∫x1 ∫y1 ∫x2 ∫y2 x1·y1·x2·y2 over [0,1]^4 = (1/2)^4.
+        let v = integrate_4d(
+            |x1, y1, x2, y2| x1 * y1 * x2 * y2,
+            ((0.0, 1.0), (0.0, 1.0)),
+            ((0.0, 1.0), (0.0, 1.0)),
+            5,
+        );
+        assert!((v - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmd_of_identical_unit_squares_is_known() {
+        // Self-GMD of a square of side a: ln g = ln a + ln(g0) where
+        // g0 ≈ 0.44705 (classical result: g = a·e^{-(25/12 - ...)}, the
+        // standard tabulated value for a square is g ≈ 0.44705·a... we check
+        // against the direct integral value instead of the closed form:
+        // for the unit square the integral ∬∬ ln r dA dA ≈ -1.61048.
+        let v = integrate_4d(
+            |x1, y1, x2, y2| {
+                let r2 = (x1 - x2) * (x1 - x2) + (y1 - y2) * (y1 - y2);
+                if r2 < 1e-24 {
+                    0.0
+                } else {
+                    0.5 * r2.ln()
+                }
+            },
+            ((0.0, 1.0), (0.0, 1.0)),
+            ((0.0, 1.0), (0.0, 1.0)),
+            24,
+        );
+        // ln(self-GMD) of a unit square ≈ ln(0.447049...) = -0.80511.
+        // The quadrature has a mild logarithmic singularity so tolerance is
+        // loose; the PEEC code only uses GMD between *disjoint* sections.
+        assert!((v - (-0.80511)).abs() < 0.02, "got {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_order_panics() {
+        gauss_legendre(0);
+    }
+}

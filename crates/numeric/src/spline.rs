@@ -1,0 +1,350 @@
+//! Natural cubic and bi-cubic spline interpolation.
+//!
+//! The paper prescribes a *bi-cubic spline algorithm* (Numerical Recipes
+//! \[10\]) to interpolate and extrapolate inductance values that are not
+//! tabulated. [`CubicSpline`] is the 1-D natural spline (`spline`/`splint`),
+//! and [`BicubicSpline`] is the row-spline-of-column-splines construction
+//! (`splie2`/`splin2`).
+
+use crate::{NumericError, Result};
+
+/// A 1-D natural cubic spline through `(x_i, y_i)` samples.
+///
+/// Evaluation outside `[x_0, x_{n-1}]` extrapolates with the boundary cubic,
+/// matching the paper's "interpolate/extrapolate" use of table lookup.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_numeric::spline::CubicSpline;
+///
+/// # fn main() -> Result<(), rlcx_numeric::NumericError> {
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+/// let s = CubicSpline::new(&xs, &ys)?;
+/// assert!((s.eval(1.5) - 2.25).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives at the knots (natural boundary: zero at the ends).
+    y2: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Constructs a natural cubic spline.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::InsufficientData`] if fewer than 2 points are given
+    ///   or the lengths differ.
+    /// * [`NumericError::NotMonotonic`] if `xs` is not strictly increasing.
+    pub fn new(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        if xs.len() < 2 || xs.len() != ys.len() {
+            return Err(NumericError::InsufficientData {
+                what: "cubic spline knots".into(),
+                needed: 2,
+                got: xs.len().min(ys.len()),
+            });
+        }
+        for i in 1..xs.len() {
+            if xs[i] <= xs[i - 1] {
+                return Err(NumericError::NotMonotonic { index: i });
+            }
+        }
+        let n = xs.len();
+        let mut y2 = vec![0.0; n];
+        let mut u = vec![0.0; n];
+        // Tridiagonal sweep (Numerical Recipes `spline` with natural BCs).
+        for i in 1..(n - 1) {
+            let sig = (xs[i] - xs[i - 1]) / (xs[i + 1] - xs[i - 1]);
+            let p = sig * y2[i - 1] + 2.0;
+            y2[i] = (sig - 1.0) / p;
+            let d = (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i])
+                - (ys[i] - ys[i - 1]) / (xs[i] - xs[i - 1]);
+            u[i] = (6.0 * d / (xs[i + 1] - xs[i - 1]) - sig * u[i - 1]) / p;
+        }
+        for i in (0..(n - 1)).rev() {
+            y2[i] = y2[i] * y2[i + 1] + u[i];
+        }
+        Ok(CubicSpline { xs: xs.to_vec(), ys: ys.to_vec(), y2 })
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Returns `true` if the spline has no knots (cannot occur for a
+    /// successfully constructed spline; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Domain covered by the knots, `(x_min, x_max)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("spline has at least 2 knots"))
+    }
+
+    /// Evaluates the spline at `x` (Numerical Recipes `splint`).
+    ///
+    /// Outside the knot range the boundary cubic segment is extended.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        // Binary search for the bracketing interval; clamp for extrapolation.
+        let hi = match self.xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite knot")) {
+            Ok(i) => i.clamp(1, n - 1),
+            Err(i) => i.clamp(1, n - 1),
+        };
+        let lo = hi - 1;
+        let h = self.xs[hi] - self.xs[lo];
+        let a = (self.xs[hi] - x) / h;
+        let b = (x - self.xs[lo]) / h;
+        a * self.ys[lo]
+            + b * self.ys[hi]
+            + ((a * a * a - a) * self.y2[lo] + (b * b * b - b) * self.y2[hi]) * (h * h) / 6.0
+    }
+
+    /// First derivative of the spline at `x`.
+    pub fn eval_deriv(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        let hi = match self.xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite knot")) {
+            Ok(i) => i.clamp(1, n - 1),
+            Err(i) => i.clamp(1, n - 1),
+        };
+        let lo = hi - 1;
+        let h = self.xs[hi] - self.xs[lo];
+        let a = (self.xs[hi] - x) / h;
+        let b = (x - self.xs[lo]) / h;
+        (self.ys[hi] - self.ys[lo]) / h
+            + ((3.0 * b * b - 1.0) * self.y2[hi] - (3.0 * a * a - 1.0) * self.y2[lo]) * h / 6.0
+    }
+}
+
+/// A bi-cubic spline over a rectangular grid `z[i][j] = f(x_i, y_j)`.
+///
+/// Construction follows Numerical Recipes `splie2`: one cubic spline per grid
+/// row (along `y`); evaluation (`splin2`) splines those row values along `x`.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_numeric::spline::BicubicSpline;
+///
+/// # fn main() -> Result<(), rlcx_numeric::NumericError> {
+/// let xs = [0.0, 1.0, 2.0];
+/// let ys = [0.0, 1.0, 2.0, 3.0];
+/// let z: Vec<Vec<f64>> = xs
+///     .iter()
+///     .map(|x| ys.iter().map(|y| x + 2.0 * y).collect())
+///     .collect();
+/// let s = BicubicSpline::new(&xs, &ys, &z)?;
+/// assert!((s.eval(0.5, 1.5) - 3.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BicubicSpline {
+    xs: Vec<f64>,
+    row_splines: Vec<CubicSpline>,
+}
+
+impl BicubicSpline {
+    /// Constructs a bi-cubic spline from grid data.
+    ///
+    /// `z` must have `xs.len()` rows of `ys.len()` values each.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::InsufficientData`] if either axis has fewer than 2
+    ///   knots or `z` has the wrong shape.
+    /// * [`NumericError::NotMonotonic`] if an axis is not strictly increasing.
+    pub fn new(xs: &[f64], ys: &[f64], z: &[Vec<f64>]) -> Result<Self> {
+        if xs.len() < 2 {
+            return Err(NumericError::InsufficientData {
+                what: "bicubic x knots".into(),
+                needed: 2,
+                got: xs.len(),
+            });
+        }
+        if z.len() != xs.len() {
+            return Err(NumericError::InsufficientData {
+                what: "bicubic grid rows".into(),
+                needed: xs.len(),
+                got: z.len(),
+            });
+        }
+        for i in 1..xs.len() {
+            if xs[i] <= xs[i - 1] {
+                return Err(NumericError::NotMonotonic { index: i });
+            }
+        }
+        let row_splines = z
+            .iter()
+            .map(|row| CubicSpline::new(ys, row))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BicubicSpline { xs: xs.to_vec(), row_splines })
+    }
+
+    /// Evaluates the surface at `(x, y)`.
+    ///
+    /// Outside the grid the boundary splines extrapolate, mirroring the 1-D
+    /// behaviour.
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        let col: Vec<f64> = self.row_splines.iter().map(|s| s.eval(y)).collect();
+        // The xs are validated strictly increasing at construction, so this
+        // temporary spline along x cannot fail.
+        CubicSpline::new(&self.xs, &col)
+            .expect("x knots validated at construction")
+            .eval(x)
+    }
+
+    /// Domain as `((x_min, x_max), (y_min, y_max))`.
+    pub fn domain(&self) -> ((f64, f64), (f64, f64)) {
+        let x_dom = (self.xs[0], *self.xs.last().expect("validated"));
+        let y_dom = self.row_splines[0].domain();
+        (x_dom, y_dom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_knots_exactly() {
+        let xs = [0.0, 0.7, 1.3, 2.9, 4.0];
+        let ys = [1.0, -0.3, 2.5, 0.1, 5.0];
+        let s = CubicSpline::new(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((s.eval(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_data_reproduced_exactly() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let s = CubicSpline::new(&xs, &ys).unwrap();
+        for i in 0..90 {
+            let x = i as f64 * 0.1;
+            assert!((s.eval(x) - (3.0 * x - 1.0)).abs() < 1e-10);
+        }
+        // Linear extrapolation as well: a natural spline of a line is the line.
+        assert!((s.eval(12.0) - 35.0).abs() < 1e-9);
+        assert!((s.eval(-2.0) + 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooth_function_interpolated_accurately() {
+        let xs: Vec<f64> = (0..21).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 0.8).sin()).collect();
+        let s = CubicSpline::new(&xs, &ys).unwrap();
+        // Interior points: natural-spline boundary error decays away from the
+        // ends, so test the middle of the domain tightly.
+        for i in 0..60 {
+            let x = 1.0 + i as f64 * 0.05;
+            assert!(
+                (s.eval(x) - (x * 0.8).sin()).abs() < 1e-3,
+                "x = {x}, err = {}",
+                (s.eval(x) - (x * 0.8).sin()).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.2).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x * 0.5).collect();
+        let s = CubicSpline::new(&xs, &ys).unwrap();
+        let x = 2.7;
+        let h = 1e-5;
+        let fd = (s.eval(x + h) - s.eval(x - h)) / (2.0 * h);
+        assert!((s.eval_deriv(x) - fd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_non_monotonic_and_short_input() {
+        assert!(matches!(
+            CubicSpline::new(&[0.0, 2.0, 1.0], &[0.0, 1.0, 2.0]),
+            Err(NumericError::NotMonotonic { index: 2 })
+        ));
+        assert!(matches!(
+            CubicSpline::new(&[0.0], &[0.0]),
+            Err(NumericError::InsufficientData { .. })
+        ));
+        assert!(CubicSpline::new(&[0.0, 1.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn domain_reports_knot_range() {
+        let s = CubicSpline::new(&[1.0, 2.0, 4.0], &[0.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.domain(), (1.0, 4.0));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn bicubic_reproduces_bilinear_surface() {
+        let xs: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..6).map(|i| i as f64 * 0.5).collect();
+        let z: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| ys.iter().map(|y| 2.0 * x - 3.0 * y + 1.0).collect())
+            .collect();
+        let s = BicubicSpline::new(&xs, &ys, &z).unwrap();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (x, y) = (i as f64 * 0.4, j as f64 * 0.25);
+                let expect = 2.0 * x - 3.0 * y + 1.0;
+                assert!((s.eval(x, y) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bicubic_interpolates_smooth_surface() {
+        let xs: Vec<f64> = (0..9).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = (0..9).map(|i| i as f64 * 0.5).collect();
+        // A log-like surface similar in character to L(spacing, length).
+        let f = |x: f64, y: f64| ((1.0 + x) * (1.0 + y)).ln();
+        let z: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|&x| ys.iter().map(|&y| f(x, y)).collect())
+            .collect();
+        let s = BicubicSpline::new(&xs, &ys, &z).unwrap();
+        // Interior points only; natural boundary conditions cost accuracy in
+        // the first/last grid cell.
+        for i in 0..10 {
+            for j in 0..10 {
+                let (x, y) = (1.05 + i as f64 * 0.2, 1.05 + j as f64 * 0.2);
+                assert!(
+                    (s.eval(x, y) - f(x, y)).abs() < 3e-3,
+                    "at ({x},{y}): err {}",
+                    (s.eval(x, y) - f(x, y)).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bicubic_rejects_bad_shapes() {
+        let xs = [0.0, 1.0];
+        let ys = [0.0, 1.0];
+        assert!(BicubicSpline::new(&xs, &ys, &[vec![0.0, 1.0]]).is_err());
+        assert!(BicubicSpline::new(&[0.0], &ys, &[vec![0.0, 1.0]]).is_err());
+        assert!(BicubicSpline::new(&[1.0, 0.0], &ys, &[vec![0.0, 1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn bicubic_domain() {
+        let xs = [0.0, 2.0];
+        let ys = [1.0, 3.0];
+        let z = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let s = BicubicSpline::new(&xs, &ys, &z).unwrap();
+        assert_eq!(s.domain(), ((0.0, 2.0), (1.0, 3.0)));
+    }
+}

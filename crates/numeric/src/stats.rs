@@ -1,0 +1,228 @@
+//! Summary statistics and normal sampling for the process-variation
+//! (statistical RC) experiments.
+
+/// Running mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use rlcx_numeric::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (`0.0` for fewer than two observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Coefficient of variation `σ/μ` (`0.0` when the mean is zero).
+    pub fn coeff_of_variation(&self) -> f64 {
+        if self.mean() == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean().abs()
+        }
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Returns the `p`-th percentile (0–100) of `values` by linear interpolation
+/// between order statistics.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    v[lo] * (1.0 - frac) + v[hi] * frac
+}
+
+/// A deterministic Box–Muller standard-normal sampler over a caller-supplied
+/// uniform source.
+///
+/// The uniform source is any `FnMut() -> f64` producing values in `(0, 1)`;
+/// in production code this is an `rand::Rng` closure, in tests a fixed
+/// sequence.
+#[derive(Debug)]
+pub struct NormalSampler<U> {
+    uniform: U,
+    spare: Option<f64>,
+}
+
+impl<U: FnMut() -> f64> NormalSampler<U> {
+    /// Creates a sampler over the given uniform source.
+    pub fn new(uniform: U) -> Self {
+        NormalSampler { uniform, spare: None }
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms → two normals; keep one as spare.
+        let mut u1 = (self.uniform)();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = (self.uniform)();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws a normal variate with the given mean and standard deviation.
+    pub fn sample_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample std dev of that classic dataset is ~2.138.
+        assert!((s.std_dev() - 2.13809).abs() < 1e-4);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.coeff_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_std() {
+        let mut s = Summary::new();
+        s.push(3.5);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.mean(), 3.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_of_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn normal_sampler_statistics() {
+        // A simple LCG as the uniform source keeps the test deterministic.
+        let mut state: u64 = 0x2545F4914F6CDD1D;
+        let mut sampler = NormalSampler::new(move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / (1u64 << 53) as f64
+        });
+        let s: Summary = (0..20_000).map(|_| sampler.sample()).collect();
+        assert!(s.mean().abs() < 0.03, "mean = {}", s.mean());
+        assert!((s.std_dev() - 1.0).abs() < 0.03, "std = {}", s.std_dev());
+    }
+
+    #[test]
+    fn sample_with_shifts_and_scales() {
+        let mut sampler = NormalSampler::new(|| 0.5);
+        let z = sampler.sample();
+        let mut sampler2 = NormalSampler::new(|| 0.5);
+        let shifted = sampler2.sample_with(10.0, 2.0);
+        assert!((shifted - (10.0 + 2.0 * z)).abs() < 1e-12);
+    }
+}

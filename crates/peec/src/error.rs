@@ -1,0 +1,92 @@
+use rlcx_geom::GeomError;
+use rlcx_numeric::NumericError;
+use std::fmt;
+
+/// Error type for the PEEC field solver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PeecError {
+    /// A geometry error from the input structures.
+    Geometry(GeomError),
+    /// A numerical error (singular system, bad shapes, …).
+    Numeric(NumericError),
+    /// The requested extraction needs conductors that are not parallel or do
+    /// not share axial spans.
+    IncompatibleConductors {
+        /// Description of the incompatibility.
+        what: String,
+    },
+    /// Conductor or partition index out of range.
+    BadIndex {
+        /// Description of the offending index set.
+        what: String,
+    },
+    /// The signal/ground partition was invalid (empty, overlapping, …).
+    BadPartition {
+        /// Description of the defect.
+        what: String,
+    },
+    /// A frequency or mesh parameter was out of its legal domain.
+    InvalidParameter {
+        /// Description of the violated precondition.
+        what: String,
+    },
+}
+
+impl fmt::Display for PeecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeecError::Geometry(e) => write!(f, "geometry error: {e}"),
+            PeecError::Numeric(e) => write!(f, "numeric error: {e}"),
+            PeecError::IncompatibleConductors { what } => {
+                write!(f, "incompatible conductors: {what}")
+            }
+            PeecError::BadIndex { what } => write!(f, "index out of range: {what}"),
+            PeecError::BadPartition { what } => write!(f, "bad signal/ground partition: {what}"),
+            PeecError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PeecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PeecError::Geometry(e) => Some(e),
+            PeecError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for PeecError {
+    fn from(e: GeomError) -> Self {
+        PeecError::Geometry(e)
+    }
+}
+
+impl From<NumericError> for PeecError {
+    fn from(e: NumericError) -> Self {
+        PeecError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_sources() {
+        let e = PeecError::from(GeomError::TooFewTraces { got: 1 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("geometry"));
+        let e = PeecError::from(NumericError::Singular { pivot: 0 });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PeecError>();
+    }
+}

@@ -1,0 +1,162 @@
+//! Geometric mean distances (GMD) between conductor cross-sections.
+//!
+//! The Neumann mutual-inductance integral between two parallel conductors of
+//! rectangular cross-section reduces to the *filament* formula evaluated at
+//! the geometric mean distance of the two cross-sections:
+//! `ln g = (1/(A₁A₂)) ∬∬ ln r dA₁ dA₂`.
+//!
+//! For well-separated sections the GMD is essentially the center distance;
+//! for close sections (spacing comparable to the width — exactly the regime
+//! of minimum-pitch clock shields) the difference matters, so we integrate
+//! numerically.
+
+use rlcx_geom::Bar;
+use rlcx_numeric::quadrature::integrate_4d;
+
+/// Self-GMD of a rectangular cross-section `w × t`, using the classical
+/// approximation `g ≈ 0.2235 (w + t)` (exact for the thin-strip and square
+/// limits to within ~1 %; it is the distance underlying Ruehli's self
+/// partial-inductance formula).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `w` or `t` is not positive.
+#[inline]
+pub fn self_gmd(w: f64, t: f64) -> f64 {
+    debug_assert!(w > 0.0 && t > 0.0, "cross-section must be positive");
+    0.2235 * (w + t)
+}
+
+/// Numerically integrated GMD between two rectangles in the cross-section
+/// plane: rectangle 1 spans `u ∈ [u1, u1+w1]`, `v ∈ [v1, v1+t1]`; rectangle 2
+/// likewise. `order` is the Gauss–Legendre order per dimension.
+///
+/// The rectangles must be disjoint (the integrand is singular on overlap).
+///
+/// # Panics
+///
+/// Panics if `order == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn mutual_gmd(
+    (u1, w1): (f64, f64),
+    (v1, t1): (f64, f64),
+    (u2, w2): (f64, f64),
+    (v2, t2): (f64, f64),
+    order: usize,
+) -> f64 {
+    let area = w1 * t1 * w2 * t2;
+    let integral = integrate_4d(
+        |a1, b1, a2, b2| {
+            let du = a1 - a2;
+            let dv = b1 - b2;
+            let r2 = du * du + dv * dv;
+            // Guard the (measure-zero) touching-corner case.
+            if r2 < 1e-30 {
+                0.0
+            } else {
+                0.5 * r2.ln()
+            }
+        },
+        ((u1, u1 + w1), (v1, v1 + t1)),
+        ((u2, u2 + w2), (v2, v2 + t2)),
+        order,
+    );
+    (integral / area).exp()
+}
+
+/// GMD between the cross-sections of two parallel bars, choosing between the
+/// numerical integral (close spacing) and the center-distance approximation
+/// (far spacing, where the relative error of the approximation is < 0.1 %).
+///
+/// # Panics
+///
+/// Panics if the bars are not parallel.
+pub fn bar_gmd(a: &Bar, b: &Bar) -> f64 {
+    assert!(a.is_parallel(b), "GMD requires parallel bars");
+    let center = a.cross_section_distance(b);
+    let scale = a.width().max(a.thickness()).max(b.width()).max(b.thickness());
+    if center > 4.0 * scale {
+        return center;
+    }
+    let (ta, _) = a.transverse_span();
+    let (za, _) = a.vertical_span();
+    let (tb, _) = b.transverse_span();
+    let (zb, _) = b.vertical_span();
+    mutual_gmd(
+        (ta, a.width()),
+        (za, a.thickness()),
+        (tb, b.width()),
+        (zb, b.thickness()),
+        8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlcx_geom::{Axis, Point3};
+
+    #[test]
+    fn self_gmd_of_square() {
+        // Classical: self-GMD of a square of side a is ≈ 0.44705 a.
+        let g = self_gmd(1.0, 1.0);
+        assert!((g - 0.447).abs() < 0.01);
+    }
+
+    #[test]
+    fn mutual_gmd_approaches_center_distance_when_far() {
+        // Two 1×1 squares 20 apart: GMD ≈ 20 to high accuracy.
+        let g = mutual_gmd((0.0, 1.0), (0.0, 1.0), (20.0, 1.0), (0.0, 1.0), 8);
+        assert!((g - 20.0).abs() / 20.0 < 1e-3, "g = {g}");
+    }
+
+    #[test]
+    fn mutual_gmd_exceeds_center_distance_for_coplanar_close_pair() {
+        // Two coplanar 1×1 squares with small gap: the classical result is
+        // that the GMD of two side-by-side squares slightly exceeds... in
+        // fact for squares at center distance d the GMD is slightly *less*
+        // than d for d barely above touching; we only check it is finite,
+        // positive, and within a sane band around the center distance.
+        let g = mutual_gmd((0.0, 1.0), (0.0, 1.0), (1.2, 1.0), (0.0, 1.0), 12);
+        let center = 1.2 + 0.5 - 0.5; // center-to-center = 1.2 + ... = 1.2? centers at 0.5 and 1.7 → 1.2
+        assert!(g > 0.8 * center && g < 1.2 * center, "g = {g}");
+    }
+
+    #[test]
+    fn grover_tabulated_equal_squares() {
+        // Grover (Ch. 3): for two equal squares of side a at center distance
+        // d = 2a, ln(GMD/d) ≈ small correction; GMD/d should be within 2 %.
+        let g = mutual_gmd((0.0, 1.0), (0.0, 1.0), (2.0, 1.0), (0.0, 1.0), 12);
+        assert!((g / 2.0 - 1.0).abs() < 0.02, "g = {g}");
+    }
+
+    #[test]
+    fn bar_gmd_far_uses_center_distance() {
+        let a = Bar::new(Point3::new(0.0, 0.0, 0.0), Axis::X, 100.0, 1.0, 1.0).unwrap();
+        let b = Bar::new(Point3::new(0.0, 50.0, 0.0), Axis::X, 100.0, 1.0, 1.0).unwrap();
+        assert_eq!(bar_gmd(&a, &b), a.cross_section_distance(&b));
+    }
+
+    #[test]
+    fn bar_gmd_close_is_numerical_and_sane() {
+        let a = Bar::new(Point3::new(0.0, 0.0, 0.0), Axis::X, 100.0, 5.0, 2.0).unwrap();
+        let b = Bar::new(Point3::new(0.0, 6.0, 0.0), Axis::X, 100.0, 10.0, 2.0).unwrap();
+        let g = bar_gmd(&a, &b);
+        let center = a.cross_section_distance(&b);
+        assert!(g > 0.0 && (g / center - 1.0).abs() < 0.25, "g = {g}, c = {center}");
+    }
+
+    #[test]
+    fn gmd_is_symmetric() {
+        let a = Bar::new(Point3::new(0.0, 0.0, 0.0), Axis::X, 100.0, 3.0, 2.0).unwrap();
+        let b = Bar::new(Point3::new(0.0, 4.0, 1.0), Axis::X, 100.0, 2.0, 1.0).unwrap();
+        assert!((bar_gmd(&a, &b) - bar_gmd(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gmd_converges_with_order() {
+        let g8 = mutual_gmd((0.0, 1.0), (0.0, 1.0), (1.5, 1.0), (0.0, 1.0), 8);
+        let g16 = mutual_gmd((0.0, 1.0), (0.0, 1.0), (1.5, 1.0), (0.0, 1.0), 16);
+        assert!((g8 - g16).abs() / g16 < 1e-3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Volume-filament decomposition of conductors.
+//!
+//! At the significant frequency the current crowds toward the conductor
+//! surface (skin effect) and toward neighboring return paths (proximity
+//! effect). PEEC captures both by splitting each conductor cross-section
+//! into filaments, each carrying uniform current, and solving the coupled
+//! impedance system — exactly FastHenry's discretization, minus the
+//! multipole acceleration (unnecessary at clocktree block sizes).
+
+use rlcx_geom::units::{skin_depth, um_to_m};
+use rlcx_geom::Bar;
+
+/// Filament mesh density for one conductor: `nw` divisions across the width,
+/// `nt` across the thickness.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_peec::MeshSpec;
+///
+/// let spec = MeshSpec::new(3, 2);
+/// assert_eq!(spec.filament_count(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeshSpec {
+    nw: usize,
+    nt: usize,
+}
+
+impl MeshSpec {
+    /// A mesh with the given divisions (clamped to at least 1 each).
+    pub fn new(nw: usize, nt: usize) -> Self {
+        MeshSpec { nw: nw.max(1), nt: nt.max(1) }
+    }
+
+    /// The trivial 1×1 mesh: uniform current, DC-accurate.
+    pub fn single() -> Self {
+        MeshSpec { nw: 1, nt: 1 }
+    }
+
+    /// Chooses divisions so each filament is no larger than the skin depth
+    /// of a conductor with resistivity `rho` (Ω·m) at frequency `f` (Hz),
+    /// capped at `max_per_side` to bound solve cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` or `rho` is not positive (propagated from
+    /// [`skin_depth`]).
+    pub fn for_skin_depth(bar: &Bar, rho: f64, f: f64, max_per_side: usize) -> Self {
+        let delta_um = skin_depth(rho, f) / um_to_m(1.0);
+        let cap = max_per_side.max(1);
+        let nw = ((bar.width() / delta_um).ceil() as usize).clamp(1, cap);
+        let nt = ((bar.thickness() / delta_um).ceil() as usize).clamp(1, cap);
+        MeshSpec { nw, nt }
+    }
+
+    /// Divisions across the width.
+    pub fn nw(&self) -> usize {
+        self.nw
+    }
+
+    /// Divisions across the thickness.
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// Total filaments per conductor.
+    pub fn filament_count(&self) -> usize {
+        self.nw * self.nt
+    }
+
+    /// Splits `bar` into `nw × nt` equal filaments (full length each).
+    ///
+    /// The filaments tile the cross-section exactly; summed areas equal the
+    /// bar's cross-section area.
+    pub fn filaments(&self, bar: &Bar) -> Vec<Bar> {
+        let fw = bar.width() / self.nw as f64;
+        let ft = bar.thickness() / self.nt as f64;
+        let origin = bar.origin();
+        let mut out = Vec::with_capacity(self.filament_count());
+        for iw in 0..self.nw {
+            for it in 0..self.nt {
+                let dt = iw as f64 * fw;
+                let dz = it as f64 * ft;
+                let fil_origin = match bar.axis() {
+                    rlcx_geom::Axis::X => {
+                        rlcx_geom::Point3::new(origin.x, origin.y + dt, origin.z + dz)
+                    }
+                    rlcx_geom::Axis::Y => {
+                        rlcx_geom::Point3::new(origin.x + dt, origin.y, origin.z + dz)
+                    }
+                };
+                out.push(
+                    Bar::new(fil_origin, bar.axis(), bar.length(), fw, ft)
+                        .expect("filament dimensions positive by construction"),
+                );
+            }
+        }
+        out
+    }
+}
+
+impl Default for MeshSpec {
+    /// A 3×2 mesh: good skin-effect accuracy for 1990s-era 2 µm-thick clock
+    /// metal in the low-GHz range at modest cost.
+    fn default() -> Self {
+        MeshSpec { nw: 3, nt: 2 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlcx_geom::units::RHO_COPPER;
+    use rlcx_geom::{Axis, Point3};
+
+    fn bar() -> Bar {
+        Bar::new(Point3::new(0.0, 0.0, 10.0), Axis::X, 1000.0, 6.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn filaments_tile_cross_section() {
+        let spec = MeshSpec::new(3, 2);
+        let fils = spec.filaments(&bar());
+        assert_eq!(fils.len(), 6);
+        let total_area: f64 = fils.iter().map(Bar::cross_section_area).sum();
+        assert!((total_area - bar().cross_section_area()).abs() < 1e-9);
+        // Filaments span the full width/thickness.
+        let min_t = fils.iter().map(|f| f.transverse_span().0).fold(f64::INFINITY, f64::min);
+        let max_t = fils.iter().map(|f| f.transverse_span().1).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!((min_t, max_t), bar().transverse_span());
+    }
+
+    #[test]
+    fn filaments_do_not_intersect() {
+        let fils = MeshSpec::new(4, 3).filaments(&bar());
+        for i in 0..fils.len() {
+            for j in (i + 1)..fils.len() {
+                assert!(!fils[i].intersects(&fils[j]), "filaments {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn filaments_preserve_length_and_axis() {
+        for f in MeshSpec::new(2, 2).filaments(&bar()) {
+            assert_eq!(f.length(), 1000.0);
+            assert_eq!(f.axis(), Axis::X);
+        }
+    }
+
+    #[test]
+    fn y_axis_bars_mesh_across_x() {
+        let b = Bar::new(Point3::new(5.0, 0.0, 10.0), Axis::Y, 500.0, 4.0, 2.0).unwrap();
+        let fils = MeshSpec::new(2, 1).filaments(&b);
+        assert_eq!(fils.len(), 2);
+        assert_eq!(fils[0].transverse_span(), (5.0, 7.0));
+        assert_eq!(fils[1].transverse_span(), (7.0, 9.0));
+    }
+
+    #[test]
+    fn skin_depth_mesh_scales_with_frequency() {
+        let low = MeshSpec::for_skin_depth(&bar(), RHO_COPPER, 1e8, 8);
+        let high = MeshSpec::for_skin_depth(&bar(), RHO_COPPER, 1e10, 8);
+        assert!(high.filament_count() >= low.filament_count());
+        // At 10 GHz the skin depth (~0.66 µm) forces multiple divisions.
+        assert!(high.nw() >= 4 && high.nt() >= 2);
+    }
+
+    #[test]
+    fn skin_depth_mesh_respects_cap() {
+        let spec = MeshSpec::for_skin_depth(&bar(), RHO_COPPER, 1e12, 5);
+        assert!(spec.nw() <= 5 && spec.nt() <= 5);
+    }
+
+    #[test]
+    fn new_clamps_zero_to_one() {
+        let spec = MeshSpec::new(0, 0);
+        assert_eq!(spec.filament_count(), 1);
+        assert_eq!(MeshSpec::single().filament_count(), 1);
+    }
+}

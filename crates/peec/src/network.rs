@@ -1,0 +1,284 @@
+//! Complex-frequency branch networks (AC MNA).
+//!
+//! The flat reference solve for an interconnect *tree* (Table I) needs more
+//! than the straight-block reduction: segments connect at bend and branch
+//! nodes, ground wires form a parallel network, and every parallel bar pair
+//! couples magnetically. [`AcNetwork`] is a small modified-nodal-analysis
+//! engine over branches with series `R + jωL` impedance and arbitrary
+//! branch-to-branch mutual inductances.
+
+use crate::{PeecError, Result};
+use rlcx_numeric::lu::CLuDecomposition;
+use rlcx_numeric::{CMatrix, Complex};
+
+/// One branch of an [`AcNetwork`]: series resistance and self inductance
+/// between two nodes. Positive branch current flows `from → to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Branch {
+    /// Tail node.
+    pub from: usize,
+    /// Head node.
+    pub to: usize,
+    /// Series resistance (Ω).
+    pub r: f64,
+    /// Series self inductance (H).
+    pub l: f64,
+}
+
+/// A linear AC network of impedance branches with mutual inductances.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_peec::{AcNetwork, Branch};
+///
+/// # fn main() -> Result<(), rlcx_peec::PeecError> {
+/// let mut net = AcNetwork::new(3);
+/// net.add_branch(Branch { from: 0, to: 1, r: 1.0, l: 1e-9 })?;
+/// net.add_branch(Branch { from: 1, to: 2, r: 2.0, l: 2e-9 })?;
+/// let z = net.driving_point_impedance(0, 2, 2.0 * std::f64::consts::PI * 1e9)?;
+/// assert!((z.re - 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AcNetwork {
+    node_count: usize,
+    branches: Vec<Branch>,
+    mutuals: Vec<(usize, usize, f64)>,
+}
+
+impl AcNetwork {
+    /// Creates a network with `node_count` nodes (indices `0..node_count`).
+    pub fn new(node_count: usize) -> Self {
+        AcNetwork { node_count, branches: Vec::new(), mutuals: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of branches.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Adds a branch, returning its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeecError::BadIndex`] for out-of-range nodes or a
+    /// self-loop, [`PeecError::InvalidParameter`] for negative R/L.
+    pub fn add_branch(&mut self, b: Branch) -> Result<usize> {
+        if b.from >= self.node_count || b.to >= self.node_count {
+            return Err(PeecError::BadIndex {
+                what: format!("branch {}→{} vs {} nodes", b.from, b.to, self.node_count),
+            });
+        }
+        if b.from == b.to {
+            return Err(PeecError::BadIndex { what: format!("self-loop at node {}", b.from) });
+        }
+        if b.r < 0.0 || b.l < 0.0 || !b.r.is_finite() || !b.l.is_finite() {
+            return Err(PeecError::InvalidParameter {
+                what: format!("branch R = {}, L = {} must be finite and non-negative", b.r, b.l),
+            });
+        }
+        self.branches.push(b);
+        Ok(self.branches.len() - 1)
+    }
+
+    /// Adds a mutual inductance `m` (H, may be negative for anti-parallel
+    /// reference directions) between branches `b1` and `b2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeecError::BadIndex`] for bad branch indices or `b1 == b2`.
+    pub fn add_mutual(&mut self, b1: usize, b2: usize, m: f64) -> Result<()> {
+        if b1 >= self.branches.len() || b2 >= self.branches.len() || b1 == b2 {
+            return Err(PeecError::BadIndex {
+                what: format!("mutual ({b1}, {b2}) vs {} branches", self.branches.len()),
+            });
+        }
+        if !m.is_finite() {
+            return Err(PeecError::InvalidParameter { what: format!("mutual {m} must be finite") });
+        }
+        self.mutuals.push((b1, b2, m));
+        Ok(())
+    }
+
+    /// Driving-point impedance between `plus` and `minus` at angular
+    /// frequency `omega`: inject 1 A into `plus`, withdraw it from `minus`,
+    /// return `V(plus) − V(minus)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PeecError::BadIndex`] for bad node indices or `plus == minus`,
+    /// * [`PeecError::InvalidParameter`] for non-positive `omega`,
+    /// * [`PeecError::Numeric`] if the network is singular (e.g. `plus` and
+    ///   `minus` are not connected).
+    pub fn driving_point_impedance(&self, plus: usize, minus: usize, omega: f64) -> Result<Complex> {
+        if plus >= self.node_count || minus >= self.node_count || plus == minus {
+            return Err(PeecError::BadIndex {
+                what: format!("port ({plus}, {minus}) vs {} nodes", self.node_count),
+            });
+        }
+        if !(omega > 0.0 && omega.is_finite()) {
+            return Err(PeecError::InvalidParameter {
+                what: format!("angular frequency must be positive, got {omega}"),
+            });
+        }
+        // Unknowns: node voltages (minus node as reference, eliminated) then
+        // branch currents. Node `minus` maps to no equation/unknown.
+        let nv = self.node_count - 1;
+        let nb = self.branches.len();
+        let dim = nv + nb;
+        let node_var = |n: usize| -> Option<usize> {
+            use std::cmp::Ordering;
+            match n.cmp(&minus) {
+                Ordering::Less => Some(n),
+                Ordering::Equal => None,
+                Ordering::Greater => Some(n - 1),
+            }
+        };
+        let mut a = CMatrix::zeros(dim, dim);
+        let mut rhs = vec![Complex::ZERO; dim];
+        // KCL rows (one per non-reference node): Σ ±I_b = injected.
+        for (bi, b) in self.branches.iter().enumerate() {
+            if let Some(row) = node_var(b.from) {
+                a[(row, nv + bi)] += Complex::ONE; // current leaves `from`
+            }
+            if let Some(row) = node_var(b.to) {
+                a[(row, nv + bi)] -= Complex::ONE; // current enters `to`
+            }
+        }
+        if let Some(row) = node_var(plus) {
+            rhs[row] = Complex::ONE;
+        }
+        // Branch rows: V_from − V_to − Z_b I_b − jω Σ M I_other = 0.
+        for (bi, b) in self.branches.iter().enumerate() {
+            let row = nv + bi;
+            if let Some(col) = node_var(b.from) {
+                a[(row, col)] += Complex::ONE;
+            }
+            if let Some(col) = node_var(b.to) {
+                a[(row, col)] -= Complex::ONE;
+            }
+            a[(row, nv + bi)] -= Complex::new(b.r, omega * b.l);
+        }
+        for &(b1, b2, m) in &self.mutuals {
+            let jm = Complex::from_imag(omega * m);
+            a[(nv + b1, nv + b2)] -= jm;
+            a[(nv + b2, nv + b1)] -= jm;
+        }
+        let x = CLuDecomposition::new(&a)?.solve(&rhs)?;
+        Ok(node_var(plus).map(|i| x[i]).unwrap_or(Complex::ZERO))
+    }
+
+    /// Effective series inductance of the port at `omega`: `Im(Z)/ω`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AcNetwork::driving_point_impedance`] errors.
+    pub fn driving_point_inductance(&self, plus: usize, minus: usize, omega: f64) -> Result<f64> {
+        Ok(self.driving_point_impedance(plus, minus, omega)?.im / omega)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OMEGA: f64 = 2.0 * std::f64::consts::PI * 1e9;
+
+    #[test]
+    fn series_branches_add() {
+        let mut net = AcNetwork::new(3);
+        net.add_branch(Branch { from: 0, to: 1, r: 1.0, l: 1e-9 }).unwrap();
+        net.add_branch(Branch { from: 1, to: 2, r: 2.0, l: 3e-9 }).unwrap();
+        let z = net.driving_point_impedance(0, 2, OMEGA).unwrap();
+        assert!((z.re - 3.0).abs() < 1e-9);
+        assert!((z.im / OMEGA - 4e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn parallel_branches_combine() {
+        let mut net = AcNetwork::new(2);
+        net.add_branch(Branch { from: 0, to: 1, r: 2.0, l: 0.0 }).unwrap();
+        net.add_branch(Branch { from: 0, to: 1, r: 2.0, l: 0.0 }).unwrap();
+        let z = net.driving_point_impedance(0, 1, OMEGA).unwrap();
+        assert!((z.re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupled_series_pair_forms_loop_inductance() {
+        // Signal out on branch 0, return on branch 1 (anti-parallel): the
+        // loop inductance is Ls + Lg − 2M, entered as a negative mutual
+        // because the return branch is traversed against its reference.
+        let (ls, lg, m) = (1.0e-9, 1.2e-9, 0.4e-9);
+        let mut net = AcNetwork::new(3);
+        let s = net.add_branch(Branch { from: 0, to: 1, r: 0.1, l: ls }).unwrap();
+        let g = net.add_branch(Branch { from: 1, to: 2, r: 0.1, l: lg }).unwrap();
+        net.add_mutual(s, g, -m).unwrap();
+        let l = net.driving_point_inductance(0, 2, OMEGA).unwrap();
+        assert!((l - (ls + lg - 2.0 * m)).abs() / l < 1e-12);
+    }
+
+    #[test]
+    fn mutual_between_parallel_branches_raises_l() {
+        // Two coupled inductors in parallel, aiding: L = (L² − M²)/(2L − 2M)
+        // = (L + M)/2.
+        let (l0, m) = (2.0e-9, 0.5e-9);
+        let mut net = AcNetwork::new(2);
+        let b1 = net.add_branch(Branch { from: 0, to: 1, r: 0.0, l: l0 }).unwrap();
+        let b2 = net.add_branch(Branch { from: 0, to: 1, r: 0.0, l: l0 }).unwrap();
+        net.add_mutual(b1, b2, m).unwrap();
+        let l = net.driving_point_inductance(0, 1, OMEGA).unwrap();
+        assert!((l - (l0 + m) / 2.0).abs() / l < 1e-10);
+    }
+
+    #[test]
+    fn disconnected_port_is_singular() {
+        let mut net = AcNetwork::new(4);
+        net.add_branch(Branch { from: 0, to: 1, r: 1.0, l: 0.0 }).unwrap();
+        net.add_branch(Branch { from: 2, to: 3, r: 1.0, l: 0.0 }).unwrap();
+        assert!(net.driving_point_impedance(0, 3, OMEGA).is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut net = AcNetwork::new(2);
+        assert!(net.add_branch(Branch { from: 0, to: 5, r: 1.0, l: 0.0 }).is_err());
+        assert!(net.add_branch(Branch { from: 1, to: 1, r: 1.0, l: 0.0 }).is_err());
+        assert!(net.add_branch(Branch { from: 0, to: 1, r: -1.0, l: 0.0 }).is_err());
+        let b = net.add_branch(Branch { from: 0, to: 1, r: 1.0, l: 1e-9 }).unwrap();
+        assert!(net.add_mutual(b, b, 1e-10).is_err());
+        assert!(net.add_mutual(b, 9, 1e-10).is_err());
+        assert!(net.driving_point_impedance(0, 0, OMEGA).is_err());
+        assert!(net.driving_point_impedance(0, 1, -5.0).is_err());
+    }
+
+    #[test]
+    fn reference_node_choice_does_not_matter() {
+        let mut net = AcNetwork::new(3);
+        net.add_branch(Branch { from: 0, to: 1, r: 1.5, l: 1e-9 }).unwrap();
+        net.add_branch(Branch { from: 1, to: 2, r: 0.5, l: 2e-9 }).unwrap();
+        net.add_branch(Branch { from: 0, to: 2, r: 3.0, l: 1e-9 }).unwrap();
+        let z02 = net.driving_point_impedance(0, 2, OMEGA).unwrap();
+        let z20 = net.driving_point_impedance(2, 0, OMEGA).unwrap();
+        assert!((z02 - z20).abs() < 1e-12 * z02.abs());
+    }
+
+    #[test]
+    fn wheatstone_bridge_balanced() {
+        // Balanced resistive bridge: the bridge branch carries no current,
+        // Z_in = 1 Ω for all arms equal to 1 Ω.
+        let mut net = AcNetwork::new(4);
+        for (f, t) in [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)] {
+            net.add_branch(Branch { from: f, to: t, r: 1.0, l: 0.0 }).unwrap();
+        }
+        let z = net.driving_point_impedance(0, 3, OMEGA).unwrap();
+        assert!((z.re - 1.0).abs() < 1e-12);
+        assert!(z.im.abs() < 1e-15);
+    }
+}

@@ -1,0 +1,301 @@
+//! Flat (whole-structure) solves of guarded interconnect trees.
+//!
+//! Section IV of the paper compares the loop inductance of a whole tree of
+//! three-wire (ground–signal–ground) segments, extracted in one shot, with
+//! the series/parallel combination of independently extracted segment loop
+//! inductances (Table I: 3.57 % and 1.55 % discrepancy). [`FlatTreeSolver`]
+//! produces both numbers:
+//!
+//! * [`FlatTreeSolver::flat_loop_inductance`] materializes every segment's
+//!   three bars, couples **all** parallel bar pairs across the whole tree,
+//!   shorts every leaf's signal to its local ground (sink nodes merged with
+//!   ground, as the paper prescribes), and reads the driving-point
+//!   inductance at the root port — the RI3-equivalent reference;
+//! * [`FlatTreeSolver::cascaded_loop_inductance`] extracts each segment in
+//!   isolation and combines series/parallel, the paper's efficient method.
+
+use crate::network::{AcNetwork, Branch};
+use crate::partial::{dc_resistance, mutual_partial, self_partial};
+use crate::solver::{Conductor, PartialSystem};
+use crate::{loop_l, MeshSpec, PeecError, Result};
+use rlcx_geom::{Axis, Bar, Point3, SegmentTree};
+
+/// Solver for trees of three-wire guarded segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatTreeSolver {
+    signal_width: f64,
+    ground_width: f64,
+    spacing: f64,
+    thickness: f64,
+    z_bottom: f64,
+    rho: f64,
+    frequency: f64,
+}
+
+impl FlatTreeSolver {
+    /// Creates a solver for segments with the given cross-section (µm) and
+    /// metal resistivity (Ω·m). Defaults: z = 10 µm, 3.2 GHz significant
+    /// frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeecError::InvalidParameter`] for non-positive dimensions.
+    pub fn new(
+        signal_width: f64,
+        ground_width: f64,
+        spacing: f64,
+        thickness: f64,
+        rho: f64,
+    ) -> Result<Self> {
+        for (what, v) in [
+            ("signal width", signal_width),
+            ("ground width", ground_width),
+            ("spacing", spacing),
+            ("thickness", thickness),
+            ("resistivity", rho),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(PeecError::InvalidParameter {
+                    what: format!("{what} must be positive, got {v}"),
+                });
+            }
+        }
+        Ok(FlatTreeSolver {
+            signal_width,
+            ground_width,
+            spacing,
+            thickness,
+            z_bottom: 10.0,
+            rho,
+            frequency: 3.2e9,
+        })
+    }
+
+    /// Sets the extraction frequency (Hz).
+    #[must_use]
+    pub fn frequency(mut self, f: f64) -> Self {
+        self.frequency = f;
+        self
+    }
+
+    /// The extraction frequency (Hz).
+    pub fn extraction_frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    /// The three bars (signal, ground−, ground+) of one edge of `tree`,
+    /// together with the branch sign (+1 when the edge runs toward
+    /// increasing coordinate).
+    fn edge_bars(&self, tree: &SegmentTree, e: usize) -> (Bar, Bar, Bar, f64) {
+        let edge = tree.edges()[e];
+        let a = tree.node(edge.from);
+        let b = tree.node(edge.to);
+        let axis = tree.edge_axis(e);
+        let (alo, ahi, center, sign) = match axis {
+            Axis::X => (a.x.min(b.x), a.x.max(b.x), a.y, if b.x > a.x { 1.0 } else { -1.0 }),
+            Axis::Y => (a.y.min(b.y), a.y.max(b.y), a.x, if b.y > a.y { 1.0 } else { -1.0 }),
+        };
+        let len = ahi - alo;
+        let make = |t_center: f64, w: f64| {
+            let origin = match axis {
+                Axis::X => Point3::new(alo, t_center - w / 2.0, self.z_bottom),
+                Axis::Y => Point3::new(t_center - w / 2.0, alo, self.z_bottom),
+            };
+            Bar::new(origin, axis, len, w, self.thickness).expect("validated dimensions")
+        };
+        let off = self.signal_width / 2.0 + self.spacing + self.ground_width / 2.0;
+        (
+            make(center, self.signal_width),
+            make(center - off, self.ground_width),
+            make(center + off, self.ground_width),
+            sign,
+        )
+    }
+
+    /// Loop inductance (H) of the whole tree solved flat: all segments, all
+    /// mutual couplings, leaves shorted signal-to-ground, port at the root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network assembly/solve errors; fails for a root-only tree.
+    pub fn flat_loop_inductance(&self, tree: &SegmentTree) -> Result<f64> {
+        let omega = 2.0 * std::f64::consts::PI * self.frequency;
+        Ok(self.root_port_network(tree)?.driving_point_inductance(0, tree.node_count(), omega)?)
+    }
+
+    /// Driving-point impedance (Ω) at the root port of the flat tree solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network assembly/solve errors.
+    pub fn flat_port_impedance(&self, tree: &SegmentTree) -> Result<rlcx_numeric::Complex> {
+        let omega = 2.0 * std::f64::consts::PI * self.frequency;
+        Ok(self.root_port_network(tree)?.driving_point_impedance(0, tree.node_count(), omega)?)
+    }
+
+    fn root_port_network(&self, tree: &SegmentTree) -> Result<AcNetwork> {
+        if tree.edges().is_empty() {
+            return Err(PeecError::InvalidParameter { what: "tree has no segments".into() });
+        }
+        let n = tree.node_count();
+        // Signal nodes are 0..n, ground nodes n..2n.
+        let mut net = AcNetwork::new(2 * n);
+        // Bars and signs per impedance branch, for mutual assembly.
+        let mut bar_of: Vec<(Bar, f64)> = Vec::new();
+        for e in 0..tree.edges().len() {
+            let edge = tree.edges()[e];
+            let (sig, g1, g2, sign) = self.edge_bars(tree, e);
+            for (bar, from, to) in [
+                (sig, edge.from, edge.to),
+                (g1, n + edge.from, n + edge.to),
+                (g2, n + edge.from, n + edge.to),
+            ] {
+                net.add_branch(Branch {
+                    from,
+                    to,
+                    r: dc_resistance(&bar, self.rho),
+                    l: self_partial(&bar),
+                })?;
+                bar_of.push((bar, sign));
+            }
+        }
+        // Mutual couplings between every parallel pair.
+        for i in 0..bar_of.len() {
+            for j in (i + 1)..bar_of.len() {
+                let (bi, si) = &bar_of[i];
+                let (bj, sj) = &bar_of[j];
+                let m = mutual_partial(bi, bj);
+                if m != 0.0 {
+                    net.add_mutual(i, j, si * sj * m)?;
+                }
+            }
+        }
+        // Merge each sink (leaf) with its local ground node.
+        for leaf in tree.leaves() {
+            net.add_branch(Branch { from: leaf, to: n + leaf, r: 0.0, l: 0.0 })?;
+        }
+        Ok(net)
+    }
+
+    /// Loop inductance (H) of one isolated straight segment of the given
+    /// length (µm) — the quantity the paper tabulates per segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn segment_loop_inductance(&self, length: f64) -> Result<f64> {
+        let mut sys = PartialSystem::new();
+        let off = self.signal_width / 2.0 + self.spacing + self.ground_width / 2.0;
+        for (c, w) in [
+            (0.0, self.signal_width),
+            (-off, self.ground_width),
+            (off, self.ground_width),
+        ] {
+            let bar = Bar::new(
+                Point3::new(0.0, c - w / 2.0, self.z_bottom),
+                Axis::X,
+                length,
+                w,
+                self.thickness,
+            )?;
+            sys.push(Conductor::new(bar, self.rho)?);
+        }
+        let z = sys.impedance_at(self.frequency, MeshSpec::single())?;
+        let z_loop = loop_l::loop_impedance(&z, &[0], &[1, 2])?;
+        let omega = 2.0 * std::f64::consts::PI * self.frequency;
+        Ok(z_loop[(0, 0)].im / omega)
+    }
+
+    /// Loop inductance (H) of the tree by the paper's linear-cascading rule:
+    /// per-segment loop inductances combined in series along paths and in
+    /// parallel across branches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlatTreeSolver::segment_loop_inductance`] errors.
+    pub fn cascaded_loop_inductance(&self, tree: &SegmentTree) -> Result<f64> {
+        let per_edge: Vec<f64> = (0..tree.edges().len())
+            .map(|e| self.segment_loop_inductance(tree.edge_length(e)))
+            .collect::<Result<_>>()?;
+        Ok(tree.cascaded_inductance(&|e| per_edge[e]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlcx_geom::units::RHO_COPPER;
+
+    fn solver() -> FlatTreeSolver {
+        // The paper's Figure 6 cross-section: equal 1.2 µm signal and ground
+        // widths. 0.6 µm spacing, 0.8 µm thick aluminum-era metal.
+        FlatTreeSolver::new(1.2, 1.2, 0.6, 0.8, RHO_COPPER).unwrap()
+    }
+
+    #[test]
+    fn straight_chain_flat_equals_segment_within_coupling() {
+        // One straight 400 µm run split into two 200 µm edges: flat solve
+        // couples the halves, cascade does not; flat must exceed cascade by
+        // a few percent (the underestimation the paper discusses).
+        let mut tree = SegmentTree::new(0.0, 0.0);
+        let b = tree.add_node(0, 200.0, 0.0).unwrap();
+        tree.add_node(b, 400.0, 0.0).unwrap();
+        let s = solver();
+        let flat = s.flat_loop_inductance(&tree).unwrap();
+        let cascaded = s.cascaded_loop_inductance(&tree).unwrap();
+        assert!(flat > 0.0 && cascaded > 0.0);
+        let err = (flat - cascaded) / flat;
+        assert!(err > 0.0, "flat {flat} should exceed cascaded {cascaded}");
+        assert!(err < 0.15, "guarded segments should cascade well, err = {err}");
+    }
+
+    #[test]
+    fn single_segment_flat_matches_isolated_extraction() {
+        let mut tree = SegmentTree::new(0.0, 0.0);
+        tree.add_node(0, 300.0, 0.0).unwrap();
+        let s = solver();
+        let flat = s.flat_loop_inductance(&tree).unwrap();
+        let seg = s.segment_loop_inductance(300.0).unwrap();
+        // Same physics, two formulations (branch network vs merged-node
+        // reduction) — they must agree tightly.
+        assert!((flat - seg).abs() / seg < 0.02, "flat {flat} vs segment {seg}");
+    }
+
+    #[test]
+    fn fig6a_cascading_error_is_small() {
+        let tree = SegmentTree::fig6a();
+        let s = solver();
+        let flat = s.flat_loop_inductance(&tree).unwrap();
+        let casc = s.cascaded_loop_inductance(&tree).unwrap();
+        let err = (flat - casc).abs() / flat;
+        // Paper reports 3.57 % for tree (a); allow the same order.
+        assert!(err < 0.10, "cascading error too large: {err}");
+    }
+
+    #[test]
+    fn segment_loop_l_scales_superlinearly() {
+        let s = solver();
+        let l1 = s.segment_loop_inductance(500.0).unwrap();
+        let l2 = s.segment_loop_inductance(1000.0).unwrap();
+        assert!(l2 > 1.9 * l1, "loop L should grow at least ~linearly: {l2} vs {l1}");
+    }
+
+    #[test]
+    fn rejects_bad_cross_section() {
+        assert!(FlatTreeSolver::new(0.0, 1.0, 1.0, 1.0, RHO_COPPER).is_err());
+        assert!(FlatTreeSolver::new(1.0, 1.0, 1.0, 1.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_tree() {
+        let tree = SegmentTree::new(0.0, 0.0);
+        assert!(solver().flat_loop_inductance(&tree).is_err());
+    }
+
+    #[test]
+    fn port_impedance_has_positive_parts() {
+        let tree = SegmentTree::fig6b();
+        let z = solver().flat_port_impedance(&tree).unwrap();
+        assert!(z.re > 0.0 && z.im > 0.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Small-signal AC analysis.
+//!
+//! Complements the transient engine: solve the same MNA system in the
+//! frequency domain over a sweep. For extracted clock netlists this
+//! exposes what the time domain only hints at — the input-impedance
+//! resonance that produces Figure 3's ringing, and the transfer-function
+//! peaking that RC-only netlists cannot have.
+
+use crate::netlist::{Element, Netlist, NodeId};
+use crate::waveform::Waveform;
+use crate::{Result, SpiceError};
+use rlcx_numeric::lu::CLuDecomposition;
+use rlcx_numeric::{CMatrix, Complex};
+use std::collections::HashMap;
+
+/// Frequency sweep specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sweep {
+    /// Start frequency (Hz), > 0.
+    pub start: f64,
+    /// Stop frequency (Hz), > start.
+    pub stop: f64,
+    /// Number of points, ≥ 2, spaced logarithmically.
+    pub points: usize,
+}
+
+impl Sweep {
+    /// A logarithmic sweep.
+    pub fn log(start: f64, stop: f64, points: usize) -> Sweep {
+        Sweep { start, stop, points }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.start > 0.0 && self.stop > self.start && self.points >= 2) {
+            return Err(SpiceError::BadSimParams {
+                what: format!(
+                    "sweep needs 0 < start < stop and ≥ 2 points, got {self:?}"
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The sweep's frequency points (Hz).
+    pub fn frequencies(&self) -> Vec<f64> {
+        let n = self.points;
+        let ratio = (self.stop / self.start).ln();
+        (0..n)
+            .map(|i| self.start * (ratio * i as f64 / (n - 1) as f64).exp())
+            .collect()
+    }
+}
+
+/// Result of an AC sweep: per-frequency complex node voltages.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    frequencies: Vec<f64>,
+    node_names: Vec<String>,
+    /// `volts[node][freq_index]`.
+    volts: Vec<Vec<Complex>>,
+}
+
+impl AcResult {
+    /// The frequency axis (Hz).
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Complex voltage phasors of a node across the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Unknown`] for an unknown node name.
+    pub fn voltage(&self, node: &str) -> Result<&[Complex]> {
+        self.node_names
+            .iter()
+            .position(|n| n == node)
+            .map(|i| self.volts[i].as_slice())
+            .ok_or_else(|| SpiceError::Unknown { what: format!("node {node}") })
+    }
+
+    /// Voltage magnitude of a node across the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Unknown`] for an unknown node name.
+    pub fn magnitude(&self, node: &str) -> Result<Vec<f64>> {
+        Ok(self.voltage(node)?.iter().map(|v| v.abs()).collect())
+    }
+
+    /// The frequency (Hz) where the node's magnitude peaks, with the peak
+    /// value — the resonance locator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Unknown`] for an unknown node name.
+    pub fn peak(&self, node: &str) -> Result<(f64, f64)> {
+        let mags = self.magnitude(node)?;
+        let (idx, &max) = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite magnitudes"))
+            .expect("sweep has at least 2 points");
+        Ok((self.frequencies[idx], max))
+    }
+}
+
+/// AC analysis builder over a [`Netlist`].
+///
+/// All independent sources with nonzero [`Waveform::levels`] swing (or DC
+/// value) are replaced by unit AC sources in phase; the usual case is a
+/// single source. Quiet sources (DC 0) are shorted.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_spice::{ac::{Ac, Sweep}, Netlist, Waveform, GROUND};
+///
+/// # fn main() -> Result<(), rlcx_spice::SpiceError> {
+/// let mut ckt = Netlist::new();
+/// let inp = ckt.node("in");
+/// let out = ckt.node("out");
+/// ckt.vsource("V", inp, GROUND, Waveform::Dc(1.0))?;
+/// ckt.resistor("R", inp, out, 1e3)?;
+/// ckt.capacitor("C", out, GROUND, 1e-12)?;
+/// let res = Ac::new(&ckt).sweep(Sweep::log(1e6, 1e12, 61)).run()?;
+/// // RC low-pass: magnitude falls with frequency.
+/// let mags = res.magnitude("out")?;
+/// assert!(mags[0] > 0.99 && *mags.last().unwrap() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ac<'a> {
+    netlist: &'a Netlist,
+    sweep: Sweep,
+}
+
+impl<'a> Ac<'a> {
+    /// Creates an analysis with a default 1 MHz – 100 GHz, 121-point sweep.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Ac { netlist, sweep: Sweep::log(1e6, 1e11, 121) }
+    }
+
+    /// Sets the sweep.
+    #[must_use]
+    pub fn sweep(mut self, sweep: Sweep) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Runs the sweep.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::BadSimParams`] for a bad sweep or empty circuit,
+    /// * [`SpiceError::Numeric`] if the MNA system is singular.
+    pub fn run(&self) -> Result<AcResult> {
+        self.sweep.validate()?;
+        let nl = self.netlist;
+        let nv = nl.node_count().saturating_sub(1);
+        let mut branch_of_element: HashMap<usize, usize> = HashMap::new();
+        let mut branches = 0usize;
+        for (ei, e) in nl.elements.iter().enumerate() {
+            if matches!(e, Element::Inductor { .. } | Element::VSource { .. }) {
+                branch_of_element.insert(ei, nv + branches);
+                branches += 1;
+            }
+        }
+        let dim = nv + branches;
+        if dim == 0 {
+            return Err(SpiceError::BadSimParams { what: "empty circuit".into() });
+        }
+        let var = |n: NodeId| -> Option<usize> { (n.0 > 0).then(|| n.0 - 1) };
+
+        let frequencies = self.sweep.frequencies();
+        let mut volts = vec![Vec::with_capacity(frequencies.len()); nl.node_count()];
+        for &f in &frequencies {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            let jw = Complex::from_imag(omega);
+            let mut a = CMatrix::zeros(dim, dim);
+            let mut rhs = vec![Complex::ZERO; dim];
+            for (ei, e) in nl.elements.iter().enumerate() {
+                match e {
+                    Element::Resistor { p, n, ohms, .. } => {
+                        stamp(&mut a, var(*p), var(*n), Complex::from_real(1.0 / ohms));
+                    }
+                    Element::Capacitor { p, n, farads, .. } => {
+                        stamp(&mut a, var(*p), var(*n), jw * *farads);
+                    }
+                    Element::Inductor { p, n, henries, .. } => {
+                        let row = branch_of_element[&ei];
+                        stamp_branch(&mut a, var(*p), var(*n), row);
+                        a[(row, row)] -= jw * *henries;
+                    }
+                    Element::VSource { p, n, wave, .. } => {
+                        let row = branch_of_element[&ei];
+                        stamp_branch(&mut a, var(*p), var(*n), row);
+                        rhs[row] = Complex::from_real(source_amplitude(wave));
+                    }
+                }
+            }
+            for m in &nl.mutuals {
+                let ra = branch_of_element[&nl.inductors[m.a.0]];
+                let rb = branch_of_element[&nl.inductors[m.b.0]];
+                let term = jw * m.m;
+                a[(ra, rb)] -= term;
+                a[(rb, ra)] -= term;
+            }
+            let x = CLuDecomposition::new(&a)?.solve(&rhs)?;
+            volts[0].push(Complex::ZERO);
+            for node in 1..nl.node_count() {
+                volts[node].push(x[node - 1]);
+            }
+        }
+        let node_names = (0..nl.node_count())
+            .map(|i| nl.node_name(NodeId(i)).to_string())
+            .collect();
+        Ok(AcResult { frequencies, node_names, volts })
+    }
+}
+
+/// AC amplitude of a source: unit for anything that swings, zero for quiet.
+fn source_amplitude(wave: &Waveform) -> f64 {
+    let (lo, hi) = wave.levels();
+    if hi != lo || hi != 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn stamp(a: &mut CMatrix, p: Option<usize>, n: Option<usize>, y: Complex) {
+    if let Some(ip) = p {
+        a[(ip, ip)] += y;
+    }
+    if let Some(in_) = n {
+        a[(in_, in_)] += y;
+    }
+    if let (Some(ip), Some(in_)) = (p, n) {
+        a[(ip, in_)] -= y;
+        a[(in_, ip)] -= y;
+    }
+}
+
+fn stamp_branch(a: &mut CMatrix, p: Option<usize>, n: Option<usize>, row: usize) {
+    if let Some(ip) = p {
+        a[(ip, row)] += Complex::ONE;
+        a[(row, ip)] += Complex::ONE;
+    }
+    if let Some(in_) = n {
+        a[(in_, row)] -= Complex::ONE;
+        a[(row, in_)] -= Complex::ONE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GROUND;
+
+    #[test]
+    fn rc_lowpass_corner() {
+        let (r, c) = (1e3, 1e-12); // f_c = 1/(2πRC) ≈ 159 MHz
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V", inp, GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.resistor("R", inp, out, r).unwrap();
+        nl.capacitor("C", out, GROUND, c).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let res = Ac::new(&nl).sweep(Sweep::log(fc, fc * 1.0001, 2)).run().unwrap();
+        let mag = res.magnitude("out").unwrap()[0];
+        assert!((mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3, "|H(fc)| = {mag}");
+    }
+
+    #[test]
+    fn series_rlc_resonance_located() {
+        let (r, l, c) = (1.0_f64, 1e-9_f64, 1e-12_f64);
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt()); // ≈ 5.03 GHz
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let mid = nl.node("mid");
+        let out = nl.node("out");
+        nl.vsource("V", inp, GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.resistor("R", inp, mid, r).unwrap();
+        nl.inductor("L", mid, out, l).unwrap();
+        nl.capacitor("C", out, GROUND, c).unwrap();
+        let res = Ac::new(&nl).sweep(Sweep::log(1e8, 1e11, 301)).run().unwrap();
+        let (f_peak, v_peak) = res.peak("out").unwrap();
+        assert!((f_peak - f0).abs() / f0 < 0.05, "peak at {f_peak} vs {f0}");
+        // Q = (1/R)√(L/C) ≈ 31.6 → strong peaking.
+        assert!(v_peak > 10.0, "Q peaking {v_peak}");
+    }
+
+    #[test]
+    fn inductor_shorts_at_low_frequency() {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V", inp, GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.inductor("L", inp, out, 1e-9).unwrap();
+        nl.resistor("R", out, GROUND, 50.0).unwrap();
+        let res = Ac::new(&nl).sweep(Sweep::log(1e3, 1e4, 2)).run().unwrap();
+        let mag = res.magnitude("out").unwrap()[0];
+        assert!((mag - 1.0).abs() < 1e-6, "low-f inductor should pass: {mag}");
+    }
+
+    #[test]
+    fn mutual_coupling_transfers_at_ac() {
+        let (l, m) = (1e-9, 0.6e-9);
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let sec = nl.node("sec");
+        nl.vsource("V", inp, GROUND, Waveform::Dc(1.0)).unwrap();
+        let p = nl.inductor("Lp", inp, GROUND, l).unwrap();
+        let s = nl.inductor("Ls", sec, GROUND, l).unwrap();
+        nl.mutual("K", p, s, m).unwrap();
+        nl.resistor("Rl", sec, GROUND, 1e9).unwrap();
+        let res = Ac::new(&nl).sweep(Sweep::log(1e9, 1.0001e9, 2)).run().unwrap();
+        let mag = res.magnitude("sec").unwrap()[0];
+        // Open secondary: |V_sec| = (M/L)·|V_in| = 0.6.
+        assert!((mag - 0.6).abs() < 1e-3, "transformer ratio: {mag}");
+    }
+
+    #[test]
+    fn quiet_source_contributes_nothing() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("V1", a, GROUND, Waveform::Dc(0.0)).unwrap();
+        nl.vsource("V2", b, GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.resistor("R", a, b, 100.0).unwrap();
+        let res = Ac::new(&nl).sweep(Sweep::log(1e6, 1e7, 3)).run().unwrap();
+        assert!(res.magnitude("a").unwrap().iter().all(|&m| m < 1e-12));
+        assert!(res.magnitude("b").unwrap().iter().all(|&m| (m - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn sweep_validation() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V", a, GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.resistor("R", a, GROUND, 1.0).unwrap();
+        assert!(Ac::new(&nl).sweep(Sweep::log(0.0, 1e9, 10)).run().is_err());
+        assert!(Ac::new(&nl).sweep(Sweep::log(1e9, 1e8, 10)).run().is_err());
+        assert!(Ac::new(&nl).sweep(Sweep::log(1e8, 1e9, 1)).run().is_err());
+        let empty = Netlist::new();
+        assert!(Ac::new(&empty).run().is_err());
+    }
+
+    #[test]
+    fn frequencies_are_log_spaced() {
+        let f = Sweep::log(1e6, 1e9, 4).frequencies();
+        assert_eq!(f.len(), 4);
+        assert!((f[0] - 1e6).abs() < 1.0);
+        assert!((f[3] - 1e9).abs() < 1.0);
+        let r1 = f[1] / f[0];
+        let r2 = f[2] / f[1];
+        assert!((r1 - r2).abs() / r1 < 1e-9);
+    }
+
+    #[test]
+    fn unknown_node_lookup_fails() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V", a, GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.resistor("R", a, GROUND, 1.0).unwrap();
+        let res = Ac::new(&nl).sweep(Sweep::log(1e6, 1e7, 2)).run().unwrap();
+        assert!(res.voltage("zz").is_err());
+    }
+}

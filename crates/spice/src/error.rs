@@ -1,0 +1,80 @@
+use rlcx_numeric::NumericError;
+use std::fmt;
+
+/// Error type for netlist construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// A numerical error (singular MNA matrix, …).
+    Numeric(NumericError),
+    /// An element value was out of its legal domain.
+    InvalidValue {
+        /// Element name.
+        element: String,
+        /// Description of the violated precondition.
+        what: String,
+    },
+    /// A referenced node or element does not exist.
+    Unknown {
+        /// What was looked up.
+        what: String,
+    },
+    /// An element name was used twice.
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+    },
+    /// Simulation parameters were inconsistent (zero step, zero duration…).
+    BadSimParams {
+        /// Description of the defect.
+        what: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::Numeric(e) => write!(f, "numeric error: {e}"),
+            SpiceError::InvalidValue { element, what } => {
+                write!(f, "invalid value for {element}: {what}")
+            }
+            SpiceError::Unknown { what } => write!(f, "unknown reference: {what}"),
+            SpiceError::DuplicateName { name } => write!(f, "duplicate element name: {name}"),
+            SpiceError::BadSimParams { what } => write!(f, "bad simulation parameters: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpiceError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for SpiceError {
+    fn from(e: NumericError) -> Self {
+        SpiceError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SpiceError::InvalidValue { element: "R1".into(), what: "negative".into() };
+        assert!(e.to_string().contains("R1"));
+        let e = SpiceError::DuplicateName { name: "C1".into() };
+        assert!(e.to_string().contains("C1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpiceError>();
+    }
+}

@@ -1,0 +1,328 @@
+//! Circuit netlists.
+
+use crate::waveform::Waveform;
+use crate::{Result, SpiceError};
+use std::collections::HashMap;
+
+/// A circuit node handle. Node 0 is ground ([`GROUND`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// The ground (reference) node, named `"0"`.
+pub const GROUND: NodeId = NodeId(0);
+
+/// Handle to an inductor element, used to attach mutual couplings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InductorId(pub(crate) usize);
+
+/// A two-terminal element value.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Element {
+    Resistor { name: String, p: NodeId, n: NodeId, ohms: f64 },
+    Capacitor { name: String, p: NodeId, n: NodeId, farads: f64 },
+    Inductor { name: String, p: NodeId, n: NodeId, henries: f64 },
+    VSource { name: String, p: NodeId, n: NodeId, wave: Waveform },
+}
+
+/// A mutual coupling between two inductors, stored as the mutual inductance
+/// `m` (H), possibly negative to encode anti-series orientation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Mutual {
+    pub a: InductorId,
+    pub b: InductorId,
+    pub m: f64,
+}
+
+/// A linear RLC(+K, +V) netlist over named nodes.
+///
+/// Names are interned: calling [`Netlist::node`] twice with the same name
+/// returns the same [`NodeId`]. The ground node is pre-interned as `"0"`.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    node_names: Vec<String>,
+    node_index: HashMap<String, NodeId>,
+    pub(crate) elements: Vec<Element>,
+    pub(crate) inductors: Vec<usize>,
+    pub(crate) mutuals: Vec<Mutual>,
+    element_names: HashMap<String, ()>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist (ground pre-interned).
+    pub fn new() -> Self {
+        let mut nl = Netlist {
+            node_names: vec!["0".to_string()],
+            node_index: HashMap::new(),
+            elements: Vec::new(),
+            inductors: Vec::new(),
+            mutuals: Vec::new(),
+            element_names: HashMap::new(),
+        };
+        nl.node_index.insert("0".into(), GROUND);
+        nl
+    }
+
+    /// Interns a node name and returns its id; `"0"` maps to [`GROUND`].
+    pub fn node(&mut self, name: impl AsRef<str>) -> NodeId {
+        let name = name.as_ref();
+        if let Some(&id) = self.node_index.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.node_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Unknown`] for an unknown name.
+    pub fn find_node(&self, name: &str) -> Result<NodeId> {
+        self.node_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| SpiceError::Unknown { what: format!("node {name}") })
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is from another netlist and out of range.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of inductors.
+    pub fn inductor_count(&self) -> usize {
+        self.inductors.len()
+    }
+
+    /// Number of mutual couplings.
+    pub fn mutual_count(&self) -> usize {
+        self.mutuals.len()
+    }
+
+    fn check_name(&mut self, name: &str) -> Result<()> {
+        if self.element_names.contains_key(name) {
+            return Err(SpiceError::DuplicateName { name: name.into() });
+        }
+        self.element_names.insert(name.into(), ());
+        Ok(())
+    }
+
+    fn check_value(name: &str, value: f64, what: &str, allow_zero: bool) -> Result<()> {
+        let ok = value.is_finite() && (value > 0.0 || (allow_zero && value == 0.0));
+        if ok {
+            Ok(())
+        } else {
+            Err(SpiceError::InvalidValue {
+                element: name.into(),
+                what: format!("{what} must be positive and finite, got {value}"),
+            })
+        }
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidValue`] for non-positive resistance and
+    /// [`SpiceError::DuplicateName`] for a reused name.
+    pub fn resistor(&mut self, name: &str, p: NodeId, n: NodeId, ohms: f64) -> Result<()> {
+        Self::check_value(name, ohms, "resistance", false)?;
+        self.check_name(name)?;
+        self.elements.push(Element::Resistor { name: name.into(), p, n, ohms });
+        Ok(())
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidValue`] / [`SpiceError::DuplicateName`]
+    /// as for [`Netlist::resistor`].
+    pub fn capacitor(&mut self, name: &str, p: NodeId, n: NodeId, farads: f64) -> Result<()> {
+        Self::check_value(name, farads, "capacitance", false)?;
+        self.check_name(name)?;
+        self.elements.push(Element::Capacitor { name: name.into(), p, n, farads });
+        Ok(())
+    }
+
+    /// Adds an inductor and returns its handle for mutual couplings.
+    ///
+    /// Zero inductance is allowed (it degenerates to a short measured by the
+    /// branch current), which lets RLC and RC netlists share topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidValue`] / [`SpiceError::DuplicateName`]
+    /// as for [`Netlist::resistor`].
+    pub fn inductor(&mut self, name: &str, p: NodeId, n: NodeId, henries: f64) -> Result<InductorId> {
+        Self::check_value(name, henries, "inductance", true)?;
+        self.check_name(name)?;
+        let idx = self.elements.len();
+        self.elements.push(Element::Inductor { name: name.into(), p, n, henries });
+        self.inductors.push(idx);
+        Ok(InductorId(self.inductors.len() - 1))
+    }
+
+    /// Adds a mutual inductance `m` (H) between two inductors. `m` may be
+    /// negative (anti-series reference orientation). The coupling
+    /// coefficient `|m|/√(L₁L₂)` must not exceed 1.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::Unknown`] for bad handles or `a == b`,
+    /// * [`SpiceError::InvalidValue`] for non-finite `m` or `|k| > 1`.
+    pub fn mutual(&mut self, name: &str, a: InductorId, b: InductorId, m: f64) -> Result<()> {
+        if a.0 >= self.inductors.len() || b.0 >= self.inductors.len() || a == b {
+            return Err(SpiceError::Unknown { what: format!("inductor pair for {name}") });
+        }
+        if !m.is_finite() {
+            return Err(SpiceError::InvalidValue {
+                element: name.into(),
+                what: format!("mutual inductance must be finite, got {m}"),
+            });
+        }
+        let la = self.inductance_of(a);
+        let lb = self.inductance_of(b);
+        if la > 0.0 && lb > 0.0 {
+            let k = m.abs() / (la * lb).sqrt();
+            if k > 1.0 + 1e-9 {
+                return Err(SpiceError::InvalidValue {
+                    element: name.into(),
+                    what: format!("coupling coefficient {k:.3} exceeds 1"),
+                });
+            }
+        } else if m != 0.0 {
+            return Err(SpiceError::InvalidValue {
+                element: name.into(),
+                what: "cannot couple a zero-valued inductor".into(),
+            });
+        }
+        self.check_name(name)?;
+        self.mutuals.push(Mutual { a, b, m });
+        Ok(())
+    }
+
+    /// Adds an independent voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::DuplicateName`] for a reused name.
+    pub fn vsource(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) -> Result<()> {
+        self.check_name(name)?;
+        self.elements.push(Element::VSource { name: name.into(), p, n, wave });
+        Ok(())
+    }
+
+    /// Inductance value of an inductor handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a handle from another netlist.
+    pub fn inductance_of(&self, id: InductorId) -> f64 {
+        match &self.elements[self.inductors[id.0]] {
+            Element::Inductor { henries, .. } => *henries,
+            _ => unreachable!("inductor index table is consistent"),
+        }
+    }
+
+    /// Iterates over `(name, node)` pairs for all non-ground nodes.
+    pub fn named_nodes(&self) -> impl Iterator<Item = (&str, NodeId)> + '_ {
+        self.node_names
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, n)| (n.as_str(), NodeId(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_interning() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let a2 = nl.node("a");
+        let b = nl.node("b");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(nl.node("0"), GROUND);
+        assert_eq!(nl.node_count(), 3);
+        assert_eq!(nl.node_name(a), "a");
+        assert!(nl.find_node("a").is_ok());
+        assert!(nl.find_node("zz").is_err());
+    }
+
+    #[test]
+    fn element_validation() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        assert!(nl.resistor("R1", a, GROUND, -5.0).is_err());
+        assert!(nl.resistor("R1", a, GROUND, 5.0).is_ok());
+        assert!(matches!(
+            nl.resistor("R1", a, GROUND, 5.0),
+            Err(SpiceError::DuplicateName { .. })
+        ));
+        assert!(nl.capacitor("C1", a, GROUND, 0.0).is_err());
+        assert!(nl.capacitor("C1", a, GROUND, 1e-15).is_ok());
+    }
+
+    #[test]
+    fn zero_inductor_allowed_but_uncoupled() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let l0 = nl.inductor("L0", a, b, 0.0).unwrap();
+        let l1 = nl.inductor("L1", b, GROUND, 1e-9).unwrap();
+        assert!(nl.mutual("K01", l0, l1, 1e-10).is_err());
+        assert!(nl.mutual("K01", l0, l1, 0.0).is_ok());
+    }
+
+    #[test]
+    fn mutual_coupling_limit() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let l1 = nl.inductor("L1", a, GROUND, 1e-9).unwrap();
+        let l2 = nl.inductor("L2", b, GROUND, 4e-9).unwrap();
+        // √(L1·L2) = 2e-9: m = 3e-9 gives k = 1.5 → rejected.
+        assert!(nl.mutual("K1", l1, l2, 3e-9).is_err());
+        assert!(nl.mutual("K1", l1, l2, -1.5e-9).is_ok()); // k = 0.75, negative ok
+        assert!(nl.mutual("K2", l1, l1, 1e-10).is_err()); // self-coupling
+        assert_eq!(nl.mutual_count(), 1);
+    }
+
+    #[test]
+    fn inductance_of_returns_value() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let l = nl.inductor("L1", a, GROUND, 2.5e-9).unwrap();
+        assert_eq!(nl.inductance_of(l), 2.5e-9);
+    }
+
+    #[test]
+    fn named_nodes_skips_ground() {
+        let mut nl = Netlist::new();
+        nl.node("x");
+        nl.node("y");
+        let names: Vec<&str> = nl.named_nodes().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

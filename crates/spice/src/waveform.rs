@@ -1,0 +1,191 @@
+//! Independent-source waveforms.
+
+/// A time-domain voltage waveform.
+///
+/// # Example
+///
+/// ```
+/// use rlcx_spice::Waveform;
+///
+/// let clk = Waveform::pulse(0.0, 1.8, 50e-12, 100e-12, 100e-12, 400e-12, 1e-9);
+/// assert_eq!(clk.eval(0.0), 0.0);
+/// assert!((clk.eval(100e-12) - 0.9).abs() < 1e-12); // mid-rise
+/// assert_eq!(clk.eval(300e-12), 1.8);               // plateau
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style periodic pulse.
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge (s).
+        delay: f64,
+        /// Rise time (s).
+        rise: f64,
+        /// Fall time (s).
+        fall: f64,
+        /// Pulse width at `v1` (s).
+        width: f64,
+        /// Period (s); `0` (or anything not larger than one cycle) means a
+        /// single pulse.
+        period: f64,
+    },
+    /// Piecewise-linear waveform over `(time, value)` breakpoints; constant
+    /// before the first and after the last.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// A single rising step from 0 to `v` with rise time `rise` (a ramp when
+    /// `rise > 0`, ideal step when `rise == 0`).
+    pub fn step(v: f64, rise: f64) -> Waveform {
+        if rise > 0.0 {
+            Waveform::Pwl(vec![(0.0, 0.0), (rise, v)])
+        } else {
+            Waveform::Dc(v)
+        }
+    }
+
+    /// A ramp from `v0` to `v1` starting at `delay` over `rise` seconds.
+    pub fn ramp(v0: f64, v1: f64, delay: f64, rise: f64) -> Waveform {
+        Waveform::Pwl(vec![(delay, v0), (delay + rise, v1)])
+    }
+
+    /// Convenience constructor for [`Waveform::Pulse`].
+    pub fn pulse(v0: f64, v1: f64, delay: f64, rise: f64, fall: f64, width: f64, period: f64) -> Waveform {
+        Waveform::Pulse { v0, v1, delay, rise, fall, width, period }
+    }
+
+    /// Evaluates the waveform at time `t` (seconds).
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse { v0, v1, delay, rise, fall, width, period } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let cycle = rise + width + fall;
+                let mut tau = t - delay;
+                if *period > cycle {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    if *rise == 0.0 {
+                        *v1
+                    } else {
+                        v0 + (v1 - v0) * tau / rise
+                    }
+                } else if tau < rise + width {
+                    *v1
+                } else if tau < cycle {
+                    if *fall == 0.0 {
+                        *v0
+                    } else {
+                        v1 + (v0 - v1) * (tau - rise - width) / fall
+                    }
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, v0) = pair[0];
+                    let (t1, v1) = pair[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+        }
+    }
+
+    /// The waveform's nominal low and high levels `(min, max)` over its
+    /// breakpoints, used by measurement code to pick thresholds.
+    pub fn levels(&self) -> (f64, f64) {
+        match self {
+            Waveform::Dc(v) => (*v, *v),
+            Waveform::Pulse { v0, v1, .. } => (v0.min(*v1), v0.max(*v1)),
+            Waveform::Pwl(points) => points.iter().fold(
+                (f64::INFINITY, f64::NEG_INFINITY),
+                |(lo, hi), &(_, v)| (lo.min(v), hi.max(v)),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(2.5);
+        assert_eq!(w.eval(0.0), 2.5);
+        assert_eq!(w.eval(1.0), 2.5);
+        assert_eq!(w.levels(), (2.5, 2.5));
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(1e-9, 0.0), (2e-9, 1.0), (4e-9, 0.5)]);
+        assert_eq!(w.eval(0.0), 0.0);
+        assert!((w.eval(1.5e-9) - 0.5).abs() < 1e-12);
+        assert!((w.eval(3e-9) - 0.75).abs() < 1e-12);
+        assert_eq!(w.eval(9e-9), 0.5);
+        assert_eq!(w.levels(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        assert_eq!(Waveform::Pwl(vec![]).eval(1.0), 0.0);
+    }
+
+    #[test]
+    fn pulse_phases() {
+        let w = Waveform::pulse(0.0, 1.0, 1e-9, 1e-9, 1e-9, 2e-9, 10e-9);
+        assert_eq!(w.eval(0.5e-9), 0.0); // before delay
+        assert!((w.eval(1.5e-9) - 0.5).abs() < 1e-12); // rising
+        assert_eq!(w.eval(2.5e-9), 1.0); // plateau
+        assert!((w.eval(4.5e-9) - 0.5).abs() < 1e-12); // falling
+        assert_eq!(w.eval(6.0e-9), 0.0); // low
+        // Periodic repetition.
+        assert!((w.eval(11.5e-9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_pulse_when_period_too_short() {
+        let w = Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1e-9, 0.0);
+        assert_eq!(w.eval(10e-9), 0.0);
+        assert_eq!(w.eval(1.5e-9), 1.0);
+    }
+
+    #[test]
+    fn zero_rise_pulse_steps() {
+        let w = Waveform::pulse(0.0, 1.0, 1e-9, 0.0, 0.0, 1e-9, 0.0);
+        assert_eq!(w.eval(0.999e-9), 0.0);
+        assert_eq!(w.eval(1.001e-9), 1.0);
+    }
+
+    #[test]
+    fn step_and_ramp_constructors() {
+        assert_eq!(Waveform::step(1.0, 0.0), Waveform::Dc(1.0));
+        let r = Waveform::ramp(0.0, 2.0, 1e-9, 2e-9);
+        assert_eq!(r.eval(0.0), 0.0);
+        assert!((r.eval(2e-9) - 1.0).abs() < 1e-12);
+        assert_eq!(r.eval(5e-9), 2.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! SPICE-format netlist export.
+//!
+//! Extracted RLC netlists can be dumped in standard SPICE syntax for
+//! cross-checking against an external simulator — the workflow the paper's
+//! authors used with HSPICE.
+
+use crate::netlist::{Element, Netlist, NodeId};
+use crate::waveform::Waveform;
+use std::fmt::Write as _;
+
+/// Renders the netlist as a SPICE deck with the given title line.
+pub fn to_spice(netlist: &Netlist, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* {title}");
+    let node = |n: NodeId| netlist.node_name(n).to_string();
+    for e in &netlist.elements {
+        match e {
+            Element::Resistor { name, p, n, ohms } => {
+                let _ = writeln!(out, "R{name} {} {} {:.6e}", node(*p), node(*n), ohms);
+            }
+            Element::Capacitor { name, p, n, farads } => {
+                let _ = writeln!(out, "C{name} {} {} {:.6e}", node(*p), node(*n), farads);
+            }
+            Element::Inductor { name, p, n, henries } => {
+                let _ = writeln!(out, "L{name} {} {} {:.6e}", node(*p), node(*n), henries);
+            }
+            Element::VSource { name, p, n, wave } => {
+                let _ = writeln!(out, "V{name} {} {} {}", node(*p), node(*n), waveform_spice(wave));
+            }
+        }
+    }
+    for (i, m) in netlist.mutuals.iter().enumerate() {
+        // SPICE K-cards take a coupling coefficient; emit k = m/√(L1·L2).
+        let la = netlist.inductance_of(m.a);
+        let lb = netlist.inductance_of(m.b);
+        let k = if la > 0.0 && lb > 0.0 { m.m / (la * lb).sqrt() } else { 0.0 };
+        let (name_a, name_b) = (inductor_name(netlist, m.a), inductor_name(netlist, m.b));
+        let _ = writeln!(out, "K{i} L{name_a} L{name_b} {k:.6}");
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+fn inductor_name(netlist: &Netlist, id: crate::netlist::InductorId) -> String {
+    match &netlist.elements[netlist.inductors[id.0]] {
+        Element::Inductor { name, .. } => name.clone(),
+        _ => unreachable!("inductor table is consistent"),
+    }
+}
+
+fn waveform_spice(w: &Waveform) -> String {
+    match w {
+        Waveform::Dc(v) => format!("DC {v:.6e}"),
+        Waveform::Pulse { v0, v1, delay, rise, fall, width, period } => format!(
+            "PULSE({v0:.6e} {v1:.6e} {delay:.6e} {rise:.6e} {fall:.6e} {width:.6e} {period:.6e})"
+        ),
+        Waveform::Pwl(points) => {
+            let body: Vec<String> = points
+                .iter()
+                .map(|(t, v)| format!("{t:.6e} {v:.6e}"))
+                .collect();
+            format!("PWL({})", body.join(" "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GROUND;
+
+    #[test]
+    fn deck_contains_all_cards() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.vsource("in", a, GROUND, Waveform::pulse(0.0, 1.8, 0.0, 1e-10, 1e-10, 1e-9, 0.0))
+            .unwrap();
+        nl.resistor("drv", a, b, 40.0).unwrap();
+        let l1 = nl.inductor("seg1", b, GROUND, 1e-9).unwrap();
+        let l2 = nl.inductor("seg2", a, b, 2e-9).unwrap();
+        nl.mutual("k12", l1, l2, 0.5e-9).unwrap();
+        nl.capacitor("load", b, GROUND, 1e-13).unwrap();
+        let deck = to_spice(&nl, "figure 1 net");
+        assert!(deck.starts_with("* figure 1 net"));
+        assert!(deck.contains("Rdrv a b 4.000000e1"));
+        assert!(deck.contains("Lseg1 b 0 1.000000e-9"));
+        assert!(deck.contains("Cload b 0 1.000000e-13"));
+        assert!(deck.contains("PULSE(0.000000e0 1.800000e0"));
+        assert!(deck.contains("K0 Lseg1 Lseg2"));
+        assert!(deck.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn coupling_coefficient_is_normalized() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let l1 = nl.inductor("x", a, GROUND, 1e-9).unwrap();
+        let l2 = nl.inductor("y", b, GROUND, 4e-9).unwrap();
+        nl.mutual("k", l1, l2, 1e-9).unwrap();
+        let deck = to_spice(&nl, "t");
+        // k = 1e-9/√(4e-18) = 0.5.
+        assert!(deck.contains("K0 Lx Ly 0.5"), "{deck}");
+    }
+
+    #[test]
+    fn pwl_rendering() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("v", a, GROUND, Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 1.0)])).unwrap();
+        let deck = to_spice(&nl, "t");
+        assert!(
+            deck.contains("PWL(0.000000e0 0.000000e0 1.000000e-9 1.000000e0)"),
+            "{deck}"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: characterize inductance tables, extract a clock segment and
+//! simulate it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the paper's full flow on one segment:
+//! 1. build self/mutual/loop inductance tables for the clock layer,
+//! 2. look up the RLC model of a coplanar-waveguide segment,
+//! 3. formulate the netlist and simulate the 50 % delay with and without
+//!    inductance.
+
+use rlcx::core::{ClocktreeExtractor, TableBuilder, TreeNetlistBuilder};
+use rlcx::geom::{Block, SegmentTree, Stackup};
+use rlcx::spice::{measure, Transient, Waveform};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pre-characterize tables for the thick top metal (layer index 5) at
+    //    the significant frequency of 100 ps edges (0.32/t_r = 3.2 GHz).
+    let stackup = Stackup::hp_six_metal_copper();
+    println!("characterizing inductance tables for layer M6 ...");
+    let tables = TableBuilder::new(stackup.clone(), 5)?
+        .widths(vec![2.0, 5.0, 10.0])
+        .spacings(vec![0.5, 1.0, 2.0])
+        .lengths(vec![250.0, 1000.0, 4000.0])
+        .frequency(3.2e9)
+        .build()?;
+    println!(
+        "  self-L(5 um, 2 mm)  = {:.3} nH (spline-interpolated)",
+        tables.self_l.lookup(5.0, 2000.0) * 1e9
+    );
+    println!(
+        "  mutual-L(5, 5, 1 um, 2 mm) = {:.3} nH",
+        tables.mutual_l.lookup(5.0, 5.0, 1.0, 2000.0) * 1e9
+    );
+
+    // 2. Extract one guarded clock segment: ground-signal-ground coplanar
+    //    waveguide, 2 mm long.
+    let extractor = ClocktreeExtractor::new(stackup, 5, tables)?;
+    let segment = Block::coplanar_waveguide(2000.0, 5.0, 5.0, 1.0)?;
+    let rlc = extractor.extract_segment(&segment)?;
+    println!("\nsegment model (2 mm CPW, 5 um signal):");
+    println!("  R = {:.2} ohm, L = {:.3} nH, C = {:.3} pF", rlc.r, rlc.l * 1e9, rlc.c * 1e12);
+    println!(
+        "  Z0 = {:.1} ohm, time of flight = {:.1} ps, damping = {:.2}",
+        rlc.characteristic_impedance(),
+        rlc.time_of_flight() * 1e12,
+        rlc.damping_factor()
+    );
+
+    // 3. Simulate the segment driven by a strong buffer, with and without
+    //    inductance.
+    let mut net = SegmentTree::new(0.0, 0.0);
+    net.add_node(0, 2000.0, 0.0)?;
+    for include_l in [false, true] {
+        let out = TreeNetlistBuilder::new(&extractor)
+            .include_inductance(include_l)
+            .driver_resistance(15.0)
+            .input(Waveform::ramp(0.0, 1.8, 0.0, 50e-12))
+            .build(&net, &segment)?;
+        let result = Transient::new(&out.netlist).timestep(0.5e-12).duration(2e-9).run()?;
+        let time = result.time().to_vec();
+        let vin = result.voltage("drv_in")?.to_vec();
+        let vout = result.voltage(&out.sinks[0])?.to_vec();
+        let delay = measure::delay_50(&time, &vin, &vout, 0.0, 1.8)
+            .ok_or("sink never reached midswing")?;
+        let overshoot = measure::overshoot(&vout, 0.0, 1.8);
+        println!(
+            "  {}: delay = {:.1} ps, overshoot = {:.1} %",
+            if include_l { "RLC" } else { "RC " },
+            delay * 1e12,
+            overshoot * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Inspect a full table characterization: grids, values and interpolation
+//! quality.
+//!
+//! ```text
+//! cargo run --release --example table_characterization
+//! ```
+//!
+//! Builds the paper-style tables for two shield configurations, dumps the
+//! loop-L grid, and cross-checks the spline interpolation against direct
+//! field solves at off-grid points.
+
+use rlcx::geom::{Block, ShieldConfig, Stackup};
+use rlcx::peec::{BlockExtractor, MeshSpec};
+use rlcx::core::TableBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stackup = Stackup::hp_six_metal_copper();
+    let widths = vec![1.0, 2.0, 5.0, 10.0];
+    let lengths = vec![250.0, 500.0, 1000.0, 2000.0, 4000.0];
+    println!(
+        "characterizing layer M6: {} widths x {} lengths, coplanar + microstrip ...",
+        widths.len(),
+        lengths.len()
+    );
+    let tables = TableBuilder::new(stackup.clone(), 5)?
+        .widths(widths.clone())
+        .spacings(vec![0.5, 1.0, 2.0])
+        .lengths(lengths.clone())
+        .shields(vec![ShieldConfig::Coplanar, ShieldConfig::PlaneBelow])
+        .build()?;
+
+    for shield in [ShieldConfig::Coplanar, ShieldConfig::PlaneBelow] {
+        let table = tables.loop_table(shield)?;
+        println!("\nloop-L grid (nH), {shield:?}:");
+        print!("{:>8}", "w\\len");
+        for len in &lengths {
+            print!("{len:>9.0}");
+        }
+        println!();
+        for &w in &widths {
+            print!("{w:>8.1}");
+            for &len in &lengths {
+                print!("{:>9.4}", table.lookup_l(w, len) * 1e9);
+            }
+            println!();
+        }
+    }
+
+    // Interpolation spot checks against fresh extractions.
+    println!("\ninterpolation spot checks (coplanar loop table):");
+    let table = tables.loop_table(ShieldConfig::Coplanar)?;
+    let extractor = BlockExtractor::new(stackup, 5)?
+        .frequency(3.2e9)
+        .mesh(MeshSpec::default());
+    for (w, len) in [(3.0, 750.0), (7.5, 1500.0), (4.0, 3000.0)] {
+        let interpolated = table.lookup_l(w, len);
+        let block = Block::coplanar_waveguide(len, w, w, 1.0)?;
+        let direct = extractor.extract(&block)?.loop_l[(0, 0)];
+        println!(
+            "  w = {w:>4.1} um, len = {len:>6.0} um: table {:.4} nH vs solver {:.4} nH ({:+.2} %)",
+            interpolated * 1e9,
+            direct * 1e9,
+            (interpolated - direct) / direct * 100.0
+        );
+    }
+    println!(
+        "\ninterpolation errors stay well under the process-variation noise floor — \
+         the paper's justification for replacing field solves with table lookups."
+    );
+    Ok(())
+}

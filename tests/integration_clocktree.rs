@@ -1,0 +1,129 @@
+//! End-to-end clocktree analysis integration tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlcx::cap::VariationSpec;
+use rlcx::clocktree::{BufferModel, ClockTreeAnalyzer};
+use rlcx::core::{ClocktreeExtractor, TableBuilder};
+use rlcx::geom::{Block, HTree, Stackup};
+use rlcx::peec::MeshSpec;
+
+fn extractor() -> ClocktreeExtractor {
+    let stackup = Stackup::hp_six_metal_copper();
+    let tables = TableBuilder::new(stackup.clone(), 5)
+        .unwrap()
+        .widths(vec![2.0, 5.0, 10.0])
+        .spacings(vec![0.5, 1.0, 2.0])
+        .lengths(vec![400.0, 1600.0, 6400.0])
+        .mesh(MeshSpec::new(2, 1))
+        .build()
+        .unwrap();
+    ClocktreeExtractor::new(stackup, 5, tables).unwrap()
+}
+
+fn cpw() -> Block {
+    Block::coplanar_waveguide(1.0, 5.0, 5.0, 1.0).unwrap()
+}
+
+#[test]
+fn deeper_trees_have_longer_insertion_delay() {
+    let ex = extractor();
+    let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
+    let d1 = an.analyze(&HTree::new(1, 3200.0).unwrap(), &cpw()).unwrap();
+    let d2 = an.analyze(&HTree::new(2, 3200.0).unwrap(), &cpw()).unwrap();
+    assert!(d2.insertion_delay > d1.insertion_delay);
+    assert_eq!(d1.sink_delays.len(), 4);
+    assert_eq!(d2.sink_delays.len(), 16);
+}
+
+#[test]
+fn wider_die_is_slower() {
+    let ex = extractor();
+    let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
+    let small = an.analyze(&HTree::new(1, 1600.0).unwrap(), &cpw()).unwrap();
+    let large = an.analyze(&HTree::new(1, 6400.0).unwrap(), &cpw()).unwrap();
+    assert!(large.insertion_delay > small.insertion_delay);
+}
+
+#[test]
+fn tapered_tree_root_width_matters() {
+    // Wider root-level wiring lowers the root stage's resistance; with a
+    // strong buffer the insertion delay drops (the RC component shrinks
+    // faster than the L component grows).
+    let ex = extractor();
+    let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
+    let htree = HTree::new(2, 6400.0).unwrap();
+    let narrow = [cpw(), cpw()];
+    let wide_root = [Block::coplanar_waveguide(1.0, 10.0, 10.0, 1.0).unwrap(), cpw()];
+    let d_narrow = an.analyze_tapered(&htree, &narrow).unwrap();
+    let d_tapered = an.analyze_tapered(&htree, &wide_root).unwrap();
+    assert_ne!(d_narrow.insertion_delay, d_tapered.insertion_delay);
+}
+
+#[test]
+fn rc_baseline_differs_from_rlc_by_more_than_skew_tolerance() {
+    // The paper's motivating claim, as a regression test: on a large die
+    // the wire-delay error from dropping L exceeds 10 %.
+    let ex = extractor();
+    let htree = HTree::new(1, 6400.0).unwrap();
+    let stage = htree.level(0).unwrap().stage_tree();
+    let rlc = ClockTreeAnalyzer::new(&ex, BufferModel::strong())
+        .stage_delays(&stage, &cpw())
+        .unwrap()[0];
+    let rc = ClockTreeAnalyzer::new(&ex, BufferModel::strong())
+        .include_inductance(false)
+        .stage_delays(&stage, &cpw())
+        .unwrap()[0];
+    assert!(
+        (rlc - rc).abs() / rc > 0.10,
+        "wire delay error from dropping L: {:.1}%",
+        (rlc - rc).abs() / rc * 100.0
+    );
+}
+
+#[test]
+fn variation_skew_is_reproducible_with_seed() {
+    let ex = extractor();
+    let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
+    let htree = HTree::new(2, 3200.0).unwrap();
+    let spec = VariationSpec::typical();
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        an.analyze_with_variation(&htree, &cpw(), &spec, true, &mut rng)
+            .unwrap()
+            .skew()
+    };
+    assert_eq!(run(3), run(3));
+    assert_ne!(run(3), run(4));
+}
+
+#[test]
+fn nominal_l_variation_close_to_full_variation() {
+    // The paper's shortcut (nominal L + statistical RC) should track the
+    // full re-extraction closely, because L is the insensitive quantity.
+    let ex = extractor();
+    let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
+    let htree = HTree::new(2, 3200.0).unwrap();
+    let spec = VariationSpec::typical();
+    let mut rng_a = StdRng::seed_from_u64(21);
+    let mut rng_b = StdRng::seed_from_u64(21);
+    let nominal_l = an
+        .analyze_with_variation(&htree, &cpw(), &spec, true, &mut rng_a)
+        .unwrap();
+    let full = an
+        .analyze_with_variation(&htree, &cpw(), &spec, false, &mut rng_b)
+        .unwrap();
+    let rel = (nominal_l.insertion_delay - full.insertion_delay).abs() / full.insertion_delay;
+    assert!(rel < 0.05, "nominal-L shortcut drifted {rel}");
+}
+
+#[test]
+fn stage_delay_positive_and_bounded() {
+    let ex = extractor();
+    let an = ClockTreeAnalyzer::new(&ex, BufferModel::typical());
+    let htree = HTree::new(1, 3200.0).unwrap();
+    let delays = an.stage_delays(&htree.level(0).unwrap().stage_tree(), &cpw()).unwrap();
+    for d in delays {
+        assert!(d > 1e-12 && d < 1e-9, "stage delay {d} out of band");
+    }
+}

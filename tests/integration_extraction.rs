@@ -1,0 +1,222 @@
+//! Cross-crate integration: geometry → field solver → tables.
+
+use rlcx::core::TableBuilder;
+use rlcx::geom::units::RHO_COPPER;
+use rlcx::geom::{Axis, Bar, Block, Point3, ShieldConfig, Stackup};
+use rlcx::numeric::cholesky::is_positive_definite;
+use rlcx::peec::loop_l::{loop_impedance, loop_rl};
+use rlcx::peec::{BlockExtractor, Conductor, MeshSpec, PartialSystem};
+
+fn stackup() -> Stackup {
+    Stackup::hp_six_metal_copper()
+}
+
+#[test]
+fn block_partial_matrix_is_physical() {
+    // Any extracted partial-inductance matrix must be symmetric positive
+    // definite with positive mutuals below the self terms.
+    let block = Block::uniform_bus(800.0, 5, 2.0, 1.0).unwrap();
+    let ex = BlockExtractor::new(stackup(), 5).unwrap();
+    let out = ex.extract(&block).unwrap();
+    assert_eq!(out.lp.rows(), 5);
+    assert!(out.lp.symmetry_defect() < 1e-10);
+    assert!(is_positive_definite(&out.lp));
+    for i in 0..5 {
+        for j in 0..5 {
+            if i != j {
+                assert!(out.lp[(i, j)] > 0.0);
+                assert!(out.lp[(i, j)] < out.lp[(i, i)]);
+            }
+        }
+    }
+}
+
+#[test]
+fn foundation_1_self_lp_independent_of_block_context() {
+    // The self Lp of every trace of a uniform bus equals the isolated
+    // solve — Foundation 1 at the block level.
+    let layer_stack = stackup();
+    let layer = layer_stack.layer(5).unwrap().clone();
+    let bus = Block::uniform_bus(1000.0, 5, 3.0, 1.5).unwrap();
+    let ex = BlockExtractor::new(layer_stack, 5).unwrap();
+    let out = ex.extract(&bus).unwrap();
+    let isolated = Bar::new(
+        Point3::new(0.0, 0.0, layer.z_bottom()),
+        Axis::X,
+        1000.0,
+        3.0,
+        layer.thickness(),
+    )
+    .unwrap();
+    let l_iso = rlcx::peec::partial::self_partial(&isolated);
+    for i in 0..5 {
+        let rel = (out.lp[(i, i)] - l_iso).abs() / l_iso;
+        assert!(rel < 1e-9, "trace {i}: {rel}");
+    }
+}
+
+#[test]
+fn foundation_2_mutual_lp_depends_on_pair_only() {
+    // The mutual between adjacent traces of a bus equals the 2-trace solve.
+    let layer_stack = stackup();
+    let layer = layer_stack.layer(5).unwrap().clone();
+    let bus = Block::uniform_bus(1000.0, 5, 3.0, 1.5).unwrap();
+    let ex = BlockExtractor::new(stackup(), 5).unwrap();
+    let full = ex.extract(&bus).unwrap();
+    let z = layer.z_bottom();
+    let a = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, 1000.0, 3.0, layer.thickness()).unwrap();
+    let b = Bar::new(Point3::new(0.0, 4.5, z), Axis::X, 1000.0, 3.0, layer.thickness()).unwrap();
+    let m_pair = rlcx::peec::partial::mutual_partial(&a, &b);
+    for i in 0..4 {
+        let rel = (full.lp[(i, i + 1)] - m_pair).abs() / m_pair;
+        assert!(rel < 1e-9, "pair ({i},{}): {rel}", i + 1);
+    }
+}
+
+#[test]
+fn loop_reduction_agrees_with_block_extractor() {
+    // Assembling the CPW by hand and reducing must match BlockExtractor.
+    let layer_stack = stackup();
+    let layer = layer_stack.layer(5).unwrap().clone();
+    let block = Block::coplanar_waveguide(1200.0, 8.0, 8.0, 1.0).unwrap();
+    let ex = BlockExtractor::new(stackup(), 5).unwrap().mesh(MeshSpec::new(2, 2));
+    let via_extractor = ex.extract(&block).unwrap().loop_l[(0, 0)];
+
+    let bars = block.to_bars(&layer, Axis::X, 0.0, 0.0);
+    let sys: PartialSystem = bars
+        .iter()
+        .map(|&b| Conductor::new(b, layer.resistivity()).unwrap())
+        .collect();
+    let z = sys.impedance_at(3.2e9, MeshSpec::new(2, 2)).unwrap();
+    let zl = loop_impedance(&z, &[1], &[0, 2]).unwrap();
+    let (_, l) = loop_rl(&zl, 2.0 * std::f64::consts::PI * 3.2e9);
+    let by_hand = l[(0, 0)];
+    assert!(
+        (via_extractor - by_hand).abs() / by_hand < 1e-9,
+        "{via_extractor} vs {by_hand}"
+    );
+}
+
+#[test]
+fn guard_wires_shield_inter_system_coupling() {
+    // Paper Section IV: "those two guarded ground wires completely shield
+    // the inductive coupling between one multi-conductor system and its
+    // environment", and "the shielding will improve if wider ground wires
+    // are used". Two CPW systems side by side: the loop-coupling
+    // coefficient between their signals must be small and must shrink as
+    // the guards widen.
+    let layer_stack = stackup();
+    let layer = layer_stack.layer(5).unwrap().clone();
+    let omega = 2.0 * std::f64::consts::PI * 3.2e9;
+    let coupling = |gw: f64| {
+        let mut sys = PartialSystem::new();
+        let mut y = 0.0;
+        // G S G | gap | G S G, signal width 4, spacing 1, systems 10 apart.
+        let push = |sys: &mut PartialSystem, y: &mut f64, w: f64, gap: f64| {
+            let bar = Bar::new(
+                Point3::new(0.0, *y, layer.z_bottom()),
+                Axis::X,
+                1000.0,
+                w,
+                layer.thickness(),
+            )
+            .unwrap();
+            sys.push(Conductor::new(bar, layer.resistivity()).unwrap());
+            *y += w + gap;
+        };
+        for (w, gap) in [
+            (gw, 1.0), (4.0, 1.0), (gw, 10.0), // system 1 + inter-system gap
+            (gw, 1.0), (4.0, 1.0), (gw, 0.0),  // system 2
+        ] {
+            push(&mut sys, &mut y, w, gap);
+        }
+        let z = sys.impedance_at(3.2e9, MeshSpec::new(3, 2)).unwrap();
+        let zl = loop_impedance(&z, &[1, 4], &[0, 2, 3, 5]).unwrap();
+        let (_, l) = loop_rl(&zl, omega);
+        l[(0, 1)].abs() / (l[(0, 0)] * l[(1, 1)]).sqrt()
+    };
+    let k_narrow = coupling(2.0);
+    let k_wide = coupling(8.0);
+    assert!(k_narrow < 0.35, "guards should shield: k = {k_narrow}");
+    assert!(k_wide < k_narrow, "wider guards shield better: {k_wide} vs {k_narrow}");
+}
+
+#[test]
+fn loop_l_increases_with_spacing() {
+    // Pushing the returns away grows the loop area.
+    let ex = BlockExtractor::new(stackup(), 5).unwrap().mesh(MeshSpec::new(2, 1));
+    let mut last = 0.0;
+    for s in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let block = Block::coplanar_waveguide(1000.0, 4.0, 4.0, s).unwrap();
+        let l = ex.extract(&block).unwrap().loop_l[(0, 0)];
+        assert!(l > last, "s = {s}: {l} !> {last}");
+        last = l;
+    }
+}
+
+#[test]
+fn tables_reproduce_solver_at_grid_points() {
+    let tables = TableBuilder::new(stackup(), 5)
+        .unwrap()
+        .widths(vec![2.0, 5.0, 10.0])
+        .spacings(vec![0.5, 1.0, 2.0])
+        .lengths(vec![250.0, 1000.0, 4000.0])
+        .mesh(MeshSpec::new(2, 1))
+        .build()
+        .unwrap();
+    // At a grid point the spline passes through the sample exactly, so the
+    // lookup equals a fresh solve with identical settings.
+    let layer_stack = stackup();
+    let layer = layer_stack.layer(5).unwrap();
+    let bar = Bar::new(
+        Point3::new(0.0, 0.0, layer.z_bottom()),
+        Axis::X,
+        1000.0,
+        5.0,
+        layer.thickness(),
+    )
+    .unwrap();
+    let sys: PartialSystem =
+        [Conductor::new(bar, layer.resistivity()).unwrap()].into_iter().collect();
+    let (_, l) = sys.rl_at(3.2e9, MeshSpec::new(2, 1)).unwrap();
+    let rel = (tables.self_l.lookup(5.0, 1000.0) - l[(0, 0)]).abs() / l[(0, 0)];
+    assert!(rel < 1e-9, "grid-point lookup must be exact: {rel}");
+}
+
+#[test]
+fn microstrip_loop_table_below_coplanar_for_wide_signals() {
+    let tables = TableBuilder::new(stackup(), 5)
+        .unwrap()
+        .widths(vec![5.0, 10.0, 20.0])
+        .spacings(vec![1.0, 2.0])
+        .lengths(vec![500.0, 1000.0, 2000.0])
+        .shields(vec![ShieldConfig::Coplanar, ShieldConfig::PlaneBelow])
+        .mesh(MeshSpec::new(2, 1))
+        .build()
+        .unwrap();
+    let cpw = tables.loop_table(ShieldConfig::Coplanar).unwrap();
+    let ms = tables.loop_table(ShieldConfig::PlaneBelow).unwrap();
+    for &w in &[10.0, 20.0] {
+        assert!(ms.lookup_l(w, 2000.0) < cpw.lookup_l(w, 2000.0));
+    }
+}
+
+#[test]
+fn skin_effect_visible_between_dc_and_significant_frequency() {
+    let layer_stack = stackup();
+    let layer = layer_stack.layer(5).unwrap();
+    let bar = Bar::new(
+        Point3::new(0.0, 0.0, layer.z_bottom()),
+        Axis::X,
+        2000.0,
+        20.0,
+        layer.thickness(),
+    )
+    .unwrap();
+    let sys: PartialSystem = [Conductor::new(bar, RHO_COPPER).unwrap()].into_iter().collect();
+    let mesh = MeshSpec::new(6, 3);
+    let (r_lo, l_lo) = sys.rl_at(1e6, mesh).unwrap();
+    let (r_hi, l_hi) = sys.rl_at(1e10, mesh).unwrap();
+    assert!(r_hi[(0, 0)] > r_lo[(0, 0)]);
+    assert!(l_hi[(0, 0)] < l_lo[(0, 0)]);
+}

@@ -1,0 +1,179 @@
+//! The paper's headline claims, as regression tests.
+//!
+//! Each test corresponds to a row of `EXPERIMENTS.md`: if one of these
+//! breaks, the repository no longer reproduces the paper.
+
+use rlcx::core::{ClocktreeExtractor, TableBuilder, TreeNetlistBuilder};
+use rlcx::geom::units::RHO_COPPER;
+use rlcx::geom::{Block, SegmentTree, Stackup};
+use rlcx::peec::partial::{mutual_filaments_aligned_m, self_partial_ruehli};
+use rlcx::peec::{FlatTreeSolver, MeshSpec};
+use rlcx::spice::{measure, Transient, Waveform};
+
+/// E1 (Figures 1–3): with a strong driver the 6 mm CPW's delay with
+/// inductance clearly exceeds the RC-only delay and the RLC waveform
+/// overshoots — the paper's 28.01 ps vs 47.6 ps contrast.
+#[test]
+fn e1_cpw_delay_contrast() {
+    let stackup = Stackup::hp_six_metal_copper();
+    let tables = TableBuilder::new(stackup.clone(), 5)
+        .unwrap()
+        .widths(vec![5.0, 10.0, 20.0])
+        .spacings(vec![0.5, 1.0, 2.0])
+        .lengths(vec![1500.0, 3000.0, 6000.0])
+        .mesh(MeshSpec::new(2, 1))
+        .build()
+        .unwrap();
+    let ex = ClocktreeExtractor::new(stackup, 5, tables).unwrap();
+    let mut tree = SegmentTree::new(0.0, 0.0);
+    tree.add_node(0, 6000.0, 0.0).unwrap();
+    let cross = Block::coplanar_waveguide(1.0, 10.0, 5.0, 1.0).unwrap();
+    let run = |include_l: bool| {
+        let out = TreeNetlistBuilder::new(&ex)
+            .sections_per_segment(10)
+            .include_inductance(include_l)
+            .driver_resistance(15.0)
+            .input(Waveform::ramp(0.0, 1.8, 0.0, 50e-12))
+            .sink_cap(30e-15)
+            .build(&tree, &cross)
+            .unwrap();
+        let res = Transient::new(&out.netlist).timestep(0.2e-12).duration(1.5e-9).run().unwrap();
+        let t = res.time().to_vec();
+        let vin = res.voltage("drv_in").unwrap().to_vec();
+        let vout = res.voltage(&out.sinks[0]).unwrap().to_vec();
+        (
+            measure::delay_50(&t, &vin, &vout, 0.0, 1.8).unwrap(),
+            measure::overshoot(&vout, 0.0, 1.8),
+        )
+    };
+    let (d_rc, os_rc) = run(false);
+    let (d_rlc, os_rlc) = run(true);
+    // Paper ratio: 47.6/28.01 = 1.70. Demand at least 1.4 and at most 2.5.
+    let ratio = d_rlc / d_rc;
+    assert!(ratio > 1.4 && ratio < 2.5, "delay ratio {ratio}");
+    assert!(os_rlc > 0.1, "RLC overshoot {os_rlc}");
+    assert!(os_rc < 1e-6, "RC overshoot {os_rc}");
+    // Absolute bands (loose): tens of picoseconds.
+    assert!(d_rc > 10e-12 && d_rc < 80e-12, "RC delay {d_rc}");
+    assert!(d_rlc > 25e-12 && d_rlc < 150e-12, "RLC delay {d_rlc}");
+}
+
+/// E3 (Table I): linear cascading of the Figure 6 trees — flat vs
+/// series/parallel combination within a few percent (paper: 3.57 % and
+/// 1.55 %).
+#[test]
+fn e3_linear_cascading_error_small() {
+    let solver = FlatTreeSolver::new(1.2, 1.2, 0.6, 0.8, RHO_COPPER)
+        .unwrap()
+        .frequency(3.2e9);
+    for (tree, paper_err) in [(SegmentTree::fig6a(), 3.57), (SegmentTree::fig6b(), 1.55)] {
+        let flat = solver.flat_loop_inductance(&tree).unwrap();
+        let casc = solver.cascaded_loop_inductance(&tree).unwrap();
+        let err = (flat - casc).abs() / flat * 100.0;
+        // Our guarded structures cascade at least as well as the paper's.
+        assert!(err <= paper_err + 1.0, "cascading error {err}% vs paper {paper_err}%");
+    }
+}
+
+/// E5: self and mutual inductance grow super-linearly with length; the
+/// 1000 → 2000 µm ratio is clearly above 2 (paper Section V).
+#[test]
+fn e5_superlinear_inductance() {
+    let l1 = self_partial_ruehli(1000.0, 10.0, 2.0);
+    let l2 = self_partial_ruehli(2000.0, 10.0, 2.0);
+    assert!(l2 / l1 > 2.15 && l2 / l1 < 2.35, "self ratio {}", l2 / l1);
+    let m1 = mutual_filaments_aligned_m(1000e-6, 11e-6);
+    let m2 = mutual_filaments_aligned_m(2000e-6, 11e-6);
+    assert!(m2 / m1 > 2.2 && m2 / m1 < 2.5, "mutual ratio {}", m2 / m1);
+}
+
+/// E6: table lookup reproduces the field solver within 1 % at off-grid
+/// points — "without loss of accuracy".
+#[test]
+fn e6_table_accuracy_within_one_percent() {
+    let stackup = Stackup::hp_six_metal_copper();
+    let tables = TableBuilder::new(stackup.clone(), 5)
+        .unwrap()
+        .widths(vec![1.0, 2.0, 5.0, 10.0, 20.0])
+        .spacings(vec![0.5, 1.0, 2.0, 5.0])
+        .lengths(vec![200.0, 400.0, 800.0, 1600.0, 3200.0])
+        .mesh(MeshSpec::new(2, 1))
+        .build()
+        .unwrap();
+    let layer = stackup.layer(5).unwrap();
+    use rlcx::geom::{Axis, Bar, Point3};
+    use rlcx::peec::{Conductor, PartialSystem};
+    for (w, len) in [(3.0, 600.0), (7.0, 1200.0), (15.0, 2400.0)] {
+        let bar = Bar::new(
+            Point3::new(0.0, 0.0, layer.z_bottom()),
+            Axis::X,
+            len,
+            w,
+            layer.thickness(),
+        )
+        .unwrap();
+        let sys: PartialSystem =
+            [Conductor::new(bar, layer.resistivity()).unwrap()].into_iter().collect();
+        let (_, l) = sys.rl_at(3.2e9, MeshSpec::new(2, 1)).unwrap();
+        let rel = (tables.self_l.lookup(w, len) - l[(0, 0)]).abs() / l[(0, 0)];
+        assert!(rel < 0.01, "w={w}, len={len}: {rel}");
+    }
+}
+
+/// E7: partial self inductance is an order of magnitude less sensitive to
+/// width/thickness variation than resistance (the basis for "nominal L +
+/// statistical RC").
+#[test]
+fn e7_inductance_insensitive_to_geometry() {
+    // ±10 % width and thickness happening together.
+    let nominal_l = self_partial_ruehli(2000.0, 10.0, 2.0);
+    let nominal_r = RHO_COPPER * 2000e-6 / (10e-6 * 2e-6);
+    let worst_l = self_partial_ruehli(2000.0, 9.0, 1.8);
+    let worst_r = RHO_COPPER * 2000e-6 / (9e-6 * 1.8e-6);
+    let dl = (worst_l - nominal_l).abs() / nominal_l;
+    let dr = (worst_r - nominal_r).abs() / nominal_r;
+    assert!(dl < 0.02, "L moved {dl}");
+    assert!(dr > 0.15, "R moved {dr}");
+    assert!(dr / dl > 10.0, "sensitivity ratio {}", dr / dl);
+}
+
+/// Section IV: per-segment extraction *underestimates* inductance relative
+/// to whole-length extraction when segments are unguarded (collinear
+/// coupling), which is exactly what guard wires fix.
+#[test]
+fn segment_underestimation_without_guards() {
+    use rlcx::peec::partial::{mutual_partial, self_partial};
+    use rlcx::geom::{Axis, Bar, Point3};
+    let half = 1000.0;
+    let a = Bar::new(Point3::new(0.0, 0.0, 9.4), Axis::X, half, 10.0, 2.0).unwrap();
+    let b = Bar::new(Point3::new(half, 0.0, 9.4), Axis::X, half, 10.0, 2.0).unwrap();
+    let whole = Bar::new(Point3::new(0.0, 0.0, 9.4), Axis::X, 2.0 * half, 10.0, 2.0).unwrap();
+    let sum_of_parts = self_partial(&a) + self_partial(&b);
+    let l_whole = self_partial(&whole);
+    assert!(
+        l_whole > 1.05 * sum_of_parts,
+        "whole {l_whole} vs parts {sum_of_parts}"
+    );
+    // The missing piece is exactly twice the inter-segment mutual.
+    let m = mutual_partial(&a, &b);
+    let reconstructed = sum_of_parts + 2.0 * m;
+    assert!((reconstructed - l_whole).abs() / l_whole < 0.02);
+}
+
+/// Section IV continued: with guard wires, the cascading error of a split
+/// straight run is far below the unguarded underestimation.
+#[test]
+fn guards_enable_cascading() {
+    let solver = FlatTreeSolver::new(5.0, 5.0, 1.0, 2.0, RHO_COPPER)
+        .unwrap()
+        .frequency(3.2e9);
+    let mut split = SegmentTree::new(0.0, 0.0);
+    let mid = split.add_node(0, 1000.0, 0.0).unwrap();
+    split.add_node(mid, 2000.0, 0.0).unwrap();
+    let flat = solver.flat_loop_inductance(&split).unwrap();
+    let casc = solver.cascaded_loop_inductance(&split).unwrap();
+    let guarded_err = (flat - casc).abs() / flat;
+    // Unguarded self-L underestimation for the same split is >10 % (per the
+    // previous test: 2M/L_whole); guarded cascading is several times better.
+    assert!(guarded_err < 0.06, "guarded cascading error {guarded_err}");
+}
