@@ -1,35 +1,28 @@
 //! E3 benchmark: flat whole-tree solve vs linear cascading (Table I) —
 //! cascading is the efficient path, the flat solve is the reference.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rlcx::geom::units::RHO_COPPER;
 use rlcx::geom::SegmentTree;
 use rlcx::peec::FlatTreeSolver;
+use rlcx_bench::harness::Bench;
 use std::hint::black_box;
 
-fn bench_cascading(c: &mut Criterion) {
+fn main() {
     let solver = FlatTreeSolver::new(1.2, 1.2, 0.6, 0.8, RHO_COPPER)
         .unwrap()
         .frequency(3.2e9);
     let tree = SegmentTree::fig6a();
-    let mut group = c.benchmark_group("cascading");
-    group.sample_size(10);
-    group.bench_function("flat_tree_solve_fig6a", |b| {
-        b.iter(|| black_box(solver.flat_loop_inductance(black_box(&tree)).unwrap()))
-    });
-    group.bench_function("cascaded_solve_fig6a", |b| {
-        b.iter(|| black_box(solver.cascaded_loop_inductance(black_box(&tree)).unwrap()))
-    });
-    group.bench_function("series_parallel_combination_only", |b| {
-        // The pure combination step, with per-edge inductances precomputed —
-        // this is all the production flow pays per net after table lookup.
-        let per_edge: Vec<f64> = (0..tree.edges().len())
-            .map(|e| solver.segment_loop_inductance(tree.edge_length(e)).unwrap())
-            .collect();
-        b.iter(|| black_box(tree.cascaded_inductance(&|e| per_edge[e])))
-    });
-    group.finish();
+    println!("cascading");
+    Bench::new("flat_tree_solve_fig6a")
+        .run(|| black_box(solver.flat_loop_inductance(black_box(&tree)).unwrap()));
+    Bench::new("cascaded_solve_fig6a")
+        .run(|| black_box(solver.cascaded_loop_inductance(black_box(&tree)).unwrap()));
+    // The pure combination step, with per-edge inductances precomputed —
+    // this is all the production flow pays per net after table lookup.
+    let per_edge: Vec<f64> = (0..tree.edges().len())
+        .map(|e| solver.segment_loop_inductance(tree.edge_length(e)).unwrap())
+        .collect();
+    Bench::new("series_parallel_combination_only")
+        .samples(100)
+        .run(|| black_box(tree.cascaded_inductance(&|e| per_edge[e])));
 }
-
-criterion_group!(benches, bench_cascading);
-criterion_main!(benches);

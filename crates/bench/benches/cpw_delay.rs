@@ -1,10 +1,10 @@
 //! E1 benchmark: the Figure 1 flow end-to-end — extraction, netlist
 //! formulation and transient simulation of the 6 mm CPW clock net.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rlcx::core::{ClocktreeExtractor, TreeNetlistBuilder};
 use rlcx::geom::{Block, SegmentTree};
 use rlcx::spice::{Transient, Waveform};
+use rlcx_bench::harness::Bench;
 use rlcx_bench::{extractor, quick_tables};
 use std::hint::black_box;
 
@@ -16,49 +16,38 @@ fn setup() -> (ClocktreeExtractor, SegmentTree, Block) {
     (ex, tree, cross)
 }
 
-fn bench_cpw(c: &mut Criterion) {
+fn main() {
     let (ex, tree, cross) = setup();
-    let mut group = c.benchmark_group("cpw_delay");
+    println!("cpw_delay");
 
-    group.bench_function("extract_segment", |b| {
-        let block = cross.with_length(6000.0).unwrap();
-        b.iter(|| black_box(ex.extract_segment(black_box(&block)).unwrap()))
+    let block = cross.with_length(6000.0).unwrap();
+    Bench::new("extract_segment").run(|| black_box(ex.extract_segment(black_box(&block)).unwrap()));
+
+    Bench::new("build_netlist_10_sections").run(|| {
+        black_box(
+            TreeNetlistBuilder::new(&ex)
+                .sections_per_segment(10)
+                .build(&tree, &cross)
+                .unwrap(),
+        )
     });
 
-    group.bench_function("build_netlist_10_sections", |b| {
-        b.iter(|| {
+    for (label, include_l) in [("transient_rc", false), ("transient_rlc", true)] {
+        let out = TreeNetlistBuilder::new(&ex)
+            .sections_per_segment(10)
+            .include_inductance(include_l)
+            .driver_resistance(15.0)
+            .input(Waveform::ramp(0.0, 1.8, 0.0, 50e-12))
+            .build(&tree, &cross)
+            .unwrap();
+        Bench::new(label).run(|| {
             black_box(
-                TreeNetlistBuilder::new(&ex)
-                    .sections_per_segment(10)
-                    .build(&tree, &cross)
+                Transient::new(&out.netlist)
+                    .timestep(0.5e-12)
+                    .duration(1.0e-9)
+                    .run()
                     .unwrap(),
             )
-        })
-    });
-
-    group.sample_size(10);
-    for (label, include_l) in [("transient_rc", false), ("transient_rlc", true)] {
-        group.bench_function(label, |b| {
-            let out = TreeNetlistBuilder::new(&ex)
-                .sections_per_segment(10)
-                .include_inductance(include_l)
-                .driver_resistance(15.0)
-                .input(Waveform::ramp(0.0, 1.8, 0.0, 50e-12))
-                .build(&tree, &cross)
-                .unwrap();
-            b.iter(|| {
-                black_box(
-                    Transient::new(&out.netlist)
-                        .timestep(0.5e-12)
-                        .duration(1.0e-9)
-                        .run()
-                        .unwrap(),
-                )
-            })
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cpw);
-criterion_main!(benches);

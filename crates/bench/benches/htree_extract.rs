@@ -1,31 +1,23 @@
 //! E4 benchmark: per-stage clocktree extraction and full H-tree analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rlcx::clocktree::{BufferModel, ClockTreeAnalyzer};
 use rlcx::geom::{Block, HTree};
+use rlcx_bench::harness::Bench;
 use rlcx_bench::{extractor, quick_tables};
 use std::hint::black_box;
 
-fn bench_htree(c: &mut Criterion) {
+fn main() {
     let ex = extractor(quick_tables());
     let cross = Block::coplanar_waveguide(1.0, 5.0, 5.0, 1.0).unwrap();
-    let mut group = c.benchmark_group("htree");
-    group.sample_size(10);
+    println!("htree");
 
-    group.bench_function("stage_delays_level0", |b| {
-        let htree = HTree::new(1, 6400.0).unwrap();
-        let stage = htree.level(0).unwrap().stage_tree();
-        let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
-        b.iter(|| black_box(an.stage_delays(black_box(&stage), &cross).unwrap()))
-    });
+    let htree = HTree::new(1, 6400.0).unwrap();
+    let stage = htree.level(0).unwrap().stage_tree();
+    let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
+    Bench::new("stage_delays_level0")
+        .run(|| black_box(an.stage_delays(black_box(&stage), &cross).unwrap()));
 
-    group.bench_function("analyze_2_levels", |b| {
-        let htree = HTree::new(2, 6400.0).unwrap();
-        let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
-        b.iter(|| black_box(an.analyze(black_box(&htree), &cross).unwrap()))
-    });
-    group.finish();
+    let htree = HTree::new(2, 6400.0).unwrap();
+    Bench::new("analyze_2_levels")
+        .run(|| black_box(an.analyze(black_box(&htree), &cross).unwrap()));
 }
-
-criterion_group!(benches, bench_htree);
-criterion_main!(benches);

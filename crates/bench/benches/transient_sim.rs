@@ -1,14 +1,15 @@
 //! Circuit-simulator throughput: RLC ladders of growing size, with and
 //! without mutual coupling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rlcx::spice::{Netlist, Transient, Waveform, GROUND};
+use rlcx_bench::harness::Bench;
 use std::hint::black_box;
 
 fn ladder(sections: usize, coupled: bool) -> Netlist {
     let mut nl = Netlist::new();
     let src = nl.node("src");
-    nl.vsource("v", src, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 50e-12)).unwrap();
+    nl.vsource("v", src, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 50e-12))
+        .unwrap();
     let mut prev = src;
     let mut inductors = Vec::new();
     for i in 0..sections {
@@ -16,36 +17,43 @@ fn ladder(sections: usize, coupled: bool) -> Netlist {
         let next = nl.node(format!("n{i}"));
         nl.resistor(&format!("r{i}"), prev, mid, 0.5).unwrap();
         let l = nl.inductor(&format!("l{i}"), mid, next, 0.1e-9).unwrap();
-        nl.capacitor(&format!("c{i}"), next, GROUND, 50e-15).unwrap();
+        nl.capacitor(&format!("c{i}"), next, GROUND, 50e-15)
+            .unwrap();
         inductors.push(l);
         prev = next;
     }
     if coupled {
         for w in inductors.windows(2) {
             // k = 0.3 between neighbours.
-            nl.mutual(&format!("k{:?}", w[0]), w[0], w[1], 0.03e-9).unwrap();
+            nl.mutual(&format!("k{:?}", w[0]), w[0], w[1], 0.03e-9)
+                .unwrap();
         }
     }
     nl
 }
 
-fn bench_transient(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transient");
-    group.sample_size(10);
+fn main() {
+    println!("transient");
     for n in [8usize, 16, 32, 64] {
         let nl = ladder(n, false);
-        group.bench_with_input(BenchmarkId::new("ladder", n), &nl, |b, nl| {
-            b.iter(|| {
-                black_box(Transient::new(nl).timestep(1e-12).duration(2e-9).run().unwrap())
-            })
+        Bench::new(format!("ladder/{n}")).run(|| {
+            black_box(
+                Transient::new(&nl)
+                    .timestep(1e-12)
+                    .duration(2e-9)
+                    .run()
+                    .unwrap(),
+            )
         });
     }
     let nl = ladder(32, true);
-    group.bench_function("ladder_32_coupled", |b| {
-        b.iter(|| black_box(Transient::new(&nl).timestep(1e-12).duration(2e-9).run().unwrap()))
+    Bench::new("ladder_32_coupled").run(|| {
+        black_box(
+            Transient::new(&nl)
+                .timestep(1e-12)
+                .duration(2e-9)
+                .run()
+                .unwrap(),
+        )
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_transient);
-criterion_main!(benches);

@@ -26,9 +26,15 @@ fn main() {
             bus.cc[0] * 1e15
         );
         let drives = vec![
-            WireDrive::Driven { resistance: 15.0, wave: Waveform::ramp(0.0, 1.8, 0.0, 40e-12) },
+            WireDrive::Driven {
+                resistance: 15.0,
+                wave: Waveform::ramp(0.0, 1.8, 0.0, 40e-12),
+            },
             WireDrive::Quiet { resistance: 25.0 },
-            WireDrive::Driven { resistance: 15.0, wave: Waveform::ramp(0.0, 1.8, 0.0, 40e-12) },
+            WireDrive::Driven {
+                resistance: 15.0,
+                wave: Waveform::ramp(0.0, 1.8, 0.0, 40e-12),
+            },
         ];
         let noise = |self_l: bool, mutual: bool| {
             let nl = BusNetlistBuilder::new()
@@ -48,7 +54,12 @@ fn main() {
         let full = noise(true, true);
         let cap_only = noise(true, false);
         let rc = noise(false, false);
-        println!("  victim peak noise: full RLC+K {:.1} mV | no K {:.1} mV | RC {:.1} mV", full * 1e3, cap_only * 1e3, rc * 1e3);
+        println!(
+            "  victim peak noise: full RLC+K {:.1} mV | no K {:.1} mV | RC {:.1} mV",
+            full * 1e3,
+            cap_only * 1e3,
+            rc * 1e3
+        );
         println!(
             "  inductive contribution: {:+.1}% vs no-K, {:+.1}% vs RC",
             (full - cap_only) / cap_only * 100.0,

@@ -55,17 +55,28 @@ fn main() {
         (d, os, us)
     };
 
-    println!("\n{:<10} {:>6} {:>14} {:>11} {:>11}", "netlist", "Rdrv", "delay(src→sink)", "overshoot", "undershoot");
+    println!(
+        "\n{:<10} {:>6} {:>14} {:>11} {:>11}",
+        "netlist", "Rdrv", "delay(src→sink)", "overshoot", "undershoot"
+    );
     for &rdrv in &[40.0, 15.0] {
         let (d_rc, os_rc, us_rc) = run(false, rdrv);
         let (d_rlc, os_rlc, us_rlc) = run(true, rdrv);
         println!(
             "{:<10} {:>6.0} {:>14} {:>10.1}% {:>10.1}%",
-            "RC", rdrv, ps(d_rc), os_rc * 100.0, us_rc * 100.0
+            "RC",
+            rdrv,
+            ps(d_rc),
+            os_rc * 100.0,
+            us_rc * 100.0
         );
         println!(
             "{:<10} {:>6.0} {:>14} {:>10.1}% {:>10.1}%",
-            "RLC", rdrv, ps(d_rlc), os_rlc * 100.0, us_rlc * 100.0
+            "RLC",
+            rdrv,
+            ps(d_rlc),
+            os_rlc * 100.0,
+            us_rlc * 100.0
         );
         println!(
             "  → RLC/RC delay ratio: {:.2} (paper: 47.6/28.01 = 1.70)",

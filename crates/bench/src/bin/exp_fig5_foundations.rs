@@ -51,7 +51,10 @@ fn loop_matrix(trace_indices: &[usize]) -> Vec<Vec<f64>> {
     }
     let mesh = MeshSpec::new(2, 2);
     let z = sys
-        .impedance_at_with(F_SIG, |ci| if ci < n_sig { mesh } else { MeshSpec::single() })
+        .impedance_at_with(
+            F_SIG,
+            |ci| if ci < n_sig { mesh } else { MeshSpec::single() },
+        )
         .expect("impedance solve");
     let signals: Vec<usize> = (0..n_sig).collect();
     let grounds: Vec<usize> = (n_sig..sys.len()).collect();
@@ -65,9 +68,7 @@ fn loop_matrix(trace_indices: &[usize]) -> Vec<Vec<f64>> {
 fn main() {
     println!("E2: Figure 5 — loop-inductance foundations under a ground plane");
     println!("================================================================");
-    println!(
-        "array: 5 traces, w = {W} um, s = {S} um, len = {LEN} um, plane in layer N-2\n"
-    );
+    println!("array: 5 traces, w = {W} um, s = {S} um, len = {LEN} um, plane in layer N-2\n");
 
     let full = loop_matrix(&[0, 1, 2, 3, 4]);
     println!("(a) full-array loop-inductance matrix (x0.1 nH):");
@@ -77,7 +78,10 @@ fn main() {
     }
 
     let t1_only = loop_matrix(&[0]);
-    println!("\n(b) trace T1 solved alone: {:6.2} (x0.1 nH)", t1_only[0][0] * 1e10);
+    println!(
+        "\n(b) trace T1 solved alone: {:6.2} (x0.1 nH)",
+        t1_only[0][0] * 1e10
+    );
     let err1 = (t1_only[0][0] - full[0][0]).abs() / full[0][0];
     println!(
         "    vs full-array self term {:6.2} → Foundation 1 error: {:.2}%",
@@ -109,9 +113,7 @@ fn main() {
         err3 * 100.0
     );
 
-    println!(
-        "\npaper's claim: both reductions hold without loss of accuracy (errors of a few %)."
-    );
+    println!("\npaper's claim: both reductions hold without loss of accuracy (errors of a few %).");
     println!(
         "measured: Foundation 1 {:.2}%; Foundation 2 {:.2}% (adjacent pair) and {:.2}% \
          (farthest pair — the residual is eddy shielding by the open intermediate \

@@ -21,19 +21,28 @@ fn main() {
 
     // (a) R(f), L(f) of the Figure 1 signal trace.
     let bar = Bar::new(Point3::new(0.0, 0.0, 9.4), Axis::X, 2000.0, 10.0, 2.0).expect("bar");
-    let sys: PartialSystem =
-        [Conductor::new(bar, RHO_COPPER).expect("rho")].into_iter().collect();
+    let sys: PartialSystem = [Conductor::new(bar, RHO_COPPER).expect("rho")]
+        .into_iter()
+        .collect();
     let mesh = MeshSpec::new(8, 4);
     println!("\n{:>12} {:>12} {:>12}", "f (GHz)", "R (ohm)", "L (nH)");
     for &f in &[0.01e9, 0.1e9, 1.0e9, 3.2e9, 10.0e9, 30.0e9] {
         let (r, l) = sys.rl_at(f, mesh).expect("solve");
-        println!("{:>12.2} {:>12.4} {:>12.4}", f / 1e9, r[(0, 0)], l[(0, 0)] * 1e9);
+        println!(
+            "{:>12.2} {:>12.4} {:>12.4}",
+            f / 1e9,
+            r[(0, 0)],
+            l[(0, 0)] * 1e9
+        );
     }
 
     // (b) loop inductance of the Figure 1 CPW vs characterization frequency.
     let ex = BlockExtractor::new(Stackup::hp_six_metal_copper(), 5).expect("extractor");
     let block = Block::coplanar_waveguide(2000.0, 10.0, 5.0, 1.0).expect("block");
-    println!("\n{:>12} {:>14} {:>14}", "f (GHz)", "loop L (nH)", "loop R (ohm)");
+    println!(
+        "\n{:>12} {:>14} {:>14}",
+        "f (GHz)", "loop L (nH)", "loop R (ohm)"
+    );
     let mut l_ref = 0.0;
     for &f in &[0.1e9, 1.0e9, 3.2e9, 10.0e9] {
         let out = ex.clone().frequency(f).extract(&block).expect("extract");
@@ -47,7 +56,12 @@ fn main() {
             out.loop_r[(0, 0)]
         );
     }
-    let low = ex.clone().frequency(0.1e9).extract(&block).expect("extract").loop_l[(0, 0)];
+    let low = ex
+        .clone()
+        .frequency(0.1e9)
+        .extract(&block)
+        .expect("extract")
+        .loop_l[(0, 0)];
     println!(
         "\ncharacterizing at 0.1 GHz instead of f_sig = 3.2 GHz overestimates loop L by {:.1}%",
         (low - l_ref) / l_ref * 100.0

@@ -6,11 +6,10 @@
 //! and Monte-Carlo skew under process variation (nominal L + statistical
 //! RC). Paper claim: dropping L changes results by more than 10 %.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rlcx::cap::VariationSpec;
 use rlcx::clocktree::{BufferModel, ClockTreeAnalyzer};
 use rlcx::geom::{Block, HTree, ShieldConfig};
+use rlcx::numeric::rng::SplitMix64;
 use rlcx_bench::{experiment_tables, extractor, ps};
 
 fn main() {
@@ -74,8 +73,8 @@ fn main() {
     let spec = VariationSpec::typical();
     println!("{:<8} {:>14} {:>14}", "sample", "skew (RLC)", "skew (RC)");
     for seed in 0..8u64 {
-        let mut rng_a = StdRng::seed_from_u64(seed);
-        let mut rng_b = StdRng::seed_from_u64(seed);
+        let mut rng_a = SplitMix64::new(seed);
+        let mut rng_b = SplitMix64::new(seed);
         let rlc = ClockTreeAnalyzer::new(&ex, buffer)
             .analyze_with_variation(&htree2, &cross, &spec, true, &mut rng_a)
             .expect("MC RLC");

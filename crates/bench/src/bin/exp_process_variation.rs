@@ -6,12 +6,11 @@
 //! magnitude below R's and C's — plus the skew distribution of a varied
 //! H-tree stage under the nominal-L + statistical-RC recipe.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rlcx::cap::resistance::trace_resistance;
 use rlcx::cap::{BlockCapExtractor, VariationSpec};
 use rlcx::geom::units::RHO_COPPER;
 use rlcx::geom::{Axis, Bar, Block, Point3};
+use rlcx::numeric::rng::SplitMix64;
 use rlcx::numeric::stats::Summary;
 use rlcx::peec::loop_l::{loop_impedance, loop_rl};
 use rlcx::peec::{Conductor, MeshSpec, PartialSystem};
@@ -21,8 +20,14 @@ fn loop_l_of(block: &Block, thickness: f64, z: f64) -> f64 {
     let mut sys = PartialSystem::new();
     let mut off = 0.0;
     for (i, &w) in block.widths().iter().enumerate() {
-        let bar = Bar::new(Point3::new(0.0, off, z), Axis::X, block.length(), w, thickness)
-            .expect("bar");
+        let bar = Bar::new(
+            Point3::new(0.0, off, z),
+            Axis::X,
+            block.length(),
+            w,
+            thickness,
+        )
+        .expect("bar");
         sys.push(Conductor::new(bar, RHO_COPPER).expect("rho"));
         if i < block.spacings().len() {
             off += w + block.spacings()[i];
@@ -42,11 +47,15 @@ fn main() {
     let nominal = Block::coplanar_waveguide(2000.0, 10.0, 5.0, 2.0).expect("block");
     let cap_ex = BlockCapExtractor::new(stack.clone(), CLOCK_LAYER).expect("cap extractor");
     let spec = VariationSpec::typical();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SplitMix64::new(7);
 
     let n = 60;
-    let (mut rs, mut cs, mut ls, mut lps) =
-        (Summary::new(), Summary::new(), Summary::new(), Summary::new());
+    let (mut rs, mut cs, mut ls, mut lps) = (
+        Summary::new(),
+        Summary::new(),
+        Summary::new(),
+        Summary::new(),
+    );
     for _ in 0..n {
         let (b, _dw, dt) = spec.sample_block(&nominal, &mut rng).expect("sample");
         let t = layer.thickness() * (1.0 + dt);
@@ -55,29 +64,46 @@ fn main() {
         let caps = cap_ex.extract(&b).expect("caps");
         cs.push(caps.total_trace_cap(1));
         ls.push(loop_l_of(&b, t, layer.z_bottom()));
-        lps.push(rlcx::peec::partial::self_partial_ruehli(b.length(), w_sig, t));
+        lps.push(rlcx::peec::partial::self_partial_ruehli(
+            b.length(),
+            w_sig,
+            t,
+        ));
     }
     println!("\n{n} Monte-Carlo draws of the Figure 1 segment (2 mm):");
-    println!("{:<12} {:>12} {:>12} {:>10}", "quantity", "mean", "sigma", "CoV");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "quantity", "mean", "sigma", "CoV"
+    );
     println!(
         "{:<12} {:>10.3} Ω {:>10.3} Ω {:>9.2}%",
-        "R", rs.mean(), rs.std_dev(), rs.coeff_of_variation() * 100.0
+        "R",
+        rs.mean(),
+        rs.std_dev(),
+        rs.coeff_of_variation() * 100.0
     );
     println!(
         "{:<12} {:>9.3} pF {:>9.3} pF {:>9.2}%",
-        "C", cs.mean() * 1e12, cs.std_dev() * 1e12, cs.coeff_of_variation() * 100.0
+        "C",
+        cs.mean() * 1e12,
+        cs.std_dev() * 1e12,
+        cs.coeff_of_variation() * 100.0
     );
     println!(
         "{:<12} {:>9.3} nH {:>9.4} nH {:>9.2}%",
-        "L (loop)", ls.mean() * 1e9, ls.std_dev() * 1e9, ls.coeff_of_variation() * 100.0
+        "L (loop)",
+        ls.mean() * 1e9,
+        ls.std_dev() * 1e9,
+        ls.coeff_of_variation() * 100.0
     );
     println!(
         "{:<12} {:>9.3} nH {:>9.4} nH {:>9.2}%",
-        "Lp (self)", lps.mean() * 1e9, lps.std_dev() * 1e9, lps.coeff_of_variation() * 100.0
+        "Lp (self)",
+        lps.mean() * 1e9,
+        lps.std_dev() * 1e9,
+        lps.coeff_of_variation() * 100.0
     );
-    println!(
-        "\npaper's claim: L is insensitive to process variation → CoV(L) ≪ CoV(R), CoV(C)"
-    );
+    println!("\npaper's claim: L is insensitive to process variation → CoV(L) ≪ CoV(R), CoV(C)");
     println!(
         "measured: CoV(Lloop)/CoV(R) = {:.2}, CoV(Lloop)/CoV(C) = {:.2}, CoV(Lp)/CoV(R) = {:.3}",
         ls.coeff_of_variation() / rs.coeff_of_variation(),

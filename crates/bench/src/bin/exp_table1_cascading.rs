@@ -28,7 +28,9 @@ fn main() {
         ("Fig 6(b)", SegmentTree::fig6b(), 1.55),
     ] {
         let flat = solver.flat_loop_inductance(&tree).expect("flat solve");
-        let casc = solver.cascaded_loop_inductance(&tree).expect("cascaded solve");
+        let casc = solver
+            .cascaded_loop_inductance(&tree)
+            .expect("cascaded solve");
         let err = (flat - casc).abs() / flat * 100.0;
         println!(
             "{:<12} {:>13.4} nH {:>17.4} nH {:>8.2}%   (paper: {paper_err}%)",
@@ -51,13 +53,24 @@ fn main() {
                 .frequency(F_SIG);
             let mut tree = SegmentTree::new(0.0, 0.0);
             let b = tree.add_node(0, 100.0 * scale, 0.0).expect("node");
-            let c = tree.add_node(b, 100.0 * scale, 150.0 * scale).expect("node");
-            tree.add_node(c, 100.0 * scale + 250.0 * scale, 150.0 * scale).expect("node");
-            let d = tree.add_node(b, 100.0 * scale, -100.0 * scale).expect("node");
-            tree.add_node(d, 100.0 * scale + 250.0 * scale, -100.0 * scale).expect("node");
+            let c = tree
+                .add_node(b, 100.0 * scale, 150.0 * scale)
+                .expect("node");
+            tree.add_node(c, 100.0 * scale + 250.0 * scale, 150.0 * scale)
+                .expect("node");
+            let d = tree
+                .add_node(b, 100.0 * scale, -100.0 * scale)
+                .expect("node");
+            tree.add_node(d, 100.0 * scale + 250.0 * scale, -100.0 * scale)
+                .expect("node");
             let flat = solver.flat_loop_inductance(&tree).expect("flat");
             let casc = solver.cascaded_loop_inductance(&tree).expect("cascaded");
-            println!("{:<10} {:<8} {:>8.2}%", s, scale, (flat - casc).abs() / flat * 100.0);
+            println!(
+                "{:<10} {:<8} {:>8.2}%",
+                s,
+                scale,
+                (flat - casc).abs() / flat * 100.0
+            );
         }
     }
     println!("\npaper's conclusion: guarded segments are linearly cascadable (errors of a few %)");

@@ -3,22 +3,31 @@
 //!
 //! Random geometries inside (and slightly outside) the characterized grid:
 //! relative error of the table lookup against a fresh PEEC solve, and the
-//! wall-clock ratio between a lookup and a solve.
+//! wall-clock ratio between a lookup and a solve. The tables come through
+//! the persistent cache, so the run also reports the cold-build stage
+//! breakdown (or the warm-cache load time on repeat runs).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rlcx::geom::units::RHO_COPPER;
 use rlcx::geom::{Axis, Bar, Point3};
+use rlcx::numeric::rng::{SplitMix64, UniformRng};
 use rlcx::peec::{Conductor, MeshSpec, PartialSystem};
-use rlcx_bench::{experiment_tables, stackup, F_SIG};
+use rlcx_bench::{stackup, F_SIG};
 use std::time::Instant;
 
 fn direct_self(w: f64, len: f64, mesh: MeshSpec) -> f64 {
     let layer = stackup();
     let layer = layer.layer(rlcx_bench::CLOCK_LAYER).expect("layer");
-    let bar = Bar::new(Point3::new(0.0, 0.0, layer.z_bottom()), Axis::X, len, w, layer.thickness())
-        .expect("bar");
-    let sys: PartialSystem = [Conductor::new(bar, RHO_COPPER).expect("rho")].into_iter().collect();
+    let bar = Bar::new(
+        Point3::new(0.0, 0.0, layer.z_bottom()),
+        Axis::X,
+        len,
+        w,
+        layer.thickness(),
+    )
+    .expect("bar");
+    let sys: PartialSystem = [Conductor::new(bar, RHO_COPPER).expect("rho")]
+        .into_iter()
+        .collect();
     let (_, l) = sys.rl_at(F_SIG, mesh).expect("solve");
     l[(0, 0)]
 }
@@ -27,8 +36,22 @@ fn direct_mutual(w1: f64, w2: f64, s: f64, len: f64, mesh: MeshSpec) -> f64 {
     let layer = stackup();
     let layer = layer.layer(rlcx_bench::CLOCK_LAYER).expect("layer");
     let z = layer.z_bottom();
-    let a = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, w1, layer.thickness()).expect("bar");
-    let b = Bar::new(Point3::new(0.0, w1 + s, z), Axis::X, len, w2, layer.thickness()).expect("bar");
+    let a = Bar::new(
+        Point3::new(0.0, 0.0, z),
+        Axis::X,
+        len,
+        w1,
+        layer.thickness(),
+    )
+    .expect("bar");
+    let b = Bar::new(
+        Point3::new(0.0, w1 + s, z),
+        Axis::X,
+        len,
+        w2,
+        layer.thickness(),
+    )
+    .expect("bar");
     let sys: PartialSystem = [
         Conductor::new(a, RHO_COPPER).expect("rho"),
         Conductor::new(b, RHO_COPPER).expect("rho"),
@@ -43,43 +66,61 @@ fn main() {
     println!("E6: table lookup vs direct field solve — accuracy and speed");
     println!("============================================================");
     let t0 = Instant::now();
-    let tables = experiment_tables();
+    let build = rlcx_bench::experiment_tables_cached();
     let t_build = t0.elapsed();
-    println!("table characterization time: {:.2} s\n", t_build.as_secs_f64());
+    println!(
+        "table characterization: {:.2} s ({})",
+        t_build.as_secs_f64(),
+        if build.cache_hit {
+            "warm cache — solver skipped"
+        } else {
+            "cold — full solve"
+        }
+    );
+    println!("stage breakdown:\n{}\n", build.timings);
+    let tables = build.tables;
 
     let mesh = MeshSpec::new(3, 2);
-    let mut rng = StdRng::seed_from_u64(2000);
+    let mut rng = SplitMix64::new(2000);
     let n = 40;
 
     // Self-L accuracy.
     let mut worst: f64 = 0.0;
     let mut mean = 0.0;
     for _ in 0..n {
-        let w = rng.gen_range(1.0..20.0);
-        let len = rng.gen_range(100.0..6400.0);
+        let w = rng.uniform(1.0, 20.0);
+        let len = rng.uniform(100.0, 6400.0);
         let table = tables.self_l.lookup(w, len);
         let direct = direct_self(w, len, mesh);
         let rel = (table - direct).abs() / direct;
         worst = worst.max(rel);
         mean += rel / n as f64;
     }
-    println!("self-L over {n} random in-grid points: mean err {:.2}%, worst {:.2}%", mean * 100.0, worst * 100.0);
+    println!(
+        "self-L over {n} random in-grid points: mean err {:.2}%, worst {:.2}%",
+        mean * 100.0,
+        worst * 100.0
+    );
 
     // Mutual-L accuracy.
     let mut worst_m: f64 = 0.0;
     let mut mean_m = 0.0;
     for _ in 0..n {
-        let w1 = rng.gen_range(1.0..20.0);
-        let w2 = rng.gen_range(1.0..20.0);
-        let s = rng.gen_range(0.5..5.0);
-        let len = rng.gen_range(100.0..6400.0);
+        let w1 = rng.uniform(1.0, 20.0);
+        let w2 = rng.uniform(1.0, 20.0);
+        let s = rng.uniform(0.5, 5.0);
+        let len = rng.uniform(100.0, 6400.0);
         let table = tables.mutual_l.lookup(w1, w2, s, len);
         let direct = direct_mutual(w1, w2, s, len, mesh);
         let rel = (table - direct).abs() / direct;
         worst_m = worst_m.max(rel);
         mean_m += rel / n as f64;
     }
-    println!("mutual-L over {n} random in-grid points: mean err {:.2}%, worst {:.2}%", mean_m * 100.0, worst_m * 100.0);
+    println!(
+        "mutual-L over {n} random in-grid points: mean err {:.2}%, worst {:.2}%",
+        mean_m * 100.0,
+        worst_m * 100.0
+    );
 
     // Extrapolation sanity just beyond the grid (paper: spline extrapolates).
     let l_in = tables.self_l.lookup(20.0, 6400.0);

@@ -1,12 +1,16 @@
-//! Shared setup for the experiment binaries and Criterion benches.
+//! Shared setup for the experiment binaries and benches.
 //!
 //! Every `exp_*` binary reproduces one table or figure of the paper; the
 //! mapping lives in `DESIGN.md` and the measured-vs-paper record in
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md`. The benches use the in-repo [`harness`] so the whole
+//! workspace builds and runs with zero registry access.
 
-use rlcx::core::{ClocktreeExtractor, InductanceTables, TableBuilder};
+pub mod harness;
+
+use rlcx::core::{CachedBuild, ClocktreeExtractor, InductanceTables, TableBuilder};
 use rlcx::geom::{ShieldConfig, Stackup};
 use rlcx::peec::MeshSpec;
+use std::path::PathBuf;
 
 /// The clock routing layer used throughout the experiments (thick top
 /// metal, M6 of the representative copper stackup).
@@ -29,14 +33,7 @@ pub fn stackup() -> Stackup {
 /// Panics if characterization fails (experiment binaries are allowed to
 /// abort loudly).
 pub fn experiment_tables() -> InductanceTables {
-    TableBuilder::new(stackup(), CLOCK_LAYER)
-        .expect("clock layer exists")
-        .widths(vec![1.0, 2.0, 5.0, 10.0, 20.0])
-        .spacings(vec![0.5, 1.0, 2.0, 5.0])
-        .lengths(vec![100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0])
-        .shields(vec![ShieldConfig::Coplanar, ShieldConfig::PlaneBelow])
-        .mesh(MeshSpec::new(3, 2))
-        .frequency(F_SIG)
+    experiment_builder()
         .build()
         .expect("table characterization")
 }
@@ -55,6 +52,37 @@ pub fn quick_tables() -> InductanceTables {
         .mesh(MeshSpec::new(2, 1))
         .frequency(F_SIG)
         .build()
+        .expect("table characterization")
+}
+
+/// The builder behind [`experiment_tables`], for callers that want the
+/// cached or timed build paths.
+pub fn experiment_builder() -> TableBuilder {
+    TableBuilder::new(stackup(), CLOCK_LAYER)
+        .expect("clock layer exists")
+        .widths(vec![1.0, 2.0, 5.0, 10.0, 20.0])
+        .spacings(vec![0.5, 1.0, 2.0, 5.0])
+        .lengths(vec![100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0])
+        .shields(vec![ShieldConfig::Coplanar, ShieldConfig::PlaneBelow])
+        .mesh(MeshSpec::new(3, 2))
+        .frequency(F_SIG)
+}
+
+/// The on-disk cache directory the experiments share (under `target/` so a
+/// `cargo clean` clears it).
+pub fn cache_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/rlcx-table-cache")
+}
+
+/// [`experiment_tables`] through the persistent cache: the first call per
+/// machine characterizes and stores, later calls load.
+///
+/// # Panics
+///
+/// Panics if characterization fails.
+pub fn experiment_tables_cached() -> CachedBuild {
+    experiment_builder()
+        .build_cached(cache_dir())
         .expect("table characterization")
 }
 

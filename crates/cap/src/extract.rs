@@ -69,7 +69,11 @@ impl BlockCapExtractor {
     /// Returns [`CapError::Geometry`] if the layer does not exist.
     pub fn new(stackup: Stackup, layer_index: usize) -> Result<Self> {
         stackup.layer(layer_index)?;
-        Ok(BlockCapExtractor { stackup, layer_index, orthogonal_coverage: 0.5 })
+        Ok(BlockCapExtractor {
+            stackup,
+            layer_index,
+            orthogonal_coverage: 0.5,
+        })
     }
 
     /// Sets the metal coverage assumed for the orthogonal layer below.
@@ -107,13 +111,12 @@ impl BlockCapExtractor {
             Substrate(f64),
         }
         let below = if shield.has_plane_below() {
-            let plane = self
-                .stackup
-                .plane_layer_below(self.layer_index)
-                .ok_or(rlcx_geom::GeomError::UnknownLayer {
+            let plane = self.stackup.plane_layer_below(self.layer_index).ok_or(
+                rlcx_geom::GeomError::UnknownLayer {
                     index: self.layer_index,
                     available: self.stackup.layer_count(),
-                })?;
+                },
+            )?;
             Below::Plane(layer.z_bottom() - plane.z_top())
         } else if self.layer_index > 0 {
             let under = self.stackup.layer(self.layer_index - 1)?;
@@ -122,13 +125,12 @@ impl BlockCapExtractor {
             Below::Substrate(layer.z_bottom())
         };
         let above_h = if shield.has_plane_above() {
-            let plane = self
-                .stackup
-                .plane_layer_above(self.layer_index)
-                .ok_or(rlcx_geom::GeomError::UnknownLayer {
+            let plane = self.stackup.plane_layer_above(self.layer_index).ok_or(
+                rlcx_geom::GeomError::UnknownLayer {
                     index: self.layer_index + 2,
                     available: self.stackup.layer_count(),
-                })?;
+                },
+            )?;
             Some(plane.z_bottom() - layer.z_top())
         } else {
             None
@@ -193,8 +195,12 @@ mod tests {
     #[test]
     fn cap_scales_linearly_with_length() {
         let ex = extractor();
-        let c1 = ex.extract(&fig1_block().with_length(1000.0).unwrap()).unwrap();
-        let c2 = ex.extract(&fig1_block().with_length(2000.0).unwrap()).unwrap();
+        let c1 = ex
+            .extract(&fig1_block().with_length(1000.0).unwrap())
+            .unwrap();
+        let c2 = ex
+            .extract(&fig1_block().with_length(2000.0).unwrap())
+            .unwrap();
         assert!((c2.total_trace_cap(1) / c1.total_trace_cap(1) - 2.0).abs() < 1e-9);
     }
 
@@ -257,7 +263,10 @@ mod tests {
 
     #[test]
     fn total_trace_cap_sums_neighbors() {
-        let caps = BlockCap { cg: vec![1.0, 2.0, 3.0], cc: vec![0.5, 0.25] };
+        let caps = BlockCap {
+            cg: vec![1.0, 2.0, 3.0],
+            cc: vec![0.5, 0.25],
+        };
         assert_eq!(caps.total_trace_cap(0), 1.5);
         assert_eq!(caps.total_trace_cap(1), 2.75);
         assert_eq!(caps.total_trace_cap(2), 3.25);

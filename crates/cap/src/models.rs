@@ -66,14 +66,11 @@ pub fn coplanar_coupling_per_m(w_min: f64, t: f64, s: f64, eps_r: f64) -> f64 {
 ///
 /// Panics (debug) if `coverage` is outside `[0, 1]` or other arguments are
 /// non-positive.
-pub fn line_over_orthogonal_layer_per_m(
-    w: f64,
-    t: f64,
-    h: f64,
-    eps_r: f64,
-    coverage: f64,
-) -> f64 {
-    debug_assert!((0.0..=1.0).contains(&coverage), "coverage must be in [0, 1]");
+pub fn line_over_orthogonal_layer_per_m(w: f64, t: f64, h: f64, eps_r: f64, coverage: f64) -> f64 {
+    debug_assert!(
+        (0.0..=1.0).contains(&coverage),
+        "coverage must be in [0, 1]"
+    );
     line_over_plane_per_m(w, t, h, eps_r) * coverage
 }
 

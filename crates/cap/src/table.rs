@@ -74,11 +74,24 @@ impl CapTable {
             cg_grid.push(cg_row);
             cc_grid.push(cc_row);
         }
-        let cg_spline = BicubicSpline::new(&widths, &spacings, &cg_grid)
-            .map_err(|e| CapError::InvalidParameter { what: format!("cg spline: {e}") })?;
-        let cc_spline = BicubicSpline::new(&widths, &spacings, &cc_grid)
-            .map_err(|e| CapError::InvalidParameter { what: format!("cc spline: {e}") })?;
-        Ok(CapTable { shield, ground_width_ratio, widths, spacings, cg_spline, cc_spline })
+        let cg_spline = BicubicSpline::new(&widths, &spacings, &cg_grid).map_err(|e| {
+            CapError::InvalidParameter {
+                what: format!("cg spline: {e}"),
+            }
+        })?;
+        let cc_spline = BicubicSpline::new(&widths, &spacings, &cc_grid).map_err(|e| {
+            CapError::InvalidParameter {
+                what: format!("cc spline: {e}"),
+            }
+        })?;
+        Ok(CapTable {
+            shield,
+            ground_width_ratio,
+            widths,
+            spacings,
+            cg_spline,
+            cc_spline,
+        })
     }
 
     /// Shield configuration of the characterization structure.
@@ -211,9 +224,30 @@ mod tests {
     #[test]
     fn validation_of_axes_and_ratio() {
         let ex = BlockCapExtractor::new(Stackup::hp_six_metal_copper(), 5).unwrap();
-        assert!(CapTable::characterize(&ex, ShieldConfig::Coplanar, 0.5, vec![1.0, 2.0], vec![1.0, 2.0]).is_err());
-        assert!(CapTable::characterize(&ex, ShieldConfig::Coplanar, 1.0, vec![1.0], vec![1.0, 2.0]).is_err());
-        assert!(CapTable::characterize(&ex, ShieldConfig::Coplanar, 1.0, vec![2.0, 1.0], vec![1.0, 2.0]).is_err());
+        assert!(CapTable::characterize(
+            &ex,
+            ShieldConfig::Coplanar,
+            0.5,
+            vec![1.0, 2.0],
+            vec![1.0, 2.0]
+        )
+        .is_err());
+        assert!(CapTable::characterize(
+            &ex,
+            ShieldConfig::Coplanar,
+            1.0,
+            vec![1.0],
+            vec![1.0, 2.0]
+        )
+        .is_err());
+        assert!(CapTable::characterize(
+            &ex,
+            ShieldConfig::Coplanar,
+            1.0,
+            vec![2.0, 1.0],
+            vec![1.0, 2.0]
+        )
+        .is_err());
     }
 
     #[test]

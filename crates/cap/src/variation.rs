@@ -9,8 +9,8 @@
 //! regenerate R and C while keeping L nominal.
 
 use crate::{CapError, Result};
-use rand::Rng;
 use rlcx_geom::{Block, BlockBuilder};
+use rlcx_numeric::rng::UniformRng;
 
 /// 3σ-style relative variation magnitudes for interconnect geometry.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,7 +25,10 @@ impl VariationSpec {
     /// A representative late-1990s process corner set: 5 % width σ,
     /// 8 % thickness σ.
     pub fn typical() -> Self {
-        VariationSpec { width_sigma: 0.05, thickness_sigma: 0.08 }
+        VariationSpec {
+            width_sigma: 0.05,
+            thickness_sigma: 0.08,
+        }
     }
 
     /// Validates the spec.
@@ -35,7 +38,10 @@ impl VariationSpec {
     /// Returns [`CapError::InvalidParameter`] for negative or ≥ 30 % sigmas
     /// (beyond which pitch-preserving sampling can drive spacings negative).
     pub fn validated(self) -> Result<Self> {
-        for (what, v) in [("width sigma", self.width_sigma), ("thickness sigma", self.thickness_sigma)] {
+        for (what, v) in [
+            ("width sigma", self.width_sigma),
+            ("thickness sigma", self.thickness_sigma),
+        ] {
             if !(0.0..0.3).contains(&v) {
                 return Err(CapError::InvalidParameter {
                     what: format!("{what} must be in [0, 0.3), got {v}"),
@@ -56,9 +62,13 @@ impl VariationSpec {
     ///
     /// Returns [`CapError::Geometry`] if the draw produces a non-positive
     /// spacing (possible only for extreme sigmas).
-    pub fn sample_block<R: Rng>(&self, block: &Block, rng: &mut R) -> Result<(Block, f64, f64)> {
-        let dw = gaussian(rng) * self.width_sigma;
-        let dt = gaussian(rng) * self.thickness_sigma;
+    pub fn sample_block<R: UniformRng>(
+        &self,
+        block: &Block,
+        rng: &mut R,
+    ) -> Result<(Block, f64, f64)> {
+        let dw = rng.gaussian() * self.width_sigma;
+        let dt = rng.gaussian() * self.thickness_sigma;
         let widths = block.widths();
         let spacings = block.spacings();
         let mut b = BlockBuilder::new(block.length()).shield(block.shield());
@@ -68,8 +78,8 @@ impl VariationSpec {
                 // Pitch preserved: the spacing absorbs both half-edges. A
                 // floor of 5 % of nominal keeps extreme draws physical
                 // (etched lines cannot merge).
-                let s = (spacings[i] - 0.5 * dw * (widths[i] + widths[i + 1]))
-                    .max(0.05 * spacings[i]);
+                let s =
+                    (spacings[i] - 0.5 * dw * (widths[i] + widths[i + 1])).max(0.05 * spacings[i]);
                 b = b.space(s);
             }
         }
@@ -83,18 +93,10 @@ impl Default for VariationSpec {
     }
 }
 
-/// One standard-normal draw from a uniform [`Rng`] via Box–Muller.
-fn gaussian<R: Rng>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rlcx_numeric::rng::SplitMix64;
     use rlcx_numeric::stats::Summary;
 
     fn base_block() -> Block {
@@ -104,18 +106,24 @@ mod tests {
     #[test]
     fn typical_spec_validates() {
         assert!(VariationSpec::typical().validated().is_ok());
-        assert!(VariationSpec { width_sigma: -0.1, thickness_sigma: 0.0 }
-            .validated()
-            .is_err());
-        assert!(VariationSpec { width_sigma: 0.0, thickness_sigma: 0.5 }
-            .validated()
-            .is_err());
+        assert!(VariationSpec {
+            width_sigma: -0.1,
+            thickness_sigma: 0.0
+        }
+        .validated()
+        .is_err());
+        assert!(VariationSpec {
+            width_sigma: 0.0,
+            thickness_sigma: 0.5
+        }
+        .validated()
+        .is_err());
     }
 
     #[test]
     fn pitch_is_preserved() {
         let spec = VariationSpec::typical();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let base = base_block();
         for _ in 0..50 {
             let (b, _, _) = spec.sample_block(&base, &mut rng).unwrap();
@@ -131,7 +139,7 @@ mod tests {
     #[test]
     fn samples_center_on_nominal() {
         let spec = VariationSpec::typical();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::new(42);
         let base = base_block();
         let s: Summary = (0..2000)
             .map(|_| spec.sample_block(&base, &mut rng).unwrap().0.widths()[1])
@@ -142,8 +150,11 @@ mod tests {
 
     #[test]
     fn zero_sigma_reproduces_nominal() {
-        let spec = VariationSpec { width_sigma: 0.0, thickness_sigma: 0.0 };
-        let mut rng = StdRng::seed_from_u64(1);
+        let spec = VariationSpec {
+            width_sigma: 0.0,
+            thickness_sigma: 0.0,
+        };
+        let mut rng = SplitMix64::new(1);
         let (b, dw, dt) = spec.sample_block(&base_block(), &mut rng).unwrap();
         assert_eq!(b.widths(), base_block().widths());
         assert_eq!(dw, 0.0);
@@ -153,7 +164,7 @@ mod tests {
     #[test]
     fn deltas_are_reported() {
         let spec = VariationSpec::typical();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let (b, dw, _) = spec.sample_block(&base_block(), &mut rng).unwrap();
         assert!((b.widths()[1] - 10.0 * (1.0 + dw)).abs() < 1e-12);
     }
@@ -161,7 +172,7 @@ mod tests {
     #[test]
     fn shield_config_is_preserved() {
         let spec = VariationSpec::typical();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::new(9);
         let base = base_block().with_shield(rlcx_geom::ShieldConfig::PlaneBelow);
         let (b, _, _) = spec.sample_block(&base, &mut rng).unwrap();
         assert_eq!(b.shield(), rlcx_geom::ShieldConfig::PlaneBelow);

@@ -92,7 +92,10 @@ pub fn estimate(
         elmore.push(d);
         tof.push(t);
     }
-    Ok(DelayEstimate { elmore, time_of_flight: tof })
+    Ok(DelayEstimate {
+        elmore,
+        time_of_flight: tof,
+    })
 }
 
 #[cfg(test)]
@@ -122,7 +125,11 @@ mod tests {
             .input(Waveform::ramp(0.0, 1.0, 0.0, 1e-12))
             .build(&tree, &cross)
             .unwrap();
-        let res = Transient::new(&out.netlist).timestep(0.2e-12).duration(2e-9).run().unwrap();
+        let res = Transient::new(&out.netlist)
+            .timestep(0.2e-12)
+            .duration(2e-9)
+            .run()
+            .unwrap();
         let t = res.time().to_vec();
         let vin = res.voltage("drv_in").unwrap().to_vec();
         let vout = res.voltage(&out.sinks[0]).unwrap().to_vec();
@@ -130,7 +137,12 @@ mod tests {
         // Elmore overestimates the 50 % delay of an RC tree by up to ~45 %
         // (ln 2 factor territory); demand the right ballpark.
         let ratio = est.elmore[0] / sim;
-        assert!(ratio > 0.9 && ratio < 1.9, "elmore {} vs sim {} (ratio {ratio})", est.elmore[0], sim);
+        assert!(
+            ratio > 0.9 && ratio < 1.9,
+            "elmore {} vs sim {} (ratio {ratio})",
+            est.elmore[0],
+            sim
+        );
     }
 
     #[test]

@@ -56,10 +56,10 @@ pub(crate) mod tests_support {
     }
 }
 
-use rand::Rng;
 use rlcx_cap::VariationSpec;
 use rlcx_core::{ClocktreeExtractor, CoreError, TreeNetlistBuilder};
 use rlcx_geom::{Block, HTree, SegmentTree};
+use rlcx_numeric::rng::UniformRng;
 use rlcx_spice::{measure, Transient, Waveform};
 
 /// Convenient result alias (clocktree analysis surfaces `rlcx-core` errors).
@@ -122,7 +122,10 @@ impl SkewReport {
         } else {
             sink_delays.iter().sum::<f64>() / sink_delays.len() as f64
         };
-        SkewReport { sink_delays, insertion_delay: mean }
+        SkewReport {
+            sink_delays,
+            insertion_delay: mean,
+        }
     }
 
     /// Clock skew: the max−min spread of sink delays (s).
@@ -220,7 +223,12 @@ impl<'a> ClockTreeAnalyzer<'a> {
             .sections_per_segment(self.sections)
             .include_inductance(self.include_inductance)
             .driver_resistance(self.buffer.resistance)
-            .input(Waveform::ramp(0.0, self.buffer.swing, 0.0, self.buffer.rise_time))
+            .input(Waveform::ramp(
+                0.0,
+                self.buffer.swing,
+                0.0,
+                self.buffer.rise_time,
+            ))
             .sink_caps(sink_caps.to_vec())
             .build(stage, cross)?;
         let res = Transient::new(&out.netlist)
@@ -302,7 +310,7 @@ impl<'a> ClockTreeAnalyzer<'a> {
     /// # Errors
     ///
     /// Propagates sampling and simulation errors.
-    pub fn analyze_with_variation<R: Rng>(
+    pub fn analyze_with_variation<R: UniformRng>(
         &self,
         htree: &HTree,
         cross: &Block,
@@ -326,10 +334,12 @@ impl<'a> ClockTreeAnalyzer<'a> {
             let mut next = Vec::new();
             for &t in &totals {
                 // One instance per accumulated path-so-far.
-                let (sampled, _, _) = spec
-                    .sample_block(cross, rng)
-                    .map_err(CoreError::Cap)?;
-                let block = if nominal_l { blend_nominal_l(cross, &sampled) } else { sampled };
+                let (sampled, _, _) = spec.sample_block(cross, rng).map_err(CoreError::Cap)?;
+                let block = if nominal_l {
+                    blend_nominal_l(cross, &sampled)
+                } else {
+                    sampled
+                };
                 let delays = self.stage_delays(&stage, &block)?;
                 for &d in &delays {
                     next.push(t + d + self.buffer.intrinsic_delay);
@@ -362,16 +372,16 @@ fn blend_nominal_l(nominal: &Block, sampled: &Block) -> Block {
             b = b.space(sampled.spacings()[i]);
         }
     }
-    b.build().expect("nominal widths and sampled spacings are positive")
+    b.build()
+        .expect("nominal widths and sampled spacings are positive")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use rlcx_core::TableBuilder;
     use rlcx_geom::Stackup;
+    use rlcx_numeric::rng::SplitMix64;
     use rlcx_peec::MeshSpec;
 
     fn extractor() -> ClocktreeExtractor {
@@ -396,7 +406,9 @@ mod tests {
         let ex = extractor();
         let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
         let htree = HTree::new(1, 3200.0).unwrap();
-        let delays = an.stage_delays(&htree.level(0).unwrap().stage_tree(), &cpw()).unwrap();
+        let delays = an
+            .stage_delays(&htree.level(0).unwrap().stage_tree(), &cpw())
+            .unwrap();
         assert_eq!(delays.len(), 4);
         for d in &delays {
             assert!((d - delays[0]).abs() < 1e-15, "symmetric sinks must match");
@@ -413,7 +425,11 @@ mod tests {
         assert_eq!(report.sink_delays.len(), 16);
         assert!(report.skew() < 1e-15);
         // Insertion delay: 3 buffer delays + 2 stage delays ≈ > 135 ps.
-        assert!(report.insertion_delay > 0.1e-9, "{}", report.insertion_delay);
+        assert!(
+            report.insertion_delay > 0.1e-9,
+            "{}",
+            report.insertion_delay
+        );
     }
 
     #[test]
@@ -447,7 +463,7 @@ mod tests {
         let ex = extractor();
         let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
         let htree = HTree::new(1, 3200.0).unwrap();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::new(11);
         let spec = VariationSpec::typical();
         let report = an
             .analyze_with_variation(&htree, &cpw(), &spec, true, &mut rng)
@@ -466,8 +482,10 @@ mod tests {
     #[test]
     fn blend_nominal_l_keeps_widths() {
         let nominal = cpw();
-        let mut rng = StdRng::seed_from_u64(5);
-        let (sampled, _, _) = VariationSpec::typical().sample_block(&nominal, &mut rng).unwrap();
+        let mut rng = SplitMix64::new(5);
+        let (sampled, _, _) = VariationSpec::typical()
+            .sample_block(&nominal, &mut rng)
+            .unwrap();
         let blended = blend_nominal_l(&nominal, &sampled);
         assert_eq!(blended.widths(), nominal.widths());
         assert_eq!(blended.spacings(), sampled.spacings());
@@ -486,12 +504,19 @@ mod tests {
         assert!(skew_rlc > 1e-12, "imbalance must create skew: {skew_rlc}");
         assert!(d_rlc[0] > d_rlc[1], "the heavy sink is the slow one");
         let an_rc = ClockTreeAnalyzer::new(&ex, BufferModel::strong()).include_inductance(false);
-        let d_rc = an_rc.stage_delays_with_loads(&stage, &cpw(), &loads).unwrap();
+        let d_rc = an_rc
+            .stage_delays_with_loads(&stage, &cpw(), &loads)
+            .unwrap();
         let skew_rc = rlcx_spice::measure::skew(&d_rc);
         let rel = (skew_rlc - skew_rc).abs() / skew_rc.max(1e-15);
-        assert!(rel > 0.02, "L should change the skew estimate: {skew_rlc} vs {skew_rc}");
+        assert!(
+            rel > 0.02,
+            "L should change the skew estimate: {skew_rlc} vs {skew_rc}"
+        );
         // Wrong load count is rejected.
-        assert!(an.stage_delays_with_loads(&stage, &cpw(), &[1e-15]).is_err());
+        assert!(an
+            .stage_delays_with_loads(&stage, &cpw(), &[1e-15])
+            .is_err());
     }
 
     #[test]

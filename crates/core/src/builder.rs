@@ -11,10 +11,15 @@
 //! them equally cheap, and it keeps the self table exact for isolated wide
 //! traces.
 
+use crate::cache::TableCache;
 use crate::table::{InductanceTables, LoopLTable, MutualLTable, SelfLTable};
 use crate::Result;
 use rlcx_geom::{Axis, Bar, Block, Point3, ShieldConfig, Stackup};
+use rlcx_numeric::parallel::par_map;
+use rlcx_numeric::Timings;
 use rlcx_peec::{BlockExtractor, Conductor, MeshSpec, PartialSystem};
+use std::fmt::Write as _;
+use std::path::Path;
 
 /// Builds [`InductanceTables`] for one routing layer of a stackup.
 ///
@@ -128,92 +133,132 @@ impl TableBuilder {
 
     /// Runs the characterization and assembles the tables.
     ///
+    /// Every grid point is an independent PEEC solve, so the three sweeps
+    /// (self, mutual, loop) each fan out over the flattened point list via
+    /// [`par_map`]; results land back in grid order, so the tables are
+    /// identical to a serial sweep.
+    ///
     /// # Errors
     ///
     /// Propagates solver errors; returns [`crate::CoreError::BadAxis`] for invalid
     /// axes.
     pub fn build(&self) -> Result<InductanceTables> {
+        self.build_timed().map(|(tables, _)| tables)
+    }
+
+    /// [`TableBuilder::build`] with a per-stage wall-clock breakdown:
+    /// `self-table`, `mutual-table` and `loop-tables`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TableBuilder::build`].
+    pub fn build_timed(&self) -> Result<(InductanceTables, Timings)> {
+        let mut timings = Timings::new();
+        let self_l = timings.time("self-table", || self.characterize_self())?;
+        let mutual_l = timings.time("mutual-table", || self.characterize_mutual())?;
+        let loop_tables = timings.time("loop-tables", || self.characterize_loops())?;
+        Ok((
+            InductanceTables::new(self_l, mutual_l, loop_tables, self.frequency),
+            timings,
+        ))
+    }
+
+    /// Self table: 1-trace solves at the significant frequency, one grid
+    /// point per parallel work item.
+    fn characterize_self(&self) -> Result<SelfLTable> {
         let layer = self.stackup.layer(self.layer_index)?;
-        let rho = layer.resistivity();
-        let t = layer.thickness();
-        let z = layer.z_bottom();
-
-        // Self table: 1-trace solves at the significant frequency.
+        let (rho, t, z) = (layer.resistivity(), layer.thickness(), layer.z_bottom());
+        let nl = self.lengths.len();
+        let points = par_map(self.widths.len() * nl, |p| -> Result<f64> {
+            let (w, len) = (self.widths[p / nl], self.lengths[p % nl]);
+            let bar = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, w, t)?;
+            let sys: PartialSystem = [Conductor::new(bar, rho)?].into_iter().collect();
+            let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
+            Ok(l[(0, 0)])
+        });
         let mut self_grid = Vec::with_capacity(self.widths.len());
-        for &w in &self.widths {
-            let mut row = Vec::with_capacity(self.lengths.len());
-            for &len in &self.lengths {
-                let bar = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, w, t)?;
-                let sys: PartialSystem = [Conductor::new(bar, rho)?].into_iter().collect();
-                let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
-                row.push(l[(0, 0)]);
-            }
-            self_grid.push(row);
+        let mut it = points.into_iter();
+        for _ in 0..self.widths.len() {
+            self_grid.push(it.by_ref().take(nl).collect::<Result<Vec<f64>>>()?);
         }
-        let self_l = SelfLTable::from_grid(self.widths.clone(), self.lengths.clone(), self_grid)?;
+        SelfLTable::from_grid(self.widths.clone(), self.lengths.clone(), self_grid)
+    }
 
-        // Mutual table: 2-trace solves, symmetric in the width pair.
+    /// Mutual table: 2-trace solves, symmetric in the width pair — only the
+    /// `i ≤ j` pairs are solved, flattened with spacing × length into the
+    /// parallel point list, then mirrored.
+    fn characterize_mutual(&self) -> Result<MutualLTable> {
+        let layer = self.stackup.layer(self.layer_index)?;
+        let (rho, t, z) = (layer.resistivity(), layer.thickness(), layer.z_bottom());
         let nw = self.widths.len();
-        let mut mutual_grid =
-            vec![vec![Vec::<Vec<f64>>::new(); nw]; nw];
-        for i in 0..nw {
-            for j in i..nw {
-                let mut per_spacing = Vec::with_capacity(self.spacings.len());
-                for &s in &self.spacings {
-                    let mut per_len = Vec::with_capacity(self.lengths.len());
-                    for &len in &self.lengths {
-                        let a = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, self.widths[i], t)?;
-                        let b = Bar::new(
-                            Point3::new(0.0, self.widths[i] + s, z),
-                            Axis::X,
-                            len,
-                            self.widths[j],
-                            t,
-                        )?;
-                        let sys: PartialSystem =
-                            [Conductor::new(a, rho)?, Conductor::new(b, rho)?].into_iter().collect();
-                        let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
-                        per_len.push(l[(0, 1)]);
-                    }
-                    per_spacing.push(per_len);
-                }
-                mutual_grid[i][j] = per_spacing.clone();
-                mutual_grid[j][i] = per_spacing;
+        let (ns, nl) = (self.spacings.len(), self.lengths.len());
+        let pairs: Vec<(usize, usize)> =
+            (0..nw).flat_map(|i| (i..nw).map(move |j| (i, j))).collect();
+        let points = par_map(pairs.len() * ns * nl, |p| -> Result<f64> {
+            let (i, j) = pairs[p / (ns * nl)];
+            let s = self.spacings[p / nl % ns];
+            let len = self.lengths[p % nl];
+            let a = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, self.widths[i], t)?;
+            let b = Bar::new(
+                Point3::new(0.0, self.widths[i] + s, z),
+                Axis::X,
+                len,
+                self.widths[j],
+                t,
+            )?;
+            let sys: PartialSystem = [Conductor::new(a, rho)?, Conductor::new(b, rho)?]
+                .into_iter()
+                .collect();
+            let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
+            Ok(l[(0, 1)])
+        });
+        let mut mutual_grid = vec![vec![Vec::<Vec<f64>>::new(); nw]; nw];
+        let mut it = points.into_iter();
+        for &(i, j) in &pairs {
+            let mut per_spacing = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                per_spacing.push(it.by_ref().take(nl).collect::<Result<Vec<f64>>>()?);
             }
+            mutual_grid[i][j] = per_spacing.clone();
+            mutual_grid[j][i] = per_spacing;
         }
-        let mutual_l = MutualLTable::from_grid(
+        MutualLTable::from_grid(
             self.widths.clone(),
             self.spacings.clone(),
             self.lengths.clone(),
             mutual_grid,
-        )?;
+        )
+    }
 
-        // Loop tables: full G-S-G (+ plane) block extraction per config.
+    /// Loop tables: full G-S-G (+ plane) block extraction per config, one
+    /// (width, length) grid point per parallel work item.
+    fn characterize_loops(&self) -> Result<Vec<LoopLTable>> {
         let extractor = BlockExtractor::new(self.stackup.clone(), self.layer_index)?
             .frequency(self.frequency)
             .mesh(self.mesh)
             .plane_strips(self.plane_strips);
+        let nl = self.lengths.len();
         let mut loop_tables = Vec::with_capacity(self.shields.len());
         for &shield in &self.shields {
+            let points = par_map(self.widths.len() * nl, |p| -> Result<(f64, f64)> {
+                let (w, len) = (self.widths[p / nl], self.lengths[p % nl]);
+                let block = Block::coplanar_waveguide(
+                    len,
+                    w,
+                    w * self.ground_width_ratio,
+                    self.loop_spacing,
+                )?
+                .with_shield(shield);
+                let out = extractor.extract(&block)?;
+                Ok((out.loop_l[(0, 0)], out.loop_r[(0, 0)]))
+            });
             let mut l_grid = Vec::with_capacity(self.widths.len());
             let mut r_grid = Vec::with_capacity(self.widths.len());
-            for &w in &self.widths {
-                let mut l_row = Vec::with_capacity(self.lengths.len());
-                let mut r_row = Vec::with_capacity(self.lengths.len());
-                for &len in &self.lengths {
-                    let block = Block::coplanar_waveguide(
-                        len,
-                        w,
-                        w * self.ground_width_ratio,
-                        self.loop_spacing,
-                    )?
-                    .with_shield(shield);
-                    let out = extractor.extract(&block)?;
-                    l_row.push(out.loop_l[(0, 0)]);
-                    r_row.push(out.loop_r[(0, 0)]);
-                }
-                l_grid.push(l_row);
-                r_grid.push(r_row);
+            let mut it = points.into_iter();
+            for _ in 0..self.widths.len() {
+                let rl: Vec<(f64, f64)> = it.by_ref().take(nl).collect::<Result<_>>()?;
+                l_grid.push(rl.iter().map(|&(l, _)| l).collect());
+                r_grid.push(rl.iter().map(|&(_, r)| r).collect());
             }
             loop_tables.push(LoopLTable::from_grid(
                 shield,
@@ -225,8 +270,100 @@ impl TableBuilder {
                 r_grid,
             )?);
         }
-        Ok(InductanceTables::new(self_l, mutual_l, loop_tables, self.frequency))
+        Ok(loop_tables)
     }
+
+    /// Content-hash key identifying this characterization: any change to
+    /// the stackup, target layer, frequency, mesh, axes, shield set or loop
+    /// geometry changes the key. Used by [`TableBuilder::build_cached`] to
+    /// decide whether a stored table file is still valid.
+    pub fn cache_key(&self) -> String {
+        // A canonical description of every input the solves depend on.
+        // f64s are rendered as exact bit patterns so "close" configurations
+        // can never collide.
+        let mut desc = String::from("rlcx-table-cache v1\n");
+        let _ = writeln!(desc, "eps_r {:016x}", self.stackup.eps_r().to_bits());
+        for layer in &self.stackup {
+            let _ = writeln!(
+                desc,
+                "layer {} {:016x} {:016x} {:016x}",
+                layer.name(),
+                layer.z_bottom().to_bits(),
+                layer.thickness().to_bits(),
+                layer.resistivity().to_bits()
+            );
+        }
+        let _ = writeln!(desc, "layer_index {}", self.layer_index);
+        let _ = writeln!(desc, "frequency {:016x}", self.frequency.to_bits());
+        let _ = writeln!(desc, "mesh {} {}", self.mesh.nw(), self.mesh.nt());
+        for (name, axis) in [
+            ("widths", &self.widths),
+            ("spacings", &self.spacings),
+            ("lengths", &self.lengths),
+        ] {
+            let _ = write!(desc, "{name}");
+            for v in axis {
+                let _ = write!(desc, " {:016x}", v.to_bits());
+            }
+            desc.push('\n');
+        }
+        let _ = write!(desc, "shields");
+        for &s in &self.shields {
+            let _ = write!(desc, " {}", crate::io::shield_name(s));
+        }
+        desc.push('\n');
+        let _ = writeln!(
+            desc,
+            "ground_width_ratio {:016x}",
+            self.ground_width_ratio.to_bits()
+        );
+        let _ = writeln!(desc, "loop_spacing {:016x}", self.loop_spacing.to_bits());
+        let _ = writeln!(desc, "plane_strips {}", self.plane_strips);
+        format!("{:016x}", crate::cache::fnv1a64(desc.as_bytes()))
+    }
+
+    /// Builds the tables through the persistent cache in `dir`: on a key
+    /// hit the stored tables are loaded and the field solver never runs; on
+    /// a miss (no file, version/key mismatch, or corrupt file) the tables
+    /// are characterized as in [`TableBuilder::build_timed`] and stored.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TableBuilder::build`], plus an error if the cache file
+    /// cannot be written. A corrupt or stale cache file is not an error —
+    /// it is silently rebuilt.
+    pub fn build_cached(&self, dir: impl AsRef<Path>) -> Result<CachedBuild> {
+        let cache = TableCache::new(dir);
+        let key = self.cache_key();
+        let mut timings = Timings::new();
+        if let Some(tables) = timings.time("cache-probe", || cache.load(&key)) {
+            return Ok(CachedBuild {
+                tables,
+                timings,
+                cache_hit: true,
+            });
+        }
+        let (tables, build_timings) = self.build_timed()?;
+        timings.absorb(&build_timings);
+        timings.time("cache-store", || cache.store(&key, &tables))?;
+        Ok(CachedBuild {
+            tables,
+            timings,
+            cache_hit: false,
+        })
+    }
+}
+
+/// The outcome of [`TableBuilder::build_cached`].
+#[derive(Debug, Clone)]
+pub struct CachedBuild {
+    /// The characterized (or cache-loaded) tables.
+    pub tables: InductanceTables,
+    /// Per-stage breakdown: `cache-probe` always; `self-table`,
+    /// `mutual-table`, `loop-tables` and `cache-store` only on a miss.
+    pub timings: Timings,
+    /// True when the tables came from the cache and no solve ran.
+    pub cache_hit: bool,
 }
 
 #[cfg(test)]
@@ -251,7 +388,10 @@ mod tests {
         // within the skin-effect correction (a few percent).
         let l_tab = tables.self_l.lookup(5.0, 400.0);
         let l_ruehli = self_partial_ruehli(400.0, 5.0, 2.0);
-        assert!((l_tab - l_ruehli).abs() / l_ruehli < 0.08, "{l_tab} vs {l_ruehli}");
+        assert!(
+            (l_tab - l_ruehli).abs() / l_ruehli < 0.08,
+            "{l_tab} vs {l_ruehli}"
+        );
         // Mutual lookup is positive and below self.
         let m = tables.mutual_l.lookup(5.0, 5.0, 1.0, 400.0);
         assert!(m > 0.0 && m < l_tab);
@@ -261,7 +401,10 @@ mod tests {
         assert!(l_loop > 0.0);
         // Loop L exceeds the *partial* self L minus mutual couplings — in
         // fact for a CPW, L_loop ≈ Ls + Lg/2 − 2M: check the physical band.
-        assert!(l_loop < 2.0 * l_tab && l_loop > 0.1 * l_tab, "L_loop = {l_loop}");
+        assert!(
+            l_loop < 2.0 * l_tab && l_loop > 0.1 * l_tab,
+            "L_loop = {l_loop}"
+        );
     }
 
     #[test]
@@ -278,8 +421,9 @@ mod tests {
             layer.thickness(),
         )
         .unwrap();
-        let sys: PartialSystem =
-            [Conductor::new(bar, layer.resistivity()).unwrap()].into_iter().collect();
+        let sys: PartialSystem = [Conductor::new(bar, layer.resistivity()).unwrap()]
+            .into_iter()
+            .collect();
         let (_, l) = sys.rl_at(3.2e9, MeshSpec::new(2, 1)).unwrap();
         let direct = l[(0, 0)];
         let table = tables.self_l.lookup(7.0, 600.0);
@@ -302,9 +446,15 @@ mod tests {
                 // The plane can never raise loop L materially; for wide
                 // signals (whose in-layer grounds are no tighter than the
                 // plane) it must clearly reduce it.
-                assert!(ratio < 1.01, "plane raised loop L at w={w}, len={len}: {ratio}");
+                assert!(
+                    ratio < 1.01,
+                    "plane raised loop L at w={w}, len={len}: {ratio}"
+                );
                 if w >= 5.0 {
-                    assert!(ratio < 0.95, "plane should help wide signals: w={w}, len={len}, {ratio}");
+                    assert!(
+                        ratio < 0.95,
+                        "plane should help wide signals: w={w}, len={len}, {ratio}"
+                    );
                 }
             }
         }
@@ -328,6 +478,10 @@ mod tests {
         let tables = small_builder().build().unwrap();
         let l1 = tables.self_l.lookup(10.0, 400.0);
         let l2 = tables.self_l.lookup(10.0, 800.0);
-        assert!(l2 / l1 > 2.05, "table should preserve super-linear growth: {}", l2 / l1);
+        assert!(
+            l2 / l1 > 2.05,
+            "table should preserve super-linear growth: {}",
+            l2 / l1
+        );
     }
 }

@@ -111,7 +111,13 @@ impl ClocktreeExtractor {
             }
             cg.push(c);
         }
-        Ok(BusRlc { r, l: solved.loop_l, cg, cc, length: block.length() })
+        Ok(BusRlc {
+            r,
+            l: solved.loop_l,
+            cg,
+            cc,
+            length: block.length(),
+        })
     }
 }
 
@@ -244,8 +250,10 @@ impl BusNetlistBuilder {
                     if m_sec == 0.0 {
                         continue;
                     }
-                    for s in 0..k {
-                        nl.mutual(&format!("k{i}_{j}s{s}"), inductors[i][s], inductors[j][s], m_sec)?;
+                    for (s, (&li, &lj)) in
+                        inductors[i].iter().zip(&inductors[j]).enumerate().take(k)
+                    {
+                        nl.mutual(&format!("k{i}_{j}s{s}"), li, lj, m_sec)?;
                     }
                 }
             }
@@ -351,7 +359,11 @@ mod tests {
                 .include_mutual_inductance(mutual)
                 .build(&bus, &drives)
                 .unwrap();
-            let res = Transient::new(&nl).timestep(0.5e-12).duration(1.5e-9).run().unwrap();
+            let res = Transient::new(&nl)
+                .timestep(0.5e-12)
+                .duration(1.5e-9)
+                .run()
+                .unwrap();
             let v = res.voltage("out1").unwrap();
             v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
         };
@@ -378,7 +390,11 @@ mod tests {
             WireDrive::Quiet { resistance: 50.0 },
         ];
         let nl = BusNetlistBuilder::new().build(&bus, &drives).unwrap();
-        let res = Transient::new(&nl).timestep(1e-12).duration(0.5e-9).run().unwrap();
+        let res = Transient::new(&nl)
+            .timestep(1e-12)
+            .duration(0.5e-9)
+            .run()
+            .unwrap();
         for i in 0..3 {
             let v = res.voltage(&format!("out{i}")).unwrap();
             assert!(v.iter().all(|&x| x.abs() < 1e-9));
@@ -395,8 +411,15 @@ mod tests {
         };
         let quiet = WireDrive::Quiet { resistance: 25.0 };
         let noise = |drives: Vec<WireDrive>| {
-            let nl = BusNetlistBuilder::new().sections(4).build(&bus, &drives).unwrap();
-            let res = Transient::new(&nl).timestep(0.5e-12).duration(1e-9).run().unwrap();
+            let nl = BusNetlistBuilder::new()
+                .sections(4)
+                .build(&bus, &drives)
+                .unwrap();
+            let res = Transient::new(&nl)
+                .timestep(0.5e-12)
+                .duration(1e-9)
+                .run()
+                .unwrap();
             let v = res.voltage("out1").unwrap();
             v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
         };
@@ -417,7 +440,11 @@ mod tests {
             })
             .collect();
         let nl = BusNetlistBuilder::new().build(&bus, &drives).unwrap();
-        let res = Transient::new(&nl).timestep(1e-12).duration(2e-9).run().unwrap();
+        let res = Transient::new(&nl)
+            .timestep(1e-12)
+            .duration(2e-9)
+            .run()
+            .unwrap();
         let t = res.time().to_vec();
         let delays: Vec<f64> = (0..3)
             .map(|i| {

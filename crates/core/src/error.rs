@@ -99,7 +99,10 @@ mod tests {
     fn sources_are_chained() {
         let e = CoreError::from(GeomError::TooFewTraces { got: 1 });
         assert!(e.source().is_some());
-        let e = CoreError::BadAxis { axis: "width".into(), what: "empty".into() };
+        let e = CoreError::BadAxis {
+            axis: "width".into(),
+            what: "empty".into(),
+        };
         assert!(e.source().is_none());
         assert!(e.to_string().contains("width"));
     }

@@ -40,7 +40,12 @@ impl ClocktreeExtractor {
     pub fn new(stackup: Stackup, layer_index: usize, tables: InductanceTables) -> Result<Self> {
         let cap = BlockCapExtractor::new(stackup.clone(), layer_index)?;
         stackup.layer(layer_index)?;
-        Ok(ClocktreeExtractor { stackup, layer_index, tables, cap })
+        Ok(ClocktreeExtractor {
+            stackup,
+            layer_index,
+            tables,
+            cap,
+        })
     }
 
     /// Borrows the tables.
@@ -84,7 +89,12 @@ impl ClocktreeExtractor {
         let r = trace_resistance(len, w, layer.thickness(), layer.resistivity());
         let caps = self.cap.extract(block)?;
         let c = caps.total_trace_cap(*signal);
-        Ok(SegmentRlc { r, l, c, length: len })
+        Ok(SegmentRlc {
+            r,
+            l,
+            c,
+            length: len,
+        })
     }
 }
 
@@ -198,7 +208,8 @@ impl<'a> TreeNetlistBuilder<'a> {
             let rlc = self.extractor.extract_segment(&block)?;
             // Subdivide into k sections; table L is for the whole segment,
             // distributed evenly (R and C are linear in length anyway).
-            let (r_sec, l_sec, c_half) = (rlc.r / k as f64, rlc.l / k as f64, rlc.c / (2.0 * k as f64));
+            let (r_sec, l_sec, c_half) =
+                (rlc.r / k as f64, rlc.l / k as f64, rlc.c / (2.0 * k as f64));
             let mut from = nl.node(node_name(edge.from));
             for s in 0..k {
                 let to = if s == k - 1 {
@@ -234,7 +245,10 @@ impl<'a> TreeNetlistBuilder<'a> {
         let mut sinks = Vec::new();
         for (k, leaf) in leaves.iter().enumerate() {
             let node = nl.node(node_name(*leaf));
-            let c = self.sink_caps.as_ref().map_or(self.sink_cap, |caps| caps[k]);
+            let c = self
+                .sink_caps
+                .as_ref()
+                .map_or(self.sink_cap, |caps| caps[k]);
             nl.capacitor(&format!("cload{leaf}"), node, GROUND, c)?;
             sinks.push(node_name(*leaf));
         }

@@ -25,7 +25,7 @@ use rlcx_geom::ShieldConfig;
 use std::fmt::Write as _;
 use std::path::Path;
 
-fn shield_name(s: ShieldConfig) -> &'static str {
+pub(crate) fn shield_name(s: ShieldConfig) -> &'static str {
     match s {
         ShieldConfig::Coplanar => "coplanar",
         ShieldConfig::PlaneBelow => "plane-below",
@@ -40,7 +40,9 @@ fn shield_from_name(name: &str) -> Result<ShieldConfig> {
         "plane-below" => Ok(ShieldConfig::PlaneBelow),
         "plane-above" => Ok(ShieldConfig::PlaneAbove),
         "plane-both" => Ok(ShieldConfig::PlaneBoth),
-        other => Err(CoreError::MissingTable { what: format!("unknown shield config {other}") }),
+        other => Err(CoreError::MissingTable {
+            what: format!("unknown shield config {other}"),
+        }),
     }
 }
 
@@ -133,7 +135,11 @@ impl<'a> Lines<'a> {
             })?;
         if vals.len() != n {
             return Err(CoreError::MissingTable {
-                what: format!("line {}: expected {n} values, got {}", self.line_no, vals.len()),
+                what: format!(
+                    "line {}: expected {n} values, got {}",
+                    self.line_no,
+                    vals.len()
+                ),
             });
         }
         Ok(vals)
@@ -152,22 +158,31 @@ impl<'a> Lines<'a> {
 /// malformed content, and [`CoreError::BadAxis`] for axes that fail the
 /// usual validation.
 pub fn from_string(text: &str) -> Result<InductanceTables> {
-    let mut lines = Lines { inner: text.lines(), line_no: 0 };
+    let mut lines = Lines {
+        inner: text.lines(),
+        line_no: 0,
+    };
     let header = lines.next_line()?;
     if header != "rlcx-tables v1" {
-        return Err(CoreError::MissingTable { what: format!("bad header: {header}") });
+        return Err(CoreError::MissingTable {
+            what: format!("bad header: {header}"),
+        });
     }
     let freq_line = lines.next_line()?;
     let frequency = freq_line
         .strip_prefix("frequency ")
         .and_then(|v| v.trim().parse::<f64>().ok())
-        .ok_or(CoreError::MissingTable { what: format!("bad frequency line: {freq_line}") })?;
+        .ok_or(CoreError::MissingTable {
+            what: format!("bad frequency line: {freq_line}"),
+        })?;
 
     // self
     let head = lines.next_line()?;
     let parts: Vec<&str> = head.split_whitespace().collect();
     if parts.len() != 3 || parts[0] != "self" {
-        return Err(CoreError::MissingTable { what: format!("expected self header, got {head}") });
+        return Err(CoreError::MissingTable {
+            what: format!("expected self header, got {head}"),
+        });
     }
     let (nw, nl): (usize, usize) = (parse_usize(parts[1])?, parse_usize(parts[2])?);
     let widths = lines.axis(nw)?;
@@ -179,9 +194,15 @@ pub fn from_string(text: &str) -> Result<InductanceTables> {
     let head = lines.next_line()?;
     let parts: Vec<&str> = head.split_whitespace().collect();
     if parts.len() != 4 || parts[0] != "mutual" {
-        return Err(CoreError::MissingTable { what: format!("expected mutual header, got {head}") });
+        return Err(CoreError::MissingTable {
+            what: format!("expected mutual header, got {head}"),
+        });
     }
-    let (nw, ns, nl) = (parse_usize(parts[1])?, parse_usize(parts[2])?, parse_usize(parts[3])?);
+    let (nw, ns, nl) = (
+        parse_usize(parts[1])?,
+        parse_usize(parts[2])?,
+        parse_usize(parts[3])?,
+    );
     let widths = lines.axis(nw)?;
     let spacings = lines.axis(ns)?;
     let lengths = lines.axis(nl)?;
@@ -209,26 +230,33 @@ pub fn from_string(text: &str) -> Result<InductanceTables> {
             });
         }
         let shield = shield_from_name(parts[1])?;
-        let ratio: f64 = parts[2]
-            .parse()
-            .map_err(|_| CoreError::MissingTable { what: format!("bad ratio {}", parts[2]) })?;
-        let spacing: f64 = parts[3]
-            .parse()
-            .map_err(|_| CoreError::MissingTable { what: format!("bad spacing {}", parts[3]) })?;
+        let ratio: f64 = parts[2].parse().map_err(|_| CoreError::MissingTable {
+            what: format!("bad ratio {}", parts[2]),
+        })?;
+        let spacing: f64 = parts[3].parse().map_err(|_| CoreError::MissingTable {
+            what: format!("bad spacing {}", parts[3]),
+        })?;
         let (nw, nl) = (parse_usize(parts[4])?, parse_usize(parts[5])?);
         let widths = lines.axis(nw)?;
         let lengths = lines.axis(nl)?;
         let l = lines.grid(nw, nl)?;
         let r = lines.grid(nw, nl)?;
-        loop_tables.push(LoopLTable::from_grid(shield, ratio, spacing, widths, lengths, l, r)?);
+        loop_tables.push(LoopLTable::from_grid(
+            shield, ratio, spacing, widths, lengths, l, r,
+        )?);
     }
-    Ok(InductanceTables::new(self_l, mutual_l, loop_tables, frequency))
+    Ok(InductanceTables::new(
+        self_l,
+        mutual_l,
+        loop_tables,
+        frequency,
+    ))
 }
 
 fn parse_usize(token: &str) -> Result<usize> {
-    token
-        .parse()
-        .map_err(|_| CoreError::MissingTable { what: format!("bad count {token}") })
+    token.parse().map_err(|_| CoreError::MissingTable {
+        what: format!("bad count {token}"),
+    })
 }
 
 /// Saves tables to a file.
@@ -303,7 +331,10 @@ mod tests {
         let path = std::env::temp_dir().join("rlcx_tables_test.txt");
         save(&tables, &path).unwrap();
         let parsed = load(&path).unwrap();
-        assert_eq!(parsed.self_l.lookup(4.0, 600.0), tables.self_l.lookup(4.0, 600.0));
+        assert_eq!(
+            parsed.self_l.lookup(4.0, 600.0),
+            tables.self_l.lookup(4.0, 600.0)
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -317,7 +348,10 @@ mod tests {
             .collect::<Vec<_>>()
             .join("\n");
         let parsed = from_string(&commented).unwrap();
-        assert_eq!(parsed.self_l.lookup(2.0, 200.0), tables.self_l.lookup(2.0, 200.0));
+        assert_eq!(
+            parsed.self_l.lookup(2.0, 200.0),
+            tables.self_l.lookup(2.0, 200.0)
+        );
     }
 
     #[test]

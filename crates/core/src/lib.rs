@@ -49,6 +49,7 @@
 
 pub mod builder;
 pub mod bus;
+pub mod cache;
 pub mod extractor;
 pub mod io;
 pub mod segment;
@@ -56,8 +57,9 @@ pub mod table;
 
 mod error;
 
-pub use builder::TableBuilder;
+pub use builder::{CachedBuild, TableBuilder};
 pub use bus::{BusNetlistBuilder, BusRlc, WireDrive};
+pub use cache::TableCache;
 pub use error::CoreError;
 pub use extractor::{ClocktreeExtractor, TreeNetlistBuilder, TreeRlcNetlist};
 pub use segment::SegmentRlc;

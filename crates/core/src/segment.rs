@@ -49,7 +49,12 @@ mod tests {
     use super::*;
 
     fn seg() -> SegmentRlc {
-        SegmentRlc { r: 5.0, l: 4e-9, c: 1e-12, length: 6000.0 }
+        SegmentRlc {
+            r: 5.0,
+            l: 4e-9,
+            c: 1e-12,
+            length: 6000.0,
+        }
     }
 
     #[test]
@@ -63,7 +68,12 @@ mod tests {
 
     #[test]
     fn overdamped_segment() {
-        let s = SegmentRlc { r: 500.0, l: 1e-10, c: 1e-12, length: 100.0 };
+        let s = SegmentRlc {
+            r: 500.0,
+            l: 1e-10,
+            c: 1e-12,
+            length: 100.0,
+        };
         assert!(s.damping_factor() > 1.0);
     }
 }

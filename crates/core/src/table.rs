@@ -31,7 +31,10 @@ fn validate_axis(name: &str, axis: &[f64]) -> Result<()> {
         }
     }
     if axis[0] <= 0.0 {
-        return Err(CoreError::BadAxis { axis: name.into(), what: "points must be positive".into() });
+        return Err(CoreError::BadAxis {
+            axis: name.into(),
+            what: "points must be positive".into(),
+        });
     }
     Ok(())
 }
@@ -55,7 +58,12 @@ impl SelfLTable {
         validate_axis("width", &widths)?;
         validate_axis("length", &lengths)?;
         let spline = BicubicSpline::new(&widths, &lengths, &values)?;
-        Ok(SelfLTable { widths, lengths, values, spline })
+        Ok(SelfLTable {
+            widths,
+            lengths,
+            values,
+            spline,
+        })
     }
 
     /// The raw characterized grid `values[wi][li]` (H), for serialization
@@ -135,7 +143,13 @@ impl MutualLTable {
             }
             splines.push(srow);
         }
-        Ok(MutualLTable { widths, spacings, lengths, values, splines })
+        Ok(MutualLTable {
+            widths,
+            spacings,
+            lengths,
+            values,
+            splines,
+        })
     }
 
     /// The raw characterized grid `values[w1][w2][si][li]` (H).
@@ -154,7 +168,10 @@ impl MutualLTable {
         let v01 = self.splines[i0][j1].eval(spacing, length);
         let v10 = self.splines[i1][j0].eval(spacing, length);
         let v11 = self.splines[i1][j1].eval(spacing, length);
-        v00 * (1.0 - fx) * (1.0 - fy) + v01 * (1.0 - fx) * fy + v10 * fx * (1.0 - fy) + v11 * fx * fy
+        v00 * (1.0 - fx) * (1.0 - fy)
+            + v01 * (1.0 - fx) * fy
+            + v10 * fx * (1.0 - fy)
+            + v11 * fx * fy
     }
 
     /// The width axis (µm).
@@ -230,10 +247,12 @@ impl LoopLTable {
     ) -> Result<Self> {
         validate_axis("width", &widths)?;
         validate_axis("length", &lengths)?;
-        if !(ground_width_ratio >= 1.0) {
+        if ground_width_ratio < 1.0 || ground_width_ratio.is_nan() {
             return Err(CoreError::BadAxis {
                 axis: "ground width ratio".into(),
-                what: format!("shielding requires ratio ≥ 1 (paper Section IV), got {ground_width_ratio}"),
+                what: format!(
+                    "shielding requires ratio ≥ 1 (paper Section IV), got {ground_width_ratio}"
+                ),
             });
         }
         let l_spline = BicubicSpline::new(&widths, &lengths, &l)?;
@@ -326,7 +345,12 @@ impl InductanceTables {
         loop_tables: Vec<LoopLTable>,
         frequency: f64,
     ) -> Self {
-        InductanceTables { self_l, mutual_l, loop_tables, frequency }
+        InductanceTables {
+            self_l,
+            mutual_l,
+            loop_tables,
+            frequency,
+        }
     }
 
     /// The loop table for a shield configuration.
@@ -513,7 +537,10 @@ mod tests {
         let tables = InductanceTables::new(
             toy_self_table(),
             toy_mutual_table(),
-            vec![toy_loop_table(ShieldConfig::Coplanar), toy_loop_table(ShieldConfig::PlaneBelow)],
+            vec![
+                toy_loop_table(ShieldConfig::Coplanar),
+                toy_loop_table(ShieldConfig::PlaneBelow),
+            ],
             3.2e9,
         );
         assert!(tables.loop_table(ShieldConfig::Coplanar).is_ok());

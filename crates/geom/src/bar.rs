@@ -87,13 +87,32 @@ impl Bar {
     ///
     /// Returns [`GeomError::NonPositiveDimension`] if `length`, `width` or
     /// `thickness` is not strictly positive (or not finite).
-    pub fn new(origin: Point3, axis: Axis, length: f64, width: f64, thickness: f64) -> Result<Self> {
-        for (what, value) in [("length", length), ("width", width), ("thickness", thickness)] {
+    pub fn new(
+        origin: Point3,
+        axis: Axis,
+        length: f64,
+        width: f64,
+        thickness: f64,
+    ) -> Result<Self> {
+        for (what, value) in [
+            ("length", length),
+            ("width", width),
+            ("thickness", thickness),
+        ] {
             if !(value > 0.0 && value.is_finite()) {
-                return Err(GeomError::NonPositiveDimension { what: what.into(), value });
+                return Err(GeomError::NonPositiveDimension {
+                    what: what.into(),
+                    value,
+                });
             }
         }
-        Ok(Bar { origin, axis, length, width, thickness })
+        Ok(Bar {
+            origin,
+            axis,
+            length,
+            width,
+            thickness,
+        })
     }
 
     /// Minimum corner of the bar.
@@ -168,7 +187,10 @@ impl Bar {
     /// Panics if the bars are not parallel — the caller must check
     /// [`Bar::is_parallel`] first.
     pub fn cross_section_distance(&self, other: &Bar) -> f64 {
-        assert!(self.is_parallel(other), "cross-section distance needs parallel bars");
+        assert!(
+            self.is_parallel(other),
+            "cross-section distance needs parallel bars"
+        );
         let (t1lo, t1hi) = self.transverse_span();
         let (t2lo, t2hi) = other.transverse_span();
         let (z1lo, z1hi) = self.vertical_span();
@@ -190,7 +212,10 @@ impl Bar {
     ///
     /// Panics if the bars are not parallel.
     pub fn transverse_gap(&self, other: &Bar) -> f64 {
-        assert!(self.is_parallel(other), "transverse gap needs parallel bars");
+        assert!(
+            self.is_parallel(other),
+            "transverse gap needs parallel bars"
+        );
         let (a_lo, a_hi) = self.transverse_span();
         let (b_lo, b_hi) = other.transverse_span();
         (b_lo - a_hi).max(a_lo - b_hi)

@@ -215,15 +215,24 @@ impl Block {
     /// Returns [`GeomError::NonPositiveDimension`] for non-positive lengths.
     pub fn with_length(&self, length: f64) -> Result<Block> {
         if !(length > 0.0 && length.is_finite()) {
-            return Err(GeomError::NonPositiveDimension { what: "length".into(), value: length });
+            return Err(GeomError::NonPositiveDimension {
+                what: "length".into(),
+                value: length,
+            });
         }
-        Ok(Block { length, ..self.clone() })
+        Ok(Block {
+            length,
+            ..self.clone()
+        })
     }
 
     /// A copy with a different shield configuration.
     #[must_use]
     pub fn with_shield(&self, shield: ShieldConfig) -> Block {
-        Block { shield, ..self.clone() }
+        Block {
+            shield,
+            ..self.clone()
+        }
     }
 }
 
@@ -258,7 +267,12 @@ pub struct BlockBuilder {
 impl BlockBuilder {
     /// Starts a block of the given trace length (µm).
     pub fn new(length: f64) -> Self {
-        BlockBuilder { length, widths: Vec::new(), spacings: Vec::new(), shield: ShieldConfig::Coplanar }
+        BlockBuilder {
+            length,
+            widths: Vec::new(),
+            spacings: Vec::new(),
+            shield: ShieldConfig::Coplanar,
+        }
     }
 
     /// Appends a trace of the given width (µm).
@@ -292,7 +306,9 @@ impl BlockBuilder {
     ///   alternate correctly (`spacings = traces − 1`).
     pub fn build(self) -> Result<Block> {
         if self.widths.len() < 3 {
-            return Err(GeomError::TooFewTraces { got: self.widths.len() });
+            return Err(GeomError::TooFewTraces {
+                got: self.widths.len(),
+            });
         }
         if self.spacings.len() != self.widths.len() - 1 {
             return Err(GeomError::MalformedTree {
@@ -305,16 +321,25 @@ impl BlockBuilder {
             });
         }
         if !(self.length > 0.0 && self.length.is_finite()) {
-            return Err(GeomError::NonPositiveDimension { what: "length".into(), value: self.length });
+            return Err(GeomError::NonPositiveDimension {
+                what: "length".into(),
+                value: self.length,
+            });
         }
         for &w in &self.widths {
             if !(w > 0.0 && w.is_finite()) {
-                return Err(GeomError::NonPositiveDimension { what: "width".into(), value: w });
+                return Err(GeomError::NonPositiveDimension {
+                    what: "width".into(),
+                    value: w,
+                });
             }
         }
         for &s in &self.spacings {
             if !(s > 0.0 && s.is_finite()) {
-                return Err(GeomError::NonPositiveDimension { what: "spacing".into(), value: s });
+                return Err(GeomError::NonPositiveDimension {
+                    what: "spacing".into(),
+                    value: s,
+                });
             }
         }
         Ok(Block {
@@ -386,7 +411,11 @@ mod tests {
     #[test]
     fn builder_validation() {
         assert!(matches!(
-            BlockBuilder::new(10.0).trace(1.0).trace(1.0).space(1.0).build(),
+            BlockBuilder::new(10.0)
+                .trace(1.0)
+                .trace(1.0)
+                .space(1.0)
+                .build(),
             Err(GeomError::TooFewTraces { got: 2 })
         ));
         assert!(BlockBuilder::new(10.0)
@@ -437,6 +466,9 @@ mod tests {
         let b = fig1_block();
         assert_eq!(b.with_length(100.0).unwrap().length(), 100.0);
         assert!(b.with_length(0.0).is_err());
-        assert_eq!(b.with_shield(ShieldConfig::PlaneBoth).shield(), ShieldConfig::PlaneBoth);
+        assert_eq!(
+            b.with_shield(ShieldConfig::PlaneBoth).shield(),
+            ShieldConfig::PlaneBoth
+        );
     }
 }

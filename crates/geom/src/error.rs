@@ -45,7 +45,10 @@ impl fmt::Display for GeomError {
                 write!(f, "a block needs at least 3 traces (got {got})")
             }
             GeomError::UnknownLayer { index, available } => {
-                write!(f, "layer {index} does not exist ({available} layers in stackup)")
+                write!(
+                    f,
+                    "layer {index} does not exist ({available} layers in stackup)"
+                )
             }
             GeomError::Overlap { what } => write!(f, "conductors overlap: {what}"),
             GeomError::MalformedTree { what } => write!(f, "malformed tree: {what}"),
@@ -61,12 +64,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GeomError::NonPositiveDimension { what: "width".into(), value: -1.0 };
+        let e = GeomError::NonPositiveDimension {
+            what: "width".into(),
+            value: -1.0,
+        };
         assert!(e.to_string().contains("width"));
         assert!(e.to_string().contains("-1"));
         let e = GeomError::TooFewTraces { got: 2 };
         assert!(e.to_string().contains('2'));
-        let e = GeomError::UnknownLayer { index: 7, available: 5 };
+        let e = GeomError::UnknownLayer {
+            index: 7,
+            available: 5,
+        };
         assert!(e.to_string().contains('7') && e.to_string().contains('5'));
     }
 

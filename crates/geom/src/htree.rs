@@ -48,9 +48,11 @@ impl HTreeLevel {
         let left = t.add_node(0, -half_trunk, 0.0).expect("valid span");
         let right = t.add_node(0, half_trunk, 0.0).expect("valid span");
         t.add_node(left, -half_trunk, half_arm).expect("valid span");
-        t.add_node(left, -half_trunk, -half_arm).expect("valid span");
+        t.add_node(left, -half_trunk, -half_arm)
+            .expect("valid span");
         t.add_node(right, half_trunk, half_arm).expect("valid span");
-        t.add_node(right, half_trunk, -half_arm).expect("valid span");
+        t.add_node(right, half_trunk, -half_arm)
+            .expect("valid span");
         t
     }
 
@@ -109,7 +111,9 @@ impl HTree {
     /// or [`GeomError::MalformedTree`] for zero levels.
     pub fn new(levels: usize, die_half_span: f64) -> Result<HTree> {
         if levels == 0 {
-            return Err(GeomError::MalformedTree { what: "an H-tree needs at least one level".into() });
+            return Err(GeomError::MalformedTree {
+                what: "an H-tree needs at least one level".into(),
+            });
         }
         if !(die_half_span > 0.0 && die_half_span.is_finite()) {
             return Err(GeomError::NonPositiveDimension {
@@ -121,7 +125,11 @@ impl HTree {
         let mut drivers = vec![(0.0, 0.0)];
         let mut span = die_half_span; // level-0 H spans half the die each way
         for index in 0..levels {
-            let level = HTreeLevel { index, h_span: span, drivers: drivers.clone() };
+            let level = HTreeLevel {
+                index,
+                h_span: span,
+                drivers: drivers.clone(),
+            };
             let mut next = Vec::with_capacity(drivers.len() * 4);
             for &d in &drivers {
                 next.extend(level.sinks_of(d));
@@ -213,7 +221,11 @@ mod tests {
         assert_eq!(stage.leaves().len(), 4);
         // Each root-to-sink path has the same length (zero skew by design).
         for leaf in stage.leaves() {
-            let len: f64 = stage.path_from_root(leaf).iter().map(|&e| stage.edge_length(e)).sum();
+            let len: f64 = stage
+                .path_from_root(leaf)
+                .iter()
+                .map(|&e| stage.edge_length(e))
+                .sum();
             assert_eq!(len, 3000.0);
         }
     }

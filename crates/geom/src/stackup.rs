@@ -29,12 +29,23 @@ impl Layer {
     /// `thickness` or `rho`.
     pub fn new(name: impl Into<String>, z_bottom: f64, thickness: f64, rho: f64) -> Result<Self> {
         if !(thickness > 0.0 && thickness.is_finite()) {
-            return Err(GeomError::NonPositiveDimension { what: "layer thickness".into(), value: thickness });
+            return Err(GeomError::NonPositiveDimension {
+                what: "layer thickness".into(),
+                value: thickness,
+            });
         }
         if !(rho > 0.0 && rho.is_finite()) {
-            return Err(GeomError::NonPositiveDimension { what: "resistivity".into(), value: rho });
+            return Err(GeomError::NonPositiveDimension {
+                what: "resistivity".into(),
+                value: rho,
+            });
         }
-        Ok(Layer { name: name.into(), z_bottom, thickness, rho })
+        Ok(Layer {
+            name: name.into(),
+            z_bottom,
+            thickness,
+            rho,
+        })
     }
 
     /// Layer name (e.g. `"M5"`).
@@ -99,7 +110,10 @@ impl Stackup {
     /// [`GeomError::NonPositiveDimension`] for a non-positive `eps_r`.
     pub fn new(layers: Vec<Layer>, eps_r: f64) -> Result<Self> {
         if !(eps_r > 0.0 && eps_r.is_finite()) {
-            return Err(GeomError::NonPositiveDimension { what: "relative permittivity".into(), value: eps_r });
+            return Err(GeomError::NonPositiveDimension {
+                what: "relative permittivity".into(),
+                value: eps_r,
+            });
         }
         for pair in layers.windows(2) {
             if pair[1].z_bottom() < pair[0].z_top() {
@@ -145,7 +159,8 @@ impl Stackup {
         let mut z = 0.8;
         for i in 0..4 {
             let t = 0.6;
-            layers.push(Layer::new(format!("M{}", i + 1), z, t, RHO_ALUMINUM).expect("valid layer"));
+            layers
+                .push(Layer::new(format!("M{}", i + 1), z, t, RHO_ALUMINUM).expect("valid layer"));
             z += t + 0.7;
         }
         layers.push(Layer::new("M5", z, 1.2, RHO_ALUMINUM).expect("valid layer"));
@@ -246,7 +261,10 @@ mod tests {
 
     #[test]
     fn builtin_stackups_are_consistent() {
-        for stack in [Stackup::hp_six_metal_copper(), Stackup::asic_five_metal_aluminum()] {
+        for stack in [
+            Stackup::hp_six_metal_copper(),
+            Stackup::asic_five_metal_aluminum(),
+        ] {
             assert!(stack.layer_count() >= 5);
             let mut prev_top = f64::NEG_INFINITY;
             for layer in &stack {
@@ -261,7 +279,10 @@ mod tests {
         let stack = Stackup::hp_six_metal_copper();
         assert!(matches!(
             stack.layer(17),
-            Err(GeomError::UnknownLayer { index: 17, available: 6 })
+            Err(GeomError::UnknownLayer {
+                index: 17,
+                available: 6
+            })
         ));
     }
 

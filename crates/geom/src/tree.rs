@@ -57,7 +57,10 @@ pub struct SegmentTree {
 impl SegmentTree {
     /// Creates a tree containing only the root at `(x, y)`.
     pub fn new(x: f64, y: f64) -> Self {
-        SegmentTree { nodes: vec![TreeNode { x, y }], edges: Vec::new() }
+        SegmentTree {
+            nodes: vec![TreeNode { x, y }],
+            edges: Vec::new(),
+        }
     }
 
     /// Adds a node at `(x, y)` connected to `parent`, returning its index.
@@ -69,7 +72,9 @@ impl SegmentTree {
     /// * [`GeomError::NonPositiveDimension`] if the segment has zero length.
     pub fn add_node(&mut self, parent: usize, x: f64, y: f64) -> Result<usize> {
         let Some(p) = self.nodes.get(parent) else {
-            return Err(GeomError::MalformedTree { what: format!("parent {parent} does not exist") });
+            return Err(GeomError::MalformedTree {
+                what: format!("parent {parent} does not exist"),
+            });
         };
         let dx = x - p.x;
         let dy = y - p.y;
@@ -80,11 +85,17 @@ impl SegmentTree {
         }
         let len = dx.abs() + dy.abs();
         if len <= 0.0 {
-            return Err(GeomError::NonPositiveDimension { what: "segment length".into(), value: len });
+            return Err(GeomError::NonPositiveDimension {
+                what: "segment length".into(),
+                value: len,
+            });
         }
         let id = self.nodes.len();
         self.nodes.push(TreeNode { x, y });
-        self.edges.push(TreeEdge { from: parent, to: id });
+        self.edges.push(TreeEdge {
+            from: parent,
+            to: id,
+        });
         Ok(id)
     }
 
@@ -205,7 +216,7 @@ impl SegmentTree {
             .collect();
         if branches.len() == 1 {
             branches[0]
-        } else if branches.iter().any(|&l| l == 0.0) {
+        } else if branches.contains(&0.0) {
             0.0
         } else {
             1.0 / branches.iter().map(|l| 1.0 / l).sum::<f64>()

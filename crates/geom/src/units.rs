@@ -11,7 +11,7 @@ pub const METERS_PER_UM: f64 = 1.0e-6;
 pub const MU_0: f64 = 4.0e-7 * std::f64::consts::PI;
 
 /// Vacuum permittivity ε₀ in F/m.
-pub const EPS_0: f64 = 8.854_187_8128e-12;
+pub const EPS_0: f64 = 8.854_187_812_8e-12;
 
 /// Relative permittivity of SiO₂ (oxide dielectric of the era's processes).
 pub const EPS_R_SIO2: f64 = 3.9;
@@ -57,7 +57,10 @@ pub fn significant_frequency(rise_time_s: f64) -> f64 {
 /// Panics if `f` or `rho` is not positive.
 #[inline]
 pub fn skin_depth(rho: f64, f: f64) -> f64 {
-    assert!(f > 0.0 && rho > 0.0, "frequency and resistivity must be positive");
+    assert!(
+        f > 0.0 && rho > 0.0,
+        "frequency and resistivity must be positive"
+    );
     (rho / (std::f64::consts::PI * f * MU_0)).sqrt()
 }
 

@@ -82,6 +82,7 @@ impl Cholesky {
     /// # Errors
     ///
     /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // textbook triangular substitution
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
         if b.len() != n {
@@ -135,12 +136,7 @@ mod tests {
 
     #[test]
     fn factor_reconstructs_matrix() {
-        let a = Matrix::from_rows(&[
-            &[6.0, 2.0, 1.0],
-            &[2.0, 5.0, 2.0],
-            &[1.0, 2.0, 4.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]).unwrap();
         let ch = Cholesky::new(&a).unwrap();
         let l = ch.factor();
         let lt = l.transpose();
@@ -157,7 +153,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
         let b = [1.0, 2.0];
         let x_ch = Cholesky::new(&a).unwrap().solve(&b).unwrap();
-        let x_lu = crate::lu::LuDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::lu::LuDecomposition::new(&a)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
         for (c, l) in x_ch.iter().zip(&x_lu) {
             assert!((c - l).abs() < 1e-12);
         }
@@ -166,7 +165,10 @@ mod tests {
     #[test]
     fn indefinite_matrix_rejected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
-        assert!(matches!(Cholesky::new(&a), Err(NumericError::Singular { .. })));
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(NumericError::Singular { .. })
+        ));
         assert!(!is_positive_definite(&a));
     }
 

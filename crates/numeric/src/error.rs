@@ -46,10 +46,16 @@ impl fmt::Display for NumericError {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
             }
             NumericError::Singular { pivot } => {
-                write!(f, "matrix is singular to working precision at pivot {pivot}")
+                write!(
+                    f,
+                    "matrix is singular to working precision at pivot {pivot}"
+                )
             }
             NumericError::InsufficientData { what, needed, got } => {
-                write!(f, "insufficient data for {what}: need at least {needed}, got {got}")
+                write!(
+                    f,
+                    "insufficient data for {what}: need at least {needed}, got {got}"
+                )
             }
             NumericError::NotMonotonic { index } => {
                 write!(f, "abscissae not strictly increasing at index {index}")
@@ -81,7 +87,9 @@ mod tests {
                 got: 1,
             },
             NumericError::NotMonotonic { index: 4 },
-            NumericError::InvalidArgument { what: "negative length".into() },
+            NumericError::InvalidArgument {
+                what: "negative length".into(),
+            },
         ];
         for e in errors {
             let msg = e.to_string();

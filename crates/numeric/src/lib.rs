@@ -16,7 +16,14 @@
 //! * [`quadrature`] — Gauss–Legendre quadrature used to evaluate geometric
 //!   mean distances between conductor cross-sections,
 //! * [`stats`] — summary statistics and normal sampling for the statistical
-//!   RC / process-variation experiments.
+//!   RC / process-variation experiments,
+//! * [`parallel`] — a dependency-free scoped-thread parallel map with
+//!   deterministic index sharding (`RLCX_THREADS` overrides the thread
+//!   count),
+//! * [`rng`] — a seedable SplitMix64 generator so the workspace never
+//!   needs an external `rand` crate,
+//! * [`timing`] — ordered stage timers ([`timing::Timings`]) for
+//!   per-stage extraction breakdowns.
 //!
 //! # Example
 //!
@@ -36,15 +43,21 @@ pub mod cholesky;
 pub mod complex;
 pub mod lu;
 pub mod matrix;
+pub mod parallel;
 pub mod quadrature;
+pub mod rng;
 pub mod spline;
 pub mod stats;
+pub mod timing;
 
 mod error;
 
 pub use complex::Complex;
 pub use error::NumericError;
 pub use matrix::{CMatrix, Matrix};
+pub use parallel::{par_map, par_map_threads, thread_count};
+pub use rng::{SplitMix64, UniformRng};
+pub use timing::Timings;
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, NumericError>;

@@ -92,6 +92,7 @@ impl LuDecomposition {
     /// # Errors
     ///
     /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // textbook triangular substitution
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
         if b.len() != n {
@@ -235,6 +236,7 @@ impl CLuDecomposition {
     /// # Errors
     ///
     /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // textbook triangular substitution
     pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>> {
         let n = self.dim();
         if b.len() != n {
@@ -288,12 +290,8 @@ mod tests {
 
     #[test]
     fn solve_recovers_known_solution() {
-        let a = Matrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]).unwrap();
         let x_true = [1.0, 2.0, 3.0];
         let b = a.mul_vec(&x_true).unwrap();
         let lu = LuDecomposition::new(&a).unwrap();
@@ -378,9 +376,9 @@ mod tests {
                 col[i] = inv[(i, j)];
             }
             let prod = a.mul_vec(&col).unwrap();
-            for i in 0..3 {
+            for (i, p) in prod.iter().enumerate() {
                 let expect = if i == j { Complex::ONE } else { Complex::ZERO };
-                assert!((prod[i] - expect).abs() < 1e-12);
+                assert!((*p - expect).abs() < 1e-12);
             }
         }
     }

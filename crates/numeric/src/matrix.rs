@@ -31,7 +31,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -68,7 +72,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Builds a matrix by evaluating `f(i, j)` at every position.
@@ -201,7 +209,9 @@ impl Matrix {
     ///
     /// Panics if any index is out of bounds.
     pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> Matrix {
-        Matrix::from_fn(row_idx.len(), col_idx.len(), |i, j| self[(row_idx[i], col_idx[j])])
+        Matrix::from_fn(row_idx.len(), col_idx.len(), |i, j| {
+            self[(row_idx[i], col_idx[j])]
+        })
     }
 
     /// Maximum absolute element, or `0.0` for an empty matrix.
@@ -274,7 +284,11 @@ pub struct CMatrix {
 impl CMatrix {
     /// Creates a `rows × cols` complex matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CMatrix { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n × n` complex identity.

@@ -1,0 +1,135 @@
+//! Dependency-free scoped-thread parallel map.
+//!
+//! The PEEC assembly loops and the table characterization sweeps are
+//! embarrassingly parallel: every matrix entry / grid point is an
+//! independent pure computation. This module provides the one primitive
+//! they all share — [`par_map`] — built directly on
+//! [`std::thread::scope`], so the workspace stays free of external
+//! runtime dependencies.
+//!
+//! # Determinism
+//!
+//! Work is sharded by *index*, never by work-stealing: thread `k` of `t`
+//! computes the contiguous index range `[k·⌈n/t⌉, (k+1)·⌈n/t⌉)` and writes
+//! results straight into its disjoint slice of the output vector. Each
+//! index is evaluated by exactly one call of the (pure) closure, so the
+//! output is bit-identical regardless of thread count — `par_map_threads(1,
+//! n, f)` and `par_map_threads(64, n, f)` return the same `Vec` down to the
+//! last ULP. Tests rely on this.
+//!
+//! # Thread-count policy
+//!
+//! [`thread_count`] honours the `RLCX_THREADS` environment variable when it
+//! parses to a positive integer, and otherwise falls back to
+//! [`std::thread::available_parallelism`]. Callers that need explicit
+//! control (benchmarks, determinism tests) use [`par_map_threads`].
+
+use std::thread;
+
+/// The number of worker threads the parallel primitives use by default.
+///
+/// Resolution order:
+/// 1. `RLCX_THREADS` environment variable, if set to a positive integer;
+/// 2. [`std::thread::available_parallelism`];
+/// 3. `1` if neither is available.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("RLCX_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `0..n` with the default [`thread_count`], returning the
+/// results in index order.
+///
+/// Equivalent to `(0..n).map(f).collect()` but evaluated on multiple
+/// threads; see the module docs for the determinism guarantee.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_threads(thread_count(), n, f)
+}
+
+/// Maps `f` over `0..n` on exactly `threads` scoped threads (clamped to
+/// `[1, n]`), returning the results in index order.
+///
+/// With `threads <= 1` (or `n <= 1`) this degenerates to a plain serial
+/// loop with no thread spawn at all.
+pub fn par_map_threads<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    thread::scope(|scope| {
+        for (k, shard) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = k * chunk;
+                for (offset, slot) in shard.iter_mut().enumerate() {
+                    *slot = Some(f(base + offset));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every index is covered by exactly one shard"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map() {
+        let serial: Vec<u64> = (0..1000)
+            .map(|i| (i as u64).wrapping_mul(2654435761))
+            .collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let par = par_map_threads(threads, 1000, |i| (i as u64).wrapping_mul(2654435761));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_sizes() {
+        assert_eq!(par_map_threads(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_threads(4, 1, |i| i), vec![0]);
+        assert_eq!(par_map_threads(4, 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(par_map_threads(16, 5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn float_results_are_bit_identical_across_thread_counts() {
+        let f = |i: usize| ((i as f64) * 0.1).sin().exp() / (i as f64 + 1.0).sqrt();
+        let one: Vec<u64> = par_map_threads(1, 257, f)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let many: Vec<u64> = par_map_threads(5, 257, f)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

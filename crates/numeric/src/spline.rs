@@ -70,7 +70,11 @@ impl CubicSpline {
         for i in (0..(n - 1)).rev() {
             y2[i] = y2[i] * y2[i + 1] + u[i];
         }
-        Ok(CubicSpline { xs: xs.to_vec(), ys: ys.to_vec(), y2 })
+        Ok(CubicSpline {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            y2,
+        })
     }
 
     /// Number of knots.
@@ -86,7 +90,10 @@ impl CubicSpline {
 
     /// Domain covered by the knots, `(x_min, x_max)`.
     pub fn domain(&self) -> (f64, f64) {
-        (self.xs[0], *self.xs.last().expect("spline has at least 2 knots"))
+        (
+            self.xs[0],
+            *self.xs.last().expect("spline has at least 2 knots"),
+        )
     }
 
     /// Evaluates the spline at `x` (Numerical Recipes `splint`).
@@ -95,7 +102,10 @@ impl CubicSpline {
     pub fn eval(&self, x: f64) -> f64 {
         let n = self.xs.len();
         // Binary search for the bracketing interval; clamp for extrapolation.
-        let hi = match self.xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite knot")) {
+        let hi = match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite knot"))
+        {
             Ok(i) => i.clamp(1, n - 1),
             Err(i) => i.clamp(1, n - 1),
         };
@@ -111,7 +121,10 @@ impl CubicSpline {
     /// First derivative of the spline at `x`.
     pub fn eval_deriv(&self, x: f64) -> f64 {
         let n = self.xs.len();
-        let hi = match self.xs.binary_search_by(|v| v.partial_cmp(&x).expect("finite knot")) {
+        let hi = match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite knot"))
+        {
             Ok(i) => i.clamp(1, n - 1),
             Err(i) => i.clamp(1, n - 1),
         };
@@ -186,7 +199,10 @@ impl BicubicSpline {
             .iter()
             .map(|row| CubicSpline::new(ys, row))
             .collect::<Result<Vec<_>>>()?;
-        Ok(BicubicSpline { xs: xs.to_vec(), row_splines })
+        Ok(BicubicSpline {
+            xs: xs.to_vec(),
+            row_splines,
+        })
     }
 
     /// Evaluates the surface at `(x, y)`.

@@ -27,7 +27,13 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -107,7 +113,10 @@ impl FromIterator<f64> for Summary {
 /// Panics if `values` is empty or `p` is outside `[0, 100]`.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile {p} outside [0, 100]"
+    );
     let mut v = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
     let rank = p / 100.0 * (v.len() - 1) as f64;
@@ -121,7 +130,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 /// uniform source.
 ///
 /// The uniform source is any `FnMut() -> f64` producing values in `(0, 1)`;
-/// in production code this is an `rand::Rng` closure, in tests a fixed
+/// in production code this is a [`crate::rng::UniformRng`] draw, in tests a fixed
 /// sequence.
 #[derive(Debug)]
 pub struct NormalSampler<U> {
@@ -132,7 +141,10 @@ pub struct NormalSampler<U> {
 impl<U: FnMut() -> f64> NormalSampler<U> {
     /// Creates a sampler over the given uniform source.
     pub fn new(uniform: U) -> Self {
-        NormalSampler { uniform, spare: None }
+        NormalSampler {
+            uniform,
+            spare: None,
+        }
     }
 
     /// Draws one standard-normal variate.
@@ -164,7 +176,9 @@ mod tests {
 
     #[test]
     fn summary_basic_moments() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         // Sample std dev of that classic dataset is ~2.138.
         assert!((s.std_dev() - 2.13809).abs() < 1e-4);
@@ -209,7 +223,9 @@ mod tests {
         // A simple LCG as the uniform source keeps the test deterministic.
         let mut state: u64 = 0x2545F4914F6CDD1D;
         let mut sampler = NormalSampler::new(move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / (1u64 << 53) as f64
         });
         let s: Summary = (0..20_000).map(|_| sampler.sample()).collect();

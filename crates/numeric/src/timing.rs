@@ -1,0 +1,139 @@
+//! Lightweight stage timers for extraction pipelines.
+//!
+//! Extraction runs in recognisable stages — mesh, assemble, factor, reduce,
+//! table build — and the benches and experiment binaries want a per-stage
+//! wall-clock breakdown without dragging in a profiler. [`Timings`] is a
+//! small ordered label → duration accumulator built on [`std::time::Instant`];
+//! repeated stages under the same label accumulate, so it also works inside
+//! per-grid-point loops.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An ordered collection of named stage durations.
+#[derive(Debug, Clone, Default)]
+pub struct Timings {
+    stages: Vec<(String, Duration)>,
+}
+
+impl Timings {
+    /// An empty set of timings.
+    pub fn new() -> Self {
+        Timings::default()
+    }
+
+    /// Runs `f`, recording its wall-clock duration under `label`.
+    pub fn time<R>(&mut self, label: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record(label, start.elapsed());
+        out
+    }
+
+    /// Adds `duration` to the stage named `label` (creating it at the end of
+    /// the stage list on first use).
+    pub fn record(&mut self, label: &str, duration: Duration) {
+        if let Some((_, total)) = self.stages.iter_mut().find(|(name, _)| name == label) {
+            *total += duration;
+        } else {
+            self.stages.push((label.to_string(), duration));
+        }
+    }
+
+    /// Merges every stage of `other` into `self`.
+    pub fn absorb(&mut self, other: &Timings) {
+        for (label, duration) in &other.stages {
+            self.record(label, *duration);
+        }
+    }
+
+    /// The accumulated duration of `label`, if that stage was recorded.
+    pub fn get(&self, label: &str) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|(name, _)| name == label)
+            .map(|(_, d)| *d)
+    }
+
+    /// The stages in first-recorded order.
+    pub fn stages(&self) -> &[(String, Duration)] {
+        &self.stages
+    }
+
+    /// The sum of all stage durations.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// True if no stage has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl fmt::Display for Timings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().as_secs_f64();
+        for (label, duration) in &self.stages {
+            let secs = duration.as_secs_f64();
+            let share = if total > 0.0 {
+                100.0 * secs / total
+            } else {
+                0.0
+            };
+            writeln!(f, "  {label:<16} {:>10.3} ms  {share:>5.1}%", secs * 1e3)?;
+        }
+        write!(f, "  {:<16} {:>10.3} ms", "total", total * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_and_returns() {
+        let mut t = Timings::new();
+        let x = t.time("work", || 41 + 1);
+        assert_eq!(x, 42);
+        assert_eq!(t.stages().len(), 1);
+        assert!(t.get("work").is_some());
+        assert!(t.get("other").is_none());
+    }
+
+    #[test]
+    fn same_label_accumulates_in_place() {
+        let mut t = Timings::new();
+        t.record("a", Duration::from_millis(2));
+        t.record("b", Duration::from_millis(5));
+        t.record("a", Duration::from_millis(3));
+        assert_eq!(t.stages().len(), 2);
+        assert_eq!(t.get("a"), Some(Duration::from_millis(5)));
+        assert_eq!(t.total(), Duration::from_millis(10));
+        // First-recorded order is preserved.
+        assert_eq!(t.stages()[0].0, "a");
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Timings::new();
+        a.record("x", Duration::from_millis(1));
+        let mut b = Timings::new();
+        b.record("x", Duration::from_millis(2));
+        b.record("y", Duration::from_millis(4));
+        a.absorb(&b);
+        assert_eq!(a.get("x"), Some(Duration::from_millis(3)));
+        assert_eq!(a.get("y"), Some(Duration::from_millis(4)));
+    }
+
+    #[test]
+    fn display_lists_every_stage() {
+        let mut t = Timings::new();
+        t.record("assemble", Duration::from_millis(8));
+        t.record("factor", Duration::from_millis(2));
+        let s = format!("{t}");
+        assert!(s.contains("assemble"));
+        assert!(s.contains("factor"));
+        assert!(s.contains("total"));
+    }
+}

@@ -74,7 +74,11 @@ pub fn mutual_gmd(
 pub fn bar_gmd(a: &Bar, b: &Bar) -> f64 {
     assert!(a.is_parallel(b), "GMD requires parallel bars");
     let center = a.cross_section_distance(b);
-    let scale = a.width().max(a.thickness()).max(b.width()).max(b.thickness());
+    let scale = a
+        .width()
+        .max(a.thickness())
+        .max(b.width())
+        .max(b.thickness());
     if center > 4.0 * scale {
         return center;
     }
@@ -143,7 +147,10 @@ mod tests {
         let b = Bar::new(Point3::new(0.0, 6.0, 0.0), Axis::X, 100.0, 10.0, 2.0).unwrap();
         let g = bar_gmd(&a, &b);
         let center = a.cross_section_distance(&b);
-        assert!(g > 0.0 && (g / center - 1.0).abs() < 0.25, "g = {g}, c = {center}");
+        assert!(
+            g > 0.0 && (g / center - 1.0).abs() < 0.25,
+            "g = {g}, c = {center}"
+        );
     }
 
     #[test]

@@ -43,10 +43,14 @@ pub fn loop_impedance(z: &CMatrix, signals: &[usize], grounds: &[usize]) -> Resu
     let mut seen = vec![false; n];
     for &i in signals.iter().chain(grounds) {
         if i >= n {
-            return Err(PeecError::BadPartition { what: format!("index {i} out of range ({n})") });
+            return Err(PeecError::BadPartition {
+                what: format!("index {i} out of range ({n})"),
+            });
         }
         if seen[i] {
-            return Err(PeecError::BadPartition { what: format!("index {i} appears twice") });
+            return Err(PeecError::BadPartition {
+                what: format!("index {i} appears twice"),
+            });
         }
         seen[i] = true;
     }
@@ -317,7 +321,13 @@ impl BlockExtractor {
         let z_loop = loop_impedance(&z, &signals, &grounds)?;
         let omega = 2.0 * std::f64::consts::PI * self.frequency;
         let (loop_r, loop_l) = loop_rl(&z_loop, omega);
-        Ok(BlockExtraction { lp, r_dc, loop_r, loop_l, frequency: self.frequency })
+        Ok(BlockExtraction {
+            lp,
+            r_dc,
+            loop_r,
+            loop_l,
+            frequency: self.frequency,
+        })
     }
 
     fn plane_layer(&self, base: usize, offset: isize) -> Result<rlcx_geom::Layer> {

@@ -30,7 +30,10 @@ pub struct MeshSpec {
 impl MeshSpec {
     /// A mesh with the given divisions (clamped to at least 1 each).
     pub fn new(nw: usize, nt: usize) -> Self {
-        MeshSpec { nw: nw.max(1), nt: nt.max(1) }
+        MeshSpec {
+            nw: nw.max(1),
+            nt: nt.max(1),
+        }
     }
 
     /// The trivial 1×1 mesh: uniform current, DC-accurate.
@@ -126,8 +129,14 @@ mod tests {
         let total_area: f64 = fils.iter().map(Bar::cross_section_area).sum();
         assert!((total_area - bar().cross_section_area()).abs() < 1e-9);
         // Filaments span the full width/thickness.
-        let min_t = fils.iter().map(|f| f.transverse_span().0).fold(f64::INFINITY, f64::min);
-        let max_t = fils.iter().map(|f| f.transverse_span().1).fold(f64::NEG_INFINITY, f64::max);
+        let min_t = fils
+            .iter()
+            .map(|f| f.transverse_span().0)
+            .fold(f64::INFINITY, f64::min);
+        let max_t = fils
+            .iter()
+            .map(|f| f.transverse_span().1)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!((min_t, max_t), bar().transverse_span());
     }
 
@@ -136,7 +145,10 @@ mod tests {
         let fils = MeshSpec::new(4, 3).filaments(&bar());
         for i in 0..fils.len() {
             for j in (i + 1)..fils.len() {
-                assert!(!fils[i].intersects(&fils[j]), "filaments {i} and {j} overlap");
+                assert!(
+                    !fils[i].intersects(&fils[j]),
+                    "filaments {i} and {j} overlap"
+                );
             }
         }
     }

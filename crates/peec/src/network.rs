@@ -51,7 +51,11 @@ pub struct AcNetwork {
 impl AcNetwork {
     /// Creates a network with `node_count` nodes (indices `0..node_count`).
     pub fn new(node_count: usize) -> Self {
-        AcNetwork { node_count, branches: Vec::new(), mutuals: Vec::new() }
+        AcNetwork {
+            node_count,
+            branches: Vec::new(),
+            mutuals: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -77,11 +81,16 @@ impl AcNetwork {
             });
         }
         if b.from == b.to {
-            return Err(PeecError::BadIndex { what: format!("self-loop at node {}", b.from) });
+            return Err(PeecError::BadIndex {
+                what: format!("self-loop at node {}", b.from),
+            });
         }
         if b.r < 0.0 || b.l < 0.0 || !b.r.is_finite() || !b.l.is_finite() {
             return Err(PeecError::InvalidParameter {
-                what: format!("branch R = {}, L = {} must be finite and non-negative", b.r, b.l),
+                what: format!(
+                    "branch R = {}, L = {} must be finite and non-negative",
+                    b.r, b.l
+                ),
             });
         }
         self.branches.push(b);
@@ -101,7 +110,9 @@ impl AcNetwork {
             });
         }
         if !m.is_finite() {
-            return Err(PeecError::InvalidParameter { what: format!("mutual {m} must be finite") });
+            return Err(PeecError::InvalidParameter {
+                what: format!("mutual {m} must be finite"),
+            });
         }
         self.mutuals.push((b1, b2, m));
         Ok(())
@@ -117,7 +128,12 @@ impl AcNetwork {
     /// * [`PeecError::InvalidParameter`] for non-positive `omega`,
     /// * [`PeecError::Numeric`] if the network is singular (e.g. `plus` and
     ///   `minus` are not connected).
-    pub fn driving_point_impedance(&self, plus: usize, minus: usize, omega: f64) -> Result<Complex> {
+    pub fn driving_point_impedance(
+        &self,
+        plus: usize,
+        minus: usize,
+        omega: f64,
+    ) -> Result<Complex> {
         if plus >= self.node_count || minus >= self.node_count || plus == minus {
             return Err(PeecError::BadIndex {
                 what: format!("port ({plus}, {minus}) vs {} nodes", self.node_count),
@@ -194,8 +210,20 @@ mod tests {
     #[test]
     fn series_branches_add() {
         let mut net = AcNetwork::new(3);
-        net.add_branch(Branch { from: 0, to: 1, r: 1.0, l: 1e-9 }).unwrap();
-        net.add_branch(Branch { from: 1, to: 2, r: 2.0, l: 3e-9 }).unwrap();
+        net.add_branch(Branch {
+            from: 0,
+            to: 1,
+            r: 1.0,
+            l: 1e-9,
+        })
+        .unwrap();
+        net.add_branch(Branch {
+            from: 1,
+            to: 2,
+            r: 2.0,
+            l: 3e-9,
+        })
+        .unwrap();
         let z = net.driving_point_impedance(0, 2, OMEGA).unwrap();
         assert!((z.re - 3.0).abs() < 1e-9);
         assert!((z.im / OMEGA - 4e-9).abs() < 1e-20);
@@ -204,8 +232,20 @@ mod tests {
     #[test]
     fn parallel_branches_combine() {
         let mut net = AcNetwork::new(2);
-        net.add_branch(Branch { from: 0, to: 1, r: 2.0, l: 0.0 }).unwrap();
-        net.add_branch(Branch { from: 0, to: 1, r: 2.0, l: 0.0 }).unwrap();
+        net.add_branch(Branch {
+            from: 0,
+            to: 1,
+            r: 2.0,
+            l: 0.0,
+        })
+        .unwrap();
+        net.add_branch(Branch {
+            from: 0,
+            to: 1,
+            r: 2.0,
+            l: 0.0,
+        })
+        .unwrap();
         let z = net.driving_point_impedance(0, 1, OMEGA).unwrap();
         assert!((z.re - 1.0).abs() < 1e-12);
     }
@@ -217,8 +257,22 @@ mod tests {
         // because the return branch is traversed against its reference.
         let (ls, lg, m) = (1.0e-9, 1.2e-9, 0.4e-9);
         let mut net = AcNetwork::new(3);
-        let s = net.add_branch(Branch { from: 0, to: 1, r: 0.1, l: ls }).unwrap();
-        let g = net.add_branch(Branch { from: 1, to: 2, r: 0.1, l: lg }).unwrap();
+        let s = net
+            .add_branch(Branch {
+                from: 0,
+                to: 1,
+                r: 0.1,
+                l: ls,
+            })
+            .unwrap();
+        let g = net
+            .add_branch(Branch {
+                from: 1,
+                to: 2,
+                r: 0.1,
+                l: lg,
+            })
+            .unwrap();
         net.add_mutual(s, g, -m).unwrap();
         let l = net.driving_point_inductance(0, 2, OMEGA).unwrap();
         assert!((l - (ls + lg - 2.0 * m)).abs() / l < 1e-12);
@@ -230,8 +284,22 @@ mod tests {
         // = (L + M)/2.
         let (l0, m) = (2.0e-9, 0.5e-9);
         let mut net = AcNetwork::new(2);
-        let b1 = net.add_branch(Branch { from: 0, to: 1, r: 0.0, l: l0 }).unwrap();
-        let b2 = net.add_branch(Branch { from: 0, to: 1, r: 0.0, l: l0 }).unwrap();
+        let b1 = net
+            .add_branch(Branch {
+                from: 0,
+                to: 1,
+                r: 0.0,
+                l: l0,
+            })
+            .unwrap();
+        let b2 = net
+            .add_branch(Branch {
+                from: 0,
+                to: 1,
+                r: 0.0,
+                l: l0,
+            })
+            .unwrap();
         net.add_mutual(b1, b2, m).unwrap();
         let l = net.driving_point_inductance(0, 1, OMEGA).unwrap();
         assert!((l - (l0 + m) / 2.0).abs() / l < 1e-10);
@@ -240,18 +308,58 @@ mod tests {
     #[test]
     fn disconnected_port_is_singular() {
         let mut net = AcNetwork::new(4);
-        net.add_branch(Branch { from: 0, to: 1, r: 1.0, l: 0.0 }).unwrap();
-        net.add_branch(Branch { from: 2, to: 3, r: 1.0, l: 0.0 }).unwrap();
+        net.add_branch(Branch {
+            from: 0,
+            to: 1,
+            r: 1.0,
+            l: 0.0,
+        })
+        .unwrap();
+        net.add_branch(Branch {
+            from: 2,
+            to: 3,
+            r: 1.0,
+            l: 0.0,
+        })
+        .unwrap();
         assert!(net.driving_point_impedance(0, 3, OMEGA).is_err());
     }
 
     #[test]
     fn validation_errors() {
         let mut net = AcNetwork::new(2);
-        assert!(net.add_branch(Branch { from: 0, to: 5, r: 1.0, l: 0.0 }).is_err());
-        assert!(net.add_branch(Branch { from: 1, to: 1, r: 1.0, l: 0.0 }).is_err());
-        assert!(net.add_branch(Branch { from: 0, to: 1, r: -1.0, l: 0.0 }).is_err());
-        let b = net.add_branch(Branch { from: 0, to: 1, r: 1.0, l: 1e-9 }).unwrap();
+        assert!(net
+            .add_branch(Branch {
+                from: 0,
+                to: 5,
+                r: 1.0,
+                l: 0.0
+            })
+            .is_err());
+        assert!(net
+            .add_branch(Branch {
+                from: 1,
+                to: 1,
+                r: 1.0,
+                l: 0.0
+            })
+            .is_err());
+        assert!(net
+            .add_branch(Branch {
+                from: 0,
+                to: 1,
+                r: -1.0,
+                l: 0.0
+            })
+            .is_err());
+        let b = net
+            .add_branch(Branch {
+                from: 0,
+                to: 1,
+                r: 1.0,
+                l: 1e-9,
+            })
+            .unwrap();
         assert!(net.add_mutual(b, b, 1e-10).is_err());
         assert!(net.add_mutual(b, 9, 1e-10).is_err());
         assert!(net.driving_point_impedance(0, 0, OMEGA).is_err());
@@ -261,9 +369,27 @@ mod tests {
     #[test]
     fn reference_node_choice_does_not_matter() {
         let mut net = AcNetwork::new(3);
-        net.add_branch(Branch { from: 0, to: 1, r: 1.5, l: 1e-9 }).unwrap();
-        net.add_branch(Branch { from: 1, to: 2, r: 0.5, l: 2e-9 }).unwrap();
-        net.add_branch(Branch { from: 0, to: 2, r: 3.0, l: 1e-9 }).unwrap();
+        net.add_branch(Branch {
+            from: 0,
+            to: 1,
+            r: 1.5,
+            l: 1e-9,
+        })
+        .unwrap();
+        net.add_branch(Branch {
+            from: 1,
+            to: 2,
+            r: 0.5,
+            l: 2e-9,
+        })
+        .unwrap();
+        net.add_branch(Branch {
+            from: 0,
+            to: 2,
+            r: 3.0,
+            l: 1e-9,
+        })
+        .unwrap();
         let z02 = net.driving_point_impedance(0, 2, OMEGA).unwrap();
         let z20 = net.driving_point_impedance(2, 0, OMEGA).unwrap();
         assert!((z02 - z20).abs() < 1e-12 * z02.abs());
@@ -275,7 +401,13 @@ mod tests {
         // Z_in = 1 Ω for all arms equal to 1 Ω.
         let mut net = AcNetwork::new(4);
         for (f, t) in [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)] {
-            net.add_branch(Branch { from: f, to: t, r: 1.0, l: 0.0 }).unwrap();
+            net.add_branch(Branch {
+                from: f,
+                to: t,
+                r: 1.0,
+                l: 0.0,
+            })
+            .unwrap();
         }
         let z = net.driving_point_impedance(0, 3, OMEGA).unwrap();
         assert!((z.re - 1.0).abs() < 1e-12);

@@ -97,10 +97,7 @@ pub fn mutual_partial(a: &Bar, b: &Bar) -> f64 {
     if !a.is_parallel(b) {
         return 0.0;
     }
-    debug_assert!(
-        !substantially_intersects(a, b),
-        "bars must not intersect"
-    );
+    debug_assert!(!substantially_intersects(a, b), "bars must not intersect");
     let scale = a
         .width()
         .max(a.thickness())
@@ -141,7 +138,8 @@ fn substantially_intersects(a: &Bar, b: &Bar) -> bool {
             .max(b.width())
             .max(b.thickness())
             .max(1.0);
-    let depth = |(a_lo, a_hi): (f64, f64), (b_lo, b_hi): (f64, f64)| a_hi.min(b_hi) - a_lo.max(b_lo);
+    let depth =
+        |(a_lo, a_hi): (f64, f64), (b_lo, b_hi): (f64, f64)| a_hi.min(b_hi) - a_lo.max(b_lo);
     depth(a.axial_span(), b.axial_span()) > tol
         && depth(a.transverse_span(), b.transverse_span()) > tol
         && depth(a.vertical_span(), b.vertical_span()) > tol
@@ -253,7 +251,11 @@ mod tests {
         let m = mutual_partial(&a, &b);
         let ls = self_partial(&a);
         assert!(m > 0.0, "m = {m}");
-        assert!(m < 0.25 * ls, "collinear coupling should be a modest fraction: {}", m / ls);
+        assert!(
+            m < 0.25 * ls,
+            "collinear coupling should be a modest fraction: {}",
+            m / ls
+        );
         // And the whole-length self L exceeds the cascaded sum by that coupling.
         let whole = Bar::new(Point3::new(0.0, 0.0, 10.0), Axis::X, 2000.5, 10.0, 2.0).unwrap();
         let l_whole = self_partial(&whole);
@@ -290,7 +292,10 @@ mod tests {
         let a = bar(0.0, 1500.0, 5.0);
         let b = bar(7.0, 1500.0, 5.0);
         let m0 = mutual_partial(&a, &b);
-        let m1 = mutual_partial(&a.translated(50.0, 30.0, 0.0), &b.translated(50.0, 30.0, 0.0));
+        let m1 = mutual_partial(
+            &a.translated(50.0, 30.0, 0.0),
+            &b.translated(50.0, 30.0, 0.0),
+        );
         assert!((m0 - m1).abs() / m0 < 1e-12);
     }
 

@@ -12,7 +12,24 @@ use crate::partial::{dc_resistance, mutual_partial, self_partial};
 use crate::{PeecError, Result};
 use rlcx_geom::Bar;
 use rlcx_numeric::lu::CLuDecomposition;
-use rlcx_numeric::{CMatrix, Complex, Matrix};
+use rlcx_numeric::parallel::{par_map_threads, thread_count};
+use rlcx_numeric::{CMatrix, Complex, Matrix, Timings};
+
+/// Row index of the `k`-th work item when the `n` upper-triangle rows are
+/// walked heaviest-first interleaved with lightest-first (0, n−1, 1, n−2, …).
+///
+/// Row `i` of the upper triangle holds `n − i` entries, so contiguous
+/// index sharding would hand the first thread almost all the work; this
+/// pairing keeps every contiguous shard near the average load while the
+/// *output* row stays identified by its true index — determinism is
+/// untouched.
+fn balanced_row(k: usize, n: usize) -> usize {
+    if k.is_multiple_of(2) {
+        k / 2
+    } else {
+        n - 1 - k / 2
+    }
+}
 
 /// One conductor of a [`PartialSystem`]: a bar plus its resistivity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,7 +85,9 @@ pub struct PartialSystem {
 impl PartialSystem {
     /// Creates an empty system.
     pub fn new() -> Self {
-        PartialSystem { conductors: Vec::new() }
+        PartialSystem {
+            conductors: Vec::new(),
+        }
     }
 
     /// Adds a conductor, returning its index.
@@ -94,13 +113,37 @@ impl PartialSystem {
 
     /// DC partial-inductance matrix (H): `Lp[i][i]` from the self formula,
     /// `Lp[i][j]` from the mutual formula (zero for orthogonal pairs).
+    ///
+    /// Each upper-triangle entry is an independent GMD quadrature, so the
+    /// rows are assembled on [`thread_count`] scoped threads; the result is
+    /// bit-identical to the serial loop (see
+    /// [`PartialSystem::lp_matrix_with_threads`]).
     pub fn lp_matrix(&self) -> Matrix {
+        self.lp_matrix_with_threads(thread_count())
+    }
+
+    /// [`PartialSystem::lp_matrix`] with an explicit thread count.
+    ///
+    /// Every entry is computed by the same pure function regardless of
+    /// sharding, so any two thread counts produce bit-identical matrices —
+    /// the determinism tests compare `lp_matrix_with_threads(1)` against
+    /// `lp_matrix_with_threads(n)` exactly.
+    pub fn lp_matrix_with_threads(&self, threads: usize) -> Matrix {
         let n = self.len();
-        let mut lp = Matrix::zeros(n, n);
-        for i in 0..n {
-            lp[(i, i)] = self_partial(&self.conductors[i].bar);
+        let rows = par_map_threads(threads, n, |k| {
+            let i = balanced_row(k, n);
+            // Entries (i, i..n) of the upper triangle.
+            let mut row = vec![0.0; n - i];
+            row[0] = self_partial(&self.conductors[i].bar);
             for j in (i + 1)..n {
-                let m = mutual_partial(&self.conductors[i].bar, &self.conductors[j].bar);
+                row[j - i] = mutual_partial(&self.conductors[i].bar, &self.conductors[j].bar);
+            }
+            (i, row)
+        });
+        let mut lp = Matrix::zeros(n, n);
+        for (i, row) in rows {
+            for (offset, m) in row.into_iter().enumerate() {
+                let j = i + offset;
                 lp[(i, j)] = m;
                 lp[(j, i)] = m;
             }
@@ -141,7 +184,28 @@ impl PartialSystem {
     /// # Errors
     ///
     /// Same as [`PartialSystem::impedance_at`].
-    pub fn impedance_at_with(&self, f: f64, mesh_for: impl Fn(usize) -> MeshSpec) -> Result<CMatrix> {
+    pub fn impedance_at_with(
+        &self,
+        f: f64,
+        mesh_for: impl Fn(usize) -> MeshSpec,
+    ) -> Result<CMatrix> {
+        let mut scratch = Timings::new();
+        self.impedance_at_with_timings(f, mesh_for, &mut scratch)
+    }
+
+    /// [`PartialSystem::impedance_at_with`] with per-stage timing: `mesh`,
+    /// `assemble` (filament Z fill), `factor` (LU inverse) and `reduce`
+    /// (conductor-level admittance collapse) are accumulated into `timings`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PartialSystem::impedance_at`].
+    pub fn impedance_at_with_timings(
+        &self,
+        f: f64,
+        mesh_for: impl Fn(usize) -> MeshSpec,
+        timings: &mut Timings,
+    ) -> Result<CMatrix> {
         if !(f > 0.0 && f.is_finite()) {
             return Err(PeecError::InvalidParameter {
                 what: format!("frequency must be positive, got {f}"),
@@ -159,7 +223,33 @@ impl PartialSystem {
                 });
             }
         }
-        // Mesh every conductor into filaments.
+        let (fils, owner, rhos) = timings.time("mesh", || self.meshed_filaments(mesh_for));
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let zf = timings.time("assemble", || {
+            filament_z_matrix(&fils, &rhos, omega, thread_count())
+        });
+        // Filaments of one conductor are in parallel between shared end
+        // nodes: Y_cond = A Z_f⁻¹ Aᵀ with A the ownership incidence matrix.
+        let yf = timings.time("factor", || CLuDecomposition::new(&zf)?.inverse())?;
+        timings.time("reduce", || {
+            let n = self.len();
+            let nf = fils.len();
+            let mut ycond = CMatrix::zeros(n, n);
+            for i in 0..nf {
+                for j in 0..nf {
+                    ycond[(owner[i], owner[j])] += yf[(i, j)];
+                }
+            }
+            Ok(CLuDecomposition::new(&ycond)?.inverse()?)
+        })
+    }
+
+    /// Meshes every conductor into filaments, returning the filament bars,
+    /// the owning conductor index of each filament, and its resistivity.
+    fn meshed_filaments(
+        &self,
+        mesh_for: impl Fn(usize) -> MeshSpec,
+    ) -> (Vec<Bar>, Vec<usize>, Vec<f64>) {
         let mut fils: Vec<Bar> = Vec::new();
         let mut owner: Vec<usize> = Vec::new();
         let mut rhos: Vec<f64> = Vec::new();
@@ -170,32 +260,7 @@ impl PartialSystem {
                 rhos.push(c.rho);
             }
         }
-        let nf = fils.len();
-        let omega = 2.0 * std::f64::consts::PI * f;
-        // Filament impedance matrix Z_f = R_f + jω Lp_f.
-        let mut zf = CMatrix::zeros(nf, nf);
-        for i in 0..nf {
-            zf[(i, i)] = Complex::new(
-                dc_resistance(&fils[i], rhos[i]),
-                omega * self_partial(&fils[i]),
-            );
-            for j in (i + 1)..nf {
-                let m = Complex::from_imag(omega * mutual_partial(&fils[i], &fils[j]));
-                zf[(i, j)] = m;
-                zf[(j, i)] = m;
-            }
-        }
-        // Filaments of one conductor are in parallel between shared end
-        // nodes: Y_cond = A Z_f⁻¹ Aᵀ with A the ownership incidence matrix.
-        let yf = CLuDecomposition::new(&zf)?.inverse()?;
-        let n = self.len();
-        let mut ycond = CMatrix::zeros(n, n);
-        for i in 0..nf {
-            for j in 0..nf {
-                ycond[(owner[i], owner[j])] += yf[(i, j)];
-            }
-        }
-        Ok(CLuDecomposition::new(&ycond)?.inverse()?)
+        (fils, owner, rhos)
     }
 
     /// Per-filament complex currents when the conductors carry the given
@@ -233,30 +298,9 @@ impl PartialSystem {
         }
         let z_cond = self.impedance_at(f, mesh)?;
         let v = z_cond.mul_vec(conductor_currents)?;
-        let mut fils: Vec<Bar> = Vec::new();
-        let mut owner: Vec<usize> = Vec::new();
-        let mut rhos: Vec<f64> = Vec::new();
-        for (ci, c) in self.conductors.iter().enumerate() {
-            for fil in mesh.filaments(&c.bar) {
-                fils.push(fil);
-                owner.push(ci);
-                rhos.push(c.rho);
-            }
-        }
-        let nf = fils.len();
+        let (fils, owner, rhos) = self.meshed_filaments(|_| mesh);
         let omega = 2.0 * std::f64::consts::PI * f;
-        let mut zf = CMatrix::zeros(nf, nf);
-        for i in 0..nf {
-            zf[(i, i)] = Complex::new(
-                dc_resistance(&fils[i], rhos[i]),
-                omega * self_partial(&fils[i]),
-            );
-            for j in (i + 1)..nf {
-                let m = Complex::from_imag(omega * mutual_partial(&fils[i], &fils[j]));
-                zf[(i, j)] = m;
-                zf[(j, i)] = m;
-            }
-        }
+        let zf = filament_z_matrix(&fils, &rhos, omega, thread_count());
         let rhs: Vec<Complex> = owner.iter().map(|&ci| v[ci]).collect();
         let i_f = CLuDecomposition::new(&zf)?.solve(&rhs)?;
         Ok(fils.into_iter().zip(i_f).collect())
@@ -284,6 +328,38 @@ impl PartialSystem {
     }
 }
 
+/// Filament impedance matrix `Z_f = R_f + jω Lp_f`, assembled row-by-row on
+/// `threads` scoped threads.
+///
+/// The upper-triangle rows are independent pure computations (each entry is
+/// one GMD quadrature), so the fill is sharded with the same balanced,
+/// deterministic row interleaving as [`PartialSystem::lp_matrix_with_threads`]
+/// — the matrix is bit-identical for every thread count.
+fn filament_z_matrix(fils: &[Bar], rhos: &[f64], omega: f64, threads: usize) -> CMatrix {
+    let nf = fils.len();
+    let rows = par_map_threads(threads, nf, |k| {
+        let i = balanced_row(k, nf);
+        let mut row = vec![Complex::ZERO; nf - i];
+        row[0] = Complex::new(
+            dc_resistance(&fils[i], rhos[i]),
+            omega * self_partial(&fils[i]),
+        );
+        for j in (i + 1)..nf {
+            row[j - i] = Complex::from_imag(omega * mutual_partial(&fils[i], &fils[j]));
+        }
+        (i, row)
+    });
+    let mut zf = CMatrix::zeros(nf, nf);
+    for (i, row) in rows {
+        for (offset, m) in row.into_iter().enumerate() {
+            let j = i + offset;
+            zf[(i, j)] = m;
+            zf[(j, i)] = m;
+        }
+    }
+    zf
+}
+
 impl Extend<Conductor> for PartialSystem {
     fn extend<T: IntoIterator<Item = Conductor>>(&mut self, iter: T) {
         self.conductors.extend(iter);
@@ -292,7 +368,9 @@ impl Extend<Conductor> for PartialSystem {
 
 impl FromIterator<Conductor> for PartialSystem {
     fn from_iter<T: IntoIterator<Item = Conductor>>(iter: T) -> Self {
-        PartialSystem { conductors: iter.into_iter().collect() }
+        PartialSystem {
+            conductors: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -461,6 +539,55 @@ mod tests {
     }
 
     #[test]
+    fn balanced_row_is_a_permutation() {
+        for n in [1, 2, 3, 8, 17] {
+            let mut seen: Vec<usize> = (0..n).map(|k| balanced_row(k, n)).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lp_matrix_is_thread_count_invariant() {
+        let mut sys = PartialSystem::new();
+        for i in 0..9 {
+            let bar = Bar::new(
+                Point3::new(0.0, 8.0 * i as f64, 10.0),
+                Axis::X,
+                800.0,
+                4.0,
+                2.0,
+            )
+            .unwrap();
+            sys.push(Conductor::new(bar, RHO_COPPER).unwrap());
+        }
+        let serial = sys.lp_matrix_with_threads(1);
+        for threads in [2, 3, 8, 32] {
+            let par = sys.lp_matrix_with_threads(threads);
+            for i in 0..sys.len() {
+                for j in 0..sys.len() {
+                    assert_eq!(
+                        serial[(i, j)].to_bits(),
+                        par[(i, j)].to_bits(),
+                        "threads={threads}, entry ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impedance_timings_cover_every_stage() {
+        let sys = cpw_system(1000.0);
+        let mut timings = Timings::new();
+        sys.impedance_at_with_timings(3.2e9, |_| MeshSpec::new(2, 2), &mut timings)
+            .unwrap();
+        for stage in ["mesh", "assemble", "factor", "reduce"] {
+            assert!(timings.get(stage).is_some(), "missing stage {stage}");
+        }
+    }
+
+    #[test]
     fn conductor_rejects_bad_resistivity() {
         let bar = Bar::new(Point3::default(), Axis::X, 10.0, 1.0, 1.0).unwrap();
         assert!(Conductor::new(bar, 0.0).is_err());
@@ -474,7 +601,9 @@ mod tests {
             std::iter::repeat_with(|| Conductor::new(bar, RHO_COPPER).unwrap())
                 .take(3)
                 .enumerate()
-                .map(|(i, c)| Conductor::new(c.bar.translated(0.0, 5.0 * i as f64, 0.0), c.rho).unwrap())
+                .map(|(i, c)| {
+                    Conductor::new(c.bar.translated(0.0, 5.0 * i as f64, 0.0), c.rho).unwrap()
+                })
                 .collect();
         assert_eq!(sys.len(), 3);
     }

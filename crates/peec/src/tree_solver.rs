@@ -92,8 +92,18 @@ impl FlatTreeSolver {
         let b = tree.node(edge.to);
         let axis = tree.edge_axis(e);
         let (alo, ahi, center, sign) = match axis {
-            Axis::X => (a.x.min(b.x), a.x.max(b.x), a.y, if b.x > a.x { 1.0 } else { -1.0 }),
-            Axis::Y => (a.y.min(b.y), a.y.max(b.y), a.x, if b.y > a.y { 1.0 } else { -1.0 }),
+            Axis::X => (
+                a.x.min(b.x),
+                a.x.max(b.x),
+                a.y,
+                if b.x > a.x { 1.0 } else { -1.0 },
+            ),
+            Axis::Y => (
+                a.y.min(b.y),
+                a.y.max(b.y),
+                a.x,
+                if b.y > a.y { 1.0 } else { -1.0 },
+            ),
         };
         let len = ahi - alo;
         let make = |t_center: f64, w: f64| {
@@ -120,7 +130,8 @@ impl FlatTreeSolver {
     /// Propagates network assembly/solve errors; fails for a root-only tree.
     pub fn flat_loop_inductance(&self, tree: &SegmentTree) -> Result<f64> {
         let omega = 2.0 * std::f64::consts::PI * self.frequency;
-        Ok(self.root_port_network(tree)?.driving_point_inductance(0, tree.node_count(), omega)?)
+        self.root_port_network(tree)?
+            .driving_point_inductance(0, tree.node_count(), omega)
     }
 
     /// Driving-point impedance (Ω) at the root port of the flat tree solve.
@@ -130,12 +141,15 @@ impl FlatTreeSolver {
     /// Propagates network assembly/solve errors.
     pub fn flat_port_impedance(&self, tree: &SegmentTree) -> Result<rlcx_numeric::Complex> {
         let omega = 2.0 * std::f64::consts::PI * self.frequency;
-        Ok(self.root_port_network(tree)?.driving_point_impedance(0, tree.node_count(), omega)?)
+        self.root_port_network(tree)?
+            .driving_point_impedance(0, tree.node_count(), omega)
     }
 
     fn root_port_network(&self, tree: &SegmentTree) -> Result<AcNetwork> {
         if tree.edges().is_empty() {
-            return Err(PeecError::InvalidParameter { what: "tree has no segments".into() });
+            return Err(PeecError::InvalidParameter {
+                what: "tree has no segments".into(),
+            });
         }
         let n = tree.node_count();
         // Signal nodes are 0..n, ground nodes n..2n.
@@ -172,7 +186,12 @@ impl FlatTreeSolver {
         }
         // Merge each sink (leaf) with its local ground node.
         for leaf in tree.leaves() {
-            net.add_branch(Branch { from: leaf, to: n + leaf, r: 0.0, l: 0.0 })?;
+            net.add_branch(Branch {
+                from: leaf,
+                to: n + leaf,
+                r: 0.0,
+                l: 0.0,
+            })?;
         }
         Ok(net)
     }
@@ -246,7 +265,10 @@ mod tests {
         assert!(flat > 0.0 && cascaded > 0.0);
         let err = (flat - cascaded) / flat;
         assert!(err > 0.0, "flat {flat} should exceed cascaded {cascaded}");
-        assert!(err < 0.15, "guarded segments should cascade well, err = {err}");
+        assert!(
+            err < 0.15,
+            "guarded segments should cascade well, err = {err}"
+        );
     }
 
     #[test]
@@ -258,7 +280,10 @@ mod tests {
         let seg = s.segment_loop_inductance(300.0).unwrap();
         // Same physics, two formulations (branch network vs merged-node
         // reduction) — they must agree tightly.
-        assert!((flat - seg).abs() / seg < 0.02, "flat {flat} vs segment {seg}");
+        assert!(
+            (flat - seg).abs() / seg < 0.02,
+            "flat {flat} vs segment {seg}"
+        );
     }
 
     #[test]
@@ -277,7 +302,10 @@ mod tests {
         let s = solver();
         let l1 = s.segment_loop_inductance(500.0).unwrap();
         let l2 = s.segment_loop_inductance(1000.0).unwrap();
-        assert!(l2 > 1.9 * l1, "loop L should grow at least ~linearly: {l2} vs {l1}");
+        assert!(
+            l2 > 1.9 * l1,
+            "loop L should grow at least ~linearly: {l2} vs {l1}"
+        );
     }
 
     #[test]

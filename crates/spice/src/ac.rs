@@ -27,15 +27,17 @@ pub struct Sweep {
 impl Sweep {
     /// A logarithmic sweep.
     pub fn log(start: f64, stop: f64, points: usize) -> Sweep {
-        Sweep { start, stop, points }
+        Sweep {
+            start,
+            stop,
+            points,
+        }
     }
 
     fn validate(&self) -> Result<()> {
         if !(self.start > 0.0 && self.stop > self.start && self.points >= 2) {
             return Err(SpiceError::BadSimParams {
-                what: format!(
-                    "sweep needs 0 < start < stop and ≥ 2 points, got {self:?}"
-                ),
+                what: format!("sweep needs 0 < start < stop and ≥ 2 points, got {self:?}"),
             });
         }
         Ok(())
@@ -76,7 +78,9 @@ impl AcResult {
             .iter()
             .position(|n| n == node)
             .map(|i| self.volts[i].as_slice())
-            .ok_or_else(|| SpiceError::Unknown { what: format!("node {node}") })
+            .ok_or_else(|| SpiceError::Unknown {
+                what: format!("node {node}"),
+            })
     }
 
     /// Voltage magnitude of a node across the sweep.
@@ -139,7 +143,10 @@ pub struct Ac<'a> {
 impl<'a> Ac<'a> {
     /// Creates an analysis with a default 1 MHz – 100 GHz, 121-point sweep.
     pub fn new(netlist: &'a Netlist) -> Self {
-        Ac { netlist, sweep: Sweep::log(1e6, 1e11, 121) }
+        Ac {
+            netlist,
+            sweep: Sweep::log(1e6, 1e11, 121),
+        }
     }
 
     /// Sets the sweep.
@@ -169,7 +176,9 @@ impl<'a> Ac<'a> {
         }
         let dim = nv + branches;
         if dim == 0 {
-            return Err(SpiceError::BadSimParams { what: "empty circuit".into() });
+            return Err(SpiceError::BadSimParams {
+                what: "empty circuit".into(),
+            });
         }
         let var = |n: NodeId| -> Option<usize> { (n.0 > 0).then(|| n.0 - 1) };
 
@@ -216,7 +225,11 @@ impl<'a> Ac<'a> {
         let node_names = (0..nl.node_count())
             .map(|i| nl.node_name(NodeId(i)).to_string())
             .collect();
-        Ok(AcResult { frequencies, node_names, volts })
+        Ok(AcResult {
+            frequencies,
+            node_names,
+            volts,
+        })
     }
 }
 
@@ -269,9 +282,15 @@ mod tests {
         nl.resistor("R", inp, out, r).unwrap();
         nl.capacitor("C", out, GROUND, c).unwrap();
         let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
-        let res = Ac::new(&nl).sweep(Sweep::log(fc, fc * 1.0001, 2)).run().unwrap();
+        let res = Ac::new(&nl)
+            .sweep(Sweep::log(fc, fc * 1.0001, 2))
+            .run()
+            .unwrap();
         let mag = res.magnitude("out").unwrap()[0];
-        assert!((mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3, "|H(fc)| = {mag}");
+        assert!(
+            (mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3,
+            "|H(fc)| = {mag}"
+        );
     }
 
     #[test]
@@ -286,7 +305,10 @@ mod tests {
         nl.resistor("R", inp, mid, r).unwrap();
         nl.inductor("L", mid, out, l).unwrap();
         nl.capacitor("C", out, GROUND, c).unwrap();
-        let res = Ac::new(&nl).sweep(Sweep::log(1e8, 1e11, 301)).run().unwrap();
+        let res = Ac::new(&nl)
+            .sweep(Sweep::log(1e8, 1e11, 301))
+            .run()
+            .unwrap();
         let (f_peak, v_peak) = res.peak("out").unwrap();
         assert!((f_peak - f0).abs() / f0 < 0.05, "peak at {f_peak} vs {f0}");
         // Q = (1/R)√(L/C) ≈ 31.6 → strong peaking.
@@ -303,7 +325,10 @@ mod tests {
         nl.resistor("R", out, GROUND, 50.0).unwrap();
         let res = Ac::new(&nl).sweep(Sweep::log(1e3, 1e4, 2)).run().unwrap();
         let mag = res.magnitude("out").unwrap()[0];
-        assert!((mag - 1.0).abs() < 1e-6, "low-f inductor should pass: {mag}");
+        assert!(
+            (mag - 1.0).abs() < 1e-6,
+            "low-f inductor should pass: {mag}"
+        );
     }
 
     #[test]
@@ -317,7 +342,10 @@ mod tests {
         let s = nl.inductor("Ls", sec, GROUND, l).unwrap();
         nl.mutual("K", p, s, m).unwrap();
         nl.resistor("Rl", sec, GROUND, 1e9).unwrap();
-        let res = Ac::new(&nl).sweep(Sweep::log(1e9, 1.0001e9, 2)).run().unwrap();
+        let res = Ac::new(&nl)
+            .sweep(Sweep::log(1e9, 1.0001e9, 2))
+            .run()
+            .unwrap();
         let mag = res.magnitude("sec").unwrap()[0];
         // Open secondary: |V_sec| = (M/L)·|V_in| = 0.6.
         assert!((mag - 0.6).abs() < 1e-3, "transformer ratio: {mag}");
@@ -333,7 +361,11 @@ mod tests {
         nl.resistor("R", a, b, 100.0).unwrap();
         let res = Ac::new(&nl).sweep(Sweep::log(1e6, 1e7, 3)).run().unwrap();
         assert!(res.magnitude("a").unwrap().iter().all(|&m| m < 1e-12));
-        assert!(res.magnitude("b").unwrap().iter().all(|&m| (m - 1.0).abs() < 1e-12));
+        assert!(res
+            .magnitude("b")
+            .unwrap()
+            .iter()
+            .all(|&m| (m - 1.0).abs() < 1e-12));
     }
 
     #[test]

@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SpiceError::InvalidValue { element: "R1".into(), what: "negative".into() };
+        let e = SpiceError::InvalidValue {
+            element: "R1".into(),
+            what: "negative".into(),
+        };
         assert!(e.to_string().contains("R1"));
         let e = SpiceError::DuplicateName { name: "C1".into() };
         assert!(e.to_string().contains("C1"));

@@ -11,7 +11,13 @@
 /// # Panics
 ///
 /// Panics if `time` and `v` lengths differ.
-pub fn cross_time(time: &[f64], v: &[f64], threshold: f64, rising: bool, after: f64) -> Option<f64> {
+pub fn cross_time(
+    time: &[f64],
+    v: &[f64],
+    threshold: f64,
+    rising: bool,
+    after: f64,
+) -> Option<f64> {
     assert_eq!(time.len(), v.len(), "time/value length mismatch");
     for i in 1..v.len() {
         if time[i] < after {

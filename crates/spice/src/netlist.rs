@@ -18,10 +18,30 @@ pub struct InductorId(pub(crate) usize);
 /// A two-terminal element value.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Element {
-    Resistor { name: String, p: NodeId, n: NodeId, ohms: f64 },
-    Capacitor { name: String, p: NodeId, n: NodeId, farads: f64 },
-    Inductor { name: String, p: NodeId, n: NodeId, henries: f64 },
-    VSource { name: String, p: NodeId, n: NodeId, wave: Waveform },
+    Resistor {
+        name: String,
+        p: NodeId,
+        n: NodeId,
+        ohms: f64,
+    },
+    Capacitor {
+        name: String,
+        p: NodeId,
+        n: NodeId,
+        farads: f64,
+    },
+    Inductor {
+        name: String,
+        p: NodeId,
+        n: NodeId,
+        henries: f64,
+    },
+    VSource {
+        name: String,
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+    },
 }
 
 /// A mutual coupling between two inductors, stored as the mutual inductance
@@ -83,7 +103,9 @@ impl Netlist {
         self.node_index
             .get(name)
             .copied()
-            .ok_or_else(|| SpiceError::Unknown { what: format!("node {name}") })
+            .ok_or_else(|| SpiceError::Unknown {
+                what: format!("node {name}"),
+            })
     }
 
     /// Name of a node.
@@ -144,7 +166,12 @@ impl Netlist {
     pub fn resistor(&mut self, name: &str, p: NodeId, n: NodeId, ohms: f64) -> Result<()> {
         Self::check_value(name, ohms, "resistance", false)?;
         self.check_name(name)?;
-        self.elements.push(Element::Resistor { name: name.into(), p, n, ohms });
+        self.elements.push(Element::Resistor {
+            name: name.into(),
+            p,
+            n,
+            ohms,
+        });
         Ok(())
     }
 
@@ -157,7 +184,12 @@ impl Netlist {
     pub fn capacitor(&mut self, name: &str, p: NodeId, n: NodeId, farads: f64) -> Result<()> {
         Self::check_value(name, farads, "capacitance", false)?;
         self.check_name(name)?;
-        self.elements.push(Element::Capacitor { name: name.into(), p, n, farads });
+        self.elements.push(Element::Capacitor {
+            name: name.into(),
+            p,
+            n,
+            farads,
+        });
         Ok(())
     }
 
@@ -170,11 +202,22 @@ impl Netlist {
     ///
     /// Returns [`SpiceError::InvalidValue`] / [`SpiceError::DuplicateName`]
     /// as for [`Netlist::resistor`].
-    pub fn inductor(&mut self, name: &str, p: NodeId, n: NodeId, henries: f64) -> Result<InductorId> {
+    pub fn inductor(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        henries: f64,
+    ) -> Result<InductorId> {
         Self::check_value(name, henries, "inductance", true)?;
         self.check_name(name)?;
         let idx = self.elements.len();
-        self.elements.push(Element::Inductor { name: name.into(), p, n, henries });
+        self.elements.push(Element::Inductor {
+            name: name.into(),
+            p,
+            n,
+            henries,
+        });
         self.inductors.push(idx);
         Ok(InductorId(self.inductors.len() - 1))
     }
@@ -189,7 +232,9 @@ impl Netlist {
     /// * [`SpiceError::InvalidValue`] for non-finite `m` or `|k| > 1`.
     pub fn mutual(&mut self, name: &str, a: InductorId, b: InductorId, m: f64) -> Result<()> {
         if a.0 >= self.inductors.len() || b.0 >= self.inductors.len() || a == b {
-            return Err(SpiceError::Unknown { what: format!("inductor pair for {name}") });
+            return Err(SpiceError::Unknown {
+                what: format!("inductor pair for {name}"),
+            });
         }
         if !m.is_finite() {
             return Err(SpiceError::InvalidValue {
@@ -225,7 +270,12 @@ impl Netlist {
     /// Returns [`SpiceError::DuplicateName`] for a reused name.
     pub fn vsource(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) -> Result<()> {
         self.check_name(name)?;
-        self.elements.push(Element::VSource { name: name.into(), p, n, wave });
+        self.elements.push(Element::VSource {
+            name: name.into(),
+            p,
+            n,
+            wave,
+        });
         Ok(())
     }
 

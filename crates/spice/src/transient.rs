@@ -40,7 +40,12 @@ impl<'a> Transient<'a> {
     /// Creates an analysis with defaults: 1 ps step, 5 ns duration,
     /// trapezoidal integration.
     pub fn new(netlist: &'a Netlist) -> Self {
-        Transient { netlist, timestep: 1e-12, duration: 5e-9, method: IntegrationMethod::default() }
+        Transient {
+            netlist,
+            timestep: 1e-12,
+            duration: 5e-9,
+            method: IntegrationMethod::default(),
+        }
     }
 
     /// Sets the timestep (seconds).
@@ -89,8 +94,8 @@ impl<'a> Transient<'a> {
         let nl = self.netlist;
         let h = self.timestep;
         let nv = nl.node_count() - 1; // ground eliminated
-        // Branch unknowns: one per inductor and one per source, in element
-        // order of appearance.
+                                      // Branch unknowns: one per inductor and one per source, in element
+                                      // order of appearance.
         let mut branch_of_element: HashMap<usize, usize> = HashMap::new();
         let mut branch_elems: Vec<usize> = Vec::new();
         for (ei, e) in nl.elements.iter().enumerate() {
@@ -101,7 +106,9 @@ impl<'a> Transient<'a> {
         }
         let dim = nv + branch_elems.len();
         if dim == 0 {
-            return Err(SpiceError::BadSimParams { what: "empty circuit".into() });
+            return Err(SpiceError::BadSimParams {
+                what: "empty circuit".into(),
+            });
         }
         let var = |n: NodeId| -> Option<usize> { (n.0 > 0).then(|| n.0 - 1) };
 
@@ -168,9 +175,7 @@ impl<'a> Transient<'a> {
         let mut time = Vec::with_capacity(steps + 1);
         let mut volts = vec![Vec::with_capacity(steps + 1); nl.node_count()];
         let mut branch_currents = vec![Vec::with_capacity(steps + 1); branch_elems.len()];
-        let record = |x: &[f64],
-                      volts: &mut Vec<Vec<f64>>,
-                      branch_currents: &mut Vec<Vec<f64>>| {
+        let record = |x: &[f64], volts: &mut Vec<Vec<f64>>, branch_currents: &mut Vec<Vec<f64>>| {
             volts[0].push(0.0);
             for node in 1..nl.node_count() {
                 volts[node].push(x[node - 1]);
@@ -256,7 +261,13 @@ impl<'a> Transient<'a> {
                 _ => unreachable!("branch table holds only inductors and sources"),
             })
             .collect();
-        Ok(TransientResult { time, node_names, volts, branch_names, branch_currents })
+        Ok(TransientResult {
+            time,
+            node_names,
+            volts,
+            branch_names,
+            branch_currents,
+        })
     }
 
     /// DC operating point: inductors shorted, capacitors open, sources at
@@ -354,7 +365,9 @@ impl TransientResult {
             .iter()
             .position(|n| n == node)
             .map(|i| self.volts[i].as_slice())
-            .ok_or_else(|| SpiceError::Unknown { what: format!("node {node}") })
+            .ok_or_else(|| SpiceError::Unknown {
+                what: format!("node {node}"),
+            })
     }
 
     /// Branch current samples of an inductor or source by element name.
@@ -367,7 +380,9 @@ impl TransientResult {
             .iter()
             .position(|n| n == element)
             .map(|i| self.branch_currents[i].as_slice())
-            .ok_or_else(|| SpiceError::Unknown { what: format!("element {element}") })
+            .ok_or_else(|| SpiceError::Unknown {
+                what: format!("element {element}"),
+            })
     }
 
     /// Linear interpolation of a node voltage at an arbitrary time.
@@ -416,10 +431,15 @@ mod tests {
         let mut nl2 = Netlist::new();
         let inp = nl2.node("in");
         let out = nl2.node("out");
-        nl2.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-15)).unwrap();
+        nl2.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-15))
+            .unwrap();
         nl2.resistor("R", inp, out, r).unwrap();
         nl2.capacitor("C", out, GROUND, c).unwrap();
-        let res = Transient::new(&nl2).timestep(5e-13).duration(6e-9).run().unwrap();
+        let res = Transient::new(&nl2)
+            .timestep(5e-13)
+            .duration(6e-9)
+            .run()
+            .unwrap();
         let tau = r * c;
         for &t in &[1e-9, 2e-9, 3e-9] {
             let v = res.voltage_at("out", t).unwrap();
@@ -436,7 +456,11 @@ mod tests {
         nl.vsource("V", inp, GROUND, Waveform::Dc(2.0)).unwrap();
         nl.resistor("R", inp, out, 1e3).unwrap();
         nl.capacitor("C", out, GROUND, 1e-12).unwrap();
-        let res = Transient::new(&nl).timestep(1e-12).duration(1e-10).run().unwrap();
+        let res = Transient::new(&nl)
+            .timestep(1e-12)
+            .duration(1e-10)
+            .run()
+            .unwrap();
         // Already settled at t = 0 — no transient.
         assert!((res.voltage("out").unwrap()[0] - 2.0).abs() < 1e-6);
         assert!((res.voltage_at("out", 1e-10).unwrap() - 2.0).abs() < 1e-6);
@@ -448,10 +472,15 @@ mod tests {
         let mut nl = Netlist::new();
         let inp = nl.node("in");
         let mid = nl.node("mid");
-        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-15)).unwrap();
+        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-15))
+            .unwrap();
         nl.resistor("R", inp, mid, 1e-3).unwrap();
         nl.inductor("L", mid, GROUND, 1e-9).unwrap();
-        let res = Transient::new(&nl).timestep(1e-13).duration(1e-9).run().unwrap();
+        let res = Transient::new(&nl)
+            .timestep(1e-13)
+            .duration(1e-9)
+            .run()
+            .unwrap();
         let i = res.current("L").unwrap();
         let i_end = *i.last().unwrap();
         assert!((i_end - 1.0).abs() < 0.01, "i(1ns) = {i_end}");
@@ -466,11 +495,16 @@ mod tests {
         let inp = nl.node("in");
         let a = nl.node("a");
         let out = nl.node("out");
-        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-12)).unwrap();
+        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-12))
+            .unwrap();
         nl.resistor("R", inp, a, r).unwrap();
         nl.inductor("L", a, out, l).unwrap();
         nl.capacitor("C", out, GROUND, c).unwrap();
-        let res = Transient::new(&nl).timestep(2e-13).duration(2e-9).run().unwrap();
+        let res = Transient::new(&nl)
+            .timestep(2e-13)
+            .duration(2e-9)
+            .run()
+            .unwrap();
         let v = res.voltage("out").unwrap();
         let vmax = v.iter().fold(0.0_f64, |m, &x| m.max(x));
         // Strong overshoot for this Q (≈ 31): peak close to 2×.
@@ -486,7 +520,10 @@ mod tests {
         assert!(peaks.len() >= 2, "need two peaks, got {}", peaks.len());
         let period = peaks[1] - peaks[0];
         let expect = 2.0 * std::f64::consts::PI * (l * c).sqrt();
-        assert!((period - expect).abs() / expect < 0.05, "T = {period} vs {expect}");
+        assert!(
+            (period - expect).abs() / expect < 0.05,
+            "T = {period} vs {expect}"
+        );
     }
 
     #[test]
@@ -496,11 +533,16 @@ mod tests {
         let inp = nl.node("in");
         let a = nl.node("a");
         let out = nl.node("out");
-        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-12)).unwrap();
+        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-12))
+            .unwrap();
         nl.resistor("R", inp, a, r).unwrap();
         nl.inductor("L", a, out, l).unwrap();
         nl.capacitor("C", out, GROUND, c).unwrap();
-        let trap = Transient::new(&nl).timestep(1e-12).duration(2e-9).run().unwrap();
+        let trap = Transient::new(&nl)
+            .timestep(1e-12)
+            .duration(2e-9)
+            .run()
+            .unwrap();
         let be = Transient::new(&nl)
             .timestep(1e-12)
             .duration(2e-9)
@@ -508,7 +550,10 @@ mod tests {
             .run()
             .unwrap();
         let peak = |r: &TransientResult| {
-            r.voltage("out").unwrap().iter().fold(0.0_f64, |m, &x| m.max(x))
+            r.voltage("out")
+                .unwrap()
+                .iter()
+                .fold(0.0_f64, |m, &x| m.max(x))
         };
         assert!(peak(&be) < peak(&trap), "BE should damp the overshoot");
     }
@@ -521,13 +566,18 @@ mod tests {
         let mut nl = Netlist::new();
         let inp = nl.node("in");
         let sec = nl.node("sec");
-        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-12)).unwrap();
+        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-12))
+            .unwrap();
         let p = nl.inductor("Lp", inp, GROUND, l1).unwrap();
         let s = nl.inductor("Ls", sec, GROUND, l2).unwrap();
         nl.mutual("K", p, s, m).unwrap();
         // Load the secondary lightly so its node is not floating.
         nl.resistor("Rl", sec, GROUND, 1e6).unwrap();
-        let res = Transient::new(&nl).timestep(1e-13).duration(0.5e-9).run().unwrap();
+        let res = Transient::new(&nl)
+            .timestep(1e-13)
+            .duration(0.5e-9)
+            .run()
+            .unwrap();
         let v_sec = res.voltage_at("sec", 0.3e-9).unwrap();
         // With the secondary nearly open: v_sec = (M/L1)·v_in = 0.8.
         assert!((v_sec - 0.8).abs() < 0.05, "v_sec = {v_sec}");
@@ -540,7 +590,11 @@ mod tests {
         nl.vsource("V", a, GROUND, Waveform::Dc(1.0)).unwrap();
         nl.resistor("R", a, GROUND, 1.0).unwrap();
         assert!(Transient::new(&nl).timestep(0.0).run().is_err());
-        assert!(Transient::new(&nl).timestep(1e-12).duration(1e-13).run().is_err());
+        assert!(Transient::new(&nl)
+            .timestep(1e-12)
+            .duration(1e-13)
+            .run()
+            .is_err());
         let empty = Netlist::new();
         assert!(Transient::new(&empty).run().is_err());
     }
@@ -551,7 +605,11 @@ mod tests {
         let a = nl.node("a");
         nl.vsource("V", a, GROUND, Waveform::Dc(1.0)).unwrap();
         nl.resistor("R", a, GROUND, 1.0).unwrap();
-        let res = Transient::new(&nl).timestep(1e-12).duration(1e-11).run().unwrap();
+        let res = Transient::new(&nl)
+            .timestep(1e-12)
+            .duration(1e-11)
+            .run()
+            .unwrap();
         assert!(res.voltage("nope").is_err());
         assert!(res.current("nope").is_err());
         assert!(res.voltage("a").is_ok());
@@ -568,7 +626,11 @@ mod tests {
         let a = nl.node("a");
         nl.vsource("V", a, GROUND, Waveform::Dc(3.0)).unwrap();
         nl.resistor("R", a, GROUND, 1.0).unwrap();
-        let res = Transient::new(&nl).timestep(1e-12).duration(1e-11).run().unwrap();
+        let res = Transient::new(&nl)
+            .timestep(1e-12)
+            .duration(1e-11)
+            .run()
+            .unwrap();
         assert_eq!(res.voltage_at("a", -1.0).unwrap(), 3.0);
         assert_eq!(res.voltage_at("a", 1.0).unwrap(), 3.0);
     }

@@ -56,15 +56,39 @@ impl Waveform {
     }
 
     /// Convenience constructor for [`Waveform::Pulse`].
-    pub fn pulse(v0: f64, v1: f64, delay: f64, rise: f64, fall: f64, width: f64, period: f64) -> Waveform {
-        Waveform::Pulse { v0, v1, delay, rise, fall, width, period }
+    pub fn pulse(
+        v0: f64,
+        v1: f64,
+        delay: f64,
+        rise: f64,
+        fall: f64,
+        width: f64,
+        period: f64,
+    ) -> Waveform {
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        }
     }
 
     /// Evaluates the waveform at time `t` (seconds).
     pub fn eval(&self, t: f64) -> f64 {
         match self {
             Waveform::Dc(v) => *v,
-            Waveform::Pulse { v0, v1, delay, rise, fall, width, period } => {
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
                 if t < *delay {
                     return *v0;
                 }
@@ -119,10 +143,11 @@ impl Waveform {
         match self {
             Waveform::Dc(v) => (*v, *v),
             Waveform::Pulse { v0, v1, .. } => (v0.min(*v1), v0.max(*v1)),
-            Waveform::Pwl(points) => points.iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), &(_, v)| (lo.min(v), hi.max(v)),
-            ),
+            Waveform::Pwl(points) => points
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, v)| {
+                    (lo.min(v), hi.max(v))
+                }),
         }
     }
 }
@@ -162,7 +187,7 @@ mod tests {
         assert_eq!(w.eval(2.5e-9), 1.0); // plateau
         assert!((w.eval(4.5e-9) - 0.5).abs() < 1e-12); // falling
         assert_eq!(w.eval(6.0e-9), 0.0); // low
-        // Periodic repetition.
+                                         // Periodic repetition.
         assert!((w.eval(11.5e-9) - 0.5).abs() < 1e-12);
     }
 

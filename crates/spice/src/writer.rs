@@ -21,11 +21,22 @@ pub fn to_spice(netlist: &Netlist, title: &str) -> String {
             Element::Capacitor { name, p, n, farads } => {
                 let _ = writeln!(out, "C{name} {} {} {:.6e}", node(*p), node(*n), farads);
             }
-            Element::Inductor { name, p, n, henries } => {
+            Element::Inductor {
+                name,
+                p,
+                n,
+                henries,
+            } => {
                 let _ = writeln!(out, "L{name} {} {} {:.6e}", node(*p), node(*n), henries);
             }
             Element::VSource { name, p, n, wave } => {
-                let _ = writeln!(out, "V{name} {} {} {}", node(*p), node(*n), waveform_spice(wave));
+                let _ = writeln!(
+                    out,
+                    "V{name} {} {} {}",
+                    node(*p),
+                    node(*n),
+                    waveform_spice(wave)
+                );
             }
         }
     }
@@ -33,7 +44,11 @@ pub fn to_spice(netlist: &Netlist, title: &str) -> String {
         // SPICE K-cards take a coupling coefficient; emit k = m/√(L1·L2).
         let la = netlist.inductance_of(m.a);
         let lb = netlist.inductance_of(m.b);
-        let k = if la > 0.0 && lb > 0.0 { m.m / (la * lb).sqrt() } else { 0.0 };
+        let k = if la > 0.0 && lb > 0.0 {
+            m.m / (la * lb).sqrt()
+        } else {
+            0.0
+        };
         let (name_a, name_b) = (inductor_name(netlist, m.a), inductor_name(netlist, m.b));
         let _ = writeln!(out, "K{i} L{name_a} L{name_b} {k:.6}");
     }
@@ -51,7 +66,15 @@ fn inductor_name(netlist: &Netlist, id: crate::netlist::InductorId) -> String {
 fn waveform_spice(w: &Waveform) -> String {
     match w {
         Waveform::Dc(v) => format!("DC {v:.6e}"),
-        Waveform::Pulse { v0, v1, delay, rise, fall, width, period } => format!(
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => format!(
             "PULSE({v0:.6e} {v1:.6e} {delay:.6e} {rise:.6e} {fall:.6e} {width:.6e} {period:.6e})"
         ),
         Waveform::Pwl(points) => {
@@ -74,8 +97,13 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.node("a");
         let b = nl.node("b");
-        nl.vsource("in", a, GROUND, Waveform::pulse(0.0, 1.8, 0.0, 1e-10, 1e-10, 1e-9, 0.0))
-            .unwrap();
+        nl.vsource(
+            "in",
+            a,
+            GROUND,
+            Waveform::pulse(0.0, 1.8, 0.0, 1e-10, 1e-10, 1e-9, 0.0),
+        )
+        .unwrap();
         nl.resistor("drv", a, b, 40.0).unwrap();
         let l1 = nl.inductor("seg1", b, GROUND, 1e-9).unwrap();
         let l2 = nl.inductor("seg2", a, b, 2e-9).unwrap();
@@ -108,7 +136,8 @@ mod tests {
     fn pwl_rendering() {
         let mut nl = Netlist::new();
         let a = nl.node("a");
-        nl.vsource("v", a, GROUND, Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 1.0)])).unwrap();
+        nl.vsource("v", a, GROUND, Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 1.0)]))
+            .unwrap();
         let deck = to_spice(&nl, "t");
         assert!(
             deck.contains("PWL(0.000000e0 0.000000e0 1.000000e-9 1.000000e0)"),

@@ -29,7 +29,10 @@ fn simulate(
         .input(Waveform::ramp(0.0, SWING, 0.0, 50e-12))
         .sink_cap(30e-15)
         .build(tree, cross)?;
-    let res = Transient::new(&out.netlist).timestep(0.2e-12).duration(1.5e-9).run()?;
+    let res = Transient::new(&out.netlist)
+        .timestep(0.2e-12)
+        .duration(1.5e-9)
+        .run()?;
     Ok((res, out.sinks[0].clone()))
 }
 

@@ -9,12 +9,11 @@
 //! plus Monte-Carlo skew using the paper's nominal-L + statistical-RC
 //! recipe.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rlcx::cap::VariationSpec;
 use rlcx::clocktree::{BufferModel, ClockTreeAnalyzer};
 use rlcx::core::{ClocktreeExtractor, TableBuilder};
 use rlcx::geom::{Block, HTree, Stackup};
+use rlcx::numeric::rng::SplitMix64;
 use rlcx::numeric::stats::Summary;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analyzer = ClockTreeAnalyzer::new(&extractor, buffer);
     let mut skews = Summary::new();
     for seed in 0..10 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let report = analyzer.analyze_with_variation(&htree, &cross, &spec, true, &mut rng)?;
         println!(
             "  seed {seed}: skew {:.2} ps (insertion {:.1} ps)",

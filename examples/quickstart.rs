@@ -41,7 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let segment = Block::coplanar_waveguide(2000.0, 5.0, 5.0, 1.0)?;
     let rlc = extractor.extract_segment(&segment)?;
     println!("\nsegment model (2 mm CPW, 5 um signal):");
-    println!("  R = {:.2} ohm, L = {:.3} nH, C = {:.3} pF", rlc.r, rlc.l * 1e9, rlc.c * 1e12);
+    println!(
+        "  R = {:.2} ohm, L = {:.3} nH, C = {:.3} pF",
+        rlc.r,
+        rlc.l * 1e9,
+        rlc.c * 1e12
+    );
     println!(
         "  Z0 = {:.1} ohm, time of flight = {:.1} ps, damping = {:.2}",
         rlc.characteristic_impedance(),
@@ -59,12 +64,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .driver_resistance(15.0)
             .input(Waveform::ramp(0.0, 1.8, 0.0, 50e-12))
             .build(&net, &segment)?;
-        let result = Transient::new(&out.netlist).timestep(0.5e-12).duration(2e-9).run()?;
+        let result = Transient::new(&out.netlist)
+            .timestep(0.5e-12)
+            .duration(2e-9)
+            .run()?;
         let time = result.time().to_vec();
         let vin = result.voltage("drv_in")?.to_vec();
         let vout = result.voltage(&out.sinks[0])?.to_vec();
-        let delay = measure::delay_50(&time, &vin, &vout, 0.0, 1.8)
-            .ok_or("sink never reached midswing")?;
+        let delay =
+            measure::delay_50(&time, &vin, &vout, 0.0, 1.8).ok_or("sink never reached midswing")?;
         let overshoot = measure::overshoot(&vout, 0.0, 1.8);
         println!(
             "  {}: delay = {:.1} ps, overshoot = {:.1} %",

@@ -9,9 +9,9 @@
 //! loop-L grid, and cross-checks the spline interpolation against direct
 //! field solves at off-grid points.
 
+use rlcx::core::TableBuilder;
 use rlcx::geom::{Block, ShieldConfig, Stackup};
 use rlcx::peec::{BlockExtractor, MeshSpec};
-use rlcx::core::TableBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stackup = Stackup::hp_six_metal_copper();

@@ -1,11 +1,10 @@
 //! End-to-end clocktree analysis integration tests.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rlcx::cap::VariationSpec;
 use rlcx::clocktree::{BufferModel, ClockTreeAnalyzer};
 use rlcx::core::{ClocktreeExtractor, TableBuilder};
 use rlcx::geom::{Block, HTree, Stackup};
+use rlcx::numeric::rng::SplitMix64;
 use rlcx::peec::MeshSpec;
 
 fn extractor() -> ClocktreeExtractor {
@@ -54,7 +53,10 @@ fn tapered_tree_root_width_matters() {
     let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
     let htree = HTree::new(2, 6400.0).unwrap();
     let narrow = [cpw(), cpw()];
-    let wide_root = [Block::coplanar_waveguide(1.0, 10.0, 10.0, 1.0).unwrap(), cpw()];
+    let wide_root = [
+        Block::coplanar_waveguide(1.0, 10.0, 10.0, 1.0).unwrap(),
+        cpw(),
+    ];
     let d_narrow = an.analyze_tapered(&htree, &narrow).unwrap();
     let d_tapered = an.analyze_tapered(&htree, &wide_root).unwrap();
     assert_ne!(d_narrow.insertion_delay, d_tapered.insertion_delay);
@@ -88,7 +90,7 @@ fn variation_skew_is_reproducible_with_seed() {
     let htree = HTree::new(2, 3200.0).unwrap();
     let spec = VariationSpec::typical();
     let run = |seed: u64| {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         an.analyze_with_variation(&htree, &cpw(), &spec, true, &mut rng)
             .unwrap()
             .skew()
@@ -105,8 +107,8 @@ fn nominal_l_variation_close_to_full_variation() {
     let an = ClockTreeAnalyzer::new(&ex, BufferModel::strong());
     let htree = HTree::new(2, 3200.0).unwrap();
     let spec = VariationSpec::typical();
-    let mut rng_a = StdRng::seed_from_u64(21);
-    let mut rng_b = StdRng::seed_from_u64(21);
+    let mut rng_a = SplitMix64::new(21);
+    let mut rng_b = SplitMix64::new(21);
     let nominal_l = an
         .analyze_with_variation(&htree, &cpw(), &spec, true, &mut rng_a)
         .unwrap();
@@ -122,7 +124,9 @@ fn stage_delay_positive_and_bounded() {
     let ex = extractor();
     let an = ClockTreeAnalyzer::new(&ex, BufferModel::typical());
     let htree = HTree::new(1, 3200.0).unwrap();
-    let delays = an.stage_delays(&htree.level(0).unwrap().stage_tree(), &cpw()).unwrap();
+    let delays = an
+        .stage_delays(&htree.level(0).unwrap().stage_tree(), &cpw())
+        .unwrap();
     for d in delays {
         assert!(d > 1e-12 && d < 1e-9, "stage delay {d} out of band");
     }

@@ -64,8 +64,22 @@ fn foundation_2_mutual_lp_depends_on_pair_only() {
     let ex = BlockExtractor::new(stackup(), 5).unwrap();
     let full = ex.extract(&bus).unwrap();
     let z = layer.z_bottom();
-    let a = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, 1000.0, 3.0, layer.thickness()).unwrap();
-    let b = Bar::new(Point3::new(0.0, 4.5, z), Axis::X, 1000.0, 3.0, layer.thickness()).unwrap();
+    let a = Bar::new(
+        Point3::new(0.0, 0.0, z),
+        Axis::X,
+        1000.0,
+        3.0,
+        layer.thickness(),
+    )
+    .unwrap();
+    let b = Bar::new(
+        Point3::new(0.0, 4.5, z),
+        Axis::X,
+        1000.0,
+        3.0,
+        layer.thickness(),
+    )
+    .unwrap();
     let m_pair = rlcx::peec::partial::mutual_partial(&a, &b);
     for i in 0..4 {
         let rel = (full.lp[(i, i + 1)] - m_pair).abs() / m_pair;
@@ -79,7 +93,9 @@ fn loop_reduction_agrees_with_block_extractor() {
     let layer_stack = stackup();
     let layer = layer_stack.layer(5).unwrap().clone();
     let block = Block::coplanar_waveguide(1200.0, 8.0, 8.0, 1.0).unwrap();
-    let ex = BlockExtractor::new(stackup(), 5).unwrap().mesh(MeshSpec::new(2, 2));
+    let ex = BlockExtractor::new(stackup(), 5)
+        .unwrap()
+        .mesh(MeshSpec::new(2, 2));
     let via_extractor = ex.extract(&block).unwrap().loop_l[(0, 0)];
 
     let bars = block.to_bars(&layer, Axis::X, 0.0, 0.0);
@@ -125,8 +141,12 @@ fn guard_wires_shield_inter_system_coupling() {
             *y += w + gap;
         };
         for (w, gap) in [
-            (gw, 1.0), (4.0, 1.0), (gw, 10.0), // system 1 + inter-system gap
-            (gw, 1.0), (4.0, 1.0), (gw, 0.0),  // system 2
+            (gw, 1.0),
+            (4.0, 1.0),
+            (gw, 10.0), // system 1 + inter-system gap
+            (gw, 1.0),
+            (4.0, 1.0),
+            (gw, 0.0), // system 2
         ] {
             push(&mut sys, &mut y, w, gap);
         }
@@ -138,13 +158,18 @@ fn guard_wires_shield_inter_system_coupling() {
     let k_narrow = coupling(2.0);
     let k_wide = coupling(8.0);
     assert!(k_narrow < 0.35, "guards should shield: k = {k_narrow}");
-    assert!(k_wide < k_narrow, "wider guards shield better: {k_wide} vs {k_narrow}");
+    assert!(
+        k_wide < k_narrow,
+        "wider guards shield better: {k_wide} vs {k_narrow}"
+    );
 }
 
 #[test]
 fn loop_l_increases_with_spacing() {
     // Pushing the returns away grows the loop area.
-    let ex = BlockExtractor::new(stackup(), 5).unwrap().mesh(MeshSpec::new(2, 1));
+    let ex = BlockExtractor::new(stackup(), 5)
+        .unwrap()
+        .mesh(MeshSpec::new(2, 1));
     let mut last = 0.0;
     for s in [0.5, 1.0, 2.0, 4.0, 8.0] {
         let block = Block::coplanar_waveguide(1000.0, 4.0, 4.0, s).unwrap();
@@ -176,8 +201,9 @@ fn tables_reproduce_solver_at_grid_points() {
         layer.thickness(),
     )
     .unwrap();
-    let sys: PartialSystem =
-        [Conductor::new(bar, layer.resistivity()).unwrap()].into_iter().collect();
+    let sys: PartialSystem = [Conductor::new(bar, layer.resistivity()).unwrap()]
+        .into_iter()
+        .collect();
     let (_, l) = sys.rl_at(3.2e9, MeshSpec::new(2, 1)).unwrap();
     let rel = (tables.self_l.lookup(5.0, 1000.0) - l[(0, 0)]).abs() / l[(0, 0)];
     assert!(rel < 1e-9, "grid-point lookup must be exact: {rel}");
@@ -213,7 +239,9 @@ fn skin_effect_visible_between_dc_and_significant_frequency() {
         layer.thickness(),
     )
     .unwrap();
-    let sys: PartialSystem = [Conductor::new(bar, RHO_COPPER).unwrap()].into_iter().collect();
+    let sys: PartialSystem = [Conductor::new(bar, RHO_COPPER).unwrap()]
+        .into_iter()
+        .collect();
     let mesh = MeshSpec::new(6, 3);
     let (r_lo, l_lo) = sys.rl_at(1e6, mesh).unwrap();
     let (r_hi, l_hi) = sys.rl_at(1e10, mesh).unwrap();

@@ -37,7 +37,11 @@ fn e1_cpw_delay_contrast() {
             .sink_cap(30e-15)
             .build(&tree, &cross)
             .unwrap();
-        let res = Transient::new(&out.netlist).timestep(0.2e-12).duration(1.5e-9).run().unwrap();
+        let res = Transient::new(&out.netlist)
+            .timestep(0.2e-12)
+            .duration(1.5e-9)
+            .run()
+            .unwrap();
         let t = res.time().to_vec();
         let vin = res.voltage("drv_in").unwrap().to_vec();
         let vout = res.voltage(&out.sinks[0]).unwrap().to_vec();
@@ -71,7 +75,10 @@ fn e3_linear_cascading_error_small() {
         let casc = solver.cascaded_loop_inductance(&tree).unwrap();
         let err = (flat - casc).abs() / flat * 100.0;
         // Our guarded structures cascade at least as well as the paper's.
-        assert!(err <= paper_err + 1.0, "cascading error {err}% vs paper {paper_err}%");
+        assert!(
+            err <= paper_err + 1.0,
+            "cascading error {err}% vs paper {paper_err}%"
+        );
     }
 }
 
@@ -112,8 +119,9 @@ fn e6_table_accuracy_within_one_percent() {
             layer.thickness(),
         )
         .unwrap();
-        let sys: PartialSystem =
-            [Conductor::new(bar, layer.resistivity()).unwrap()].into_iter().collect();
+        let sys: PartialSystem = [Conductor::new(bar, layer.resistivity()).unwrap()]
+            .into_iter()
+            .collect();
         let (_, l) = sys.rl_at(3.2e9, MeshSpec::new(2, 1)).unwrap();
         let rel = (tables.self_l.lookup(w, len) - l[(0, 0)]).abs() / l[(0, 0)];
         assert!(rel < 0.01, "w={w}, len={len}: {rel}");
@@ -142,8 +150,8 @@ fn e7_inductance_insensitive_to_geometry() {
 /// coupling), which is exactly what guard wires fix.
 #[test]
 fn segment_underestimation_without_guards() {
-    use rlcx::peec::partial::{mutual_partial, self_partial};
     use rlcx::geom::{Axis, Bar, Point3};
+    use rlcx::peec::partial::{mutual_partial, self_partial};
     let half = 1000.0;
     let a = Bar::new(Point3::new(0.0, 0.0, 9.4), Axis::X, half, 10.0, 2.0).unwrap();
     let b = Bar::new(Point3::new(half, 0.0, 9.4), Axis::X, half, 10.0, 2.0).unwrap();

@@ -38,7 +38,9 @@ fn wave_velocity_below_speed_of_light() {
     let len = 8000.0;
     let tree = straight_net(len);
     let cross = Block::coplanar_waveguide(1.0, 10.0, 5.0, 1.0).unwrap();
-    let seg = ex.extract_segment(&cross.with_length(len).unwrap()).unwrap();
+    let seg = ex
+        .extract_segment(&cross.with_length(len).unwrap())
+        .unwrap();
     let tof = seg.time_of_flight();
     let velocity = rlcx::geom::units::um_to_m(len) / tof;
     let c = 2.998e8;
@@ -52,7 +54,11 @@ fn wave_velocity_below_speed_of_light() {
         .input(Waveform::ramp(0.0, 1.8, 0.0, 20e-12))
         .build(&tree, &cross)
         .unwrap();
-    let res = Transient::new(&out.netlist).timestep(0.2e-12).duration(2e-9).run().unwrap();
+    let res = Transient::new(&out.netlist)
+        .timestep(0.2e-12)
+        .duration(2e-9)
+        .run()
+        .unwrap();
     let t = res.time().to_vec();
     let v = res.voltage(&out.sinks[0]).unwrap().to_vec();
     let t10 = measure::cross_time(&t, &v, 0.18, true, 0.0).unwrap();
@@ -76,7 +82,11 @@ fn pi_ladder_converges_with_sections() {
             .input(Waveform::ramp(0.0, 1.8, 0.0, 50e-12))
             .build(&tree, &cross)
             .unwrap();
-        let res = Transient::new(&out.netlist).timestep(0.2e-12).duration(2e-9).run().unwrap();
+        let res = Transient::new(&out.netlist)
+            .timestep(0.2e-12)
+            .duration(2e-9)
+            .run()
+            .unwrap();
         let t = res.time().to_vec();
         let vin = res.voltage("drv_in").unwrap().to_vec();
         let vout = res.voltage(&out.sinks[0]).unwrap().to_vec();
@@ -87,7 +97,10 @@ fn pi_ladder_converges_with_sections() {
     let d16 = delay(16);
     let step1 = (d8 - d4).abs();
     let step2 = (d16 - d8).abs();
-    assert!(step2 < step1, "ladder should converge: {step1} then {step2}");
+    assert!(
+        step2 < step1,
+        "ladder should converge: {step1} then {step2}"
+    );
     assert!(step2 / d16 < 0.05, "16 sections should be within 5%");
 }
 
@@ -104,8 +117,15 @@ fn rc_netlist_is_monotone_rlc_rings() {
             .input(Waveform::ramp(0.0, 1.8, 0.0, 30e-12))
             .build(&tree, &cross)
             .unwrap();
-        let res = Transient::new(&out.netlist).timestep(0.2e-12).duration(2e-9).run().unwrap();
-        (res.time().to_vec(), res.voltage(&out.sinks[0]).unwrap().to_vec())
+        let res = Transient::new(&out.netlist)
+            .timestep(0.2e-12)
+            .duration(2e-9)
+            .run()
+            .unwrap();
+        (
+            res.time().to_vec(),
+            res.voltage(&out.sinks[0]).unwrap().to_vec(),
+        )
     };
     let (_, v_rc) = run(false);
     let (t, v_rlc) = run(true);
@@ -130,7 +150,11 @@ fn driver_strength_trades_delay_for_ringing() {
             .input(Waveform::ramp(0.0, 1.8, 0.0, 30e-12))
             .build(&tree, &cross)
             .unwrap();
-        let res = Transient::new(&out.netlist).timestep(0.3e-12).duration(3e-9).run().unwrap();
+        let res = Transient::new(&out.netlist)
+            .timestep(0.3e-12)
+            .duration(3e-9)
+            .run()
+            .unwrap();
         let t = res.time().to_vec();
         let vin = res.voltage("drv_in").unwrap().to_vec();
         let vout = res.voltage(&out.sinks[0]).unwrap().to_vec();
@@ -160,7 +184,11 @@ fn branched_tree_sinks_see_consistent_delays() {
             .input(Waveform::ramp(0.0, 1.8, 0.0, 50e-12))
             .build(tree, &cross)
             .unwrap();
-        let res = Transient::new(&out.netlist).timestep(0.5e-12).duration(3e-9).run().unwrap();
+        let res = Transient::new(&out.netlist)
+            .timestep(0.5e-12)
+            .duration(3e-9)
+            .run()
+            .unwrap();
         let t = res.time().to_vec();
         let vin = res.voltage("drv_in").unwrap().to_vec();
         out.sinks
@@ -196,7 +224,9 @@ fn spice_export_roundtrip_contains_extracted_values() {
         .build(&tree, &cross)
         .unwrap();
     let deck = rlcx::spice::writer::to_spice(&out.netlist, "roundtrip");
-    let seg = ex.extract_segment(&cross.with_length(2000.0).unwrap()).unwrap();
+    let seg = ex
+        .extract_segment(&cross.with_length(2000.0).unwrap())
+        .unwrap();
     // One section: the full loop L appears on a single L card.
     assert!(deck.contains(&format!("{:.6e}", seg.l)), "deck:\n{deck}");
     assert!(deck.contains(&format!("{:.6e}", seg.r)));

@@ -1,0 +1,89 @@
+//! Structural properties of the partial-inductance matrix over seeded
+//! random bus geometries: symmetry, positive diagonal, and the passivity
+//! bound |Lp[i][j]| < sqrt(Lp[i][i] * Lp[j][j]).
+
+use rlcx::geom::units::RHO_COPPER;
+use rlcx::geom::{Axis, Bar, Point3};
+use rlcx::numeric::rng::{SplitMix64, UniformRng};
+use rlcx::peec::{Conductor, PartialSystem};
+
+/// A random non-overlapping parallel bus on one layer: widths, spacings,
+/// thicknesses and length drawn from on-chip ranges.
+fn random_bus(rng: &mut SplitMix64, n: usize) -> PartialSystem {
+    let len = rng.uniform(200.0, 3000.0);
+    let t = rng.uniform(1.0, 3.0);
+    let mut y = 0.0;
+    (0..n)
+        .map(|_| {
+            let w = rng.uniform(0.8, 12.0);
+            let bar = Bar::new(Point3::new(0.0, y, 9.4), Axis::X, len, w, t).unwrap();
+            y += w + rng.uniform(0.5, 20.0);
+            Conductor::new(bar, RHO_COPPER).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn lp_matrix_is_symmetric_with_positive_diagonal() {
+    let mut rng = SplitMix64::new(0x2001);
+    for _ in 0..24 {
+        let n = 2 + (rng.next_u64() % 5) as usize;
+        let lp = random_bus(&mut rng, n).lp_matrix();
+        for i in 0..n {
+            assert!(lp[(i, i)] > 0.0, "Lp[{i}][{i}] = {}", lp[(i, i)]);
+            for j in 0..n {
+                assert_eq!(
+                    lp[(i, j)].to_bits(),
+                    lp[(j, i)].to_bits(),
+                    "Lp[{i}][{j}] != Lp[{j}][{i}]"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lp_matrix_satisfies_passivity_bound() {
+    let mut rng = SplitMix64::new(0x2002);
+    for _ in 0..24 {
+        let n = 2 + (rng.next_u64() % 5) as usize;
+        let lp = random_bus(&mut rng, n).lp_matrix();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let bound = (lp[(i, i)] * lp[(j, j)]).sqrt();
+                assert!(
+                    lp[(i, j)].abs() < bound,
+                    "|Lp[{i}][{j}]| = {} >= {bound}",
+                    lp[(i, j)].abs()
+                );
+            }
+        }
+    }
+}
+
+/// The assembly is sharded by row index, so the matrix must be
+/// bit-identical no matter how many threads fill it.
+#[test]
+fn lp_matrix_is_bit_identical_across_thread_counts() {
+    let mut rng = SplitMix64::new(0x2003);
+    for _ in 0..6 {
+        let n = 3 + (rng.next_u64() % 6) as usize;
+        let sys = random_bus(&mut rng, n);
+        let serial = sys.lp_matrix_with_threads(1);
+        for threads in [2usize, 3, 7, 16] {
+            let par = sys.lp_matrix_with_threads(threads);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        serial[(i, j)].to_bits(),
+                        par[(i, j)].to_bits(),
+                        "threads={threads}, entry ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+}

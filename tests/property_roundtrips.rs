@@ -1,22 +1,28 @@
 //! Property-based tests over the numerical core and the physics kernels.
+//!
+//! Each property is checked over a seeded random sweep driven by the
+//! in-repo [`SplitMix64`] generator, so the suite is deterministic and
+//! needs no external crates (the workspace must build offline).
 
-use proptest::prelude::*;
 use rlcx::geom::{Axis, Bar, Point3};
 use rlcx::numeric::lu::LuDecomposition;
+use rlcx::numeric::rng::{SplitMix64, UniformRng};
 use rlcx::numeric::spline::CubicSpline;
 use rlcx::numeric::{Complex, Matrix};
 use rlcx::peec::partial::{mutual_partial, self_partial, self_partial_ruehli};
 use rlcx::spice::measure;
 use rlcx::spice::Waveform;
 
-proptest! {
-    /// LU solve round-trips `A·x = b` for random diagonally-dominant
-    /// systems (dominance guarantees non-singularity).
-    #[test]
-    fn lu_solve_roundtrip(
-        vals in proptest::collection::vec(-10.0..10.0f64, 16),
-        x_true in proptest::collection::vec(-5.0..5.0f64, 4),
-    ) {
+const CASES: usize = 64;
+
+/// LU solve round-trips `A·x = b` for random diagonally-dominant systems
+/// (dominance guarantees non-singularity).
+#[test]
+fn lu_solve_roundtrip() {
+    let mut rng = SplitMix64::new(0x1001);
+    for _ in 0..CASES {
+        let vals: Vec<f64> = (0..16).map(|_| rng.uniform(-10.0, 10.0)).collect();
+        let x_true: Vec<f64> = (0..4).map(|_| rng.uniform(-5.0, 5.0)).collect();
         let mut a = Matrix::zeros(4, 4);
         for i in 0..4 {
             let mut row_sum = 0.0;
@@ -31,164 +37,195 @@ proptest! {
         let b = a.mul_vec(&x_true).unwrap();
         let x = LuDecomposition::new(&a).unwrap().solve(&b).unwrap();
         for (xi, ti) in x.iter().zip(&x_true) {
-            prop_assert!((xi - ti).abs() < 1e-8);
+            assert!((xi - ti).abs() < 1e-8);
         }
     }
+}
 
-    /// Natural cubic splines interpolate their knots exactly and stay
-    /// within the data's convex hull for monotone convex data.
-    #[test]
-    fn spline_hits_knots(
-        ys in proptest::collection::vec(-100.0..100.0f64, 4..12),
-    ) {
-        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+/// Natural cubic splines interpolate their knots exactly.
+#[test]
+fn spline_hits_knots() {
+    let mut rng = SplitMix64::new(0x1002);
+    for _ in 0..CASES {
+        let n = 4 + (rng.next_u64() % 8) as usize;
+        let ys: Vec<f64> = (0..n).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let s = CubicSpline::new(&xs, &ys).unwrap();
         for (x, y) in xs.iter().zip(&ys) {
-            prop_assert!((s.eval(*x) - y).abs() < 1e-9 * (1.0 + y.abs()));
+            assert!((s.eval(*x) - y).abs() < 1e-9 * (1.0 + y.abs()));
         }
     }
+}
 
-    /// Complex arithmetic: multiplication/division round-trip.
-    #[test]
-    fn complex_div_roundtrip(re1 in -1e3..1e3f64, im1 in -1e3..1e3f64,
-                             re2 in 0.1..1e3f64, im2 in -1e3..1e3f64) {
-        let a = Complex::new(re1, im1);
-        let b = Complex::new(re2, im2);
+/// Complex arithmetic: multiplication/division round-trip.
+#[test]
+fn complex_div_roundtrip() {
+    let mut rng = SplitMix64::new(0x1003);
+    for _ in 0..CASES {
+        let a = Complex::new(rng.uniform(-1e3, 1e3), rng.uniform(-1e3, 1e3));
+        let b = Complex::new(rng.uniform(0.1, 1e3), rng.uniform(-1e3, 1e3));
         let c = a / b * b;
-        prop_assert!((c - a).abs() < 1e-9 * (1.0 + a.abs()));
+        assert!((c - a).abs() < 1e-9 * (1.0 + a.abs()));
     }
+}
 
-    /// Self partial inductance is positive, increases with length and
-    /// decreases with width (thicker conductors store less external flux).
-    #[test]
-    fn self_partial_monotonicity(
-        len in 50.0..5000.0f64,
-        w in 0.5..20.0f64,
-        t in 0.5..3.0f64,
-    ) {
+/// Self partial inductance is positive, increases with length and
+/// decreases with width (thicker conductors store less external flux).
+#[test]
+fn self_partial_monotonicity() {
+    let mut rng = SplitMix64::new(0x1004);
+    for _ in 0..CASES {
+        let len = rng.uniform(50.0, 5000.0);
+        let w = rng.uniform(0.5, 20.0);
+        let t = rng.uniform(0.5, 3.0);
         let l = self_partial_ruehli(len, w, t);
-        prop_assert!(l > 0.0);
-        prop_assert!(self_partial_ruehli(len * 1.5, w, t) > l);
-        prop_assert!(self_partial_ruehli(len, w * 1.5, t) < l);
+        assert!(l > 0.0);
+        assert!(self_partial_ruehli(len * 1.5, w, t) > l);
+        assert!(self_partial_ruehli(len, w * 1.5, t) < l);
     }
+}
 
-    /// Self partial L is super-linear in length for any on-chip geometry.
-    #[test]
-    fn self_partial_superlinear(
-        len in 100.0..4000.0f64,
-        w in 0.5..20.0f64,
-    ) {
+/// Self partial L is super-linear in length for any on-chip geometry.
+#[test]
+fn self_partial_superlinear() {
+    let mut rng = SplitMix64::new(0x1005);
+    for _ in 0..CASES {
+        let len = rng.uniform(100.0, 4000.0);
+        let w = rng.uniform(0.5, 20.0);
         let l1 = self_partial_ruehli(len, w, 2.0);
         let l2 = self_partial_ruehli(2.0 * len, w, 2.0);
-        prop_assert!(l2 > 2.0 * l1);
-        prop_assert!(l2 < 3.0 * l1);
+        assert!(l2 > 2.0 * l1);
+        assert!(l2 < 3.0 * l1);
     }
+}
 
-    /// Mutual partial inductance between parallel bars: symmetric, positive
-    /// for aligned spans, bounded by the geometric mean of the self terms
-    /// (passivity).
-    #[test]
-    fn mutual_partial_passivity(
-        len in 100.0..3000.0f64,
-        w1 in 1.0..15.0f64,
-        w2 in 1.0..15.0f64,
-        s in 0.5..50.0f64,
-    ) {
+/// Mutual partial inductance between parallel bars: symmetric, positive
+/// for aligned spans, bounded by the geometric mean of the self terms
+/// (passivity).
+#[test]
+fn mutual_partial_passivity() {
+    let mut rng = SplitMix64::new(0x1006);
+    for _ in 0..CASES {
+        let len = rng.uniform(100.0, 3000.0);
+        let w1 = rng.uniform(1.0, 15.0);
+        let w2 = rng.uniform(1.0, 15.0);
+        let s = rng.uniform(0.5, 50.0);
         let a = Bar::new(Point3::new(0.0, 0.0, 9.4), Axis::X, len, w1, 2.0).unwrap();
         let b = Bar::new(Point3::new(0.0, w1 + s, 9.4), Axis::X, len, w2, 2.0).unwrap();
         let m = mutual_partial(&a, &b);
         let m_rev = mutual_partial(&b, &a);
-        prop_assert!(m > 0.0);
-        prop_assert!((m - m_rev).abs() < 1e-12 * m);
+        assert!(m > 0.0);
+        assert!((m - m_rev).abs() < 1e-12 * m);
         let la = self_partial(&a);
         let lb = self_partial(&b);
-        prop_assert!(m * m < la * lb, "k = {}", m / (la * lb).sqrt());
+        assert!(m * m < la * lb, "k = {}", m / (la * lb).sqrt());
     }
+}
 
-    /// Waveform eval never escapes the declared levels.
-    #[test]
-    fn waveform_bounded_by_levels(
-        v0 in -2.0..2.0f64,
-        v1 in -2.0..2.0f64,
-        t in 0.0..20e-9f64,
-    ) {
-        let w = Waveform::pulse(v0, v1, 1e-9, 0.5e-9, 0.5e-9, 2e-9, 6e-9);
-        let (lo, hi) = w.levels();
+/// Waveform eval never escapes the declared levels.
+#[test]
+fn waveform_bounded_by_levels() {
+    let mut rng = SplitMix64::new(0x1007);
+    let w = Waveform::pulse(-1.3, 1.7, 1e-9, 0.5e-9, 0.5e-9, 2e-9, 6e-9);
+    let (lo, hi) = w.levels();
+    for _ in 0..4 * CASES {
+        let t = rng.uniform(0.0, 20e-9);
         let v = w.eval(t);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
     }
+}
 
-    /// `cross_time` on a strictly rising ramp inverts the ramp exactly.
-    #[test]
-    fn cross_time_inverts_ramp(th in 0.05..0.95f64) {
-        let time: Vec<f64> = (0..=100).map(|i| i as f64 * 1e-11).collect();
-        let v: Vec<f64> = time.iter().map(|t| t / 1e-9).collect();
+/// `cross_time` on a strictly rising ramp inverts the ramp exactly.
+#[test]
+fn cross_time_inverts_ramp() {
+    let mut rng = SplitMix64::new(0x1008);
+    let time: Vec<f64> = (0..=100).map(|i| i as f64 * 1e-11).collect();
+    let v: Vec<f64> = time.iter().map(|t| t / 1e-9).collect();
+    for _ in 0..CASES {
+        let th = rng.uniform(0.05, 0.95);
         let tc = measure::cross_time(&time, &v, th, true, 0.0).unwrap();
-        prop_assert!((tc - th * 1e-9).abs() < 1e-15);
+        assert!((tc - th * 1e-9).abs() < 1e-15);
     }
+}
 
-    /// Skew is non-negative, zero only for (near-)equal delays, invariant
-    /// under common shifts.
-    #[test]
-    fn skew_properties(
-        delays in proptest::collection::vec(0.0..1e-9f64, 1..16),
-        shift in -1e-9..1e-9f64,
-    ) {
+/// Skew is non-negative, zero only for (near-)equal delays, invariant
+/// under common shifts.
+#[test]
+fn skew_properties() {
+    let mut rng = SplitMix64::new(0x1009);
+    for _ in 0..CASES {
+        let n = 1 + (rng.next_u64() % 15) as usize;
+        let delays: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 1e-9)).collect();
+        let shift = rng.uniform(-1e-9, 1e-9);
         let s = measure::skew(&delays);
-        prop_assert!(s >= 0.0);
+        assert!(s >= 0.0);
         let shifted: Vec<f64> = delays.iter().map(|d| d + shift).collect();
-        prop_assert!((measure::skew(&shifted) - s).abs() < 1e-18);
+        assert!((measure::skew(&shifted) - s).abs() < 1e-18);
     }
+}
 
-    /// Matrix transpose of a product equals reversed product of transposes.
-    #[test]
-    fn transpose_product_identity(
-        vals_a in proptest::collection::vec(-3.0..3.0f64, 6),
-        vals_b in proptest::collection::vec(-3.0..3.0f64, 6),
-    ) {
+/// Matrix transpose of a product equals reversed product of transposes.
+#[test]
+fn transpose_product_identity() {
+    let mut rng = SplitMix64::new(0x100a);
+    for _ in 0..CASES {
+        let vals_a: Vec<f64> = (0..6).map(|_| rng.uniform(-3.0, 3.0)).collect();
+        let vals_b: Vec<f64> = (0..6).map(|_| rng.uniform(-3.0, 3.0)).collect();
         let a = Matrix::from_fn(2, 3, |i, j| vals_a[i * 3 + j]);
         let b = Matrix::from_fn(3, 2, |i, j| vals_b[i * 2 + j]);
         let lhs = a.mul(&b).unwrap().transpose();
         let rhs = b.transpose().mul(&a.transpose()).unwrap();
         for i in 0..2 {
             for j in 0..2 {
-                prop_assert!((lhs[(i, j)] - rhs[(i, j)]).abs() < 1e-10);
+                assert!((lhs[(i, j)] - rhs[(i, j)]).abs() < 1e-10);
             }
         }
     }
-    /// A passive RC divider's AC magnitude never exceeds the source, at any
-    /// frequency, for any element values.
-    #[test]
-    fn ac_passivity_of_rc_divider(
-        r in 1.0..1e5f64,
-        c in 1e-15..1e-9f64,
-        f in 1e3..1e11f64,
-    ) {
-        use rlcx::spice::{ac::{Ac, Sweep}, Netlist, GROUND};
+}
+
+/// A passive RC divider's AC magnitude never exceeds the source, at any
+/// frequency, for any element values.
+#[test]
+fn ac_passivity_of_rc_divider() {
+    use rlcx::spice::{
+        ac::{Ac, Sweep},
+        Netlist, GROUND,
+    };
+    let mut rng = SplitMix64::new(0x100b);
+    for _ in 0..32 {
+        let r = rng.uniform(1.0, 1e5);
+        let c = rng.uniform(1e-15, 1e-9);
+        let f = rng.uniform(1e3, 1e11);
         let mut nl = Netlist::new();
         let inp = nl.node("in");
         let out = nl.node("out");
         nl.vsource("V", inp, GROUND, Waveform::Dc(1.0)).unwrap();
         nl.resistor("R", inp, out, r).unwrap();
         nl.capacitor("C", out, GROUND, c).unwrap();
-        let res = Ac::new(&nl).sweep(Sweep::log(f, f * 1.001, 2)).run().unwrap();
+        let res = Ac::new(&nl)
+            .sweep(Sweep::log(f, f * 1.001, 2))
+            .run()
+            .unwrap();
         let mag = res.magnitude("out").unwrap()[0];
-        prop_assert!(mag <= 1.0 + 1e-9, "gain {mag} at f={f}");
-        prop_assert!(mag >= 0.0);
+        assert!(mag <= 1.0 + 1e-9, "gain {mag} at f={f}");
+        assert!(mag >= 0.0);
     }
+}
 
-    /// A driven RC network settles to the DC source value regardless of
-    /// element values (final-value theorem).
-    #[test]
-    fn transient_final_value(
-        r in 10.0..1e4f64,
-        c in 1e-15..2e-12f64,
-    ) {
-        use rlcx::spice::{Netlist, Transient, GROUND};
+/// A driven RC network settles to the DC source value regardless of
+/// element values (final-value theorem).
+#[test]
+fn transient_final_value() {
+    use rlcx::spice::{Netlist, Transient, GROUND};
+    let mut rng = SplitMix64::new(0x100c);
+    for _ in 0..16 {
+        let r = rng.uniform(10.0, 1e4);
+        let c = rng.uniform(1e-15, 2e-12);
         let mut nl = Netlist::new();
         let inp = nl.node("in");
         let out = nl.node("out");
-        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-12)).unwrap();
+        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-12))
+            .unwrap();
         nl.resistor("R", inp, out, r).unwrap();
         nl.capacitor("C", out, GROUND, c).unwrap();
         let tau = r * c;
@@ -198,21 +235,23 @@ proptest! {
             .run()
             .unwrap();
         let v_end = *res.voltage("out").unwrap().last().unwrap();
-        prop_assert!((v_end - 1.0).abs() < 1e-3, "v_end = {v_end}");
+        assert!((v_end - 1.0).abs() < 1e-3, "v_end = {v_end}");
     }
+}
 
-    /// Loop reduction of a random passive 2-conductor system gives the
-    /// textbook Ls + Lg − 2M, always positive for |M| < √(Ls·Lg).
-    #[test]
-    fn loop_reduction_two_conductor(
-        ls in 0.1e-9..5e-9f64,
-        lg in 0.1e-9..5e-9f64,
-        k in -0.95..0.95f64,
-        rs in 0.01..10.0f64,
-        rg in 0.01..10.0f64,
-    ) {
-        use rlcx::numeric::{CMatrix, Complex};
-        use rlcx::peec::loop_l::{loop_impedance, loop_rl};
+/// Loop reduction of a random passive 2-conductor system gives the
+/// textbook Ls + Lg − 2M, always positive for |M| < √(Ls·Lg).
+#[test]
+fn loop_reduction_two_conductor() {
+    use rlcx::numeric::CMatrix;
+    use rlcx::peec::loop_l::{loop_impedance, loop_rl};
+    let mut rng = SplitMix64::new(0x100d);
+    for _ in 0..CASES {
+        let ls = rng.uniform(0.1e-9, 5e-9);
+        let lg = rng.uniform(0.1e-9, 5e-9);
+        let k = rng.uniform(-0.95, 0.95);
+        let rs = rng.uniform(0.01, 10.0);
+        let rg = rng.uniform(0.01, 10.0);
         let m = k * (ls * lg).sqrt();
         let omega = 2.0e10;
         let mut z = CMatrix::zeros(2, 2);
@@ -222,14 +261,14 @@ proptest! {
         z[(1, 0)] = z[(0, 1)];
         let zl = loop_impedance(&z, &[0], &[1]).unwrap();
         let (r_loop, l_loop) = loop_rl(&zl, omega);
-        prop_assert!((l_loop[(0, 0)] - (ls + lg - 2.0 * m)).abs() < 1e-15 + 1e-9 * ls);
-        prop_assert!(l_loop[(0, 0)] > 0.0);
-        prop_assert!((r_loop[(0, 0)] - (rs + rg)).abs() < 1e-9);
+        assert!((l_loop[(0, 0)] - (ls + lg - 2.0 * m)).abs() < 1e-15 + 1e-9 * ls);
+        assert!(l_loop[(0, 0)] > 0.0);
+        assert!((r_loop[(0, 0)] - (rs + rg)).abs() < 1e-9);
     }
 }
 
-/// Non-proptest sanity: the two self-partial formulations agree over a
-/// systematic sweep (complementing the random sweeps above).
+/// Systematic (non-random) sanity: the two self-partial formulations agree
+/// over a sweep, complementing the random sweeps above.
 #[test]
 fn self_partial_formulations_agree_over_sweep() {
     for len in [200.0, 500.0, 1000.0, 2000.0, 5000.0] {
