@@ -14,6 +14,7 @@ use rlcx_bench::{extractor, quick_tables};
 fn main() {
     println!("E8: inductive vs capacitive crosstalk onto a quiet victim");
     println!("==========================================================");
+    let mut report = rlcx_bench::report("exp_crosstalk");
     let ex = extractor(quick_tables());
     for &len in &[1000.0, 2000.0, 4000.0] {
         let block = Block::uniform_bus(len, 5, 3.0, 1.0).expect("bus block");
@@ -65,5 +66,9 @@ fn main() {
             (full - cap_only) / cap_only * 100.0,
             (full - rc) / rc * 100.0
         );
+        report.figure(format!("len{len:.0}.noise_full_mv"), full * 1e3);
+        report.figure(format!("len{len:.0}.noise_no_k_mv"), cap_only * 1e3);
+        report.figure(format!("len{len:.0}.noise_rc_mv"), rc * 1e3);
     }
+    rlcx_bench::finish_report(report);
 }

@@ -14,6 +14,7 @@ use rlcx_bench::{experiment_tables, extractor, pf, ps};
 fn main() {
     println!("E1: Figure 1 coplanar-waveguide clock net, RC vs RLC delay");
     println!("===========================================================");
+    let mut report = rlcx_bench::report("exp_fig1_cpw_delay");
     let ex = extractor(experiment_tables());
 
     // The Figure 1 net as a single-segment tree.
@@ -62,6 +63,10 @@ fn main() {
     for &rdrv in &[40.0, 15.0] {
         let (d_rc, os_rc, us_rc) = run(false, rdrv);
         let (d_rlc, os_rlc, us_rlc) = run(true, rdrv);
+        report.figure(format!("rdrv{rdrv:.0}.rc_delay_ps"), d_rc * 1e12);
+        report.figure(format!("rdrv{rdrv:.0}.rlc_delay_ps"), d_rlc * 1e12);
+        report.figure(format!("rdrv{rdrv:.0}.delay_ratio"), d_rlc / d_rc);
+        report.figure(format!("rdrv{rdrv:.0}.rlc_overshoot"), os_rlc);
         println!(
             "{:<10} {:>6.0} {:>14} {:>10.1}% {:>10.1}%",
             "RC",
@@ -83,4 +88,5 @@ fn main() {
             d_rlc / d_rc
         );
     }
+    rlcx_bench::finish_report(report);
 }

@@ -68,6 +68,7 @@ fn loop_matrix(trace_indices: &[usize]) -> Vec<Vec<f64>> {
 fn main() {
     println!("E2: Figure 5 — loop-inductance foundations under a ground plane");
     println!("================================================================");
+    let mut report = rlcx_bench::report("exp_fig5_foundations");
     println!("array: 5 traces, w = {W} um, s = {S} um, len = {LEN} um, plane in layer N-2\n");
 
     let full = loop_matrix(&[0, 1, 2, 3, 4]);
@@ -122,4 +123,8 @@ fn main() {
         err3 * 100.0,
         err2 * 100.0
     );
+    report.figure("foundation1.rel_err", err1);
+    report.figure("foundation2.adjacent_rel_err", err3);
+    report.figure("foundation2.farthest_rel_err", err2);
+    rlcx_bench::finish_report(report);
 }

@@ -13,6 +13,7 @@ use rlcx::peec::{BlockExtractor, Conductor, MeshSpec, PartialSystem};
 fn main() {
     println!("E9: frequency dependence and the significant-frequency choice");
     println!("==============================================================");
+    let mut report = rlcx_bench::report("exp_frequency_sweep");
     println!(
         "rise times → significant frequency: 100 ps → {:.2} GHz, 50 ps → {:.2} GHz",
         significant_frequency(100e-12) / 1e9,
@@ -67,4 +68,6 @@ fn main() {
         (low - l_ref) / l_ref * 100.0
     );
     println!("→ the paper's 'run RI3 under the significant frequency' is load-bearing.");
+    report.figure("loop_l.low_freq_overestimate", (low - l_ref) / l_ref);
+    rlcx_bench::finish_report(report);
 }

@@ -15,6 +15,7 @@ use rlcx_bench::{experiment_tables, extractor, ps};
 fn main() {
     println!("E4: buffered H-tree — insertion delay and skew, RC vs RLC");
     println!("==========================================================");
+    let mut report = rlcx_bench::report("exp_htree_skew");
     let ex = extractor(experiment_tables());
     let htree = HTree::new(3, 6400.0).expect("3-level H-tree");
     let buffer = BufferModel::strong();
@@ -28,6 +29,10 @@ fn main() {
         "configuration", "insertion (RLC)", "insertion (RC)", "Δ %"
     );
     for (name, shield) in configs {
+        let tag = match shield {
+            ShieldConfig::PlaneBelow => "microstrip",
+            _ => "coplanar",
+        };
         let cross = Block::coplanar_waveguide(1.0, 5.0, 5.0, 1.0)
             .expect("valid block")
             .with_shield(shield);
@@ -46,6 +51,12 @@ fn main() {
             ps(rc.insertion_delay),
             delta
         );
+        report.figure(
+            format!("{tag}.rlc_insertion_ps"),
+            rlc.insertion_delay * 1e12,
+        );
+        report.figure(format!("{tag}.rc_insertion_ps"), rc.insertion_delay * 1e12);
+        report.figure(format!("{tag}.delta_pct"), delta);
     }
 
     // Wire-delay-only comparison (buffer intrinsic delay removed) — the
@@ -66,6 +77,7 @@ fn main() {
         ps(d_rc),
         (d_rlc - d_rc) / d_rc * 100.0
     );
+    report.figure("wire_only.delta_pct", (d_rlc - d_rc) / d_rc * 100.0);
 
     // Monte-Carlo skew under process variation: nominal L + statistical RC.
     println!("\nMonte-Carlo skew (2-level tree, 8 samples, nominal L + statistical RC):");
@@ -83,5 +95,10 @@ fn main() {
             .analyze_with_variation(&htree2, &cross, &spec, true, &mut rng_b)
             .expect("MC RC");
         println!("{:<8} {:>14} {:>14}", seed, ps(rlc.skew()), ps(rc.skew()));
+        if seed == 0 {
+            report.figure("mc.seed0_rlc_skew_ps", rlc.skew() * 1e12);
+            report.figure("mc.seed0_rc_skew_ps", rc.skew() * 1e12);
+        }
     }
+    rlcx_bench::finish_report(report);
 }

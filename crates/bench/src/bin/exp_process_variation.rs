@@ -42,6 +42,7 @@ fn loop_l_of(block: &Block, thickness: f64, z: f64) -> f64 {
 fn main() {
     println!("E7: process variation — nominal L with statistical RC");
     println!("======================================================");
+    let mut report = rlcx_bench::report("exp_process_variation");
     let stack = stackup();
     let layer = stack.layer(CLOCK_LAYER).expect("layer");
     let nominal = Block::coplanar_waveguide(2000.0, 10.0, 5.0, 2.0).expect("block");
@@ -110,4 +111,13 @@ fn main() {
         ls.coeff_of_variation() / cs.coeff_of_variation(),
         lps.coeff_of_variation() / rs.coeff_of_variation()
     );
+    report.figure("cov.r", rs.coeff_of_variation());
+    report.figure("cov.c", cs.coeff_of_variation());
+    report.figure("cov.l_loop", ls.coeff_of_variation());
+    report.figure("cov.l_partial", lps.coeff_of_variation());
+    report.figure(
+        "cov.l_loop_over_r",
+        ls.coeff_of_variation() / rs.coeff_of_variation(),
+    );
+    rlcx_bench::finish_report(report);
 }

@@ -9,6 +9,7 @@ use rlcx::peec::partial::{mutual_filaments_aligned_m, self_partial_ruehli};
 fn main() {
     println!("E5: super-linear growth of inductance with length");
     println!("==================================================");
+    let mut report = rlcx_bench::report("exp_superlinear");
     let (w, t, d_um) = (10.0, 2.0, 11.0); // Figure 1 signal + adjacent ground pitch
     println!("trace: w = {w} um, t = {t} um; mutual at d = {d_um} um\n");
     println!(
@@ -37,4 +38,9 @@ fn main() {
          measured self ratio {:.3}",
         l2 / l1
     );
+    report.figure("self_l.doubling_ratio_1mm", l2 / l1);
+    let m1 = mutual_filaments_aligned_m(1000.0 * 1e-6, d_um * 1e-6);
+    let m2 = mutual_filaments_aligned_m(2000.0 * 1e-6, d_um * 1e-6);
+    report.figure("mutual_l.doubling_ratio_1mm", m2 / m1);
+    rlcx_bench::finish_report(report);
 }

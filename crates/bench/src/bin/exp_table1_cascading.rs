@@ -14,6 +14,7 @@ use rlcx_bench::F_SIG;
 fn main() {
     println!("E3: Table I — linear cascading of three-wire segments");
     println!("======================================================");
+    let mut report = rlcx_bench::report("exp_table1_cascading");
     let solver = FlatTreeSolver::new(1.2, 1.2, 0.6, 0.8, RHO_COPPER)
         .expect("valid cross-section")
         .frequency(F_SIG);
@@ -23,9 +24,9 @@ fn main() {
         "structure", "loop L (flat)", "loop L (cascaded)", "error %"
     );
     let mut rows = Vec::new();
-    for (name, tree, paper_err) in [
-        ("Fig 6(a)", SegmentTree::fig6a(), 3.57),
-        ("Fig 6(b)", SegmentTree::fig6b(), 1.55),
+    for (name, tree, paper_err, tag) in [
+        ("Fig 6(a)", SegmentTree::fig6a(), 3.57, "fig6a"),
+        ("Fig 6(b)", SegmentTree::fig6b(), 1.55, "fig6b"),
     ] {
         let flat = solver.flat_loop_inductance(&tree).expect("flat solve");
         let casc = solver
@@ -39,6 +40,8 @@ fn main() {
             casc * 1e9,
             err
         );
+        report.figure(format!("{tag}.cascading_err_pct"), err);
+        report.figure(format!("{tag}.paper_err_pct"), paper_err);
         rows.push(err);
     }
 
@@ -74,4 +77,9 @@ fn main() {
         }
     }
     println!("\npaper's conclusion: guarded segments are linearly cascadable (errors of a few %)");
+    report.figure(
+        "cascading.max_err_pct",
+        rows.iter().fold(0.0_f64, |m, &e| m.max(e)),
+    );
+    rlcx_bench::finish_report(report);
 }

@@ -65,6 +65,7 @@ fn direct_mutual(w1: f64, w2: f64, s: f64, len: f64, mesh: MeshSpec) -> f64 {
 fn main() {
     println!("E6: table lookup vs direct field solve — accuracy and speed");
     println!("============================================================");
+    let mut report = rlcx_bench::report("exp_table_accuracy");
     let t0 = Instant::now();
     let build = rlcx_bench::experiment_tables_cached();
     let t_build = t0.elapsed();
@@ -78,6 +79,9 @@ fn main() {
         }
     );
     println!("stage breakdown:\n{}\n", build.timings);
+    report.note("cache", if build.cache_hit { "hit" } else { "miss" });
+    report.absorb_timings(&build.timings);
+    report.figure("table.build_s", t_build.as_secs_f64());
     let tables = build.tables;
 
     let mesh = MeshSpec::new(3, 2);
@@ -101,6 +105,8 @@ fn main() {
         mean * 100.0,
         worst * 100.0
     );
+    report.figure("self_l.mean_rel_err", mean);
+    report.figure("self_l.max_rel_err", worst);
 
     // Mutual-L accuracy.
     let mut worst_m: f64 = 0.0;
@@ -121,6 +127,8 @@ fn main() {
         mean_m * 100.0,
         worst_m * 100.0
     );
+    report.figure("mutual_l.mean_rel_err", mean_m);
+    report.figure("mutual_l.max_rel_err", worst_m);
 
     // Extrapolation sanity just beyond the grid (paper: spline extrapolates).
     let l_in = tables.self_l.lookup(20.0, 6400.0);
@@ -132,6 +140,10 @@ fn main() {
         direct_out * 1e9,
         (l_out - direct_out).abs() / direct_out * 100.0,
         l_in * 1e9
+    );
+    report.figure(
+        "self_l.extrapolation_rel_err",
+        (l_out - direct_out).abs() / direct_out,
     );
 
     // Speed: lookups vs direct solves.
@@ -157,4 +169,8 @@ fn main() {
         t_solve / t_lookup,
         acc
     );
+    report.figure("lookup.us_per_query", t_lookup * 1e6);
+    report.figure("solve.ms_per_solve", t_solve * 1e3);
+    report.figure("lookup.speedup", t_solve / t_lookup);
+    rlcx_bench::finish_report(report);
 }

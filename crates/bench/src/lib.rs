@@ -9,6 +9,7 @@ pub mod harness;
 
 use rlcx::core::{CachedBuild, ClocktreeExtractor, InductanceTables, TableBuilder};
 use rlcx::geom::{ShieldConfig, Stackup};
+use rlcx::obs::{self, RunReport, TraceLevel};
 use rlcx::peec::MeshSpec;
 use std::path::PathBuf;
 
@@ -84,6 +85,56 @@ pub fn experiment_tables_cached() -> CachedBuild {
     experiment_builder()
         .build_cached(cache_dir())
         .expect("table characterization")
+}
+
+/// Where run reports land: `RLCX_REPORT_DIR` if set, `target/reports`
+/// otherwise.
+pub fn reports_dir() -> PathBuf {
+    match std::env::var("RLCX_REPORT_DIR") {
+        Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/reports"),
+    }
+}
+
+/// Starts the run report for an experiment binary: a fresh [`RunReport`]
+/// named after the binary, stamped with threads and trace level.
+pub fn report(name: &str) -> RunReport {
+    RunReport::new(name)
+}
+
+/// Ends an experiment run: snapshots the metrics and spans into `report`,
+/// prints the span tree and cache counters to stderr when `RLCX_TRACE` is
+/// `summary` or higher, and writes `<reports_dir>/<name>.json`.
+///
+/// # Panics
+///
+/// Panics if the report file cannot be written (experiment binaries are
+/// allowed to abort loudly).
+pub fn finish_report(mut report: RunReport) -> PathBuf {
+    report.finish();
+    if obs::trace_level() >= TraceLevel::Summary {
+        eprintln!("[rlcx-trace] span tree for {}:", report.name);
+        for s in &report.spans {
+            let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+            eprintln!(
+                "[rlcx-trace] {:indent$}{name:<24} {:>10.3} ms  x{}",
+                "",
+                s.total_s * 1e3,
+                s.count,
+                indent = s.depth * 2,
+            );
+        }
+        eprintln!(
+            "[rlcx-trace] cache.hit = {}, cache.miss = {}",
+            obs::counter_value("cache.hit"),
+            obs::counter_value("cache.miss"),
+        );
+    }
+    let path = report
+        .write_to(reports_dir())
+        .expect("write run report JSON");
+    println!("report: {}", path.display());
+    path
 }
 
 /// Wraps tables into the clocktree extractor for the experiment layer.

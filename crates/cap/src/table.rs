@@ -12,6 +12,7 @@ use crate::extract::BlockCapExtractor;
 use crate::{CapError, Result};
 use rlcx_geom::units::um_to_m;
 use rlcx_geom::{Block, ShieldConfig, Stackup};
+use rlcx_numeric::obs;
 use rlcx_numeric::spline::BicubicSpline;
 
 /// Per-unit-length capacitance table for guarded signals in one shield
@@ -45,6 +46,7 @@ impl CapTable {
         widths: Vec<f64>,
         spacings: Vec<f64>,
     ) -> Result<CapTable> {
+        let _span = obs::span("cap.table");
         if ground_width_ratio < 1.0 {
             return Err(CapError::InvalidParameter {
                 what: format!("ground width ratio must be ≥ 1, got {ground_width_ratio}"),
@@ -57,6 +59,7 @@ impl CapTable {
                 });
             }
         }
+        obs::counter_add("cap.table.points", (widths.len() * spacings.len()) as u64);
         // Capacitance is linear in length; characterize at 1000 µm.
         let ref_len = 1000.0;
         let mut cg_grid = Vec::with_capacity(widths.len());

@@ -59,6 +59,7 @@ pub(crate) mod tests_support {
 use rlcx_cap::VariationSpec;
 use rlcx_core::{ClocktreeExtractor, CoreError, TreeNetlistBuilder};
 use rlcx_geom::{Block, HTree, SegmentTree};
+use rlcx_numeric::obs;
 use rlcx_numeric::rng::UniformRng;
 use rlcx_spice::{measure, Transient, Waveform};
 
@@ -219,6 +220,8 @@ impl<'a> ClockTreeAnalyzer<'a> {
         cross: &Block,
         sink_caps: &[f64],
     ) -> Result<Vec<f64>> {
+        let _span = obs::span("clocktree.stage");
+        obs::counter_add("clocktree.stages", 1);
         let out = TreeNetlistBuilder::new(self.extractor)
             .sections_per_segment(self.sections)
             .include_inductance(self.include_inductance)
@@ -274,6 +277,8 @@ impl<'a> ClockTreeAnalyzer<'a> {
     /// Returns [`CoreError::MissingTable`] if `cross_sections.len()` does
     /// not match the level count; propagates simulation errors.
     pub fn analyze_tapered(&self, htree: &HTree, cross_sections: &[Block]) -> Result<SkewReport> {
+        let _span = obs::span("clocktree.analyze");
+        obs::gauge_set("clocktree.sinks", htree.sinks().len() as f64);
         if cross_sections.len() != htree.levels() {
             return Err(CoreError::MissingTable {
                 what: format!(

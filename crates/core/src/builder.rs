@@ -15,7 +15,8 @@ use crate::cache::TableCache;
 use crate::table::{InductanceTables, LoopLTable, MutualLTable, SelfLTable};
 use crate::Result;
 use rlcx_geom::{Axis, Bar, Block, Point3, ShieldConfig, Stackup};
-use rlcx_numeric::parallel::par_map;
+use rlcx_numeric::obs;
+use rlcx_numeric::parallel::par_map_timed;
 use rlcx_numeric::Timings;
 use rlcx_peec::{BlockExtractor, Conductor, MeshSpec, PartialSystem};
 use std::fmt::Write as _;
@@ -147,70 +148,93 @@ impl TableBuilder {
     }
 
     /// [`TableBuilder::build`] with a per-stage wall-clock breakdown:
-    /// `self-table`, `mutual-table` and `loop-tables`.
+    /// `self-table`, `mutual-table` and `loop-tables`, plus the per-shard
+    /// CPU sums `self-solve-cpu`, `mutual-solve-cpu` and `loop-solve-cpu`
+    /// accumulated across all worker threads (so a parallel sweep reports
+    /// its true solver cost, not just the wall clock of the slowest shard).
     ///
     /// # Errors
     ///
     /// Same as [`TableBuilder::build`].
     pub fn build_timed(&self) -> Result<(InductanceTables, Timings)> {
+        let _span = obs::span("table.build");
         let mut timings = Timings::new();
-        let self_l = timings.time("self-table", || self.characterize_self())?;
-        let mutual_l = timings.time("mutual-table", || self.characterize_mutual())?;
-        let loop_tables = timings.time("loop-tables", || self.characterize_loops())?;
-        Ok((
-            InductanceTables::new(self_l, mutual_l, loop_tables, self.frequency),
-            timings,
-        ))
+        let (self_l, cpu) = timings.time("self-table", || {
+            obs::with_span("table.self", || self.characterize_self())
+        })?;
+        timings.absorb(&cpu);
+        let (mutual_l, cpu) = timings.time("mutual-table", || {
+            obs::with_span("table.mutual", || self.characterize_mutual())
+        })?;
+        timings.absorb(&cpu);
+        let (loop_tables, cpu) = timings.time("loop-tables", || {
+            obs::with_span("table.loop", || self.characterize_loops())
+        })?;
+        timings.absorb(&cpu);
+        let tables = InductanceTables::new(self_l, mutual_l, loop_tables, self.frequency);
+        obs::gauge_set("spline.max_resid", self_table_knot_residual(&tables.self_l));
+        Ok((tables, timings))
     }
 
     /// Self table: 1-trace solves at the significant frequency, one grid
     /// point per parallel work item.
-    fn characterize_self(&self) -> Result<SelfLTable> {
+    fn characterize_self(&self) -> Result<(SelfLTable, Timings)> {
         let layer = self.stackup.layer(self.layer_index)?;
         let (rho, t, z) = (layer.resistivity(), layer.thickness(), layer.z_bottom());
         let nl = self.lengths.len();
-        let points = par_map(self.widths.len() * nl, |p| -> Result<f64> {
-            let (w, len) = (self.widths[p / nl], self.lengths[p % nl]);
-            let bar = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, w, t)?;
-            let sys: PartialSystem = [Conductor::new(bar, rho)?].into_iter().collect();
-            let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
-            Ok(l[(0, 0)])
+        let n_points = self.widths.len() * nl;
+        obs::counter_add("table.points.self", n_points as u64);
+        let (points, cpu) = par_map_timed(n_points, |p, tm| -> Result<f64> {
+            tm.time("self-solve-cpu", || {
+                let (w, len) = (self.widths[p / nl], self.lengths[p % nl]);
+                let bar = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, w, t)?;
+                let sys: PartialSystem = [Conductor::new(bar, rho)?].into_iter().collect();
+                let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
+                Ok(l[(0, 0)])
+            })
         });
         let mut self_grid = Vec::with_capacity(self.widths.len());
         let mut it = points.into_iter();
         for _ in 0..self.widths.len() {
             self_grid.push(it.by_ref().take(nl).collect::<Result<Vec<f64>>>()?);
         }
-        SelfLTable::from_grid(self.widths.clone(), self.lengths.clone(), self_grid)
+        Ok((
+            SelfLTable::from_grid(self.widths.clone(), self.lengths.clone(), self_grid)?,
+            cpu,
+        ))
     }
 
     /// Mutual table: 2-trace solves, symmetric in the width pair — only the
     /// `i ≤ j` pairs are solved, flattened with spacing × length into the
     /// parallel point list, then mirrored.
-    fn characterize_mutual(&self) -> Result<MutualLTable> {
+    fn characterize_mutual(&self) -> Result<(MutualLTable, Timings)> {
         let layer = self.stackup.layer(self.layer_index)?;
         let (rho, t, z) = (layer.resistivity(), layer.thickness(), layer.z_bottom());
         let nw = self.widths.len();
         let (ns, nl) = (self.spacings.len(), self.lengths.len());
         let pairs: Vec<(usize, usize)> =
             (0..nw).flat_map(|i| (i..nw).map(move |j| (i, j))).collect();
-        let points = par_map(pairs.len() * ns * nl, |p| -> Result<f64> {
-            let (i, j) = pairs[p / (ns * nl)];
-            let s = self.spacings[p / nl % ns];
-            let len = self.lengths[p % nl];
-            let a = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, self.widths[i], t)?;
-            let b = Bar::new(
-                Point3::new(0.0, self.widths[i] + s, z),
-                Axis::X,
-                len,
-                self.widths[j],
-                t,
-            )?;
-            let sys: PartialSystem = [Conductor::new(a, rho)?, Conductor::new(b, rho)?]
-                .into_iter()
-                .collect();
-            let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
-            Ok(l[(0, 1)])
+        let n_points = pairs.len() * ns * nl;
+        obs::counter_add("table.points.mutual", n_points as u64);
+        let (points, cpu) = par_map_timed(n_points, |p, tm| -> Result<f64> {
+            tm.time("mutual-solve-cpu", || {
+                let (i, j) = pairs[p / (ns * nl)];
+                let s = self.spacings[p / nl % ns];
+                let len = self.lengths[p % nl];
+                let a = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, self.widths[i], t)?;
+                let b = Bar::new(
+                    Point3::new(0.0, self.widths[i] + s, z),
+                    Axis::X,
+                    len,
+                    self.widths[j],
+                    t,
+                )?;
+                let sys: PartialSystem = [Conductor::new(a, rho)?, Conductor::new(b, rho)?]
+                    .into_iter()
+                    .collect();
+                let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
+                Ok(l[(0, 1)])
+            })
         });
         let mut mutual_grid = vec![vec![Vec::<Vec<f64>>::new(); nw]; nw];
         let mut it = points.into_iter();
@@ -222,36 +246,45 @@ impl TableBuilder {
             mutual_grid[i][j] = per_spacing.clone();
             mutual_grid[j][i] = per_spacing;
         }
-        MutualLTable::from_grid(
-            self.widths.clone(),
-            self.spacings.clone(),
-            self.lengths.clone(),
-            mutual_grid,
-        )
+        Ok((
+            MutualLTable::from_grid(
+                self.widths.clone(),
+                self.spacings.clone(),
+                self.lengths.clone(),
+                mutual_grid,
+            )?,
+            cpu,
+        ))
     }
 
     /// Loop tables: full G-S-G (+ plane) block extraction per config, one
     /// (width, length) grid point per parallel work item.
-    fn characterize_loops(&self) -> Result<Vec<LoopLTable>> {
+    fn characterize_loops(&self) -> Result<(Vec<LoopLTable>, Timings)> {
         let extractor = BlockExtractor::new(self.stackup.clone(), self.layer_index)?
             .frequency(self.frequency)
             .mesh(self.mesh)
             .plane_strips(self.plane_strips);
         let nl = self.lengths.len();
         let mut loop_tables = Vec::with_capacity(self.shields.len());
+        let mut cpu = Timings::new();
         for &shield in &self.shields {
-            let points = par_map(self.widths.len() * nl, |p| -> Result<(f64, f64)> {
-                let (w, len) = (self.widths[p / nl], self.lengths[p % nl]);
-                let block = Block::coplanar_waveguide(
-                    len,
-                    w,
-                    w * self.ground_width_ratio,
-                    self.loop_spacing,
-                )?
-                .with_shield(shield);
-                let out = extractor.extract(&block)?;
-                Ok((out.loop_l[(0, 0)], out.loop_r[(0, 0)]))
+            let n_points = self.widths.len() * nl;
+            obs::counter_add("table.points.loop", n_points as u64);
+            let (points, shield_cpu) = par_map_timed(n_points, |p, tm| -> Result<(f64, f64)> {
+                tm.time("loop-solve-cpu", || {
+                    let (w, len) = (self.widths[p / nl], self.lengths[p % nl]);
+                    let block = Block::coplanar_waveguide(
+                        len,
+                        w,
+                        w * self.ground_width_ratio,
+                        self.loop_spacing,
+                    )?
+                    .with_shield(shield);
+                    let out = extractor.extract(&block)?;
+                    Ok((out.loop_l[(0, 0)], out.loop_r[(0, 0)]))
+                })
             });
+            cpu.absorb(&shield_cpu);
             let mut l_grid = Vec::with_capacity(self.widths.len());
             let mut r_grid = Vec::with_capacity(self.widths.len());
             let mut it = points.into_iter();
@@ -270,7 +303,7 @@ impl TableBuilder {
                 r_grid,
             )?);
         }
-        Ok(loop_tables)
+        Ok((loop_tables, cpu))
     }
 
     /// Content-hash key identifying this characterization: any change to
@@ -336,21 +369,25 @@ impl TableBuilder {
         let cache = TableCache::new(dir);
         let key = self.cache_key();
         let mut timings = Timings::new();
-        if let Some(tables) = timings.time("cache-probe", || cache.load(&key)) {
-            return Ok(CachedBuild {
+        match timings.time("cache-probe", || cache.lookup(&key)) {
+            Ok(tables) => Ok(CachedBuild {
                 tables,
                 timings,
                 cache_hit: true,
-            });
+                miss_reason: None,
+            }),
+            Err(reason) => {
+                let (tables, build_timings) = self.build_timed()?;
+                timings.absorb(&build_timings);
+                timings.time("cache-store", || cache.store(&key, &tables))?;
+                Ok(CachedBuild {
+                    tables,
+                    timings,
+                    cache_hit: false,
+                    miss_reason: Some(reason),
+                })
+            }
         }
-        let (tables, build_timings) = self.build_timed()?;
-        timings.absorb(&build_timings);
-        timings.time("cache-store", || cache.store(&key, &tables))?;
-        Ok(CachedBuild {
-            tables,
-            timings,
-            cache_hit: false,
-        })
     }
 }
 
@@ -364,6 +401,24 @@ pub struct CachedBuild {
     pub timings: Timings,
     /// True when the tables came from the cache and no solve ran.
     pub cache_hit: bool,
+    /// On a miss, why the probe failed (`None` on a hit).
+    pub miss_reason: Option<crate::cache::CacheMiss>,
+}
+
+/// Worst relative disagreement between the self table's spline lookup and
+/// its own knot values. Interpolating splines should reproduce their knots
+/// to round-off; a large residual flags a broken fit, so the value is
+/// published as the `spline.max_resid` gauge at every build.
+fn self_table_knot_residual(table: &SelfLTable) -> f64 {
+    let mut max_resid = 0.0f64;
+    for (i, &w) in table.widths().iter().enumerate() {
+        for (j, &len) in table.lengths().iter().enumerate() {
+            let truth = table.grid()[i][j];
+            let resid = (table.lookup(w, len) - truth).abs() / truth.abs().max(f64::MIN_POSITIVE);
+            max_resid = max_resid.max(resid);
+        }
+    }
+    max_resid
 }
 
 #[cfg(test)]

@@ -31,6 +31,8 @@
 
 use crate::table::InductanceTables;
 use crate::{io, CoreError, Result};
+use rlcx_numeric::obs;
+use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The format version written to and required of every cache file.
@@ -45,6 +47,31 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// Why a cache probe failed — every miss is attributable, so callers (and
+/// the `cache.miss` metric) can tell a cold cache from a corrupted one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMiss {
+    /// No file exists for the key (cold cache), or it cannot be read.
+    Absent,
+    /// The file's version header is not the supported format.
+    WrongVersion,
+    /// The file's recorded key disagrees with the requested key.
+    WrongKey,
+    /// The table payload failed to parse (truncation, corruption).
+    Corrupt,
+}
+
+impl fmt::Display for CacheMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CacheMiss::Absent => "absent",
+            CacheMiss::WrongVersion => "wrong-version",
+            CacheMiss::WrongKey => "wrong-key",
+            CacheMiss::Corrupt => "corrupt",
+        })
+    }
 }
 
 /// A directory of cached table files.
@@ -70,17 +97,49 @@ impl TableCache {
     /// Loads the tables stored under `key`, or `None` on any kind of miss:
     /// no file, unreadable file, version or key mismatch, or a payload
     /// that fails to parse. A miss is never an error — the caller rebuilds.
+    ///
+    /// Equivalent to [`TableCache::lookup`] with the miss reason dropped;
+    /// both record the `cache.hit` / `cache.miss` metrics.
     pub fn load(&self, key: &str) -> Option<InductanceTables> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        self.lookup(key).ok()
+    }
+
+    /// Probes the cache for `key`, reporting *why* on a miss, and records
+    /// the outcome into the `cache.hit` / `cache.miss` metrics (plus a
+    /// per-reason `cache.miss.<reason>` counter).
+    ///
+    /// # Errors
+    ///
+    /// The [`CacheMiss`] reason. A miss is still not a build error — the
+    /// caller rebuilds and stores.
+    pub fn lookup(&self, key: &str) -> std::result::Result<InductanceTables, CacheMiss> {
+        let _span = obs::span("cache.probe");
+        let outcome = self.lookup_uncounted(key);
+        match &outcome {
+            Ok(_) => obs::counter_add("cache.hit", 1),
+            Err(reason) => {
+                obs::counter_add("cache.miss", 1);
+                obs::counter_add(&format!("cache.miss.{reason}"), 1);
+            }
+        }
+        outcome
+    }
+
+    fn lookup_uncounted(&self, key: &str) -> std::result::Result<InductanceTables, CacheMiss> {
+        let text = std::fs::read_to_string(self.path_for(key)).map_err(|_| CacheMiss::Absent)?;
         let mut lines = text.splitn(3, '\n');
-        if lines.next()?.trim_end() != CACHE_HEADER {
-            return None;
+        if lines.next().map(str::trim_end) != Some(CACHE_HEADER) {
+            return Err(CacheMiss::WrongVersion);
         }
-        let recorded = lines.next()?.trim_end().strip_prefix("key ")?;
+        let recorded = lines
+            .next()
+            .and_then(|l| l.trim_end().strip_prefix("key "))
+            .ok_or(CacheMiss::Corrupt)?;
         if recorded != key {
-            return None;
+            return Err(CacheMiss::WrongKey);
         }
-        io::from_string(lines.next()?).ok()
+        let payload = lines.next().ok_or(CacheMiss::Corrupt)?;
+        io::from_string(payload).map_err(|_| CacheMiss::Corrupt)
     }
 
     /// Writes `tables` under `key`, creating the cache directory if needed.

@@ -20,6 +20,7 @@ use crate::{CoreError, Result};
 use rlcx_cap::resistance::trace_resistance;
 use rlcx_cap::BlockCapExtractor;
 use rlcx_geom::{Block, SegmentTree, Stackup};
+use rlcx_numeric::obs;
 use rlcx_spice::{Netlist, Waveform, GROUND};
 
 /// Table-driven extractor for clocktree segments in one routing layer.
@@ -72,6 +73,8 @@ impl ClocktreeExtractor {
     ///   no loop table (or the block has more than one signal),
     /// * capacitance model errors.
     pub fn extract_segment(&self, block: &Block) -> Result<SegmentRlc> {
+        let _span = obs::span("extract.segment");
+        obs::counter_add("extract.segments", 1);
         let signals = block.signal_indices();
         let [signal] = signals.as_slice() else {
             return Err(CoreError::MissingTable {
@@ -192,6 +195,7 @@ impl<'a> TreeNetlistBuilder<'a> {
     ///
     /// Propagates extraction and netlist errors.
     pub fn build(&self, tree: &SegmentTree, cross_section: &Block) -> Result<TreeRlcNetlist> {
+        let _span = obs::span("extract.tree");
         let mut nl = Netlist::new();
         let node_name = |n: usize| format!("n{n}");
         // Driver: source → Rdrv → root node.

@@ -59,7 +59,7 @@ mod error;
 
 pub use builder::{CachedBuild, TableBuilder};
 pub use bus::{BusNetlistBuilder, BusRlc, WireDrive};
-pub use cache::TableCache;
+pub use cache::{CacheMiss, TableCache};
 pub use error::CoreError;
 pub use extractor::{ClocktreeExtractor, TreeNetlistBuilder, TreeRlcNetlist};
 pub use segment::SegmentRlc;

@@ -23,7 +23,10 @@
 //! * [`rng`] — a seedable SplitMix64 generator so the workspace never
 //!   needs an external `rand` crate,
 //! * [`timing`] — ordered stage timers ([`timing::Timings`]) for
-//!   per-stage extraction breakdowns.
+//!   per-stage extraction breakdowns,
+//! * [`obs`] — the `rlcx-obs` observability layer: nestable tracing spans
+//!   (`RLCX_TRACE=off|summary|verbose`), a global metrics registry and
+//!   machine-readable JSON run reports ([`obs::RunReport`]).
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod cholesky;
 pub mod complex;
 pub mod lu;
 pub mod matrix;
+pub mod obs;
 pub mod parallel;
 pub mod quadrature;
 pub mod rng;
@@ -55,7 +59,7 @@ mod error;
 pub use complex::Complex;
 pub use error::NumericError;
 pub use matrix::{CMatrix, Matrix};
-pub use parallel::{par_map, par_map_threads, thread_count};
+pub use parallel::{par_map, par_map_threads, par_map_threads_timed, par_map_timed, thread_count};
 pub use rng::{SplitMix64, UniformRng};
 pub use timing::Timings;
 

@@ -43,6 +43,7 @@ impl LuDecomposition {
             });
         }
         let n = a.rows();
+        crate::obs::observe("lu.factor.n", n as f64);
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut sign = 1.0;
@@ -190,6 +191,7 @@ impl CLuDecomposition {
             });
         }
         let n = a.rows();
+        crate::obs::observe("lu.factor.n", n as f64);
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
         for k in 0..n {

@@ -1,0 +1,216 @@
+//! A light global registry of counters, gauges and histogram summaries.
+//!
+//! Metrics are always on (unlike spans, they are never recorded inside
+//! per-element loops — only per solve, per build, per run), so recording
+//! is a mutex-guarded map update: cheap, thread-safe, and allocation-free
+//! after a name's first use. Names follow the `crate.subject[.aspect]`
+//! scheme documented in the [module docs](super).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// The current value of one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count ([`counter_add`]).
+    Counter(u64),
+    /// Last-write-wins measurement ([`gauge_set`]).
+    Gauge(f64),
+    /// Streaming summary of observed samples ([`observe`]).
+    Histogram {
+        /// Number of samples.
+        count: u64,
+        /// Sum of samples.
+        sum: f64,
+        /// Smallest sample.
+        min: f64,
+        /// Largest sample.
+        max: f64,
+    },
+}
+
+impl MetricValue {
+    /// The histogram mean, the gauge value, or the counter as f64 —
+    /// whichever "one number" summarizes this metric.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            MetricValue::Counter(n) => n as f64,
+            MetricValue::Gauge(v) => v,
+            MetricValue::Histogram { count, sum, .. } => {
+                if count == 0 {
+                    0.0
+                } else {
+                    sum / count as f64
+                }
+            }
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, MetricValue>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, MetricValue>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn with_registry<R>(f: impl FnOnce(&mut BTreeMap<String, MetricValue>) -> R) -> Option<R> {
+    registry().lock().ok().map(|mut m| f(&mut m))
+}
+
+/// Adds `delta` to the counter `name` (creating it at zero).
+pub fn counter_add(name: &str, delta: u64) {
+    with_registry(|m| match m.get_mut(name) {
+        Some(MetricValue::Counter(n)) => *n += delta,
+        Some(other) => *other = MetricValue::Counter(delta),
+        None => {
+            m.insert(name.to_string(), MetricValue::Counter(delta));
+        }
+    });
+}
+
+/// Sets the gauge `name` to `value`.
+pub fn gauge_set(name: &str, value: f64) {
+    with_registry(|m| match m.get_mut(name) {
+        Some(slot) => *slot = MetricValue::Gauge(value),
+        None => {
+            m.insert(name.to_string(), MetricValue::Gauge(value));
+        }
+    });
+}
+
+/// Records `sample` into the histogram `name`.
+pub fn observe(name: &str, sample: f64) {
+    with_registry(|m| match m.get_mut(name) {
+        Some(MetricValue::Histogram {
+            count,
+            sum,
+            min,
+            max,
+        }) => {
+            *count += 1;
+            *sum += sample;
+            *min = min.min(sample);
+            *max = max.max(sample);
+        }
+        Some(other) => {
+            *other = MetricValue::Histogram {
+                count: 1,
+                sum: sample,
+                min: sample,
+                max: sample,
+            }
+        }
+        None => {
+            m.insert(
+                name.to_string(),
+                MetricValue::Histogram {
+                    count: 1,
+                    sum: sample,
+                    min: sample,
+                    max: sample,
+                },
+            );
+        }
+    });
+}
+
+/// The counter `name`, or 0 if it was never incremented (or is not a
+/// counter).
+pub fn counter_value(name: &str) -> u64 {
+    match metric_value(name) {
+        Some(MetricValue::Counter(n)) => n,
+        _ => 0,
+    }
+}
+
+/// The current value of `name`, if recorded.
+pub fn metric_value(name: &str) -> Option<MetricValue> {
+    with_registry(|m| m.get(name).copied()).flatten()
+}
+
+/// Every metric, sorted by name.
+pub fn metrics_snapshot() -> Vec<(String, MetricValue)> {
+    with_registry(|m| m.iter().map(|(k, v)| (k.clone(), *v)).collect()).unwrap_or_default()
+}
+
+/// Clears the registry (tests and multi-phase binaries that want per-phase
+/// deltas).
+pub fn reset_metrics() {
+    with_registry(|m| m.clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let name = "metrics.test.counter";
+        let before = counter_value(name);
+        counter_add(name, 2);
+        counter_add(name, 3);
+        assert_eq!(counter_value(name), before + 5);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        gauge_set("metrics.test.gauge", 1.5);
+        gauge_set("metrics.test.gauge", 2.5);
+        assert_eq!(
+            metric_value("metrics.test.gauge"),
+            Some(MetricValue::Gauge(2.5))
+        );
+        assert_eq!(metric_value("metrics.test.gauge").unwrap().as_f64(), 2.5);
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let name = "metrics.test.hist";
+        observe(name, 2.0);
+        observe(name, 4.0);
+        observe(name, 0.5);
+        match metric_value(name) {
+            Some(MetricValue::Histogram {
+                count,
+                sum,
+                min,
+                max,
+            }) => {
+                assert!(count >= 3);
+                assert!(sum >= 6.5);
+                assert_eq!(min, 0.5);
+                assert_eq!(max, 4.0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_contains_known_names() {
+        counter_add("metrics.test.snap.a", 1);
+        counter_add("metrics.test.snap.b", 1);
+        let snap = metrics_snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        let a = names.iter().position(|n| *n == "metrics.test.snap.a");
+        let b = names.iter().position(|n| *n == "metrics.test.snap.b");
+        assert!(a.is_some() && b.is_some() && a < b);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn concurrent_counting_loses_nothing() {
+        let name = "metrics.test.concurrent";
+        let before = counter_value(name);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        counter_add(name, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter_value(name), before + 800);
+    }
+}

@@ -1,0 +1,61 @@
+//! `rlcx-obs` — structured tracing, solver metrics and machine-readable
+//! run reports for the extraction pipeline.
+//!
+//! Field-solver runs are opaque without instrumentation: the wall-clock
+//! `Timings` table says *how long* a stage took but not how many filaments
+//! were meshed, whether the table cache hit, or how large the LU factors
+//! were. This module family is the zero-dependency observability layer the
+//! whole workspace records into:
+//!
+//! * [`trace`] — nestable named [`span`]s with wall-clock and thread id,
+//!   env-filtered via `RLCX_TRACE=off|summary|verbose`. `off` (the default)
+//!   is zero-overhead: [`span`] returns an inert guard without allocating.
+//!   `verbose` streams enter/exit lines to stderr; both `summary` and
+//!   `verbose` collect [`SpanRecord`]s for the span tree and run reports.
+//! * [`metrics`] — a global registry of counters, gauges and histogram
+//!   summaries (`cache.hit`, `peec.filaments`, `lu.factor.n`, …), always
+//!   on (recording is a mutex-guarded map update off every hot loop).
+//! * [`report`] — [`RunReport`]: spans + metrics + bench samples +
+//!   paper-accuracy figures serialized to a stable, hand-rolled JSON file
+//!   (`target/reports/<name>.json`) so experiment outputs diff across PRs.
+//! * [`json`] — the minimal JSON value model ([`Json`]) behind the report
+//!   writer/parser; no serde, same policy as the table cache format.
+//!
+//! # Naming scheme
+//!
+//! Metric and span names are dot-separated, lowercase, `crate.subject` or
+//! `crate.subject.aspect`: `cache.hit`, `peec.solves`, `table.points.self`,
+//! `spice.steps`, `lu.factor.n`, `threads.used`. Span names follow the
+//! pipeline stages: `table.build/table.self`, `peec.solve/assemble`, ….
+//!
+//! # Example
+//!
+//! ```
+//! use rlcx_numeric::obs::{self, TraceLevel};
+//!
+//! obs::set_trace_level(TraceLevel::Summary);
+//! {
+//!     let _outer = obs::span("demo.outer");
+//!     let _inner = obs::span("demo.inner");
+//!     obs::counter_add("demo.widgets", 3);
+//! }
+//! let spans = obs::take_spans();
+//! assert!(spans.iter().any(|s| s.path == "demo.outer/demo.inner"));
+//! assert!(obs::counter_value("demo.widgets") >= 3);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{
+    counter_add, counter_value, gauge_set, metric_value, metrics_snapshot, observe, reset_metrics,
+    MetricValue,
+};
+pub use report::{BenchSample, RunReport, SpanSummary};
+pub use trace::{
+    set_trace_level, span, span_tree, take_spans, trace_level, with_span, Span, SpanRecord,
+    TraceLevel,
+};

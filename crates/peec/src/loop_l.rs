@@ -256,6 +256,8 @@ impl BlockExtractor {
     ///   exist in the stackup,
     /// * solver errors propagated from the filament solve.
     pub fn extract(&self, block: &Block) -> Result<BlockExtraction> {
+        let _span = rlcx_numeric::obs::span("peec.block_extract");
+        rlcx_numeric::obs::counter_add("peec.block_extracts", 1);
         let layer = self.stackup.layer(self.layer_index)?;
         let trace_bars = block.to_bars(layer, Axis::X, 0.0, 0.0);
         let rho = layer.resistivity();

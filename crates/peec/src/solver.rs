@@ -12,6 +12,7 @@ use crate::partial::{dc_resistance, mutual_partial, self_partial};
 use crate::{PeecError, Result};
 use rlcx_geom::Bar;
 use rlcx_numeric::lu::CLuDecomposition;
+use rlcx_numeric::obs;
 use rlcx_numeric::parallel::{par_map_threads, thread_count};
 use rlcx_numeric::{CMatrix, Complex, Matrix, Timings};
 
@@ -129,7 +130,9 @@ impl PartialSystem {
     /// the determinism tests compare `lp_matrix_with_threads(1)` against
     /// `lp_matrix_with_threads(n)` exactly.
     pub fn lp_matrix_with_threads(&self, threads: usize) -> Matrix {
+        let _span = obs::span("peec.lp_matrix");
         let n = self.len();
+        obs::counter_add("peec.lp.conductors", n as u64);
         let rows = par_map_threads(threads, n, |k| {
             let i = balanced_row(k, n);
             // Entries (i, i..n) of the upper triangle.
@@ -223,14 +226,24 @@ impl PartialSystem {
                 });
             }
         }
-        let (fils, owner, rhos) = timings.time("mesh", || self.meshed_filaments(mesh_for));
+        let _solve_span = obs::span("peec.solve");
+        obs::counter_add("peec.solves", 1);
+        let (fils, owner, rhos) = timings.time("mesh", || {
+            obs::with_span("peec.mesh", || self.meshed_filaments(mesh_for))
+        });
+        obs::counter_add("peec.filaments", fils.len() as u64);
         let omega = 2.0 * std::f64::consts::PI * f;
         let zf = timings.time("assemble", || {
-            filament_z_matrix(&fils, &rhos, omega, thread_count())
+            obs::with_span("peec.assemble", || {
+                filament_z_matrix(&fils, &rhos, omega, thread_count())
+            })
         });
         // Filaments of one conductor are in parallel between shared end
         // nodes: Y_cond = A Z_f⁻¹ Aᵀ with A the ownership incidence matrix.
-        let yf = timings.time("factor", || CLuDecomposition::new(&zf)?.inverse())?;
+        let yf = timings.time("factor", || {
+            obs::with_span("peec.factor", || CLuDecomposition::new(&zf)?.inverse())
+        })?;
+        let _reduce_span = obs::span("peec.reduce");
         timings.time("reduce", || {
             let n = self.len();
             let nf = fils.len();

@@ -13,6 +13,11 @@
 //! | [`core`] | `rlcx-core` | inductance tables + clocktree RLC formulation |
 //! | [`clocktree`] | `rlcx-clocktree` | buffered H-tree skew analysis |
 //!
+//! Observability (tracing spans, metrics, machine-readable run reports)
+//! lives in [`obs`] — a re-export of `rlcx_numeric::obs`, instrumented
+//! throughout the crates above. Set `RLCX_TRACE=summary` to see a span
+//! tree on stderr.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -36,5 +41,6 @@ pub use rlcx_clocktree as clocktree;
 pub use rlcx_core as core;
 pub use rlcx_geom as geom;
 pub use rlcx_numeric as numeric;
+pub use rlcx_numeric::obs;
 pub use rlcx_peec as peec;
 pub use rlcx_spice as spice;

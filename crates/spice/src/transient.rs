@@ -9,7 +9,7 @@
 use crate::netlist::{Element, Netlist, NodeId};
 use crate::{Result, SpiceError};
 use rlcx_numeric::lu::LuDecomposition;
-use rlcx_numeric::Matrix;
+use rlcx_numeric::{obs, Matrix};
 use std::collections::HashMap;
 
 /// Numerical integration method for the transient solve.
@@ -78,6 +78,8 @@ impl<'a> Transient<'a> {
     /// * [`SpiceError::Numeric`] if the MNA matrix is singular (floating
     ///   nodes, shorted sources, …).
     pub fn run(&self) -> Result<TransientResult> {
+        let _span = obs::span("spice.transient");
+        obs::counter_add("spice.transients", 1);
         if !(self.timestep > 0.0 && self.timestep.is_finite()) {
             return Err(SpiceError::BadSimParams {
                 what: format!("timestep must be positive, got {}", self.timestep),
@@ -105,6 +107,7 @@ impl<'a> Transient<'a> {
             }
         }
         let dim = nv + branch_elems.len();
+        obs::gauge_set("spice.mna.dim", dim as f64);
         if dim == 0 {
             return Err(SpiceError::BadSimParams {
                 what: "empty circuit".into(),
@@ -170,6 +173,9 @@ impl<'a> Transient<'a> {
         // State: node voltages + branch currents in `x`; capacitor currents
         // tracked separately for the trapezoidal companion.
         let steps = (self.duration / h).round() as usize;
+        // The MNA system is linear, so each step is one back-substitution —
+        // there is no Newton loop to count, only steps.
+        obs::counter_add("spice.steps", steps as u64);
         let mut x = x0;
         let mut cap_current: HashMap<usize, f64> = HashMap::new();
         let mut time = Vec::with_capacity(steps + 1);

@@ -1,0 +1,81 @@
+//! Zero-overhead guarantee: with `RLCX_TRACE=off` the span API must not
+//! allocate on the hot path — an inert guard is returned and dropped with
+//! no heap traffic.
+//!
+//! This lives in its own test binary because it installs a counting
+//! `#[global_allocator]` and pins the trace level for the whole process;
+//! sharing a binary with other observability tests would race on both.
+
+use rlcx::obs::{self, TraceLevel};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+fn level_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_spans_do_not_allocate() {
+    let _guard = level_lock();
+    obs::set_trace_level(TraceLevel::Off);
+
+    // Warm the thread-local span stack and any lazily-initialized state so
+    // one-time setup costs are not charged to the measured region.
+    for _ in 0..4 {
+        let _s = obs::span("obs.warmup");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let _outer = obs::span("obs.hot");
+        let _inner = obs::span("obs.hot.nested");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "RLCX_TRACE=off spans must be allocation-free"
+    );
+}
+
+/// Enabling tracing does allocate (records are stored) — a sanity check
+/// that the counter itself works, so the zero above is meaningful.
+#[test]
+fn enabled_spans_do_allocate() {
+    let _guard = level_lock();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    obs::set_trace_level(TraceLevel::Summary);
+    for _ in 0..64 {
+        let _s = obs::span("obs.enabled");
+    }
+    obs::set_trace_level(TraceLevel::Off);
+    obs::take_spans();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(
+        after > before,
+        "allocation counter must observe span records"
+    );
+}

@@ -1,0 +1,132 @@
+//! The observability layer tested through the public facade: span nesting
+//! across real extraction work, metric accumulation under multi-threaded
+//! characterization, and run-report JSON round-trips.
+//!
+//! Trace level and metrics are process-global; tests that flip the level
+//! serialize through [`level_lock`], and all metric assertions are deltas
+//! against a before-snapshot so concurrently running tests cannot break
+//! them.
+
+use rlcx::core::TableBuilder;
+use rlcx::geom::Stackup;
+use rlcx::obs::{self, RunReport, TraceLevel};
+use rlcx::peec::MeshSpec;
+use std::sync::{Mutex, MutexGuard};
+
+fn level_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn small_builder() -> TableBuilder {
+    TableBuilder::new(Stackup::hp_six_metal_copper(), 5)
+        .unwrap()
+        .widths(vec![2.0, 5.0])
+        .spacings(vec![0.5, 1.0])
+        .lengths(vec![200.0, 400.0])
+        .mesh(MeshSpec::new(2, 1))
+}
+
+/// A table build under `Summary` records the characterization span tree
+/// with correct nesting: `table.build` as the root, the per-stage spans
+/// below it, and the PEEC solve spans below those (on worker threads the
+/// solver spans are thread-local roots, so only depth-0 paths are
+/// guaranteed for them).
+#[test]
+fn table_build_records_nested_spans() {
+    let _guard = level_lock();
+    obs::set_trace_level(TraceLevel::Summary);
+    obs::take_spans();
+    small_builder().build().unwrap();
+    obs::set_trace_level(TraceLevel::Off);
+    let spans = obs::take_spans();
+
+    let build = spans
+        .iter()
+        .find(|s| s.path == "table.build")
+        .expect("root span recorded");
+    assert_eq!(build.depth, 0);
+    for stage in ["table.self", "table.mutual", "table.loop"] {
+        let path = format!("table.build/{stage}");
+        let s = spans
+            .iter()
+            .find(|s| s.path == path)
+            .unwrap_or_else(|| panic!("stage span {path} recorded"));
+        assert_eq!(s.depth, 1);
+        assert!(s.duration <= build.duration, "{path} within the root span");
+    }
+    // The PEEC solves run inside the stages (possibly on worker threads).
+    assert!(
+        spans.iter().any(|s| s.path.ends_with("peec.solve")),
+        "solver spans recorded"
+    );
+    // Span ordering: completion order puts children before their parent.
+    let build_pos = spans.iter().position(|s| s.path == "table.build").unwrap();
+    let self_pos = spans
+        .iter()
+        .position(|s| s.path == "table.build/table.self")
+        .unwrap();
+    assert!(self_pos < build_pos, "children complete before the parent");
+}
+
+/// Metrics accumulate across worker threads: a characterization forced to
+/// `RLCX_THREADS=4` must count every grid point and every PEEC solve, and
+/// the solve counter grows by at least the point count.
+#[test]
+fn metrics_accumulate_across_threads() {
+    let _guard = level_lock();
+    std::env::set_var("RLCX_THREADS", "4");
+    let solves_before = obs::counter_value("peec.solves");
+    let self_points_before = obs::counter_value("table.points.self");
+    small_builder().build().unwrap();
+    std::env::remove_var("RLCX_THREADS");
+
+    // 2 widths × 2 lengths self points; every point is one PEEC solve and
+    // the mutual/loop sweeps add more.
+    assert!(
+        obs::counter_value("table.points.self") >= self_points_before + 4,
+        "self grid points counted"
+    );
+    assert!(
+        obs::counter_value("peec.solves") >= solves_before + 4,
+        "solver invocations counted across worker threads"
+    );
+    match obs::metric_value("threads.used") {
+        Some(obs::MetricValue::Gauge(t)) => assert!(t >= 1.0),
+        other => panic!("threads.used gauge missing: {other:?}"),
+    }
+    // The spline self-check gauge is published at every build and must be
+    // tiny: interpolating splines reproduce their knots to round-off.
+    match obs::metric_value("spline.max_resid") {
+        Some(obs::MetricValue::Gauge(r)) => assert!(r < 1e-9, "knot residual {r}"),
+        other => panic!("spline.max_resid gauge missing: {other:?}"),
+    }
+}
+
+/// A report built from a real run (figures + timings + metrics + spans)
+/// survives the JSON round-trip losslessly.
+#[test]
+fn run_report_round_trips_through_json() {
+    let _guard = level_lock();
+    obs::set_trace_level(TraceLevel::Summary);
+    obs::take_spans();
+    let (_, timings) = small_builder().build_timed().unwrap();
+    obs::set_trace_level(TraceLevel::Off);
+
+    let mut report = RunReport::new("observability_test");
+    report.figure("self_l.max_rel_err", 0.0123);
+    report.sample("lookup", 1.5e-6, 1.1e-6, 10);
+    report.absorb_timings(&timings);
+    report.finish();
+    assert!(!report.metrics.is_empty(), "metric snapshot captured");
+    assert!(
+        report.spans.iter().any(|s| s.path == "table.build"),
+        "span summary captured"
+    );
+
+    let parsed = RunReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.figure_value("self_l.max_rel_err"), Some(0.0123));
+    let build = parsed.spans.iter().find(|s| s.path == "table.build");
+    assert!(build.is_some_and(|s| s.count >= 1 && s.total_s > 0.0));
+}

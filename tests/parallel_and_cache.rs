@@ -2,9 +2,10 @@
 //! end-to-end: serial-vs-parallel determinism, table-vs-solver accuracy,
 //! cache round-trips and stage timings.
 
-use rlcx::core::TableBuilder;
+use rlcx::core::{CacheMiss, TableBuilder, TableCache};
 use rlcx::geom::units::RHO_COPPER;
 use rlcx::geom::{Axis, Bar, Point3, Stackup};
+use rlcx::obs;
 use rlcx::peec::{Conductor, MeshSpec, PartialSystem};
 use std::path::PathBuf;
 
@@ -104,6 +105,54 @@ fn cache_roundtrip_is_exact() {
             "mutual_l({w},{len})"
         );
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every cache probe lands in the `cache.hit` / `cache.miss` metrics with
+/// an attributable miss reason. Metrics are process-global and other tests
+/// in this binary probe the cache concurrently, so all assertions are
+/// deltas (`>=`) against a before-snapshot.
+#[test]
+fn cache_probes_record_hit_and_miss_metrics() {
+    let dir = scratch_dir("cache_metrics");
+    std::fs::remove_dir_all(&dir).ok();
+    let builder = small_builder();
+    let key = builder.cache_key();
+    let cache = TableCache::new(&dir);
+
+    let hits_before = obs::counter_value("cache.hit");
+    let misses_before = obs::counter_value("cache.miss");
+    let absent_before = obs::counter_value("cache.miss.absent");
+
+    assert!(matches!(cache.lookup(&key), Err(CacheMiss::Absent)));
+    let cold = builder.build_cached(&dir).unwrap();
+    assert!(!cold.cache_hit);
+    assert_eq!(cold.miss_reason, Some(CacheMiss::Absent));
+    let warm = builder.build_cached(&dir).unwrap();
+    assert!(warm.cache_hit);
+    assert_eq!(warm.miss_reason, None);
+    assert!(cache.lookup(&key).is_ok());
+
+    assert!(
+        obs::counter_value("cache.hit") >= hits_before + 2,
+        "two hits recorded"
+    );
+    assert!(
+        obs::counter_value("cache.miss") >= misses_before + 2,
+        "two misses recorded"
+    );
+    assert!(
+        obs::counter_value("cache.miss.absent") >= absent_before + 2,
+        "misses attributed to the absent reason"
+    );
+
+    // A corrupted payload is a miss with its own reason.
+    let corrupt_before = obs::counter_value("cache.miss.corrupt");
+    let path = cache.path_for(&key);
+    let body = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+    assert!(matches!(cache.lookup(&key), Err(CacheMiss::Corrupt)));
+    assert!(obs::counter_value("cache.miss.corrupt") > corrupt_before);
     std::fs::remove_dir_all(&dir).ok();
 }
 
