@@ -8,6 +8,9 @@
 //! * [`Matrix`] / [`CMatrix`] — dense row-major real/complex matrices,
 //! * [`lu`] — LU factorization with partial pivoting (real and complex) and
 //!   the derived solve/inverse/determinant operations,
+//! * [`sparse`] — triplet→CSC sparse matrices, a fill-reducing
+//!   minimum-degree ordering and a symbolic/numeric-split sparse LU
+//!   ([`sparse::SparseLu`]) that the MNA circuit solves run on,
 //! * [`cholesky`] — Cholesky factorization for symmetric positive-definite
 //!   systems (partial-inductance matrices are SPD),
 //! * [`spline`] — natural cubic and bi-cubic spline interpolation in the
@@ -50,6 +53,7 @@ pub mod obs;
 pub mod parallel;
 pub mod quadrature;
 pub mod rng;
+pub mod sparse;
 pub mod spline;
 pub mod stats;
 pub mod timing;
@@ -61,6 +65,7 @@ pub use error::NumericError;
 pub use matrix::{CMatrix, Matrix};
 pub use parallel::{par_map, par_map_threads, par_map_threads_timed, par_map_timed, thread_count};
 pub use rng::{SplitMix64, UniformRng};
+pub use sparse::{CscMatrix, SparseLu, TripletBuilder};
 pub use timing::Timings;
 
 /// Convenient result alias used across the crate.

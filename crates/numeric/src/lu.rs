@@ -88,22 +88,27 @@ impl LuDecomposition {
         self.lu.rows()
     }
 
-    /// Solves `A·x = b` using the stored factorization.
+    /// Solves `A·x = b` into a caller-provided buffer; allocation-free.
+    ///
+    /// `b` and `x` must not alias.
     ///
     /// # Errors
     ///
-    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` or
+    /// `x.len()` differs from `self.dim()`.
     #[allow(clippy::needless_range_loop)] // textbook triangular substitution
-    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
         let n = self.dim();
-        if b.len() != n {
+        if b.len() != n || x.len() != n {
             return Err(NumericError::DimensionMismatch {
-                expected: format!("rhs of length {n}"),
-                found: format!("length {}", b.len()),
+                expected: format!("rhs and solution of length {n}"),
+                found: format!("b: {}, x: {}", b.len(), x.len()),
             });
         }
         // Apply permutation, then forward/backward substitution.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         for i in 1..n {
             let mut acc = x[i];
             for j in 0..i {
@@ -118,6 +123,19 @@ impl LuDecomposition {
             }
             x[i] = acc / self.lu[(i, i)];
         }
+        Ok(())
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// Thin allocating wrapper over [`LuDecomposition::solve_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; self.dim()];
+        self.solve_into(b, &mut x)?;
         Ok(x)
     }
 
@@ -136,11 +154,12 @@ impl LuDecomposition {
         }
         let mut out = Matrix::zeros(n, b.cols());
         let mut col = vec![0.0; n];
+        let mut x = vec![0.0; n];
         for j in 0..b.cols() {
             for i in 0..n {
                 col[i] = b[(i, j)];
             }
-            let x = self.solve(&col)?;
+            self.solve_into(&col, &mut x)?;
             for i in 0..n {
                 out[(i, j)] = x[i];
             }
@@ -233,21 +252,26 @@ impl CLuDecomposition {
         self.lu.rows()
     }
 
-    /// Solves `A·x = b`.
+    /// Solves `A·x = b` into a caller-provided buffer; allocation-free.
+    ///
+    /// `b` and `x` must not alias.
     ///
     /// # Errors
     ///
-    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` or
+    /// `x.len()` differs from `self.dim()`.
     #[allow(clippy::needless_range_loop)] // textbook triangular substitution
-    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>> {
+    pub fn solve_into(&self, b: &[Complex], x: &mut [Complex]) -> Result<()> {
         let n = self.dim();
-        if b.len() != n {
+        if b.len() != n || x.len() != n {
             return Err(NumericError::DimensionMismatch {
-                expected: format!("rhs of length {n}"),
-                found: format!("length {}", b.len()),
+                expected: format!("rhs and solution of length {n}"),
+                found: format!("b: {}, x: {}", b.len(), x.len()),
             });
         }
-        let mut x: Vec<Complex> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         for i in 1..n {
             let mut acc = x[i];
             for j in 0..i {
@@ -262,6 +286,19 @@ impl CLuDecomposition {
             }
             x[i] = acc / self.lu[(i, i)];
         }
+        Ok(())
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// Thin allocating wrapper over [`CLuDecomposition::solve_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>> {
+        let mut x = vec![Complex::ZERO; self.dim()];
+        self.solve_into(b, &mut x)?;
         Ok(x)
     }
 
@@ -274,9 +311,10 @@ impl CLuDecomposition {
         let n = self.dim();
         let mut out = CMatrix::zeros(n, n);
         let mut e = vec![Complex::ZERO; n];
+        let mut x = vec![Complex::ZERO; n];
         for j in 0..n {
             e[j] = Complex::ONE;
-            let x = self.solve(&e)?;
+            self.solve_into(&e, &mut x)?;
             for i in 0..n {
                 out[(i, j)] = x[i];
             }
@@ -392,6 +430,29 @@ mod tests {
             CLuDecomposition::new(&a),
             Err(NumericError::Singular { .. })
         ));
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let b = [3.0, 5.0];
+        let mut x = [0.0; 2];
+        lu.solve_into(&b, &mut x).unwrap();
+        assert_eq!(x.to_vec(), lu.solve(&b).unwrap());
+        let mut wrong = [0.0; 3];
+        assert!(matches!(
+            lu.solve_into(&b, &mut wrong),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+
+        let mut ca = CMatrix::identity(2);
+        ca[(0, 1)] = Complex::new(0.5, -1.0);
+        let clu = CLuDecomposition::new(&ca).unwrap();
+        let cb = [Complex::new(1.0, 2.0), Complex::new(-3.0, 0.0)];
+        let mut cx = [Complex::ZERO; 2];
+        clu.solve_into(&cb, &mut cx).unwrap();
+        assert_eq!(cx.to_vec(), clu.solve(&cb).unwrap());
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Triplet accumulation and compressed-sparse-column storage.
+//!
+//! Circuit stamping naturally produces *triplets*: every element emits a
+//! handful of `(row, col, value)` contributions and several elements hit
+//! the same matrix entry (two resistors sharing a node both add to the
+//! node's diagonal). [`TripletBuilder`] collects those stamps in emission
+//! order; [`TripletBuilder::build`] compresses them into a [`CscMatrix`]
+//! with duplicates summed and rows sorted within each column.
+//!
+//! [`TripletBuilder::build_with_map`] additionally returns, for each
+//! triplet in emission order, the index of the compressed value slot it
+//! landed in. Re-stamping the same circuit with different element values
+//! (the AC sweep at a new frequency) then becomes: zero the value array,
+//! replay the stamps through the map — the pattern, and therefore a
+//! symbolic factorization of it, is untouched.
+
+use super::Scalar;
+use crate::{NumericError, Result};
+
+/// Accumulates `(row, col, value)` stamps destined for a [`CscMatrix`].
+#[derive(Debug, Clone)]
+pub struct TripletBuilder<T> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> TripletBuilder<T> {
+    /// Creates an empty builder for an `nrows × ncols` matrix.
+    #[must_use]
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletBuilder {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates are summed at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range — stamping outside the
+    /// declared shape is a programming error, not a data error.
+    pub fn add(&mut self, row: usize, col: usize, value: T) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet ({row}, {col}) outside {}x{} matrix",
+            self.nrows,
+            self.ncols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of triplets accumulated so far (before duplicate merging).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplet has been added yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compresses the triplets into a [`CscMatrix`], summing duplicates.
+    #[must_use]
+    pub fn build(&self) -> CscMatrix<T> {
+        self.build_with_map().0
+    }
+
+    /// Like [`TripletBuilder::build`], but also returns `map` where
+    /// `map[k]` is the index into [`CscMatrix::values`] that the `k`-th
+    /// `add` call (in emission order) contributed to. Replaying the same
+    /// stamp sequence with new values via `values[map[k]] += v` reproduces
+    /// the matrix without rebuilding the pattern.
+    #[must_use]
+    pub fn build_with_map(&self) -> (CscMatrix<T>, Vec<usize>) {
+        let n = self.ncols;
+        // Count entries per column, then bucket triplet indices by column.
+        let mut col_counts = vec![0usize; n];
+        for &(_, c, _) in &self.entries {
+            col_counts[c] += 1;
+        }
+        let mut bucket_start = vec![0usize; n + 1];
+        for c in 0..n {
+            bucket_start[c + 1] = bucket_start[c] + col_counts[c];
+        }
+        let mut cursor = bucket_start.clone();
+        let mut by_col = vec![0usize; self.entries.len()];
+        for (k, &(_, c, _)) in self.entries.iter().enumerate() {
+            by_col[cursor[c]] = k;
+            cursor[c] += 1;
+        }
+
+        let mut colptr = Vec::with_capacity(n + 1);
+        let mut rows = Vec::new();
+        let mut values = Vec::new();
+        let mut map = vec![0usize; self.entries.len()];
+        colptr.push(0);
+        // A dense per-column scratch mapping row -> value slot; reset via
+        // the touched list so build stays O(nnz + n), not O(nrows * n).
+        let mut slot_of_row = vec![usize::MAX; self.nrows];
+        let mut touched = Vec::new();
+        for c in 0..n {
+            touched.clear();
+            let bucket = &by_col[bucket_start[c]..bucket_start[c + 1]];
+            // Sort triplet indices by row so the compressed column is
+            // row-sorted; stable order keeps the build deterministic.
+            let mut idx: Vec<usize> = bucket.to_vec();
+            idx.sort_by_key(|&k| self.entries[k].0);
+            for &k in &idx {
+                let (r, _, v) = self.entries[k];
+                if slot_of_row[r] == usize::MAX {
+                    slot_of_row[r] = values.len();
+                    rows.push(r);
+                    values.push(v);
+                    touched.push(r);
+                } else {
+                    values[slot_of_row[r]] += v;
+                }
+                map[k] = slot_of_row[r];
+            }
+            for &r in &touched {
+                slot_of_row[r] = usize::MAX;
+            }
+            colptr.push(rows.len());
+        }
+
+        (
+            CscMatrix {
+                nrows: self.nrows,
+                ncols: self.ncols,
+                colptr,
+                rows,
+                values,
+            },
+            map,
+        )
+    }
+}
+
+/// A compressed-sparse-column matrix: for column `c`, the nonzero rows are
+/// `rows[colptr[c]..colptr[c + 1]]` (strictly increasing) with matching
+/// `values`.
+#[derive(Debug, Clone)]
+pub struct CscMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rows: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column pointer array of length `ncols + 1`.
+    #[must_use]
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Row indices of column `c`, strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.ncols()`.
+    #[must_use]
+    pub fn col_rows(&self, c: usize) -> &[usize] {
+        &self.rows[self.colptr[c]..self.colptr[c + 1]]
+    }
+
+    /// Values of column `c`, parallel to [`CscMatrix::col_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.ncols()`.
+    #[must_use]
+    pub fn col_values(&self, c: usize) -> &[T] {
+        &self.values[self.colptr[c]..self.colptr[c + 1]]
+    }
+
+    /// The full value array, in column-major pattern order.
+    #[must_use]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable access to the value array — pattern stays fixed, so this is
+    /// the re-stamping entry point used with the slot map from
+    /// [`TripletBuilder::build_with_map`].
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Resets every stored value to zero, keeping the pattern.
+    pub fn zero_values(&mut self) {
+        for v in &mut self.values {
+            *v = T::ZERO;
+        }
+    }
+
+    /// Returns the stored value at `(row, col)`, or zero if the entry is
+    /// not in the pattern. O(log nnz-of-column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        assert!(row < self.nrows && col < self.ncols);
+        match self.col_rows(col).binary_search(&row) {
+            Ok(k) => self.col_values(col)[k],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Computes `A · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len() != ncols`.
+    pub fn mul_vec(&self, x: &[T]) -> Result<Vec<T>> {
+        if x.len() != self.ncols {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("vector of length {}", self.ncols),
+                found: format!("length {}", x.len()),
+            });
+        }
+        let mut y = vec![T::ZERO; self.nrows];
+        for (c, &xc) in x.iter().enumerate() {
+            for (&r, &v) in self.col_rows(c).iter().zip(self.col_values(c)) {
+                y[r] += v * xc;
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed_and_rows_sorted() {
+        let mut tb = TripletBuilder::new(3, 3);
+        tb.add(2, 0, 1.0);
+        tb.add(0, 0, 4.0);
+        tb.add(2, 0, 0.5);
+        tb.add(1, 2, -2.0);
+        let a = tb.build();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.col_rows(0), &[0, 2]);
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(2, 0), 1.5);
+        assert_eq!(a.get(1, 2), -2.0);
+        assert_eq!(a.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn slot_map_replays_a_restamp() {
+        let mut tb = TripletBuilder::new(2, 2);
+        tb.add(0, 0, 1.0);
+        tb.add(1, 1, 2.0);
+        tb.add(0, 0, 3.0);
+        let (mut a, map) = tb.build_with_map();
+        assert_eq!(a.get(0, 0), 4.0);
+        // Replay the same stamp sequence with doubled values.
+        a.zero_values();
+        for (k, v) in [2.0, 4.0, 6.0].into_iter().enumerate() {
+            a.values_mut()[map[k]] += v;
+        }
+        assert_eq!(a.get(0, 0), 8.0);
+        assert_eq!(a.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let mut tb = TripletBuilder::new(2, 3);
+        tb.add(0, 0, 1.0);
+        tb.add(0, 2, 2.0);
+        tb.add(1, 1, 3.0);
+        let a = tb.build();
+        let y = a.mul_vec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 3.0]);
+        assert!(matches!(
+            a.mul_vec(&[1.0]),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_stamp_panics() {
+        let mut tb = TripletBuilder::new(2, 2);
+        tb.add(2, 0, 1.0);
+    }
+}

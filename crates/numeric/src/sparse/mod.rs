@@ -1,0 +1,130 @@
+//! Sparse linear algebra for MNA circuit matrices.
+//!
+//! A cascaded clocktree netlist produces an MNA matrix with O(n) nonzeros
+//! — every node touches a handful of elements — yet the dense solvers in
+//! [`crate::lu`] pay O(n³) to factor it and O(n²) per solve. This module
+//! family is the sparse substrate the circuit simulator in `rlcx-spice`
+//! runs on:
+//!
+//! * [`csc`] — [`TripletBuilder`] (accumulate `(row, col, value)` stamps,
+//!   duplicates summed) and the compressed-sparse-column [`CscMatrix`] it
+//!   builds, plus a stamp-slot map so a fixed pattern can be re-valued
+//!   without re-building (the AC sweep re-stamps `jωC` per frequency),
+//! * [`order`] — [`min_degree_order`], a fill-reducing minimum-degree
+//!   ordering on the pattern of `A + Aᵀ`,
+//! * [`lu`] — [`SparseLu`], a left-looking LU factorization split into a
+//!   symbolic phase (pattern + permutations, computed once) and a numeric
+//!   phase ([`SparseLu::refactor`]) that re-runs in O(flops-of-pattern)
+//!   when only the values change, with threshold partial pivoting and an
+//!   automatic re-pivoting fallback when a reused pivot degrades.
+//!
+//! Everything is generic over [`Scalar`], implemented for `f64` and
+//! [`Complex`] — the transient engine factors a real system once and
+//! back-substitutes per step, the AC engine refactors a complex system per
+//! frequency point against one symbolic analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use rlcx_numeric::sparse::{SparseLu, TripletBuilder};
+//!
+//! # fn main() -> Result<(), rlcx_numeric::NumericError> {
+//! let mut tb = TripletBuilder::new(3, 3);
+//! for i in 0..3 {
+//!     tb.add(i, i, 2.0);
+//! }
+//! tb.add(0, 1, -1.0);
+//! tb.add(1, 0, -1.0);
+//! tb.add(1, 2, -1.0);
+//! tb.add(2, 1, -1.0);
+//! let a = tb.build();
+//! let lu = SparseLu::factor(&a)?;
+//! let x = lu.solve(&[1.0, 0.0, 1.0])?;
+//! assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod csc;
+pub mod lu;
+pub mod order;
+
+pub use csc::{CscMatrix, TripletBuilder};
+pub use lu::SparseLu;
+pub use order::min_degree_order;
+
+use crate::Complex;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// The scalar field the sparse kernels are generic over.
+///
+/// Implemented for `f64` and [`Complex`]; the only operation beyond ring
+/// arithmetic the solvers need is a real magnitude for pivot comparisons.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + std::fmt::Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+
+    /// Embeds a real number into the field.
+    fn from_f64(x: f64) -> Self;
+
+    /// Magnitude used for pivot selection and degradation checks.
+    fn modulus(self) -> f64;
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+
+    #[inline]
+    fn from_f64(x: f64) -> f64 {
+        x
+    }
+
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+}
+
+impl Scalar for Complex {
+    const ZERO: Complex = Complex::ZERO;
+    const ONE: Complex = Complex::ONE;
+
+    #[inline]
+    fn from_f64(x: f64) -> Complex {
+        Complex::from_real(x)
+    }
+
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_impls_agree_on_identities() {
+        assert_eq!(f64::from_f64(2.5), 2.5);
+        assert_eq!(Complex::from_f64(2.5), Complex::from_real(2.5));
+        assert_eq!((-3.0f64).modulus(), 3.0);
+        assert_eq!(Complex::new(3.0, 4.0).modulus(), 5.0);
+        assert_eq!(<f64 as Scalar>::ZERO, 0.0);
+        assert_eq!(<Complex as Scalar>::ONE, Complex::ONE);
+    }
+}

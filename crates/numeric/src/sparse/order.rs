@@ -1,0 +1,154 @@
+//! Fill-reducing minimum-degree ordering.
+//!
+//! Sparse Gaussian elimination creates *fill*: eliminating a variable
+//! connects all of its neighbours in the graph of `A + Aᵀ`. The classic
+//! minimum-degree heuristic eliminates the vertex of smallest degree
+//! first, which keeps the cliques it creates small. For MNA matrices of
+//! tree-structured clocktrees this recovers the near-perfect elimination
+//! order (leaves first), bounding fill to O(n).
+//!
+//! The implementation below runs the elimination *graph* explicitly
+//! (merge the pivot's neighbourhood into a clique, update degrees) rather
+//! than the quotient-graph AMD formulation — simpler, deterministic, and
+//! comfortably fast for the few-thousand-unknown systems the simulator
+//! targets; ordering cost is dwarfed by numeric factorization well before
+//! its quadratic worst case matters.
+
+use super::{CscMatrix, Scalar};
+use crate::obs;
+
+/// Computes a fill-reducing elimination order for `a` via minimum degree
+/// on the pattern of `A + Aᵀ`.
+///
+/// Returns `order` such that `order[k]` is the original index eliminated
+/// at step `k` — i.e. a column permutation: new column `k` is original
+/// column `order[k]`. Ties are broken by the smallest original index, so
+/// the result is deterministic.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+#[must_use]
+pub fn min_degree_order<T: Scalar>(a: &CscMatrix<T>) -> Vec<usize> {
+    assert_eq!(a.nrows(), a.ncols(), "ordering requires a square matrix");
+    let _span = obs::span("sparse.order");
+    let n = a.ncols();
+
+    // Undirected adjacency of A + Aᵀ, self-loops dropped.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in 0..n {
+        for &r in a.col_rows(c) {
+            if r != c {
+                adj[r].push(c);
+                adj[c].push(r);
+            }
+        }
+    }
+    for nbrs in &mut adj {
+        nbrs.sort_unstable();
+        nbrs.dedup();
+    }
+
+    let mut eliminated = vec![false; n];
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    // Stamp array for O(1) duplicate suppression during clique merges.
+    let mut seen = vec![0usize; n];
+    let mut stamp = 0usize;
+    let mut order = Vec::with_capacity(n);
+    let mut pivot_nbrs = Vec::new();
+    let mut merged = Vec::new();
+
+    for _ in 0..n {
+        // Deterministic min scan: smallest (degree, index).
+        let mut v = usize::MAX;
+        let mut best = usize::MAX;
+        for (i, &d) in degree.iter().enumerate() {
+            if !eliminated[i] && d < best {
+                best = d;
+                v = i;
+            }
+        }
+        debug_assert_ne!(v, usize::MAX);
+        eliminated[v] = true;
+        order.push(v);
+
+        pivot_nbrs.clear();
+        pivot_nbrs.extend(adj[v].iter().copied().filter(|&w| !eliminated[w]));
+        // Eliminating v turns its neighbourhood into a clique: each
+        // neighbour inherits the others and forgets v.
+        for i in 0..pivot_nbrs.len() {
+            let u = pivot_nbrs[i];
+            stamp += 1;
+            merged.clear();
+            for &w in adj[u].iter().chain(pivot_nbrs.iter()) {
+                if w != u && !eliminated[w] && seen[w] != stamp {
+                    seen[w] = stamp;
+                    merged.push(w);
+                }
+            }
+            std::mem::swap(&mut adj[u], &mut merged);
+            degree[u] = adj[u].len();
+        }
+        adj[v] = Vec::new();
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletBuilder;
+
+    fn tridiagonal(n: usize) -> CscMatrix<f64> {
+        let mut tb = TripletBuilder::new(n, n);
+        for i in 0..n {
+            tb.add(i, i, 2.0);
+            if i + 1 < n {
+                tb.add(i, i + 1, -1.0);
+                tb.add(i + 1, i, -1.0);
+            }
+        }
+        tb.build()
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let a = tridiagonal(17);
+        let order = min_degree_order(&a);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chain_eliminates_endpoints_first() {
+        // On a path graph the minimum-degree vertices are the two ends;
+        // the deterministic tie-break picks index 0 first.
+        let a = tridiagonal(5);
+        let order = min_degree_order(&a);
+        assert_eq!(order[0], 0);
+        // The interior vertex 2 must come after at least one endpoint of
+        // each side has gone — it is never first.
+        assert_ne!(order[0], 2);
+    }
+
+    #[test]
+    fn star_center_goes_late() {
+        // Star graph: eliminating the hub first would create a clique on
+        // all leaves; minimum degree defers it until its degree has
+        // decayed to match the remaining leaves (the index tie-break can
+        // slot it one before the very last leaf).
+        let n = 8;
+        let mut tb = TripletBuilder::new(n, n);
+        for i in 0..n {
+            tb.add(i, i, 1.0);
+        }
+        for leaf in 1..n {
+            tb.add(0, leaf, -1.0);
+            tb.add(leaf, 0, -1.0);
+        }
+        let order = min_degree_order(&tb.build());
+        let hub_pos = order.iter().position(|&v| v == 0).unwrap();
+        assert!(hub_pos >= n - 2, "hub eliminated at {hub_pos}: {order:?}");
+    }
+}

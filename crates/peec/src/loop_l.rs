@@ -61,26 +61,27 @@ pub fn loop_impedance(z: &CMatrix, signals: &[usize], grounds: &[usize]) -> Resu
     let ng = grounds.len();
     let ns = signals.len();
     let lu = CLuDecomposition::new(&zgg)?;
-    // w = Z_GG⁻¹ · 1 and q_k = Z_GG⁻¹ · (Z_GS e_k).
+    // w = Z_GG⁻¹ · 1 and q_k = Z_GG⁻¹ · (Z_GS e_k). The per-column
+    // buffers are hoisted out of the loop and refilled in place.
     let ones = vec![Complex::ONE; ng];
     let w = lu.solve(&ones)?;
     let w_sum: Complex = w.iter().copied().sum();
     let mut out = CMatrix::zeros(ns, ns);
+    let mut zgs_col = vec![Complex::ZERO; ng];
+    let mut q = vec![Complex::ZERO; ng];
+    let mut ig = vec![Complex::ZERO; ng];
     for k in 0..ns {
-        let mut zgs_col = vec![Complex::ZERO; ng];
         for g in 0..ng {
             zgs_col[g] = zgs[(g, k)];
         }
-        let q = lu.solve(&zgs_col)?;
+        lu.solve_into(&zgs_col, &mut q)?;
         let q_sum: Complex = q.iter().copied().sum();
         // KCL at the merged far node: 1ᵀ I_G = −1ᵀ I_S = −1.
         let v_far = (Complex::ONE - q_sum) / w_sum;
         // Ground currents: I_G = −V_far·w − q.
-        let ig: Vec<Complex> = w
-            .iter()
-            .zip(&q)
-            .map(|(&wi, &qi)| -(v_far * wi) - qi)
-            .collect();
+        for ((gi, &wi), &qi) in ig.iter_mut().zip(&w).zip(&*q) {
+            *gi = -(v_far * wi) - qi;
+        }
         // Port voltages: V_port = V_far + Z_SS e_k + Z_SG I_G.
         for i in 0..ns {
             let mut v = v_far + zss[(i, k)];

@@ -38,6 +38,7 @@
 pub mod ac;
 pub mod measure;
 pub mod netlist;
+pub mod stamp;
 pub mod transient;
 pub mod waveform;
 pub mod writer;
@@ -47,6 +48,7 @@ mod error;
 pub use ac::{Ac, AcResult, Sweep};
 pub use error::SpiceError;
 pub use netlist::{InductorId, Netlist, NodeId, GROUND};
+pub use stamp::{SolverEngine, SPARSE_CUTOVER};
 pub use transient::{IntegrationMethod, Transient, TransientResult};
 pub use waveform::Waveform;
 

@@ -5,12 +5,17 @@
 //! integration method is trapezoidal by default (second-order, no numerical
 //! damping — important for the paper's RLC ringing waveforms) with backward
 //! Euler available for comparison.
+//!
+//! The factorization backend is selected by [`SolverEngine`]: dense LU for
+//! small systems, the fill-reducing sparse LU of `rlcx_numeric::sparse`
+//! for large ones (clocktree MNA matrices have O(n) nonzeros). Either way
+//! the per-step loop runs without heap allocation — right-hand side,
+//! solution, and scratch buffers are preallocated and reused.
 
 use crate::netlist::{Element, Netlist, NodeId};
+use crate::stamp::{MnaLayout, RealFactor, SolverEngine};
 use crate::{Result, SpiceError};
-use rlcx_numeric::lu::LuDecomposition;
-use rlcx_numeric::{obs, Matrix};
-use std::collections::HashMap;
+use rlcx_numeric::obs;
 
 /// Numerical integration method for the transient solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,17 +39,19 @@ pub struct Transient<'a> {
     timestep: f64,
     duration: f64,
     method: IntegrationMethod,
+    engine: SolverEngine,
 }
 
 impl<'a> Transient<'a> {
     /// Creates an analysis with defaults: 1 ps step, 5 ns duration,
-    /// trapezoidal integration.
+    /// trapezoidal integration, automatic solver-engine selection.
     pub fn new(netlist: &'a Netlist) -> Self {
         Transient {
             netlist,
             timestep: 1e-12,
             duration: 5e-9,
             method: IntegrationMethod::default(),
+            engine: SolverEngine::default(),
         }
     }
 
@@ -66,6 +73,13 @@ impl<'a> Transient<'a> {
     #[must_use]
     pub fn method(mut self, method: IntegrationMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Sets the linear-solver backend (default [`SolverEngine::Auto`]).
+    #[must_use]
+    pub fn engine(mut self, engine: SolverEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -95,25 +109,10 @@ impl<'a> Transient<'a> {
         }
         let nl = self.netlist;
         let h = self.timestep;
-        let nv = nl.node_count() - 1; // ground eliminated
-                                      // Branch unknowns: one per inductor and one per source, in element
-                                      // order of appearance.
-        let mut branch_of_element: HashMap<usize, usize> = HashMap::new();
-        let mut branch_elems: Vec<usize> = Vec::new();
-        for (ei, e) in nl.elements.iter().enumerate() {
-            if matches!(e, Element::Inductor { .. } | Element::VSource { .. }) {
-                branch_of_element.insert(ei, nv + branch_elems.len());
-                branch_elems.push(ei);
-            }
-        }
-        let dim = nv + branch_elems.len();
+        let layout = MnaLayout::new(nl)?;
+        let (nv, dim) = (layout.nv, layout.dim);
         obs::gauge_set("spice.mna.dim", dim as f64);
-        if dim == 0 {
-            return Err(SpiceError::BadSimParams {
-                what: "empty circuit".into(),
-            });
-        }
-        let var = |n: NodeId| -> Option<usize> { (n.0 > 0).then(|| n.0 - 1) };
+        let sparse = self.engine.is_sparse(dim);
 
         // Integration coefficient: trap uses 2L/h and 2C/h, BE uses L/h, C/h.
         let (kc, kl) = match self.method {
@@ -122,53 +121,15 @@ impl<'a> Transient<'a> {
         };
         let trap = self.method == IntegrationMethod::Trapezoidal;
 
-        // Assemble the constant system matrix.
-        let mut a = Matrix::zeros(dim, dim);
-        for (ei, e) in nl.elements.iter().enumerate() {
-            match e {
-                Element::Resistor { p, n, ohms, .. } => {
-                    let g = 1.0 / ohms;
-                    stamp_conductance(&mut a, var(*p), var(*n), g);
-                }
-                Element::Capacitor { p, n, farads, .. } => {
-                    stamp_conductance(&mut a, var(*p), var(*n), kc * farads);
-                }
-                Element::Inductor { p, n, henries, .. } => {
-                    let row = branch_of_element[&ei];
-                    if let Some(ip) = var(*p) {
-                        a[(ip, row)] += 1.0;
-                        a[(row, ip)] += 1.0;
-                    }
-                    if let Some(in_) = var(*n) {
-                        a[(in_, row)] -= 1.0;
-                        a[(row, in_)] -= 1.0;
-                    }
-                    a[(row, row)] -= kl * henries;
-                }
-                Element::VSource { p, n, .. } => {
-                    let row = branch_of_element[&ei];
-                    if let Some(ip) = var(*p) {
-                        a[(ip, row)] += 1.0;
-                        a[(row, ip)] += 1.0;
-                    }
-                    if let Some(in_) = var(*n) {
-                        a[(in_, row)] -= 1.0;
-                        a[(row, in_)] -= 1.0;
-                    }
-                }
-            }
-        }
-        for m in &nl.mutuals {
-            let ra = branch_of_element[&nl.inductors[m.a.0]];
-            let rb = branch_of_element[&nl.inductors[m.b.0]];
-            a[(ra, rb)] -= kl * m.m;
-            a[(rb, ra)] -= kl * m.m;
-        }
-        let lu = LuDecomposition::new(&a)?;
+        // Assemble and factor the constant system matrix once.
+        let lu = {
+            let _s = obs::span("spice.mna.factor");
+            RealFactor::assemble(nl, &layout, sparse, 0.0, |c| kc * c, |l| kl * l, |m| kl * m)?
+        };
 
         // DC operating point at t = 0: resistors as-is, inductors as shorts,
         // capacitors open, sources at their initial value.
-        let x0 = self.dc_operating_point(nv, &branch_of_element)?;
+        let x0 = self.dc_operating_point(&layout, sparse)?;
 
         // State: node voltages + branch currents in `x`; capacitor currents
         // tracked separately for the trapezoidal companion.
@@ -177,46 +138,60 @@ impl<'a> Transient<'a> {
         // there is no Newton loop to count, only steps.
         obs::counter_add("spice.steps", steps as u64);
         let mut x = x0;
-        let mut cap_current: HashMap<usize, f64> = HashMap::new();
+        // Every buffer the step loop touches is preallocated here — the
+        // loop itself is heap-allocation-free (asserted by
+        // `tests/obs_overhead.rs`).
+        let mut x_new = vec![0.0; dim];
+        let mut scratch = vec![0.0; dim];
+        let mut rhs = vec![0.0; dim];
+        let mut cap_current = vec![0.0; nl.elements.len()];
         let mut time = Vec::with_capacity(steps + 1);
-        let mut volts = vec![Vec::with_capacity(steps + 1); nl.node_count()];
-        let mut branch_currents = vec![Vec::with_capacity(steps + 1); branch_elems.len()];
+        // Not `vec![Vec::with_capacity(..); n]`: cloning a Vec drops its
+        // capacity, which would turn every recorded column into a growing
+        // vector that reallocates inside the step loop.
+        let mut volts: Vec<Vec<f64>> = (0..nl.node_count())
+            .map(|_| Vec::with_capacity(steps + 1))
+            .collect();
+        let mut branch_currents: Vec<Vec<f64>> = (0..layout.branch_elems.len())
+            .map(|_| Vec::with_capacity(steps + 1))
+            .collect();
         let record = |x: &[f64], volts: &mut Vec<Vec<f64>>, branch_currents: &mut Vec<Vec<f64>>| {
             volts[0].push(0.0);
             for node in 1..nl.node_count() {
                 volts[node].push(x[node - 1]);
             }
-            for (bi, _) in branch_elems.iter().enumerate() {
+            for (bi, _) in layout.branch_elems.iter().enumerate() {
                 branch_currents[bi].push(x[nv + bi]);
             }
         };
         time.push(0.0);
         record(&x, &mut volts, &mut branch_currents);
 
-        let volt_of = |x: &[f64], n: NodeId| -> f64 { var(n).map(|i| x[i]).unwrap_or(0.0) };
+        let volt_of =
+            |x: &[f64], n: NodeId| -> f64 { MnaLayout::var(n).map(|i| x[i]).unwrap_or(0.0) };
         for step in 1..=steps {
             let t = step as f64 * h;
-            let mut rhs = vec![0.0; dim];
+            rhs.fill(0.0);
             for (ei, e) in nl.elements.iter().enumerate() {
                 match e {
                     Element::Resistor { .. } => {}
                     Element::Capacitor { p, n, farads, .. } => {
                         let v_prev = volt_of(&x, *p) - volt_of(&x, *n);
-                        let i_prev = cap_current.get(&ei).copied().unwrap_or(0.0);
+                        let i_prev = cap_current[ei];
                         let ieq = if trap {
                             kc * farads * v_prev + i_prev
                         } else {
                             kc * farads * v_prev
                         };
-                        if let Some(ip) = var(*p) {
+                        if let Some(ip) = MnaLayout::var(*p) {
                             rhs[ip] += ieq;
                         }
-                        if let Some(in_) = var(*n) {
+                        if let Some(in_) = MnaLayout::var(*n) {
                             rhs[in_] -= ieq;
                         }
                     }
                     Element::Inductor { p, n, henries, .. } => {
-                        let row = branch_of_element[&ei];
+                        let row = layout.branch(ei);
                         let i_prev = x[row];
                         let mut r = -kl * henries * i_prev;
                         if trap {
@@ -225,34 +200,33 @@ impl<'a> Transient<'a> {
                         rhs[row] = r;
                     }
                     Element::VSource { wave, .. } => {
-                        let row = branch_of_element[&ei];
-                        rhs[row] = wave.eval(t);
+                        rhs[layout.branch(ei)] = wave.eval(t);
                     }
                 }
             }
             // Mutual history terms (inductor rows only).
             for m in &nl.mutuals {
-                let ra = branch_of_element[&nl.inductors[m.a.0]];
-                let rb = branch_of_element[&nl.inductors[m.b.0]];
+                let ra = layout.branch(nl.inductors[m.a.0]);
+                let rb = layout.branch(nl.inductors[m.b.0]);
                 rhs[ra] -= kl * m.m * x[rb];
                 rhs[rb] -= kl * m.m * x[ra];
             }
-            let x_new = lu.solve(&rhs)?;
+            lu.solve_into(&rhs, &mut scratch, &mut x_new)?;
             // Update capacitor companion currents.
             for (ei, e) in nl.elements.iter().enumerate() {
                 if let Element::Capacitor { p, n, farads, .. } = e {
                     let v_new = volt_of(&x_new, *p) - volt_of(&x_new, *n);
                     let v_prev = volt_of(&x, *p) - volt_of(&x, *n);
-                    let i_prev = cap_current.get(&ei).copied().unwrap_or(0.0);
+                    let i_prev = cap_current[ei];
                     let i_new = if trap {
                         kc * farads * (v_new - v_prev) - i_prev
                     } else {
                         kc * farads * (v_new - v_prev)
                     };
-                    cap_current.insert(ei, i_new);
+                    cap_current[ei] = i_new;
                 }
             }
-            x = x_new;
+            std::mem::swap(&mut x, &mut x_new);
             time.push(t);
             record(&x, &mut volts, &mut branch_currents);
         }
@@ -260,7 +234,8 @@ impl<'a> Transient<'a> {
         let node_names: Vec<String> = (0..nl.node_count())
             .map(|i| nl.node_name(NodeId(i)).to_string())
             .collect();
-        let branch_names: Vec<String> = branch_elems
+        let branch_names: Vec<String> = layout
+            .branch_elems
             .iter()
             .map(|&ei| match &nl.elements[ei] {
                 Element::Inductor { name, .. } | Element::VSource { name, .. } => name.clone(),
@@ -277,71 +252,24 @@ impl<'a> Transient<'a> {
     }
 
     /// DC operating point: inductors shorted, capacitors open, sources at
-    /// `t = 0`.
-    fn dc_operating_point(
-        &self,
-        nv: usize,
-        branch_of_element: &HashMap<usize, usize>,
-    ) -> Result<Vec<f64>> {
+    /// `t = 0`, solved through the same engine as the main analysis.
+    ///
+    /// A 1 pS gmin conductance from every node to ground keeps nodes
+    /// isolated by capacitors (open at DC) well-defined without noticeable
+    /// loading; the inductor branch equation reads `v_p − v_n = ε·i` (a
+    /// 1 nΩ "short") so configurations like a source in parallel with an
+    /// inductor — two ideal shorts — stay non-singular. Mutual couplings
+    /// carry no DC term.
+    fn dc_operating_point(&self, layout: &MnaLayout, sparse: bool) -> Result<Vec<f64>> {
         let nl = self.netlist;
-        let dim = nv + branch_of_element.len();
-        let var = |n: NodeId| -> Option<usize> { (n.0 > 0).then(|| n.0 - 1) };
-        let mut a = Matrix::zeros(dim, dim);
-        let mut rhs = vec![0.0; dim];
-        // A tiny conductance from every node to ground keeps nodes isolated
-        // by capacitors (open at DC) well-defined without noticeable loading.
-        for i in 0..nv {
-            a[(i, i)] += 1e-12;
-        }
+        let lu = RealFactor::assemble(nl, layout, sparse, 1e-12, |_| 0.0, |_| 1e-9, |_| 0.0)?;
+        let mut rhs = vec![0.0; layout.dim];
         for (ei, e) in nl.elements.iter().enumerate() {
-            match e {
-                Element::Resistor { p, n, ohms, .. } => {
-                    stamp_conductance(&mut a, var(*p), var(*n), 1.0 / ohms);
-                }
-                Element::Capacitor { .. } => {}
-                Element::Inductor { p, n, .. } => {
-                    let row = branch_of_element[&ei];
-                    if let Some(ip) = var(*p) {
-                        a[(ip, row)] += 1.0;
-                        a[(row, ip)] += 1.0;
-                    }
-                    if let Some(in_) = var(*n) {
-                        a[(in_, row)] -= 1.0;
-                        a[(row, in_)] -= 1.0;
-                    }
-                    // Branch equation: v_p − v_n = ε·i (a 1 nΩ short). The
-                    // ε term keeps configurations like a source in parallel
-                    // with an inductor — two ideal shorts — non-singular.
-                    a[(row, row)] -= 1e-9;
-                }
-                Element::VSource { p, n, wave, .. } => {
-                    let row = branch_of_element[&ei];
-                    if let Some(ip) = var(*p) {
-                        a[(ip, row)] += 1.0;
-                        a[(row, ip)] += 1.0;
-                    }
-                    if let Some(in_) = var(*n) {
-                        a[(in_, row)] -= 1.0;
-                        a[(row, in_)] -= 1.0;
-                    }
-                    rhs[row] = wave.eval(0.0);
-                }
+            if let Element::VSource { wave, .. } = e {
+                rhs[layout.branch(ei)] = wave.eval(0.0);
             }
         }
-        Ok(LuDecomposition::new(&a)?.solve(&rhs)?)
-    }
-}
-
-fn stamp_conductance(a: &mut Matrix, p: Option<usize>, n: Option<usize>, g: f64) {
-    if let Some(ip) = p {
-        a[(ip, ip)] += g;
-    }
-    if let Some(in_) = n {
-        a[(in_, in_)] += g;
-    }
-    if let (Some(ip), Some(in_)) = (p, n) {
-        a[(ip, in_)] -= g;
-        a[(in_, ip)] -= g;
+        lu.solve(&rhs)
     }
 }
 
@@ -639,5 +567,69 @@ mod tests {
             .unwrap();
         assert_eq!(res.voltage_at("a", -1.0).unwrap(), 3.0);
         assert_eq!(res.voltage_at("a", 1.0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn coupled_inductors_agree_across_engines() {
+        use crate::stamp::SolverEngine;
+        // A transformer-coupled RLC network: mutual terms land on
+        // off-diagonal branch rows, the part of the pattern most likely to
+        // diverge between the dense and sparse assemblies. Both engines
+        // must produce the same trajectories to solver precision under
+        // both integration methods.
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let mid = nl.node("mid");
+        let sec = nl.node("sec");
+        let out = nl.node("out");
+        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 50e-12))
+            .unwrap();
+        nl.resistor("Rs", inp, mid, 20.0).unwrap();
+        let lp = nl.inductor("Lp", mid, GROUND, 2e-9).unwrap();
+        let ls = nl.inductor("Ls", sec, GROUND, 2e-9).unwrap();
+        nl.mutual("K", lp, ls, 1.2e-9).unwrap();
+        nl.resistor("Rl", sec, out, 50.0).unwrap();
+        nl.capacitor("Cl", out, GROUND, 0.5e-12).unwrap();
+
+        for method in [
+            IntegrationMethod::Trapezoidal,
+            IntegrationMethod::BackwardEuler,
+        ] {
+            let run = |engine: SolverEngine| {
+                Transient::new(&nl)
+                    .method(method)
+                    .engine(engine)
+                    .timestep(1e-12)
+                    .duration(2e-9)
+                    .run()
+                    .unwrap()
+            };
+            let dense = run(SolverEngine::Dense);
+            let sparse = run(SolverEngine::Sparse);
+            for node in ["mid", "sec", "out"] {
+                let vd = dense.voltage(node).unwrap();
+                let vs = sparse.voltage(node).unwrap();
+                for (d, s) in vd.iter().zip(vs) {
+                    let err = (d - s).abs() / d.abs().max(1.0);
+                    assert!(err < 1e-12, "{method:?} {node}: {d} vs {s}");
+                }
+            }
+            // Branch currents too — the mutual terms live on these rows.
+            for branch in ["Lp", "Ls"] {
+                let id = dense.current(branch).unwrap();
+                let is = sparse.current(branch).unwrap();
+                for (d, s) in id.iter().zip(is) {
+                    let err = (d - s).abs() / d.abs().max(1.0);
+                    assert!(err < 1e-12, "{method:?} {branch}: {d} vs {s}");
+                }
+            }
+            // Sanity: the secondary actually sees coupled energy.
+            let peak = dense
+                .voltage("sec")
+                .unwrap()
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
+            assert!(peak > 1e-3, "{method:?}: no coupling observed ({peak})");
+        }
     }
 }

@@ -61,6 +61,66 @@ fn disabled_spans_do_not_allocate() {
     );
 }
 
+/// The transient per-step loop must be heap-allocation-free on both
+/// solver backends. Proof by invariance: the result buffers are sized
+/// up front with `with_capacity` (one allocation each, regardless of
+/// length), so if the step loop itself never allocates, a 500-step run
+/// performs *exactly* as many allocations as a 50-step run of the same
+/// fresh circuit. Any per-step `Vec`, boxing, or map insert would make
+/// the counts diverge by hundreds.
+#[test]
+fn transient_step_loop_does_not_allocate() {
+    use rlcx::spice::{Netlist, SolverEngine, Transient, Waveform, GROUND};
+
+    let _guard = level_lock();
+    obs::set_trace_level(TraceLevel::Off);
+
+    fn ladder(sections: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 20e-12))
+            .unwrap();
+        let mut prev = inp;
+        for i in 0..sections {
+            let mid = nl.node(format!("m{i}"));
+            let out = nl.node(format!("n{i}"));
+            nl.resistor(&format!("R{i}"), prev, mid, 10.0).unwrap();
+            nl.inductor(&format!("L{i}"), mid, out, 0.5e-9).unwrap();
+            nl.capacitor(&format!("C{i}"), out, GROUND, 20e-15).unwrap();
+            prev = out;
+        }
+        nl
+    }
+
+    fn allocs_for_run(engine: SolverEngine, steps: usize) -> u64 {
+        // 30 sections → 92 unknowns, comfortably past SPARSE_CUTOVER so
+        // `Sparse` exercises the real sparse path at scale.
+        let nl = ladder(30);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let res = Transient::new(&nl)
+            .engine(engine)
+            .timestep(1e-12)
+            .duration(steps as f64 * 1e-12)
+            .run()
+            .unwrap();
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(res.time().len(), steps + 1);
+        after - before
+    }
+
+    for engine in [SolverEngine::Dense, SolverEngine::Sparse] {
+        // Warm one-time lazy state (metric name registration, etc.) so it
+        // is not charged to either measured run.
+        let _ = allocs_for_run(engine, 8);
+        let short = allocs_for_run(engine, 50);
+        let long = allocs_for_run(engine, 500);
+        assert_eq!(
+            short, long,
+            "{engine:?}: allocation count must not grow with step count"
+        );
+    }
+}
+
 /// Enabling tracing does allocate (records are stored) — a sanity check
 /// that the counter itself works, so the zero above is meaningful.
 #[test]

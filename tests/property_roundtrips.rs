@@ -199,7 +199,10 @@ fn ac_passivity_of_rc_divider() {
         let mut nl = Netlist::new();
         let inp = nl.node("in");
         let out = nl.node("out");
-        nl.vsource("V", inp, GROUND, Waveform::Dc(1.0)).unwrap();
+        // A swinging source: plain DC is a bias under the small-signal
+        // convention and would make the sweep (correctly) read all zeros.
+        nl.vsource("V", inp, GROUND, Waveform::step(1.0, 1e-12))
+            .unwrap();
         nl.resistor("R", inp, out, r).unwrap();
         nl.capacitor("C", out, GROUND, c).unwrap();
         let res = Ac::new(&nl)
