@@ -61,7 +61,7 @@ use rlcx_core::{ClocktreeExtractor, CoreError, TreeNetlistBuilder};
 use rlcx_geom::{Block, HTree, SegmentTree};
 use rlcx_numeric::obs;
 use rlcx_numeric::rng::UniformRng;
-use rlcx_spice::{measure, Transient, Waveform};
+use rlcx_spice::{measure, Stepping, Transient, Waveform};
 
 /// Convenient result alias (clocktree analysis surfaces `rlcx-core` errors).
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -148,11 +148,13 @@ pub struct ClockTreeAnalyzer<'a> {
     include_inductance: bool,
     timestep: f64,
     duration: f64,
+    stepping: Stepping,
 }
 
 impl<'a> ClockTreeAnalyzer<'a> {
     /// Creates an analyzer with defaults: 4 π-sections per segment,
-    /// inductance included, 0.5 ps timestep, 3 ns per-stage window.
+    /// inductance included, 0.5 ps timestep, 3 ns per-stage window,
+    /// fixed stepping.
     pub fn new(extractor: &'a ClocktreeExtractor, buffer: BufferModel) -> Self {
         ClockTreeAnalyzer {
             extractor,
@@ -161,6 +163,7 @@ impl<'a> ClockTreeAnalyzer<'a> {
             include_inductance: true,
             timestep: 0.5e-12,
             duration: 3e-9,
+            stepping: Stepping::default(),
         }
     }
 
@@ -189,6 +192,15 @@ impl<'a> ClockTreeAnalyzer<'a> {
     #[must_use]
     pub fn duration(mut self, t: f64) -> Self {
         self.duration = t;
+        self
+    }
+
+    /// Sets the transient time-axis policy (default [`Stepping::Fixed`]).
+    /// Adaptive stepping cuts per-stage simulation cost on long settling
+    /// windows while snapping the axis to the drive edge.
+    #[must_use]
+    pub fn stepping(mut self, stepping: Stepping) -> Self {
+        self.stepping = stepping;
         self
     }
 
@@ -237,6 +249,7 @@ impl<'a> ClockTreeAnalyzer<'a> {
         let res = Transient::new(&out.netlist)
             .timestep(self.timestep)
             .duration(self.duration)
+            .stepping(self.stepping.clone())
             .run()?;
         let time = res.time().to_vec();
         let vin = res.voltage("drv_in")?.to_vec();
@@ -418,6 +431,25 @@ mod tests {
         for d in &delays {
             assert!((d - delays[0]).abs() < 1e-15, "symmetric sinks must match");
             assert!(*d > 0.0 && *d < 1e-9, "delay {d} out of band");
+        }
+    }
+
+    #[test]
+    fn adaptive_stepping_matches_fixed_stage_delays() {
+        use rlcx_spice::AdaptiveOptions;
+        let ex = extractor();
+        let htree = HTree::new(1, 3200.0).unwrap();
+        let stage = htree.level(0).unwrap().stage_tree();
+        let fixed = ClockTreeAnalyzer::new(&ex, BufferModel::strong())
+            .stage_delays(&stage, &cpw())
+            .unwrap();
+        let adaptive = ClockTreeAnalyzer::new(&ex, BufferModel::strong())
+            .stepping(Stepping::Adaptive(AdaptiveOptions::default()))
+            .stage_delays(&stage, &cpw())
+            .unwrap();
+        for (f, a) in fixed.iter().zip(&adaptive) {
+            // Within a fixed-step sample (0.5 ps) of the uniform-axis answer.
+            assert!((f - a).abs() < 0.5e-12, "fixed {f} vs adaptive {a}");
         }
     }
 

@@ -1,0 +1,287 @@
+//! One-norm condition estimation and iterative refinement.
+//!
+//! Both utilities operate through solve callbacks, so they work
+//! unchanged on dense [`crate::lu::LuDecomposition`] and sparse
+//! [`crate::sparse::SparseLu`] factorizations (or anything else that can
+//! solve `A·x = b` and `Aᵀ·x = b`).
+//!
+//! The estimator is Hager's algorithm (the LAPACK `xLACON` approach):
+//! starting from the uniform vector it alternates solves with `A` and
+//! `Aᵀ`, following the sign pattern of the iterates to a local maximum
+//! of `‖A⁻¹·x‖₁ / ‖x‖₁`. It returns a *lower bound* on `‖A⁻¹‖₁` that is
+//! almost always within a small factor of the truth, at the cost of a
+//! handful of solves — cheap against an O(n³) (or sparse-fill) factor.
+
+use crate::Result;
+
+/// Iteration cap for the Hager estimator. The iteration nearly always
+/// converges in 2–3 sweeps; LAPACK uses 5.
+const MAX_ITERS: usize = 5;
+
+/// Estimates `‖A⁻¹‖₁` given solve callbacks for `A·x = b` (`solve`) and
+/// `Aᵀ·x = b` (`solve_t`). Multiply by `‖A‖₁` for a one-norm condition
+/// estimate.
+///
+/// Each callback receives `(b, x)` and must write the solution into
+/// `x`. Returns 0.0 for an empty system.
+///
+/// # Errors
+///
+/// Propagates the first error returned by a callback.
+pub fn onenorm_inv_est(
+    n: usize,
+    mut solve: impl FnMut(&[f64], &mut [f64]) -> Result<()>,
+    mut solve_t: impl FnMut(&[f64], &mut [f64]) -> Result<()>,
+) -> Result<f64> {
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut x = vec![1.0 / n as f64; n];
+    let mut y = vec![0.0; n];
+    let mut xi = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut est = 0.0_f64;
+    for _ in 0..MAX_ITERS {
+        solve(&x, &mut y)?;
+        let new_est: f64 = y.iter().map(|v| v.abs()).sum();
+        if new_est <= est {
+            break;
+        }
+        est = new_est;
+        // ξ = sign(y); z = A⁻ᵀ·ξ points toward the steepest-ascent unit
+        // vector for ‖A⁻¹·x‖₁.
+        for (s, &yi) in xi.iter_mut().zip(&y) {
+            *s = if yi >= 0.0 { 1.0 } else { -1.0 };
+        }
+        solve_t(&xi, &mut z)?;
+        let (mut j, mut zmax) = (0usize, 0.0_f64);
+        for (i, &zi) in z.iter().enumerate() {
+            if zi.abs() > zmax {
+                zmax = zi.abs();
+                j = i;
+            }
+        }
+        // Converged when no coordinate beats the current subgradient.
+        let zx: f64 = z.iter().zip(&x).map(|(a, b)| a * b).sum();
+        if zmax <= zx {
+            break;
+        }
+        x.iter_mut().for_each(|v| *v = 0.0);
+        x[j] = 1.0;
+    }
+    Ok(est)
+}
+
+/// One step of iterative refinement: `x += A⁻¹·(b − A·x)`.
+///
+/// `matvec` computes `y = A·x` into its second argument from the
+/// *original* (unfactored) matrix values; `solve` solves against the
+/// factorization. `r` and `dx` are caller-provided scratch, so the
+/// routine itself never allocates. Returns the ∞-norm of the residual
+/// *before* the correction, letting callers iterate to a tolerance.
+///
+/// # Errors
+///
+/// Propagates solve-callback errors.
+pub fn refine_step(
+    b: &[f64],
+    x: &mut [f64],
+    mut matvec: impl FnMut(&[f64], &mut [f64]),
+    mut solve: impl FnMut(&[f64], &mut [f64]) -> Result<()>,
+    r: &mut [f64],
+    dx: &mut [f64],
+) -> Result<f64> {
+    matvec(x, r);
+    let mut rnorm = 0.0_f64;
+    for (ri, &bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+        rnorm = rnorm.max(ri.abs());
+    }
+    solve(r, dx)?;
+    for (xi, &di) in x.iter_mut().zip(dx.iter()) {
+        *xi += di;
+    }
+    Ok(rnorm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::LuDecomposition;
+    use crate::sparse::{SparseLu, TripletBuilder};
+    use crate::Matrix;
+
+    /// Exact ‖A⁻¹‖₁ by explicit inverse (test sizes only).
+    fn exact_inv_norm1(a: &Matrix) -> f64 {
+        let inv = LuDecomposition::new(a).unwrap().inverse().unwrap();
+        (0..inv.cols())
+            .map(|j| (0..inv.rows()).map(|i| inv[(i, j)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn dense_estimate_close_to_exact() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -1.0, 0.0, 0.5],
+            &[-1.0, 4.0, -1.0, 0.0],
+            &[0.0, -1.0, 4.0, -1.0],
+            &[0.5, 0.0, -1.0, 3.0],
+        ])
+        .unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let n = a.rows();
+        let mut work = vec![0.0; n];
+        let est = onenorm_inv_est(
+            n,
+            |b, x| lu.solve_into(b, x),
+            |b, x| lu.solve_transposed_into(b, &mut work, x),
+        )
+        .unwrap();
+        let exact = exact_inv_norm1(&a);
+        assert!(
+            est <= exact * (1.0 + 1e-12),
+            "lower bound: {est} vs {exact}"
+        );
+        assert!(est >= 0.3 * exact, "too loose: {est} vs {exact}");
+    }
+
+    #[test]
+    fn ill_conditioned_detected() {
+        // Scale asymmetry gives cond₁ ≈ 1e8; the estimate must see it.
+        let a = Matrix::from_rows(&[&[1e8, 1.0], &[0.0, 1.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let mut work = vec![0.0; 2];
+        let est = onenorm_inv_est(
+            2,
+            |b, x| lu.solve_into(b, x),
+            |b, x| lu.solve_transposed_into(b, &mut work, x),
+        )
+        .unwrap();
+        // ‖A‖₁ ≈ 1e8, ‖A⁻¹‖₁ ≈ 1 + 1e-8 → cond ≈ 1e8.
+        assert!(est * 1e8 > 1e7);
+    }
+
+    #[test]
+    fn sparse_transposed_solve_matches_dense() {
+        let n = 25;
+        let mut tb = TripletBuilder::new(n, n);
+        let mut dense = Matrix::zeros(n, n);
+        let mut s = 1u64;
+        let mut next = || {
+            // SplitMix64 step, inlined to keep the test self-contained.
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        };
+        for i in 0..n {
+            let d = 4.0 + next();
+            tb.add(i, i, d);
+            dense[(i, i)] += d;
+            for _ in 0..3 {
+                let j = (next() * n as f64) as usize % n;
+                let v = next() - 0.5;
+                tb.add(i, j, v);
+                dense[(i, j)] += v;
+            }
+        }
+        let a = tb.build();
+        let slu = SparseLu::factor(&a).unwrap();
+        let dlu = LuDecomposition::new(&dense).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut scratch = vec![0.0; n];
+        let mut xs = vec![0.0; n];
+        let mut xd = vec![0.0; n];
+        slu.solve_transposed_into(&b, &mut scratch, &mut xs)
+            .unwrap();
+        dlu.solve_transposed_into(&b, &mut scratch, &mut xd)
+            .unwrap();
+        for (s, d) in xs.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-10, "sparse {s} vs dense {d}");
+        }
+        // And Aᵀ·x really equals b.
+        let mut atx = vec![0.0; n];
+        for j in 0..n {
+            for i in 0..n {
+                atx[j] += dense[(i, j)] * xs[i];
+            }
+        }
+        for (v, bi) in atx.iter().zip(&b) {
+            assert!((v - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_estimate_close_to_exact() {
+        let n = 30;
+        let mut tb = TripletBuilder::new(n, n);
+        let mut dense = Matrix::zeros(n, n);
+        for i in 0..n {
+            // Graded diagonal: conditioning worsens down the chain.
+            let d = 2.0 / (1.0 + i as f64);
+            tb.add(i, i, d);
+            dense[(i, i)] += d;
+            if i + 1 < n {
+                tb.add(i, i + 1, -0.5 * d);
+                dense[(i, i + 1)] += -0.5 * d;
+            }
+        }
+        let a = tb.build();
+        let lu = SparseLu::factor(&a).unwrap();
+        let mut scratch = vec![0.0; n];
+        let mut scratch2 = vec![0.0; n];
+        let est = onenorm_inv_est(
+            n,
+            |b, x| lu.solve_into(b, &mut scratch, x),
+            |b, x| lu.solve_transposed_into(b, &mut scratch2, x),
+        )
+        .unwrap();
+        let exact = exact_inv_norm1(&dense);
+        assert!(est <= exact * (1.0 + 1e-12));
+        assert!(est >= 0.3 * exact, "too loose: {est} vs {exact}");
+    }
+
+    #[test]
+    fn refine_step_reduces_residual() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let b = [5.0, 5.0];
+        // Start from a deliberately perturbed solution.
+        let mut x = lu.solve(&b).unwrap();
+        x[0] += 1e-3;
+        let (mut r, mut dx) = (vec![0.0; 2], vec![0.0; 2]);
+        let res0 = refine_step(
+            &b,
+            &mut x,
+            |v, y| {
+                let out = a.mul_vec(v).unwrap();
+                y.copy_from_slice(&out);
+            },
+            |rr, d| lu.solve_into(rr, d),
+            &mut r,
+            &mut dx,
+        )
+        .unwrap();
+        let res1 = refine_step(
+            &b,
+            &mut x,
+            |v, y| {
+                let out = a.mul_vec(v).unwrap();
+                y.copy_from_slice(&out);
+            },
+            |rr, d| lu.solve_into(rr, d),
+            &mut r,
+            &mut dx,
+        )
+        .unwrap();
+        assert!(res0 > 1e-4, "perturbation visible in first residual");
+        assert!(res1 < 1e-12, "one step recovers the solution: {res1}");
+    }
+
+    #[test]
+    fn empty_system_estimates_zero() {
+        let est = onenorm_inv_est(0, |_, _| Ok(()), |_, _| Ok(())).unwrap();
+        assert_eq!(est, 0.0);
+    }
+}

@@ -7,7 +7,10 @@
 //!   works on `Z = R + jωL`),
 //! * [`Matrix`] / [`CMatrix`] — dense row-major real/complex matrices,
 //! * [`lu`] — LU factorization with partial pivoting (real and complex) and
-//!   the derived solve/inverse/determinant operations,
+//!   the derived solve/inverse/determinant operations, plus in-place
+//!   refactorization and transposed solves,
+//! * [`condest`] — Hager one-norm condition estimation and iterative
+//!   refinement over solve callbacks (dense or sparse),
 //! * [`sparse`] — triplet→CSC sparse matrices, a fill-reducing
 //!   minimum-degree ordering and a symbolic/numeric-split sparse LU
 //!   ([`sparse::SparseLu`]) that the MNA circuit solves run on,
@@ -47,6 +50,7 @@
 
 pub mod cholesky;
 pub mod complex;
+pub mod condest;
 pub mod lu;
 pub mod matrix;
 pub mod obs;

@@ -114,6 +114,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutably borrows the underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Borrows one row as a slice.
     ///
     /// # Panics

@@ -398,6 +398,56 @@ impl<T: Scalar> SparseLu<T> {
         Ok(())
     }
 
+    /// Solves `Aᵀ·x = b` into caller-provided buffers; allocation-free.
+    ///
+    /// With `P·A·Q = L·U` the transposed system factors as
+    /// `Aᵀ = Q·Uᵀ·Lᵀ·P`, so the solve chain is: permute `b` by `Q`,
+    /// forward-substitute through `Uᵀ` (lower triangular in pivot
+    /// space), backward-substitute through `Lᵀ` (implicit unit
+    /// diagonal), then scatter through `P`. Used by the one-norm
+    /// condition estimator ([`crate::condest`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if any slice length
+    /// differs from [`SparseLu::dim`].
+    pub fn solve_transposed_into(&self, b: &[T], scratch: &mut [T], x: &mut [T]) -> Result<()> {
+        let n = self.n;
+        if b.len() != n || scratch.len() != n || x.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("vectors of length {n}"),
+                found: format!("b: {}, scratch: {}, x: {}", b.len(), scratch.len(), x.len()),
+            });
+        }
+        // scratch = Qᵀ·b (factored-column space).
+        for (k, &col) in self.q.iter().enumerate() {
+            scratch[k] = b[col];
+        }
+        // Forward solve Uᵀ·v = u. Row k of Uᵀ is column k of U: entries
+        // at pivot positions `u_rows` (all < k) plus the diagonal.
+        for k in 0..n {
+            let mut acc = scratch[k];
+            for idx in self.u_colptr[k]..self.u_colptr[k + 1] {
+                acc -= self.u_vals[idx] * scratch[self.u_rows[idx]];
+            }
+            scratch[k] = acc / self.u_diag[k];
+        }
+        // Backward solve Lᵀ·w = v. Row k of Lᵀ is column k of L: entries
+        // at original rows `l_rows`, i.e. pivot positions pinv[r] > k.
+        for k in (0..n).rev() {
+            let mut acc = scratch[k];
+            for idx in self.l_colptr[k]..self.l_colptr[k + 1] {
+                acc -= self.l_vals[idx] * scratch[self.pinv[self.l_rows[idx]]];
+            }
+            scratch[k] = acc;
+        }
+        // x = Pᵀ·w: pivot position k is original row p[k].
+        for (k, &row) in self.p.iter().enumerate() {
+            x[row] = scratch[k];
+        }
+        Ok(())
+    }
+
     /// Convenience allocating wrapper around [`SparseLu::solve_into`].
     ///
     /// # Errors

@@ -29,6 +29,15 @@ pub enum SpiceError {
         /// Description of the defect.
         what: String,
     },
+    /// The MNA matrix is singular for a diagnosable structural reason —
+    /// the circuit, not the numerics, is at fault.
+    SingularMna {
+        /// The offending unknown or element (e.g. `node 'n3'`,
+        /// `element 'V1'`).
+        unknown: String,
+        /// Why the system cannot be solved (floating node, ideal loop…).
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -41,6 +50,9 @@ impl fmt::Display for SpiceError {
             SpiceError::Unknown { what } => write!(f, "unknown reference: {what}"),
             SpiceError::DuplicateName { name } => write!(f, "duplicate element name: {name}"),
             SpiceError::BadSimParams { what } => write!(f, "bad simulation parameters: {what}"),
+            SpiceError::SingularMna { unknown, reason } => {
+                write!(f, "singular MNA system at {unknown}: {reason}")
+            }
         }
     }
 }

@@ -7,8 +7,9 @@
 //! * [`Netlist`] — resistors, capacitors, (mutually coupled) inductors and
 //!   independent voltage sources over named nodes,
 //! * [`Waveform`] — DC, pulse and piecewise-linear source shapes,
-//! * [`Transient`] — fixed-step trapezoidal (or backward-Euler) MNA
-//!   integration with a single LU factorization reused across steps,
+//! * [`Transient`] — trapezoidal (or backward-Euler) MNA integration on a
+//!   fixed or LTE-controlled adaptive time axis ([`Stepping`]), with LU
+//!   factorizations reused across steps,
 //! * [`measure`] — threshold crossings, 50 % delays, overshoot/undershoot
 //!   and skew over sink groups,
 //! * [`ac`] — small-signal frequency sweeps (transfer functions, resonance
@@ -36,6 +37,7 @@
 //! ```
 
 pub mod ac;
+mod diagnose;
 pub mod measure;
 pub mod netlist;
 pub mod stamp;
@@ -49,7 +51,7 @@ pub use ac::{Ac, AcResult, Sweep};
 pub use error::SpiceError;
 pub use netlist::{InductorId, Netlist, NodeId, GROUND};
 pub use stamp::{SolverEngine, SPARSE_CUTOVER};
-pub use transient::{IntegrationMethod, Transient, TransientResult};
+pub use transient::{AdaptiveOptions, IntegrationMethod, Stepping, Transient, TransientResult};
 pub use waveform::Waveform;
 
 /// Convenient result alias used across the crate.

@@ -8,6 +8,13 @@
 /// `after`, linearly interpolated between samples. Returns `None` if it
 /// never crosses.
 ///
+/// A sample pair that starts exactly at the threshold and then departs in
+/// the crossing direction (a plateau at `threshold` followed by a rise,
+/// common at the start of an ideal-step response) counts as a crossing at
+/// the departing sample. The result is clamped to `>= after`: the first
+/// kept sample pair may straddle `after`, and the interpolated time must
+/// not land before the bound it was asked to respect.
+///
 /// # Panics
 ///
 /// Panics if `time` and `v` lengths differ.
@@ -25,13 +32,14 @@ pub fn cross_time(
         }
         let (v0, v1) = (v[i - 1], v[i]);
         let crossed = if rising {
-            v0 < threshold && v1 >= threshold
+            (v0 < threshold && v1 >= threshold) || (v0 == threshold && v1 > threshold)
         } else {
-            v0 > threshold && v1 <= threshold
+            (v0 > threshold && v1 <= threshold) || (v0 == threshold && v1 < threshold)
         };
         if crossed {
             let frac = (threshold - v0) / (v1 - v0);
-            return Some(time[i - 1] + frac * (time[i] - time[i - 1]));
+            let tc = time[i - 1] + frac * (time[i] - time[i - 1]);
+            return Some(tc.max(after));
         }
     }
     None
@@ -110,6 +118,47 @@ mod tests {
         assert!((cross_time(&t, &v, 0.5, false, 0.0).unwrap() - 1.5).abs() < 1e-12);
         // Never crosses 2.0.
         assert!(cross_time(&t, &v, 2.0, true, 0.0).is_none());
+    }
+
+    #[test]
+    fn cross_time_never_reports_before_after_bound() {
+        // Regression: the first sample pair at or past `after` can straddle
+        // it; interpolating inside that pair used to return a time *before*
+        // `after`. For after = 0.5 the first kept pair spans [0.4, 0.5], so
+        // v(t) = t crosses 0.45 at t = 0.45 < after; the answer must be
+        // clamped to the bound, not leak past it.
+        let (t, v) = ramp(10);
+        let tc = cross_time(&t, &v, 0.45, true, 0.5).unwrap();
+        assert!(tc >= 0.5, "crossing {tc} reported before after=0.5");
+        assert!((tc - 0.5).abs() < 1e-12);
+        // Falling direction, same straddle.
+        let vf: Vec<f64> = v.iter().map(|x| 1.0 - x).collect();
+        let tf = cross_time(&t, &vf, 0.55, false, 0.5).unwrap();
+        assert!(tf >= 0.5, "crossing {tf} reported before after=0.5");
+        // A crossing genuinely after the bound is untouched by the clamp.
+        let tc2 = cross_time(&t, &v, 0.75, true, 0.5).unwrap();
+        assert!((tc2 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_time_detects_departure_from_exact_threshold() {
+        // Regression: a waveform that *starts* exactly at the threshold and
+        // then rises was missed by the strict `v0 < threshold` test.
+        let t: Vec<f64> = (0..=3).map(|i| i as f64).collect();
+        let v = vec![0.5, 0.5, 1.0, 1.0];
+        let tc = cross_time(&t, &v, 0.5, true, 0.0).unwrap();
+        assert!(
+            (tc - 1.0).abs() < 1e-12,
+            "departure at plateau end, got {tc}"
+        );
+        // Falling counterpart.
+        let vf = vec![0.5, 0.5, 0.0, 0.0];
+        let tf = cross_time(&t, &vf, 0.5, false, 0.0).unwrap();
+        assert!((tf - 1.0).abs() < 1e-12);
+        // Starting at the threshold and departing the *wrong* way is not
+        // a crossing in the requested direction.
+        let depart_down = vec![0.5, 0.3, 0.2, 0.1];
+        assert!(cross_time(&t, &depart_down, 0.5, true, 0.0).is_none());
     }
 
     #[test]

@@ -267,8 +267,15 @@ impl Netlist {
     ///
     /// # Errors
     ///
-    /// Returns [`SpiceError::DuplicateName`] for a reused name.
+    /// Returns [`SpiceError::InvalidValue`] for a malformed waveform
+    /// (negative pulse rise/fall/width/delay/period, non-finite values,
+    /// decreasing PWL times — see [`Waveform::validate`]) and
+    /// [`SpiceError::DuplicateName`] for a reused name.
     pub fn vsource(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) -> Result<()> {
+        wave.validate().map_err(|what| SpiceError::InvalidValue {
+            element: name.into(),
+            what,
+        })?;
         self.check_name(name)?;
         self.elements.push(Element::VSource {
             name: name.into(),
@@ -332,6 +339,35 @@ mod tests {
         ));
         assert!(nl.capacitor("C1", a, GROUND, 0.0).is_err());
         assert!(nl.capacitor("C1", a, GROUND, 1e-15).is_ok());
+    }
+
+    #[test]
+    fn vsource_rejects_malformed_waveforms() {
+        // Regression: negative pulse timing used to build silently and
+        // simulate garbage; it must fail at netlist build.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        assert!(matches!(
+            nl.vsource(
+                "Vbad",
+                a,
+                GROUND,
+                Waveform::pulse(0.0, 1.0, 0.0, -50e-12, 50e-12, 400e-12, 1e-9),
+            ),
+            Err(SpiceError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            nl.vsource(
+                "Vbad",
+                a,
+                GROUND,
+                Waveform::Pwl(vec![(1e-9, 0.0), (0.0, 1.0)]),
+            ),
+            Err(SpiceError::InvalidValue { .. })
+        ));
+        assert!(nl
+            .vsource("Vok", a, GROUND, Waveform::step(1.0, 0.0))
+            .is_ok());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::Result;
 use crate::SpiceError;
 use rlcx_numeric::lu::LuDecomposition;
 use rlcx_numeric::sparse::{Scalar, SparseLu, TripletBuilder};
-use rlcx_numeric::{obs, Matrix};
+use rlcx_numeric::{condest, obs, CscMatrix, Matrix, NumericError};
 
 /// Which linear-solver backend an analysis runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -208,10 +208,29 @@ fn stamp_branch<T: Scalar>(
     }
 }
 
-/// A factored real MNA system behind either solver backend.
+/// Translates a factorization error through the structural diagnoser;
+/// `dense` means the failing pivot maps 1:1 onto an MNA unknown.
+fn diagnose(nl: &Netlist, layout: &MnaLayout, e: NumericError, dense: bool) -> SpiceError {
+    let pivot = match (dense, &e) {
+        (true, NumericError::Singular { pivot }) => Some(*pivot),
+        _ => None,
+    };
+    crate::diagnose::diagnose_singular(nl, layout, e, pivot)
+}
+
+/// A factored real MNA system behind either solver backend. The
+/// assembled matrix is retained alongside the factorization so residuals
+/// (iterative refinement) and the one-norm (condition estimation) stay
+/// available after factoring.
 pub(crate) enum RealFactor {
-    Dense(LuDecomposition),
-    Sparse(Box<SparseLu<f64>>),
+    Dense {
+        a: Matrix,
+        lu: LuDecomposition,
+    },
+    Sparse {
+        a: CscMatrix<f64>,
+        lu: Box<SparseLu<f64>>,
+    },
 }
 
 impl RealFactor {
@@ -221,7 +240,9 @@ impl RealFactor {
     ///
     /// # Errors
     ///
-    /// Returns [`SpiceError::Numeric`] if the matrix is singular.
+    /// Returns [`SpiceError::SingularMna`] (with the structural culprit
+    /// named when identifiable) or [`SpiceError::Numeric`] if the matrix
+    /// is singular.
     pub fn assemble(
         nl: &Netlist,
         layout: &MnaLayout,
@@ -242,7 +263,11 @@ impl RealFactor {
             stamp_mna(nl, layout, y_cap, z_ind, z_mut, |i, j, v| tb.add(i, j, v));
             let a = tb.build();
             obs::gauge_set("spice.mna.nnz", a.nnz() as f64);
-            Ok(RealFactor::Sparse(Box::new(SparseLu::factor(&a)?)))
+            let lu = SparseLu::factor(&a).map_err(|e| diagnose(nl, layout, e, false))?;
+            Ok(RealFactor::Sparse {
+                a,
+                lu: Box::new(lu),
+            })
         } else {
             let mut a = Matrix::zeros(dim, dim);
             if gmin > 0.0 {
@@ -251,7 +276,16 @@ impl RealFactor {
                 }
             }
             stamp_mna(nl, layout, y_cap, z_ind, z_mut, |i, j, v| a[(i, j)] += v);
-            Ok(RealFactor::Dense(LuDecomposition::new(&a)?))
+            let lu = LuDecomposition::new(&a).map_err(|e| diagnose(nl, layout, e, true))?;
+            Ok(RealFactor::Dense { a, lu })
+        }
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        match self {
+            RealFactor::Dense { lu, .. } => lu.dim(),
+            RealFactor::Sparse { lu, .. } => lu.dim(),
         }
     }
 
@@ -264,8 +298,8 @@ impl RealFactor {
     /// Returns [`SpiceError::Numeric`] on buffer-length mismatch.
     pub fn solve_into(&self, b: &[f64], scratch: &mut [f64], x: &mut [f64]) -> Result<()> {
         match self {
-            RealFactor::Dense(lu) => lu.solve_into(b, x)?,
-            RealFactor::Sparse(lu) => lu.solve_into(b, scratch, x)?,
+            RealFactor::Dense { lu, .. } => lu.solve_into(b, x)?,
+            RealFactor::Sparse { lu, .. } => lu.solve_into(b, scratch, x)?,
         }
         Ok(())
     }
@@ -280,6 +314,230 @@ impl RealFactor {
         let mut x = vec![0.0; b.len()];
         self.solve_into(b, &mut scratch, &mut x)?;
         Ok(x)
+    }
+
+    /// `y = A·x` against the retained (unfactored) matrix values;
+    /// allocation-free.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            RealFactor::Dense { a, .. } => {
+                for (i, yi) in y.iter_mut().enumerate() {
+                    *yi = a.row(i).iter().zip(x).map(|(aij, xj)| aij * xj).sum();
+                }
+            }
+            RealFactor::Sparse { a, .. } => {
+                y.iter_mut().for_each(|v| *v = 0.0);
+                for (j, &xj) in x.iter().enumerate() {
+                    if xj != 0.0 {
+                        for (&r, &v) in a.col_rows(j).iter().zip(a.col_values(j)) {
+                            y[r] += v * xj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One-norm `‖A‖₁` of the assembled matrix (max column abs-sum).
+    pub fn norm1(&self) -> f64 {
+        match self {
+            RealFactor::Dense { a, .. } => {
+                let n = a.cols();
+                (0..n)
+                    .map(|j| (0..n).map(|i| a[(i, j)].abs()).sum::<f64>())
+                    .fold(0.0, f64::max)
+            }
+            RealFactor::Sparse { a, .. } => (0..a.ncols())
+                .map(|j| a.col_values(j).iter().map(|v| v.abs()).sum::<f64>())
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// One-norm condition estimate `‖A‖₁·est(‖A⁻¹‖₁)` via Hager's
+    /// algorithm — a handful of extra solves against the factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Numeric`] if an internal solve fails
+    /// (should not happen on a valid factorization).
+    pub fn cond_est(&self) -> Result<f64> {
+        let n = self.dim();
+        let mut s1 = vec![0.0; n];
+        let mut s2 = vec![0.0; n];
+        let inv_est = condest::onenorm_inv_est(
+            n,
+            |b, x| match self {
+                RealFactor::Dense { lu, .. } => lu.solve_into(b, x),
+                RealFactor::Sparse { lu, .. } => lu.solve_into(b, &mut s1, x),
+            },
+            |b, x| match self {
+                RealFactor::Dense { lu, .. } => lu.solve_transposed_into(b, &mut s2, x),
+                RealFactor::Sparse { lu, .. } => lu.solve_transposed_into(b, &mut s2, x),
+            },
+        )?;
+        Ok(self.norm1() * inv_est)
+    }
+
+    /// Solves `A·x = b` and polishes the solution with up to `iters`
+    /// rounds of iterative refinement against the retained matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Numeric`] on length mismatch.
+    pub fn solve_refined(&self, b: &[f64], iters: usize) -> Result<Vec<f64>> {
+        let n = b.len();
+        let mut x = self.solve(b)?;
+        let mut r = vec![0.0; n];
+        let mut dx = vec![0.0; n];
+        let mut s = vec![0.0; n];
+        for _ in 0..iters {
+            let residual = condest::refine_step(
+                b,
+                &mut x,
+                |v, y| self.matvec_into(v, y),
+                |rr, d| match self {
+                    RealFactor::Dense { lu, .. } => lu.solve_into(rr, d),
+                    RealFactor::Sparse { lu, .. } => lu.solve_into(rr, &mut s, d),
+                },
+                &mut r,
+                &mut dx,
+            )?;
+            if residual == 0.0 {
+                break;
+            }
+        }
+        Ok(x)
+    }
+}
+
+/// A re-stampable, re-factorable real MNA system for step-size-varying
+/// transient integration.
+///
+/// The matrix *pattern* is fixed at construction (element topology never
+/// changes); only the companion conductances `kC = kc·C` / `kL = kl·L`
+/// depend on the step size. [`VarFactor::ensure`] re-stamps values in
+/// place and re-runs the numeric factorization only — the sparse
+/// symbolic analysis (ordering + fill) from construction is reused via
+/// [`SparseLu::refactor`], and the dense path eliminates in place via
+/// [`LuDecomposition::refactor`]. Neither allocates on the fast path,
+/// which keeps the adaptive engine's accepted-step loop heap-free.
+pub(crate) struct VarFactor {
+    factor: RealFactor,
+    /// Emission-order → value-slot map for the sparse replay; empty for
+    /// dense.
+    slot_map: Vec<usize>,
+    /// `(kc, kl)` the current numeric factorization was stamped with.
+    key: (f64, f64),
+}
+
+impl VarFactor {
+    /// Stamps and factors the system for companion coefficients
+    /// `(kc, kl)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMna`] / [`SpiceError::Numeric`] on
+    /// a singular system (see [`RealFactor::assemble`]).
+    pub fn new(nl: &Netlist, layout: &MnaLayout, sparse: bool, kc: f64, kl: f64) -> Result<Self> {
+        let dim = layout.dim;
+        if sparse {
+            let mut tb = TripletBuilder::new(dim, dim);
+            stamp_mna(
+                nl,
+                layout,
+                |c| kc * c,
+                |l| kl * l,
+                |m| kl * m,
+                |i, j, v| tb.add(i, j, v),
+            );
+            let (a, slot_map) = tb.build_with_map();
+            obs::gauge_set("spice.mna.nnz", a.nnz() as f64);
+            let lu = SparseLu::factor(&a).map_err(|e| diagnose(nl, layout, e, false))?;
+            Ok(VarFactor {
+                factor: RealFactor::Sparse {
+                    a,
+                    lu: Box::new(lu),
+                },
+                slot_map,
+                key: (kc, kl),
+            })
+        } else {
+            let factor =
+                RealFactor::assemble(nl, layout, false, 0.0, |c| kc * c, |l| kl * l, |m| kl * m)?;
+            Ok(VarFactor {
+                factor,
+                slot_map: Vec::new(),
+                key: (kc, kl),
+            })
+        }
+    }
+
+    /// Makes the factorization current for `(kc, kl)`: a no-op when the
+    /// coefficients match the cached key, otherwise an in-place restamp
+    /// plus numeric-only refactorization (no heap allocation unless the
+    /// sparse backend must fall back to re-pivoting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMna`] / [`SpiceError::Numeric`] if
+    /// the refactorization breaks down; the factor must not be used for
+    /// solves afterwards.
+    pub fn ensure(&mut self, nl: &Netlist, layout: &MnaLayout, kc: f64, kl: f64) -> Result<()> {
+        if self.key == (kc, kl) {
+            return Ok(());
+        }
+        let VarFactor {
+            factor, slot_map, ..
+        } = self;
+        match factor {
+            RealFactor::Dense { a, lu } => {
+                a.as_mut_slice().iter_mut().for_each(|v| *v = 0.0);
+                stamp_mna(
+                    nl,
+                    layout,
+                    |c| kc * c,
+                    |l| kl * l,
+                    |m| kl * m,
+                    |i, j, v| a[(i, j)] += v,
+                );
+                lu.refactor(a).map_err(|e| diagnose(nl, layout, e, true))?;
+            }
+            RealFactor::Sparse { a, lu } => {
+                a.zero_values();
+                {
+                    let values = a.values_mut();
+                    let mut k = 0usize;
+                    stamp_mna(
+                        nl,
+                        layout,
+                        |c| kc * c,
+                        |l| kl * l,
+                        |m| kl * m,
+                        |_, _, v| {
+                            values[slot_map[k]] += v;
+                            k += 1;
+                        },
+                    );
+                }
+                lu.refactor(a).map_err(|e| diagnose(nl, layout, e, false))?;
+            }
+        }
+        self.key = (kc, kl);
+        Ok(())
+    }
+
+    /// Solves against the current factorization; allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Numeric`] on buffer-length mismatch.
+    pub fn solve_into(&self, b: &[f64], scratch: &mut [f64], x: &mut [f64]) -> Result<()> {
+        self.factor.solve_into(b, scratch, x)
+    }
+
+    /// The underlying factored system (condition estimation, refinement).
+    pub fn factor(&self) -> &RealFactor {
+        &self.factor
     }
 }
 

@@ -1,10 +1,26 @@
-//! Fixed-step transient MNA simulation.
+//! Transient MNA simulation: fixed-step and adaptive time axes.
 //!
-//! The system matrix of a linear circuit with a fixed timestep is constant,
+//! The system matrix of a linear circuit at a given timestep is constant,
 //! so the solver factorizes once (LU) and back-substitutes per step. The
 //! integration method is trapezoidal by default (second-order, no numerical
 //! damping — important for the paper's RLC ringing waveforms) with backward
 //! Euler available for comparison.
+//!
+//! Two time axes are available through [`Stepping`]:
+//!
+//! * [`Stepping::Fixed`] — uniform steps of `timestep` seconds, one
+//!   factorization for the whole run (the historical behaviour,
+//!   bit-compatible with earlier releases);
+//! * [`Stepping::Adaptive`] — local-truncation-error controlled steps.
+//!   Each step is computed twice (once at `h`, once as two `h/2`
+//!   half-steps); the Richardson difference estimates the LTE, steps
+//!   violating the tolerance are rejected and retried smaller, and
+//!   accepted steps grow the stride. The time axis *snaps* to source
+//!   breakpoints ([`crate::Waveform::breakpoints`]) so pulse corners and
+//!   PWL knots are hit exactly, and integration restarts with one damped
+//!   backward-Euler step after each discontinuity (and at `t = 0`). Step
+//!   size changes reuse the sparse symbolic factorization through a
+//!   numeric-only refactorization.
 //!
 //! The factorization backend is selected by [`SolverEngine`]: dense LU for
 //! small systems, the fill-reducing sparse LU of `rlcx_numeric::sparse`
@@ -13,7 +29,7 @@
 //! solution, and scratch buffers are preallocated and reused.
 
 use crate::netlist::{Element, Netlist, NodeId};
-use crate::stamp::{MnaLayout, RealFactor, SolverEngine};
+use crate::stamp::{MnaLayout, RealFactor, SolverEngine, VarFactor};
 use crate::{Result, SpiceError};
 use rlcx_numeric::obs;
 
@@ -28,6 +44,171 @@ pub enum IntegrationMethod {
     BackwardEuler,
 }
 
+/// Time-axis control for the transient engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Stepping {
+    /// Uniform steps of exactly `timestep` seconds.
+    #[default]
+    Fixed,
+    /// LTE-controlled adaptive steps aligned to source breakpoints; the
+    /// builder's `timestep` seeds the initial (and post-breakpoint) step.
+    Adaptive(AdaptiveOptions),
+}
+
+/// Tuning knobs for [`Stepping::Adaptive`].
+///
+/// The defaults suit the paper's picosecond-scale clocktree waveforms;
+/// `0.0` in the step-bound fields selects a duration-derived automatic
+/// value at run time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Relative LTE tolerance per unknown (default `1e-4`).
+    pub reltol: f64,
+    /// Absolute LTE floor in volts / amperes (default `1e-6`), guarding
+    /// the relative test near zero crossings.
+    pub abstol: f64,
+    /// Smallest step the controller may take; steps at the floor are
+    /// force-accepted rather than erroring out (the linear system is
+    /// unconditionally stable). `0.0` selects
+    /// `max(timestep·1e-6, duration·1e-15)`.
+    pub h_min: f64,
+    /// Largest step the controller may grow to; `0.0` selects
+    /// `duration / 50`.
+    pub h_max: f64,
+    /// Hard cap on step attempts (accepted + rejected) before the run
+    /// aborts with [`SpiceError::BadSimParams`] (default `2_000_000`).
+    pub max_steps: usize,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            reltol: 1e-4,
+            abstol: 1e-6,
+            h_min: 0.0,
+            h_max: 0.0,
+            max_steps: 2_000_000,
+        }
+    }
+}
+
+impl AdaptiveOptions {
+    fn validate(&self) -> Result<()> {
+        let bad = |what: String| Err(SpiceError::BadSimParams { what });
+        if !(self.reltol > 0.0 && self.reltol.is_finite()) {
+            return bad(format!("reltol must be positive, got {}", self.reltol));
+        }
+        if !(self.abstol > 0.0 && self.abstol.is_finite()) {
+            return bad(format!("abstol must be positive, got {}", self.abstol));
+        }
+        if !(self.h_min >= 0.0 && self.h_min.is_finite()) {
+            return bad(format!("h_min must be non-negative, got {}", self.h_min));
+        }
+        if !(self.h_max >= 0.0 && self.h_max.is_finite()) {
+            return bad(format!("h_max must be non-negative, got {}", self.h_max));
+        }
+        if self.h_min > 0.0 && self.h_max > 0.0 && self.h_min > self.h_max {
+            return bad(format!(
+                "h_min {} must not exceed h_max {}",
+                self.h_min, self.h_max
+            ));
+        }
+        if self.max_steps == 0 {
+            return bad("max_steps must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Node voltage of `n` in the MNA solution vector (`0.0` for ground).
+fn volt_of(x: &[f64], n: NodeId) -> f64 {
+    MnaLayout::var(n).map(|i| x[i]).unwrap_or(0.0)
+}
+
+/// Assembles the companion-model right-hand side for one step ending at
+/// source time `t_src`, from committed state `x` / `cap_current`.
+/// `kc`/`kl` are the capacitor/inductor companion coefficients of the
+/// step being taken; `trap` selects trapezoidal history terms.
+#[allow(clippy::too_many_arguments)]
+fn assemble_rhs(
+    nl: &Netlist,
+    layout: &MnaLayout,
+    x: &[f64],
+    cap_current: &[f64],
+    t_src: f64,
+    kc: f64,
+    kl: f64,
+    trap: bool,
+    rhs: &mut [f64],
+) {
+    rhs.fill(0.0);
+    for (ei, e) in nl.elements.iter().enumerate() {
+        match e {
+            Element::Resistor { .. } => {}
+            Element::Capacitor { p, n, farads, .. } => {
+                let v_prev = volt_of(x, *p) - volt_of(x, *n);
+                let i_prev = cap_current[ei];
+                let ieq = if trap {
+                    kc * farads * v_prev + i_prev
+                } else {
+                    kc * farads * v_prev
+                };
+                if let Some(ip) = MnaLayout::var(*p) {
+                    rhs[ip] += ieq;
+                }
+                if let Some(in_) = MnaLayout::var(*n) {
+                    rhs[in_] -= ieq;
+                }
+            }
+            Element::Inductor { p, n, henries, .. } => {
+                let row = layout.branch(ei);
+                let i_prev = x[row];
+                let mut r = -kl * henries * i_prev;
+                if trap {
+                    r -= volt_of(x, *p) - volt_of(x, *n);
+                }
+                rhs[row] = r;
+            }
+            Element::VSource { wave, .. } => {
+                rhs[layout.branch(ei)] = wave.eval(t_src);
+            }
+        }
+    }
+    // Mutual history terms (inductor rows only).
+    for m in &nl.mutuals {
+        let ra = layout.branch(nl.inductors[m.a.0]);
+        let rb = layout.branch(nl.inductors[m.b.0]);
+        rhs[ra] -= kl * m.m * x[rb];
+        rhs[rb] -= kl * m.m * x[ra];
+    }
+}
+
+/// Updates capacitor companion currents after a solve: `x_new` is the
+/// fresh solution, `x_prev` the state the step departed from, and
+/// `cap_current` holds the previous companion currents on entry.
+fn update_cap_currents(
+    nl: &Netlist,
+    x_new: &[f64],
+    x_prev: &[f64],
+    kc: f64,
+    trap: bool,
+    cap_current: &mut [f64],
+) {
+    for (ei, e) in nl.elements.iter().enumerate() {
+        if let Element::Capacitor { p, n, farads, .. } = e {
+            let v_new = volt_of(x_new, *p) - volt_of(x_new, *n);
+            let v_prev = volt_of(x_prev, *p) - volt_of(x_prev, *n);
+            let i_prev = cap_current[ei];
+            let i_new = if trap {
+                kc * farads * (v_new - v_prev) - i_prev
+            } else {
+                kc * farads * (v_new - v_prev)
+            };
+            cap_current[ei] = i_new;
+        }
+    }
+}
+
 /// Transient analysis builder over a [`Netlist`].
 ///
 /// # Example
@@ -40,11 +221,13 @@ pub struct Transient<'a> {
     duration: f64,
     method: IntegrationMethod,
     engine: SolverEngine,
+    stepping: Stepping,
 }
 
 impl<'a> Transient<'a> {
     /// Creates an analysis with defaults: 1 ps step, 5 ns duration,
-    /// trapezoidal integration, automatic solver-engine selection.
+    /// trapezoidal integration, automatic solver-engine selection, fixed
+    /// stepping.
     pub fn new(netlist: &'a Netlist) -> Self {
         Transient {
             netlist,
@@ -52,10 +235,12 @@ impl<'a> Transient<'a> {
             duration: 5e-9,
             method: IntegrationMethod::default(),
             engine: SolverEngine::default(),
+            stepping: Stepping::default(),
         }
     }
 
-    /// Sets the timestep (seconds).
+    /// Sets the timestep (seconds). Under adaptive stepping this seeds
+    /// the initial step and the restart step after each breakpoint.
     #[must_use]
     pub fn timestep(mut self, h: f64) -> Self {
         self.timestep = h;
@@ -83,14 +268,23 @@ impl<'a> Transient<'a> {
         self
     }
 
+    /// Sets the time-axis policy (default [`Stepping::Fixed`]).
+    #[must_use]
+    pub fn stepping(mut self, stepping: Stepping) -> Self {
+        self.stepping = stepping;
+        self
+    }
+
     /// Runs the analysis.
     ///
     /// # Errors
     ///
-    /// * [`SpiceError::BadSimParams`] for non-positive step/duration or a
-    ///   step larger than the duration,
-    /// * [`SpiceError::Numeric`] if the MNA matrix is singular (floating
-    ///   nodes, shorted sources, …).
+    /// * [`SpiceError::BadSimParams`] for non-positive step/duration, a
+    ///   step larger than the duration, malformed adaptive options, or an
+    ///   adaptive run exceeding its attempt budget,
+    /// * [`SpiceError::SingularMna`] if the MNA matrix is singular for a
+    ///   diagnosable structural reason (floating node, ideal-branch
+    ///   loop), [`SpiceError::Numeric`] otherwise.
     pub fn run(&self) -> Result<TransientResult> {
         let _span = obs::span("spice.transient");
         obs::counter_add("spice.transients", 1);
@@ -107,6 +301,15 @@ impl<'a> Transient<'a> {
                 ),
             });
         }
+        match &self.stepping {
+            Stepping::Fixed => self.run_fixed(),
+            Stepping::Adaptive(opts) => self.run_adaptive(opts),
+        }
+    }
+
+    /// Fixed-step integration: one factorization, `duration/timestep`
+    /// back-substitutions.
+    fn run_fixed(&self) -> Result<TransientResult> {
         let nl = self.netlist;
         let h = self.timestep;
         let layout = MnaLayout::new(nl)?;
@@ -126,6 +329,9 @@ impl<'a> Transient<'a> {
             let _s = obs::span("spice.mna.factor");
             RealFactor::assemble(nl, &layout, sparse, 0.0, |c| kc * c, |l| kl * l, |m| kl * m)?
         };
+        if let Ok(cond) = lu.cond_est() {
+            obs::gauge_set("lu.cond_est", cond);
+        }
 
         // DC operating point at t = 0: resistors as-is, inductors as shorts,
         // capacitors open, sources at their initial value.
@@ -167,70 +373,254 @@ impl<'a> Transient<'a> {
         time.push(0.0);
         record(&x, &mut volts, &mut branch_currents);
 
-        let volt_of =
-            |x: &[f64], n: NodeId| -> f64 { MnaLayout::var(n).map(|i| x[i]).unwrap_or(0.0) };
         for step in 1..=steps {
             let t = step as f64 * h;
-            rhs.fill(0.0);
-            for (ei, e) in nl.elements.iter().enumerate() {
-                match e {
-                    Element::Resistor { .. } => {}
-                    Element::Capacitor { p, n, farads, .. } => {
-                        let v_prev = volt_of(&x, *p) - volt_of(&x, *n);
-                        let i_prev = cap_current[ei];
-                        let ieq = if trap {
-                            kc * farads * v_prev + i_prev
-                        } else {
-                            kc * farads * v_prev
-                        };
-                        if let Some(ip) = MnaLayout::var(*p) {
-                            rhs[ip] += ieq;
-                        }
-                        if let Some(in_) = MnaLayout::var(*n) {
-                            rhs[in_] -= ieq;
-                        }
-                    }
-                    Element::Inductor { p, n, henries, .. } => {
-                        let row = layout.branch(ei);
-                        let i_prev = x[row];
-                        let mut r = -kl * henries * i_prev;
-                        if trap {
-                            r -= volt_of(&x, *p) - volt_of(&x, *n);
-                        }
-                        rhs[row] = r;
-                    }
-                    Element::VSource { wave, .. } => {
-                        rhs[layout.branch(ei)] = wave.eval(t);
-                    }
-                }
-            }
-            // Mutual history terms (inductor rows only).
-            for m in &nl.mutuals {
-                let ra = layout.branch(nl.inductors[m.a.0]);
-                let rb = layout.branch(nl.inductors[m.b.0]);
-                rhs[ra] -= kl * m.m * x[rb];
-                rhs[rb] -= kl * m.m * x[ra];
-            }
+            assemble_rhs(nl, &layout, &x, &cap_current, t, kc, kl, trap, &mut rhs);
             lu.solve_into(&rhs, &mut scratch, &mut x_new)?;
-            // Update capacitor companion currents.
-            for (ei, e) in nl.elements.iter().enumerate() {
-                if let Element::Capacitor { p, n, farads, .. } = e {
-                    let v_new = volt_of(&x_new, *p) - volt_of(&x_new, *n);
-                    let v_prev = volt_of(&x, *p) - volt_of(&x, *n);
-                    let i_prev = cap_current[ei];
-                    let i_new = if trap {
-                        kc * farads * (v_new - v_prev) - i_prev
-                    } else {
-                        kc * farads * (v_new - v_prev)
-                    };
-                    cap_current[ei] = i_new;
-                }
-            }
+            update_cap_currents(nl, &x_new, &x, kc, trap, &mut cap_current);
             std::mem::swap(&mut x, &mut x_new);
             time.push(t);
             record(&x, &mut volts, &mut branch_currents);
         }
 
+        Ok(self.finish(nl, &layout, time, volts, branch_currents, 0))
+    }
+
+    /// Adaptive integration: step-doubling LTE control with breakpoint
+    /// snapping. See the module docs for the scheme.
+    fn run_adaptive(&self, opts: &AdaptiveOptions) -> Result<TransientResult> {
+        opts.validate()?;
+        let nl = self.netlist;
+        let layout = MnaLayout::new(nl)?;
+        let (nv, dim) = (layout.nv, layout.dim);
+        obs::gauge_set("spice.mna.dim", dim as f64);
+        let sparse = self.engine.is_sparse(dim);
+        let trap_method = self.method == IntegrationMethod::Trapezoidal;
+        let duration = self.duration;
+        let h_init = self.timestep.min(duration);
+        let h_max = if opts.h_max > 0.0 {
+            opts.h_max.min(duration)
+        } else {
+            (duration / 50.0).max(h_init)
+        };
+        let h_min = if opts.h_min > 0.0 {
+            opts.h_min
+        } else {
+            (h_init * 1e-6).max(duration * 1e-15)
+        }
+        .min(h_init);
+
+        // Source breakpoints, sorted and deduplicated; the step loop snaps
+        // onto each so discontinuities land on sample points exactly.
+        let t_eps = duration * 1e-12;
+        let mut bps: Vec<f64> = Vec::new();
+        for e in &nl.elements {
+            if let Element::VSource { wave, .. } = e {
+                wave.breakpoints(duration, &mut bps);
+            }
+        }
+        bps.sort_by(f64::total_cmp);
+        bps.dedup_by(|a, b| (*a - *b).abs() <= t_eps);
+        obs::counter_add("spice.breakpoints", bps.len() as u64);
+
+        // Companion coefficient of a step of size `h` (kc = kl throughout).
+        let coeff = |h: f64, trap: bool| if trap { 2.0 / h } else { 1.0 / h };
+
+        // Two factor caches — the full step at `h` and its two half steps
+        // at `h/2`. Step-size changes re-stamp values in place and redo
+        // only the numeric factorization (symbolic analysis reused).
+        let (mut full, mut half) = {
+            let _s = obs::span("spice.mna.factor");
+            let k = coeff(h_init, trap_method);
+            let k2 = coeff(0.5 * h_init, trap_method);
+            (
+                VarFactor::new(nl, &layout, sparse, k, k)?,
+                VarFactor::new(nl, &layout, sparse, k2, k2)?,
+            )
+        };
+        if let Ok(cond) = full.factor().cond_est() {
+            obs::gauge_set("lu.cond_est", cond);
+        }
+
+        let x0 = self.dc_operating_point(&layout, sparse)?;
+
+        // Preallocate everything the attempt loop touches; the accepted-
+        // step hot loop must stay heap-free (tests/obs_overhead.rs). The
+        // recording vectors get a generous upfront capacity — adaptive
+        // runs take far fewer samples than `duration/h_init`, so growth
+        // inside the loop is the exception, not the rule.
+        let mut x = x0;
+        let mut x_full = vec![0.0; dim];
+        let mut x_mid = vec![0.0; dim];
+        let mut x_half = vec![0.0; dim];
+        let mut scratch = vec![0.0; dim];
+        let mut rhs = vec![0.0; dim];
+        let mut cap_current = vec![0.0; nl.elements.len()];
+        let mut cc_half = vec![0.0; nl.elements.len()];
+        let cap_guess = (2.0 * duration / h_init).ceil() as usize + 4 * bps.len() + 64;
+        let mut time = Vec::with_capacity(cap_guess);
+        let mut volts: Vec<Vec<f64>> = (0..nl.node_count())
+            .map(|_| Vec::with_capacity(cap_guess))
+            .collect();
+        let mut branch_currents: Vec<Vec<f64>> = (0..layout.branch_elems.len())
+            .map(|_| Vec::with_capacity(cap_guess))
+            .collect();
+        let record = |x: &[f64], volts: &mut Vec<Vec<f64>>, branch_currents: &mut Vec<Vec<f64>>| {
+            volts[0].push(0.0);
+            for node in 1..nl.node_count() {
+                volts[node].push(x[node - 1]);
+            }
+            for (bi, _) in layout.branch_elems.iter().enumerate() {
+                branch_currents[bi].push(x[nv + bi]);
+            }
+        };
+        time.push(0.0);
+        record(&x, &mut volts, &mut branch_currents);
+
+        let mut t = 0.0;
+        let mut h = h_init;
+        // One damped backward-Euler step at t = 0 and after each
+        // breakpoint keeps the trapezoidal rule from ringing on the
+        // discontinuity it just stepped across (TR-BDF2-style restart).
+        let mut restart = true;
+        let mut bp_idx = 0usize;
+        while bps.get(bp_idx).is_some_and(|&tb| tb <= t_eps) {
+            bp_idx += 1;
+        }
+        let mut accepted: u64 = 0;
+        let mut rejected: u64 = 0;
+        let mut attempts = 0usize;
+        let err_exp = |trap: bool| if trap { -1.0 / 3.0 } else { -1.0 / 2.0 };
+
+        while t < duration - t_eps {
+            let trap = trap_method && !restart;
+            let mut h_prop = h.min(duration - t);
+            if restart {
+                h_prop = h_prop.min(h_init);
+            }
+            // Attempt loop: exactly one accepted step per outer iteration.
+            let (h_eff, snapped, err, t_new) = loop {
+                attempts += 1;
+                if attempts > opts.max_steps {
+                    return Err(SpiceError::BadSimParams {
+                        what: format!(
+                            "adaptive stepping exceeded max_steps = {} at t = {t:.3e} s; \
+                             loosen reltol/abstol or raise max_steps",
+                            opts.max_steps
+                        ),
+                    });
+                }
+                let mut h_try = h_prop.max(h_min).min(duration - t);
+                let mut snap = false;
+                if let Some(&tb) = bps.get(bp_idx) {
+                    if tb - t <= h_try * (1.0 + 1e-9) {
+                        h_try = tb - t;
+                        snap = true;
+                    }
+                }
+                let t_new = if snap { bps[bp_idx] } else { t + h_try };
+                // When the step lands on a breakpoint, sources are
+                // evaluated just *before* it — the left limit — so a
+                // zero-width edge at the breakpoint cannot leak its
+                // post-edge value into the step that ends there.
+                let t_src = if snap { t_new * (1.0 - 1e-12) } else { t_new };
+
+                // Full step at h_try.
+                let k = coeff(h_try, trap);
+                full.ensure(nl, &layout, k, k)?;
+                assemble_rhs(nl, &layout, &x, &cap_current, t_src, k, k, trap, &mut rhs);
+                full.solve_into(&rhs, &mut scratch, &mut x_full)?;
+
+                // The same step as two half steps.
+                let h2 = 0.5 * h_try;
+                let k2 = coeff(h2, trap);
+                half.ensure(nl, &layout, k2, k2)?;
+                assemble_rhs(
+                    nl,
+                    &layout,
+                    &x,
+                    &cap_current,
+                    t + h2,
+                    k2,
+                    k2,
+                    trap,
+                    &mut rhs,
+                );
+                half.solve_into(&rhs, &mut scratch, &mut x_mid)?;
+                cc_half.copy_from_slice(&cap_current);
+                update_cap_currents(nl, &x_mid, &x, k2, trap, &mut cc_half);
+                assemble_rhs(nl, &layout, &x_mid, &cc_half, t_src, k2, k2, trap, &mut rhs);
+                half.solve_into(&rhs, &mut scratch, &mut x_half)?;
+
+                // Step-doubling LTE: for a method of order p the half-step
+                // solution's error is ≈ (x_half − x_full)/(2^p − 1).
+                let denom = if trap { 3.0 } else { 1.0 };
+                let mut err = 0.0_f64;
+                for i in 0..dim {
+                    let scale = opts.abstol + opts.reltol * x_half[i].abs().max(x[i].abs());
+                    err = err.max((x_half[i] - x_full[i]).abs() / (denom * scale));
+                }
+
+                if err <= 1.0 || h_try <= h_min * (1.0 + 1e-9) {
+                    // Accept the (more accurate) half-step solution.
+                    update_cap_currents(nl, &x_half, &x_mid, k2, trap, &mut cc_half);
+                    break (h_try, snap, err, t_new);
+                }
+                rejected += 1;
+                let shrink = if err.is_finite() && err > 0.0 {
+                    (0.9 * err.powf(err_exp(trap))).clamp(0.1, 0.5)
+                } else {
+                    0.1
+                };
+                h_prop = h_try * shrink;
+            };
+
+            // Commit.
+            std::mem::swap(&mut x, &mut x_half);
+            cap_current.copy_from_slice(&cc_half);
+            t = if duration - t_new <= t_eps {
+                duration
+            } else {
+                t_new
+            };
+            accepted += 1;
+            time.push(t);
+            record(&x, &mut volts, &mut branch_currents);
+
+            // Step-size controller for the next step.
+            let grow = if err > 0.0 && err.is_finite() {
+                (0.9 * err.powf(err_exp(trap))).clamp(0.2, 2.0)
+            } else {
+                2.0
+            };
+            h = (h_eff * grow).clamp(h_min, h_max);
+            restart = false;
+            if snapped {
+                bp_idx += 1;
+                while bps.get(bp_idx).is_some_and(|&tb| tb <= t + t_eps) {
+                    bp_idx += 1;
+                }
+                // Restart across the discontinuity at edge resolution.
+                restart = true;
+                h = h.min(h_init);
+            }
+        }
+        obs::counter_add("spice.steps", accepted);
+        obs::counter_add("spice.steps.rejected", rejected);
+
+        Ok(self.finish(nl, &layout, time, volts, branch_currents, rejected as usize))
+    }
+
+    /// Packs recorded samples into a [`TransientResult`].
+    fn finish(
+        &self,
+        nl: &Netlist,
+        layout: &MnaLayout,
+        time: Vec<f64>,
+        volts: Vec<Vec<f64>>,
+        branch_currents: Vec<Vec<f64>>,
+        rejected_steps: usize,
+    ) -> TransientResult {
         let node_names: Vec<String> = (0..nl.node_count())
             .map(|i| nl.node_name(NodeId(i)).to_string())
             .collect();
@@ -242,17 +632,19 @@ impl<'a> Transient<'a> {
                 _ => unreachable!("branch table holds only inductors and sources"),
             })
             .collect();
-        Ok(TransientResult {
+        TransientResult {
             time,
             node_names,
             volts,
             branch_names,
             branch_currents,
-        })
+            rejected_steps,
+        }
     }
 
     /// DC operating point: inductors shorted, capacitors open, sources at
-    /// `t = 0`, solved through the same engine as the main analysis.
+    /// `t = 0`, solved through the same engine as the main analysis and
+    /// polished with iterative refinement.
     ///
     /// A 1 pS gmin conductance from every node to ground keeps nodes
     /// isolated by capacitors (open at DC) well-defined without noticeable
@@ -269,7 +661,9 @@ impl<'a> Transient<'a> {
                 rhs[layout.branch(ei)] = wave.eval(0.0);
             }
         }
-        lu.solve(&rhs)
+        // The gmin/ε regularization skews conditioning; one round of
+        // refinement recovers the digits it costs.
+        lu.solve_refined(&rhs, 2)
     }
 }
 
@@ -281,12 +675,27 @@ pub struct TransientResult {
     volts: Vec<Vec<f64>>,
     branch_names: Vec<String>,
     branch_currents: Vec<Vec<f64>>,
+    rejected_steps: usize,
 }
 
 impl TransientResult {
-    /// The time axis (seconds), uniformly spaced.
+    /// The time axis (seconds): strictly increasing, uniformly spaced
+    /// under [`Stepping::Fixed`], breakpoint-aligned and variable under
+    /// [`Stepping::Adaptive`].
     pub fn time(&self) -> &[f64] {
         &self.time
+    }
+
+    /// Number of accepted integration steps (the `t = 0` sample is not a
+    /// step).
+    pub fn steps_accepted(&self) -> usize {
+        self.time.len().saturating_sub(1)
+    }
+
+    /// Number of step attempts rejected by the LTE controller; always
+    /// zero under [`Stepping::Fixed`].
+    pub fn steps_rejected(&self) -> usize {
+        self.rejected_steps
     }
 
     /// Voltage samples of a node by name.
@@ -320,6 +729,7 @@ impl TransientResult {
     }
 
     /// Linear interpolation of a node voltage at an arbitrary time.
+    /// Works on both uniform and adaptive (non-uniform) time axes.
     ///
     /// # Errors
     ///
@@ -333,9 +743,12 @@ impl TransientResult {
         if t >= last {
             return Ok(*v.last().expect("non-empty samples"));
         }
-        let h = self.time[1] - self.time[0];
-        let idx = ((t - self.time[0]) / h).floor() as usize;
-        let frac = (t - self.time[idx]) / h;
+        let idx = match self.time.binary_search_by(|probe| probe.total_cmp(&t)) {
+            Ok(i) => return Ok(v[i]),
+            Err(i) => i - 1,
+        };
+        let (t0, t1) = (self.time[idx], self.time[idx + 1]);
+        let frac = (t - t0) / (t1 - t0);
         Ok(v[idx] * (1.0 - frac) + v[idx + 1] * frac)
     }
 
@@ -353,23 +766,17 @@ mod tests {
 
     #[test]
     fn rc_step_response_matches_analytic() {
+        // An ideal step at t = 0: the DC operating point sees the source
+        // at 0 V, then the transient charges the capacitor.
+        let (r, c) = (1e3, 1e-12);
         let mut nl = Netlist::new();
         let inp = nl.node("in");
         let out = nl.node("out");
-        let (r, c) = (1e3, 1e-12);
-        nl.vsource("V", inp, GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.vsource("V", inp, GROUND, Waveform::step(1.0, 0.0))
+            .unwrap();
         nl.resistor("R", inp, out, r).unwrap();
         nl.capacitor("C", out, GROUND, c).unwrap();
-        // DC OP puts the cap at 1 V already; to see a transient, ramp the
-        // source instead.
-        let mut nl2 = Netlist::new();
-        let inp = nl2.node("in");
-        let out = nl2.node("out");
-        nl2.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 1e-15))
-            .unwrap();
-        nl2.resistor("R", inp, out, r).unwrap();
-        nl2.capacitor("C", out, GROUND, c).unwrap();
-        let res = Transient::new(&nl2)
+        let res = Transient::new(&nl)
             .timestep(5e-13)
             .duration(6e-9)
             .run()
@@ -380,6 +787,7 @@ mod tests {
             let expect = 1.0 - (-t / tau).exp();
             assert!((v - expect).abs() < 5e-3, "t = {t}: {v} vs {expect}");
         }
+        assert_eq!(res.steps_rejected(), 0, "fixed stepping never rejects");
     }
 
     #[test]
@@ -534,6 +942,178 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_rejects_bad_options() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.vsource("V", a, GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.resistor("R", a, GROUND, 1.0).unwrap();
+        let run =
+            |opts: AdaptiveOptions| Transient::new(&nl).stepping(Stepping::Adaptive(opts)).run();
+        assert!(run(AdaptiveOptions {
+            reltol: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(run(AdaptiveOptions {
+            abstol: -1.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(run(AdaptiveOptions {
+            h_min: 1e-9,
+            h_max: 1e-12,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(run(AdaptiveOptions {
+            max_steps: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(run(AdaptiveOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_on_rc_with_fewer_steps() {
+        let (r, c) = (1e3, 1e-12);
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource("V", inp, GROUND, Waveform::step(1.0, 0.0))
+            .unwrap();
+        nl.resistor("R", inp, out, r).unwrap();
+        nl.capacitor("C", out, GROUND, c).unwrap();
+        let fixed = Transient::new(&nl)
+            .timestep(1e-12)
+            .duration(6e-9)
+            .run()
+            .unwrap();
+        let adaptive = Transient::new(&nl)
+            .timestep(1e-12)
+            .duration(6e-9)
+            .stepping(Stepping::Adaptive(AdaptiveOptions::default()))
+            .run()
+            .unwrap();
+        for &t in &[0.3e-9, 1e-9, 2.5e-9, 5e-9] {
+            let vf = fixed.voltage_at("out", t).unwrap();
+            let va = adaptive.voltage_at("out", t).unwrap();
+            assert!(
+                (vf - va).abs() < 2e-3,
+                "t = {t}: fixed {vf} vs adaptive {va}"
+            );
+        }
+        assert!(
+            adaptive.steps_accepted() * 3 < fixed.steps_accepted(),
+            "adaptive {} vs fixed {} steps",
+            adaptive.steps_accepted(),
+            fixed.steps_accepted()
+        );
+    }
+
+    #[test]
+    fn adaptive_snaps_to_pulse_breakpoints() {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.vsource(
+            "V",
+            inp,
+            GROUND,
+            Waveform::pulse(0.0, 1.0, 0.5e-9, 0.1e-9, 0.1e-9, 1.0e-9, 0.0),
+        )
+        .unwrap();
+        nl.resistor("R", inp, out, 100.0).unwrap();
+        nl.capacitor("C", out, GROUND, 1e-13).unwrap();
+        let res = Transient::new(&nl)
+            .timestep(1e-12)
+            .duration(3e-9)
+            .stepping(Stepping::Adaptive(AdaptiveOptions::default()))
+            .run()
+            .unwrap();
+        let time = res.time();
+        for corner in [0.5e-9, 0.6e-9, 1.6e-9, 1.7e-9] {
+            assert!(
+                time.iter().any(|&t| (t - corner).abs() < 1e-18),
+                "time axis misses pulse corner {corner}"
+            );
+        }
+        // The time axis must be strictly increasing.
+        for w in time.windows(2) {
+            assert!(w[1] > w[0], "non-monotone axis: {} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn adaptive_tracks_rlc_ringing() {
+        // The hard case for step control: an underdamped resonance. The
+        // adaptive axis must track every swing, matched here against a
+        // heavily oversampled fixed reference.
+        let (r, l, c) = (1.0, 1e-9, 1e-12);
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let a = nl.node("a");
+        let out = nl.node("out");
+        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 10e-12))
+            .unwrap();
+        nl.resistor("R", inp, a, r).unwrap();
+        nl.inductor("L", a, out, l).unwrap();
+        nl.capacitor("C", out, GROUND, c).unwrap();
+        let reference = Transient::new(&nl)
+            .timestep(2e-14)
+            .duration(2e-9)
+            .run()
+            .unwrap();
+        let adaptive = Transient::new(&nl)
+            .timestep(2e-13)
+            .duration(2e-9)
+            .stepping(Stepping::Adaptive(AdaptiveOptions {
+                reltol: 1e-5,
+                ..Default::default()
+            }))
+            .run()
+            .unwrap();
+        let mut worst = 0.0_f64;
+        for i in 1..=100 {
+            let t = i as f64 * 2e-11;
+            let vr = reference.voltage_at("out", t).unwrap();
+            let va = adaptive.voltage_at("out", t).unwrap();
+            worst = worst.max((vr - va).abs());
+        }
+        assert!(worst < 5e-3, "worst-case deviation {worst} V");
+        assert!(
+            adaptive.steps_accepted() < reference.steps_accepted() / 10,
+            "adaptive {} vs reference {}",
+            adaptive.steps_accepted(),
+            reference.steps_accepted()
+        );
+    }
+
+    #[test]
+    fn floating_node_is_diagnosed() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.node("orphan"); // interned, never connected
+        nl.vsource("V", a, GROUND, Waveform::Dc(1.0)).unwrap();
+        nl.resistor("R", a, GROUND, 1.0).unwrap();
+        for stepping in [
+            Stepping::Fixed,
+            Stepping::Adaptive(AdaptiveOptions::default()),
+        ] {
+            let err = Transient::new(&nl)
+                .stepping(stepping)
+                .run()
+                .expect_err("floating node must not factor");
+            match err {
+                SpiceError::SingularMna { unknown, reason } => {
+                    assert!(unknown.contains("orphan"), "{unknown}");
+                    assert!(reason.contains("floating"), "{reason}");
+                }
+                other => panic!("expected SingularMna, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn voltage_lookup_errors() {
         let mut nl = Netlist::new();
         let a = nl.node("a");
@@ -576,7 +1156,8 @@ mod tests {
         // off-diagonal branch rows, the part of the pattern most likely to
         // diverge between the dense and sparse assemblies. Both engines
         // must produce the same trajectories to solver precision under
-        // both integration methods.
+        // both integration methods — and under adaptive stepping, where
+        // the sparse path exercises the numeric-only refactorization.
         let mut nl = Netlist::new();
         let inp = nl.node("in");
         let mid = nl.node("mid");
@@ -630,6 +1211,47 @@ mod tests {
                 .iter()
                 .fold(0.0f64, |m, v| m.max(v.abs()));
             assert!(peak > 1e-3, "{method:?}: no coupling observed ({peak})");
+        }
+    }
+
+    #[test]
+    fn adaptive_agrees_across_engines() {
+        // Same transformer network, adaptive axis: roundoff differences
+        // between the backends can shift individual accept/reject calls,
+        // so compare interpolated waveforms, not raw samples. This is the
+        // path that exercises the sparse numeric-only refactorization
+        // across step-size changes.
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let mid = nl.node("mid");
+        let sec = nl.node("sec");
+        let out = nl.node("out");
+        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 50e-12))
+            .unwrap();
+        nl.resistor("Rs", inp, mid, 20.0).unwrap();
+        let lp = nl.inductor("Lp", mid, GROUND, 2e-9).unwrap();
+        let ls = nl.inductor("Ls", sec, GROUND, 2e-9).unwrap();
+        nl.mutual("K", lp, ls, 1.2e-9).unwrap();
+        nl.resistor("Rl", sec, out, 50.0).unwrap();
+        nl.capacitor("Cl", out, GROUND, 0.5e-12).unwrap();
+        let run = |engine: SolverEngine| {
+            Transient::new(&nl)
+                .engine(engine)
+                .stepping(Stepping::Adaptive(AdaptiveOptions::default()))
+                .timestep(1e-12)
+                .duration(2e-9)
+                .run()
+                .unwrap()
+        };
+        let dense = run(SolverEngine::Dense);
+        let sparse = run(SolverEngine::Sparse);
+        for node in ["mid", "sec", "out"] {
+            for i in 1..=50 {
+                let t = i as f64 * 4e-11;
+                let d = dense.voltage_at(node, t).unwrap();
+                let s = sparse.voltage_at(node, t).unwrap();
+                assert!((d - s).abs() < 1e-3, "{node} at {t}: {d} vs {s}");
+            }
         }
     }
 }

@@ -42,11 +42,18 @@ pub enum Waveform {
 impl Waveform {
     /// A single rising step from 0 to `v` with rise time `rise` (a ramp when
     /// `rise > 0`, ideal step when `rise == 0`).
+    ///
+    /// The ideal step is low *at* `t = 0` — the operating point sees the
+    /// pre-edge value and the transient launches the edge — and high for
+    /// every `t > 0`. (It used to return `Dc(v)`, which is high for all
+    /// time, so the launched edge never existed.)
     pub fn step(v: f64, rise: f64) -> Waveform {
         if rise > 0.0 {
             Waveform::Pwl(vec![(0.0, 0.0), (rise, v)])
         } else {
-            Waveform::Dc(v)
+            // A duplicate-time PWL knot is the ideal-step representation:
+            // eval(0) = 0 (left value), eval(t > 0) = v.
+            Waveform::Pwl(vec![(0.0, 0.0), (0.0, v)])
         }
     }
 
@@ -94,8 +101,15 @@ impl Waveform {
                 }
                 let cycle = rise + width + fall;
                 let mut tau = t - delay;
-                if *period > cycle {
-                    tau %= period;
+                // SPICE semantics: a positive period shorter than one full
+                // cycle is clamped to the cycle, so the pulse train repeats
+                // back-to-back instead of silently degrading to one pulse.
+                // `period == 0` still means single-shot.
+                if *period > 0.0 {
+                    let effective = period.max(cycle);
+                    if effective > 0.0 {
+                        tau %= effective;
+                    }
                 }
                 if tau < *rise {
                     if *rise == 0.0 {
@@ -148,6 +162,113 @@ impl Waveform {
                 .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, v)| {
                     (lo.min(v), hi.max(v))
                 }),
+        }
+    }
+
+    /// Appends the waveform's derivative discontinuities ("breakpoints")
+    /// in `(0, t_end)` to `out`: pulse edge corners including periodic
+    /// repeats, and PWL knots. An adaptive transient engine snaps its
+    /// steps to these so no source corner is ever straddled by a step.
+    ///
+    /// Times are appended unsorted and may repeat (e.g. a zero-rise edge
+    /// contributes coincident corners); callers sort and deduplicate.
+    pub fn breakpoints(&self, t_end: f64, out: &mut Vec<f64>) {
+        let mut push = |t: f64| {
+            if t > 0.0 && t < t_end {
+                out.push(t);
+            }
+        };
+        match self {
+            Waveform::Dc(_) => {}
+            Waveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                let cycle = rise + width + fall;
+                let effective = if *period > 0.0 {
+                    period.max(cycle)
+                } else {
+                    0.0
+                };
+                let mut base = *delay;
+                loop {
+                    push(base);
+                    push(base + rise);
+                    push(base + rise + width);
+                    push(base + cycle);
+                    if effective <= 0.0 {
+                        break;
+                    }
+                    base += effective;
+                    if base >= t_end {
+                        break;
+                    }
+                }
+            }
+            Waveform::Pwl(points) => {
+                for &(t, _) in points {
+                    push(t);
+                }
+            }
+        }
+    }
+
+    /// Validates the waveform parameters, returning a description of the
+    /// first problem found. Called by the netlist at source-build time so
+    /// malformed sources fail loudly instead of simulating garbage.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        let finite = |x: f64, what: &str| -> std::result::Result<(), String> {
+            if x.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{what} must be finite, got {x}"))
+            }
+        };
+        match self {
+            Waveform::Dc(v) => finite(*v, "DC value"),
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                finite(*v0, "pulse v0")?;
+                finite(*v1, "pulse v1")?;
+                for (x, what) in [
+                    (*delay, "pulse delay"),
+                    (*rise, "pulse rise time"),
+                    (*fall, "pulse fall time"),
+                    (*width, "pulse width"),
+                    (*period, "pulse period"),
+                ] {
+                    finite(x, what)?;
+                    if x < 0.0 {
+                        return Err(format!("{what} must be non-negative, got {x}"));
+                    }
+                }
+                Ok(())
+            }
+            Waveform::Pwl(points) => {
+                let mut prev = f64::NEG_INFINITY;
+                for &(t, v) in points {
+                    finite(t, "PWL time")?;
+                    finite(v, "PWL value")?;
+                    if t < prev {
+                        return Err(format!(
+                            "PWL times must be non-decreasing, got {t} after {prev}"
+                        ));
+                    }
+                    prev = t;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -207,10 +328,94 @@ mod tests {
 
     #[test]
     fn step_and_ramp_constructors() {
-        assert_eq!(Waveform::step(1.0, 0.0), Waveform::Dc(1.0));
         let r = Waveform::ramp(0.0, 2.0, 1e-9, 2e-9);
         assert_eq!(r.eval(0.0), 0.0);
         assert!((r.eval(2e-9) - 1.0).abs() < 1e-12);
         assert_eq!(r.eval(5e-9), 2.0);
+    }
+
+    #[test]
+    fn ideal_step_is_low_at_t0() {
+        // Regression: step(v, 0) used to return Dc(v), so the operating
+        // point already sat at v and the launched edge never existed.
+        let w = Waveform::step(1.8, 0.0);
+        assert_eq!(w.eval(0.0), 0.0, "operating point sees the pre-edge value");
+        assert_eq!(w.eval(1e-18), 1.8, "any positive time is post-edge");
+        assert_eq!(w.eval(1.0), 1.8);
+        assert_eq!(w.levels(), (0.0, 1.8));
+    }
+
+    #[test]
+    fn short_period_clamps_to_one_cycle() {
+        // Regression: 0 < period <= rise+width+fall used to silently
+        // degrade to a single pulse; SPICE clamps the period to one full
+        // cycle so the train repeats back-to-back.
+        let w = Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1e-9, 0.5e-9);
+        // cycle = 3 ns; second cycle's mid-rise sits at 3.5 ns.
+        assert!((w.eval(3.5e-9) - 0.5).abs() < 1e-12, "train must repeat");
+        assert_eq!(w.eval(4.5e-9), 1.0); // second plateau
+                                         // period == cycle behaves identically.
+        let w2 = Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1e-9, 3e-9);
+        assert!((w2.eval(3.5e-9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pulse_breakpoints_cover_periodic_corners() {
+        let w = Waveform::pulse(0.0, 1.0, 1e-9, 1e-9, 1e-9, 2e-9, 10e-9);
+        let mut bps = Vec::new();
+        w.breakpoints(25e-9, &mut bps);
+        bps.sort_by(f64::total_cmp);
+        bps.dedup();
+        // Corners per cycle: delay, +rise, +rise+width, +cycle.
+        for expect in [
+            1e-9, 2e-9, 4e-9, 5e-9, 11e-9, 12e-9, 14e-9, 15e-9, 21e-9, 22e-9, 24e-9,
+        ] {
+            assert!(
+                bps.iter().any(|&t| (t - expect).abs() < 1e-21),
+                "missing corner {expect}: {bps:?}"
+            );
+        }
+        assert!(bps.iter().all(|&t| t > 0.0 && t < 25e-9));
+    }
+
+    #[test]
+    fn pwl_and_step_breakpoints() {
+        let mut bps = Vec::new();
+        Waveform::step(1.0, 0.0).breakpoints(1e-9, &mut bps);
+        // The t = 0 edge is the simulation start, not an interior corner.
+        assert!(bps.is_empty(), "{bps:?}");
+        bps.clear();
+        Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 1.0), (3e-9, 0.5)]).breakpoints(2e-9, &mut bps);
+        assert_eq!(bps, vec![1e-9]);
+        bps.clear();
+        Waveform::Dc(5.0).breakpoints(1.0, &mut bps);
+        assert!(bps.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_sources() {
+        assert!(Waveform::pulse(0.0, 1.0, 0.0, -1e-12, 0.0, 1e-9, 0.0)
+            .validate()
+            .is_err());
+        assert!(Waveform::pulse(0.0, 1.0, 0.0, 1e-12, -1.0, 1e-9, 0.0)
+            .validate()
+            .is_err());
+        assert!(Waveform::pulse(0.0, 1.0, 0.0, 0.0, 0.0, -1e-9, 0.0)
+            .validate()
+            .is_err());
+        assert!(Waveform::pulse(0.0, f64::NAN, 0.0, 0.0, 0.0, 1e-9, 0.0)
+            .validate()
+            .is_err());
+        assert!(Waveform::Pwl(vec![(1e-9, 0.0), (0.5e-9, 1.0)])
+            .validate()
+            .is_err());
+        // Equal PWL times are the ideal-step representation: allowed.
+        assert!(Waveform::Pwl(vec![(0.0, 0.0), (0.0, 1.0)])
+            .validate()
+            .is_ok());
+        assert!(Waveform::pulse(0.0, 1.0, 1e-9, 1e-12, 1e-12, 1e-9, 0.0)
+            .validate()
+            .is_ok());
+        assert!(Waveform::Dc(f64::INFINITY).validate().is_err());
     }
 }

@@ -121,6 +121,63 @@ fn transient_step_loop_does_not_allocate() {
     }
 }
 
+/// The adaptive engine's accepted-step hot loop (attempt, LTE estimate,
+/// restamp + numeric-only refactorization on step-size changes) must be
+/// heap-free too. Same invariance argument as above: a 4× longer window
+/// takes ~4× the accepted steps, so any per-step allocation would make
+/// the counts diverge.
+#[test]
+fn adaptive_step_loop_does_not_allocate() {
+    use rlcx::spice::{
+        AdaptiveOptions, Netlist, SolverEngine, Stepping, Transient, Waveform, GROUND,
+    };
+
+    let _guard = level_lock();
+    obs::set_trace_level(TraceLevel::Off);
+
+    fn ladder(sections: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 20e-12))
+            .unwrap();
+        let mut prev = inp;
+        for i in 0..sections {
+            let mid = nl.node(format!("m{i}"));
+            let out = nl.node(format!("n{i}"));
+            nl.resistor(&format!("R{i}"), prev, mid, 10.0).unwrap();
+            nl.inductor(&format!("L{i}"), mid, out, 0.5e-9).unwrap();
+            nl.capacitor(&format!("C{i}"), out, GROUND, 20e-15).unwrap();
+            prev = out;
+        }
+        nl
+    }
+
+    fn allocs_for_run(engine: SolverEngine, window_ps: usize) -> u64 {
+        let nl = ladder(30);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let res = Transient::new(&nl)
+            .engine(engine)
+            .timestep(1e-12)
+            .duration(window_ps as f64 * 1e-12)
+            .stepping(Stepping::Adaptive(AdaptiveOptions::default()))
+            .run()
+            .unwrap();
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert!(res.steps_accepted() > 0);
+        after - before
+    }
+
+    for engine in [SolverEngine::Dense, SolverEngine::Sparse] {
+        let _ = allocs_for_run(engine, 16); // warm lazy metric state
+        let short = allocs_for_run(engine, 200);
+        let long = allocs_for_run(engine, 800);
+        assert_eq!(
+            short, long,
+            "{engine:?}: adaptive allocation count must not grow with step count"
+        );
+    }
+}
+
 /// Enabling tracing does allocate (records are stored) — a sanity check
 /// that the counter itself works, so the zero above is meaningful.
 #[test]
