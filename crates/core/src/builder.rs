@@ -16,9 +16,9 @@ use crate::table::{InductanceTables, LoopLTable, MutualLTable, SelfLTable};
 use crate::Result;
 use rlcx_geom::{Axis, Bar, Block, Point3, ShieldConfig, Stackup};
 use rlcx_numeric::obs;
-use rlcx_numeric::parallel::par_map_timed;
+use rlcx_numeric::parallel::{balanced_index, par_map_timed};
 use rlcx_numeric::Timings;
-use rlcx_peec::{BlockExtractor, Conductor, MeshSpec, PartialSystem};
+use rlcx_peec::{BlockExtractor, Conductor, MeshSpec, PartialSystem, SolverBackend};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -40,6 +40,7 @@ pub struct TableBuilder {
     ground_width_ratio: f64,
     loop_spacing: f64,
     plane_strips: usize,
+    backend: SolverBackend,
 }
 
 impl TableBuilder {
@@ -65,6 +66,7 @@ impl TableBuilder {
             ground_width_ratio: 1.0,
             loop_spacing: 1.0,
             plane_strips: 10,
+            backend: SolverBackend::Auto,
         })
     }
 
@@ -132,6 +134,16 @@ impl TableBuilder {
         self
     }
 
+    /// Selects the filament-level solver backend every characterization
+    /// solve runs on. The default [`SolverBackend::Auto`] picks dense below
+    /// the matrix-free cutover, so characterization results are unchanged
+    /// unless a table is built with meshes large enough to benefit.
+    #[must_use]
+    pub fn backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Runs the characterization and assembles the tables.
     ///
     /// Every grid point is an independent PEEC solve, so the three sweeps
@@ -189,7 +201,7 @@ impl TableBuilder {
                 let (w, len) = (self.widths[p / nl], self.lengths[p % nl]);
                 let bar = Bar::new(Point3::new(0.0, 0.0, z), Axis::X, len, w, t)?;
                 let sys: PartialSystem = [Conductor::new(bar, rho)?].into_iter().collect();
-                let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
+                let (_, l) = sys.rl_at_backend(self.frequency, self.mesh, self.backend)?;
                 Ok(l[(0, 0)])
             })
         });
@@ -216,8 +228,13 @@ impl TableBuilder {
             (0..nw).flat_map(|i| (i..nw).map(move |j| (i, j))).collect();
         let n_points = pairs.len() * ns * nl;
         obs::counter_add("table.points.mutual", n_points as u64);
-        let (points, cpu) = par_map_timed(n_points, |p, tm| -> Result<f64> {
+        // Solve cost grows superlinearly with the length axis, and the flat
+        // point list keeps all long-trace points adjacent — interleave work
+        // items through `balanced_index` so every worker draws a mix of
+        // cheap and expensive solves, then scatter back into grid order.
+        let (interleaved, cpu) = par_map_timed(n_points, |k, tm| -> Result<(usize, f64)> {
             tm.time("mutual-solve-cpu", || {
+                let p = balanced_index(k, n_points);
                 let (i, j) = pairs[p / (ns * nl)];
                 let s = self.spacings[p / nl % ns];
                 let len = self.lengths[p % nl];
@@ -232,16 +249,21 @@ impl TableBuilder {
                 let sys: PartialSystem = [Conductor::new(a, rho)?, Conductor::new(b, rho)?]
                     .into_iter()
                     .collect();
-                let (_, l) = sys.rl_at(self.frequency, self.mesh)?;
-                Ok(l[(0, 1)])
+                let (_, l) = sys.rl_at_backend(self.frequency, self.mesh, self.backend)?;
+                Ok((p, l[(0, 1)]))
             })
         });
+        let mut points = vec![0.0f64; n_points];
+        for item in interleaved {
+            let (p, v) = item?;
+            points[p] = v;
+        }
         let mut mutual_grid = vec![vec![Vec::<Vec<f64>>::new(); nw]; nw];
         let mut it = points.into_iter();
         for &(i, j) in &pairs {
             let mut per_spacing = Vec::with_capacity(ns);
             for _ in 0..ns {
-                per_spacing.push(it.by_ref().take(nl).collect::<Result<Vec<f64>>>()?);
+                per_spacing.push(it.by_ref().take(nl).collect::<Vec<f64>>());
             }
             mutual_grid[i][j] = per_spacing.clone();
             mutual_grid[j][i] = per_spacing;
@@ -263,7 +285,8 @@ impl TableBuilder {
         let extractor = BlockExtractor::new(self.stackup.clone(), self.layer_index)?
             .frequency(self.frequency)
             .mesh(self.mesh)
-            .plane_strips(self.plane_strips);
+            .plane_strips(self.plane_strips)
+            .backend(self.backend);
         let nl = self.lengths.len();
         let mut loop_tables = Vec::with_capacity(self.shields.len());
         let mut cpu = Timings::new();
@@ -352,6 +375,7 @@ impl TableBuilder {
         );
         let _ = writeln!(desc, "loop_spacing {:016x}", self.loop_spacing.to_bits());
         let _ = writeln!(desc, "plane_strips {}", self.plane_strips);
+        let _ = writeln!(desc, "backend {}", self.backend.name());
         format!("{:016x}", crate::cache::fnv1a64(desc.as_bytes()))
     }
 

@@ -37,6 +37,14 @@ pub enum NumericError {
         /// Description of the violated precondition.
         what: String,
     },
+    /// An iterative method exhausted its iteration budget without reaching
+    /// the requested tolerance.
+    DidNotConverge {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the final iterate.
+        residual: f64,
+    },
 }
 
 impl fmt::Display for NumericError {
@@ -62,6 +70,15 @@ impl fmt::Display for NumericError {
             }
             NumericError::InvalidArgument { what } => {
                 write!(f, "invalid argument: {what}")
+            }
+            NumericError::DidNotConverge {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "iteration did not converge after {iterations} iterations (residual {residual:.3e})"
+                )
             }
         }
     }
@@ -89,6 +106,10 @@ mod tests {
             NumericError::NotMonotonic { index: 4 },
             NumericError::InvalidArgument {
                 what: "negative length".into(),
+            },
+            NumericError::DidNotConverge {
+                iterations: 100,
+                residual: 1e-3,
             },
         ];
         for e in errors {

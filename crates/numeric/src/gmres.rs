@@ -1,0 +1,535 @@
+//! Restarted GMRES over real and complex scalars.
+//!
+//! The fast PEEC path applies the filament impedance matrix matrix-free
+//! (near-field blocks exact, far field compressed), so it needs a Krylov
+//! solver that only sees `y = A·x` products. This module provides
+//! GMRES(m) in the textbook Saad–Schultz formulation:
+//!
+//! * Arnoldi with **modified Gram–Schmidt** builds the Krylov basis,
+//! * **Givens rotations** keep the Hessenberg least-squares problem in
+//!   triangular form so the residual norm is available every iteration
+//!   without a solve,
+//! * the iteration restarts every `restart` steps to bound memory.
+//!
+//! Everything is generic over [`GmresScalar`], implemented for `f64` and
+//! [`Complex`], because the PEEC operator is complex (`Z = R + jωL`) while
+//! unit tests and future real systems want the same code over `f64`.
+//!
+//! Preconditioning is left to the caller: wrap the operator so that
+//! `apply` computes `A·M⁻¹·x` (right preconditioning) and un-precondition
+//! the returned iterate. Right preconditioning keeps the residual GMRES
+//! minimizes equal to the *true* residual, so tolerances keep their
+//! meaning.
+//!
+//! Total iteration counts are published to the metrics registry as
+//! `gmres.iters` (a histogram observation per solve).
+
+use crate::complex::Complex;
+use crate::error::NumericError;
+use crate::matrix::{CMatrix, Matrix};
+use crate::obs;
+use crate::Result;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Scalar field GMRES can run over: `f64` or [`Complex`].
+///
+/// The only non-ring operations GMRES needs are conjugation (for the
+/// complex inner product), the absolute value (for norms and pivots) and
+/// scaling by a real.
+pub trait GmresScalar:
+    Copy
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Complex conjugate (identity for reals).
+    fn conj(self) -> Self;
+    /// Modulus `|x|`.
+    fn abs(self) -> f64;
+    /// Multiplication by a real scalar.
+    fn scale(self, k: f64) -> Self;
+    /// Embeds a real into the field.
+    fn from_real(x: f64) -> Self;
+}
+
+impl GmresScalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    fn conj(self) -> Self {
+        self
+    }
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+    fn scale(self, k: f64) -> Self {
+        self * k
+    }
+    fn from_real(x: f64) -> Self {
+        x
+    }
+}
+
+impl GmresScalar for Complex {
+    const ZERO: Self = Complex::ZERO;
+    const ONE: Self = Complex::ONE;
+    fn conj(self) -> Self {
+        Complex::conj(self)
+    }
+    fn abs(self) -> f64 {
+        Complex::abs(self)
+    }
+    fn scale(self, k: f64) -> Self {
+        Complex::scale(self, k)
+    }
+    fn from_real(x: f64) -> Self {
+        Complex::from_real(x)
+    }
+}
+
+/// A square linear operator applied matrix-free.
+///
+/// Implementations must compute `y = A·x` for `x.len() == y.len() ==
+/// self.dim()`. Dense [`Matrix`] / [`CMatrix`] implement it directly so
+/// tests and small systems can use the same entry points.
+pub trait LinearOperator<T> {
+    /// Operator dimension `n` (the operator is `n × n`).
+    fn dim(&self) -> usize;
+    /// Computes `y = A·x`. `y` is overwritten, not accumulated into.
+    fn apply(&self, x: &[T], y: &mut [T]);
+}
+
+impl LinearOperator<f64> for Matrix {
+    fn dim(&self) -> usize {
+        self.rows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.rows();
+        for (i, yi) in y.iter_mut().enumerate().take(n) {
+            let row = self.row(i);
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+}
+
+impl LinearOperator<Complex> for CMatrix {
+    fn dim(&self) -> usize {
+        self.rows()
+    }
+    fn apply(&self, x: &[Complex], y: &mut [Complex]) {
+        let n = self.rows();
+        for (i, yi) in y.iter_mut().enumerate().take(n) {
+            let mut acc = Complex::ZERO;
+            for (j, xj) in x.iter().enumerate().take(n) {
+                acc += self[(i, j)] * *xj;
+            }
+            *yi = acc;
+        }
+    }
+}
+
+/// Tuning knobs for [`gmres`].
+#[derive(Debug, Clone, Copy)]
+pub struct GmresOptions {
+    /// Krylov basis size before a restart (GMRES(m)).
+    pub restart: usize,
+    /// Total iteration budget across all restart cycles.
+    pub max_iterations: usize,
+    /// Convergence target relative to `‖b‖`.
+    pub rel_tol: f64,
+    /// Absolute floor for the convergence target (useful when `b` is tiny).
+    pub abs_tol: f64,
+}
+
+impl Default for GmresOptions {
+    fn default() -> Self {
+        GmresOptions {
+            restart: 60,
+            max_iterations: 600,
+            rel_tol: 1e-12,
+            abs_tol: 0.0,
+        }
+    }
+}
+
+/// Outcome of a GMRES solve: the iterate plus convergence evidence.
+#[derive(Debug, Clone)]
+pub struct GmresSolution<T> {
+    /// Final iterate (whether or not the tolerance was reached).
+    pub x: Vec<T>,
+    /// Total Arnoldi iterations across all restart cycles.
+    pub iterations: usize,
+    /// Restart cycles performed (0 when the first cycle converges).
+    pub restarts: usize,
+    /// Preconditioned-system residual norm `‖b − A·x‖` at exit, as
+    /// estimated by the Givens recurrence and confirmed at each restart.
+    pub residual_norm: f64,
+    /// Whether the target `max(rel_tol·‖b‖, abs_tol)` was reached.
+    pub converged: bool,
+}
+
+impl<T> GmresSolution<T> {
+    /// Converts a non-converged solution into an error, passing a
+    /// converged one through.
+    pub fn into_converged(self) -> Result<GmresSolution<T>> {
+        if self.converged {
+            Ok(self)
+        } else {
+            Err(NumericError::DidNotConverge {
+                iterations: self.iterations,
+                residual: self.residual_norm,
+            })
+        }
+    }
+}
+
+fn norm<T: GmresScalar>(v: &[T]) -> f64 {
+    v.iter().map(|x| x.abs() * x.abs()).sum::<f64>().sqrt()
+}
+
+/// Conjugated inner product `⟨a, b⟩ = Σ conj(aᵢ)·bᵢ`.
+fn dot<T: GmresScalar>(a: &[T], b: &[T]) -> T {
+    let mut acc = T::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc += x.conj() * *y;
+    }
+    acc
+}
+
+/// Solves `A·x = b` with restarted GMRES.
+///
+/// `x0` seeds the iteration (zero when `None`). The solve always returns
+/// the best iterate found; inspect [`GmresSolution::converged`] or call
+/// [`GmresSolution::into_converged`] to enforce the tolerance. Errors are
+/// reserved for structural problems (dimension mismatch, degenerate
+/// options).
+pub fn gmres<T, A>(
+    op: &A,
+    b: &[T],
+    x0: Option<&[T]>,
+    opts: &GmresOptions,
+) -> Result<GmresSolution<T>>
+where
+    T: GmresScalar,
+    A: LinearOperator<T> + ?Sized,
+{
+    let n = op.dim();
+    if b.len() != n {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("rhs of length {n}"),
+            found: format!("{}", b.len()),
+        });
+    }
+    if let Some(x0) = x0 {
+        if x0.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("initial guess of length {n}"),
+                found: format!("{}", x0.len()),
+            });
+        }
+    }
+    if opts.restart == 0 {
+        return Err(NumericError::InvalidArgument {
+            what: "gmres restart must be at least 1".into(),
+        });
+    }
+
+    let m = opts.restart.min(n.max(1));
+    let bnorm = norm(b);
+    let target = (opts.rel_tol * bnorm).max(opts.abs_tol).max(0.0);
+
+    let mut x: Vec<T> = match x0 {
+        Some(x0) => x0.to_vec(),
+        None => vec![T::ZERO; n],
+    };
+    if bnorm == 0.0 {
+        // The unique minimizer of ‖b − A·x‖ with b = 0 is x = 0 for any
+        // nonsingular A; report it converged immediately.
+        return Ok(GmresSolution {
+            x: vec![T::ZERO; n],
+            iterations: 0,
+            restarts: 0,
+            residual_norm: 0.0,
+            converged: true,
+        });
+    }
+
+    // Workspace reused across restart cycles.
+    let mut v: Vec<Vec<T>> = Vec::with_capacity(m + 1); // Krylov basis
+    let mut h: Vec<Vec<T>> = Vec::with_capacity(m); // Hessenberg columns
+    let mut w = vec![T::ZERO; n];
+    let mut total_iters = 0usize;
+    let mut restarts = 0usize;
+    let mut residual = f64::INFINITY;
+    let mut converged = false;
+
+    'outer: while total_iters < opts.max_iterations {
+        // True residual of the current iterate starts each cycle.
+        op.apply(&x, &mut w);
+        let mut r: Vec<T> = b.iter().zip(&w).map(|(bi, wi)| *bi - *wi).collect();
+        let beta = norm(&r);
+        residual = beta;
+        if beta <= target {
+            converged = true;
+            break;
+        }
+
+        v.clear();
+        h.clear();
+        for ri in r.iter_mut() {
+            *ri = ri.scale(1.0 / beta);
+        }
+        v.push(r);
+
+        // Givens rotation pairs (c real, s in the field) and the rotated rhs g.
+        let mut cs: Vec<f64> = Vec::with_capacity(m);
+        let mut sn: Vec<T> = Vec::with_capacity(m);
+        let mut g: Vec<T> = vec![T::ZERO; m + 1];
+        g[0] = T::from_real(beta);
+
+        let mut k = 0usize; // columns completed this cycle
+        while k < m && total_iters < opts.max_iterations {
+            op.apply(&v[k], &mut w);
+            total_iters += 1;
+
+            // Modified Gram–Schmidt against the basis built so far.
+            let mut col: Vec<T> = Vec::with_capacity(k + 2);
+            for vi in v.iter().take(k + 1) {
+                let hik = dot(vi, &w);
+                for (wj, vj) in w.iter_mut().zip(vi) {
+                    *wj -= hik * *vj;
+                }
+                col.push(hik);
+            }
+            let hnext = norm(&w);
+            col.push(T::from_real(hnext));
+
+            // Apply the accumulated rotations to the new column.
+            for (i, (&c, s)) in cs.iter().zip(&sn).enumerate() {
+                let a = col[i];
+                let bb = col[i + 1];
+                col[i] = a.scale(c) + *s * bb;
+                col[i + 1] = bb.scale(c) - s.conj() * a;
+            }
+
+            // New rotation zeroing the subdiagonal entry.
+            let a = col[k];
+            let bb = col[k + 1];
+            let (c, s) = {
+                let aa = a.abs();
+                let ab = bb.abs();
+                let r = aa.hypot(ab);
+                if r == 0.0 {
+                    (1.0, T::ZERO)
+                } else if aa == 0.0 {
+                    (0.0, bb.conj().scale(1.0 / ab))
+                } else {
+                    // c·a + s·b has modulus r and the phase of a.
+                    let c = aa / r;
+                    let phase = a.scale(1.0 / aa);
+                    (c, phase * bb.conj().scale(1.0 / r))
+                }
+            };
+            col[k] = a.scale(c) + s * bb;
+            col[k + 1] = T::ZERO;
+            let gk = g[k];
+            g[k] = gk.scale(c) + s * g[k + 1];
+            g[k + 1] = g[k + 1].scale(c) - s.conj() * gk;
+            cs.push(c);
+            sn.push(s);
+            h.push(col);
+            k += 1;
+
+            residual = g[k].abs();
+            let breakdown = hnext <= f64::EPSILON * beta.max(1.0);
+            if !breakdown {
+                let mut vnext = std::mem::replace(&mut w, vec![T::ZERO; n]);
+                for vi in vnext.iter_mut() {
+                    *vi = vi.scale(1.0 / hnext);
+                }
+                v.push(vnext);
+            }
+            if residual <= target || breakdown {
+                break;
+            }
+        }
+
+        // Back-substitute y from the triangular system and update x.
+        let mut y: Vec<T> = vec![T::ZERO; k];
+        for i in (0..k).rev() {
+            let mut acc = g[i];
+            for (j, yj) in y.iter().enumerate().take(k).skip(i + 1) {
+                acc -= h[j][i] * *yj;
+            }
+            y[i] = acc / h[i][i];
+        }
+        for (j, yj) in y.iter().enumerate() {
+            for (xi, vi) in x.iter_mut().zip(&v[j]) {
+                *xi += *yj * *vi;
+            }
+        }
+
+        if residual <= target {
+            // Confirm against the true residual; the Givens estimate can
+            // drift from it in ill-conditioned cycles.
+            op.apply(&x, &mut w);
+            let true_res = norm(
+                &b.iter()
+                    .zip(&w)
+                    .map(|(bi, wi)| *bi - *wi)
+                    .collect::<Vec<T>>(),
+            );
+            residual = true_res;
+            if true_res <= target * 10.0 {
+                converged = true;
+                break 'outer;
+            }
+        }
+        restarts += 1;
+    }
+
+    obs::observe("gmres.iters", total_iters as f64);
+    Ok(GmresSolution {
+        x,
+        iterations: total_iters,
+        restarts,
+        residual_norm: residual,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::{CLuDecomposition, LuDecomposition};
+    use crate::rng::{SplitMix64, UniformRng};
+
+    fn random_spd(n: usize, rng: &mut SplitMix64) -> Matrix {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = rng.uniform(-1.0, 1.0);
+            }
+        }
+        // AᵀA + n·I is symmetric positive definite.
+        let mut spd = a.transpose().mul(&a).expect("square product");
+        for i in 0..n {
+            spd[(i, i)] += n as f64;
+        }
+        spd
+    }
+
+    #[test]
+    fn real_solve_matches_lu() {
+        let mut rng = SplitMix64::new(11);
+        let a = random_spd(24, &mut rng);
+        let b: Vec<f64> = (0..24).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let exact = LuDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        let sol = gmres(&a, &b, None, &GmresOptions::default()).unwrap();
+        assert!(sol.converged, "residual {}", sol.residual_norm);
+        for (g, e) in sol.x.iter().zip(&exact) {
+            assert!((g - e).abs() < 1e-9, "gmres {g} vs lu {e}");
+        }
+    }
+
+    #[test]
+    fn complex_solve_matches_lu() {
+        let mut rng = SplitMix64::new(29);
+        let n = 20;
+        let mut a = CMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = Complex::new(rng.uniform(-1.0, 1.0), rng.uniform(-0.3, 0.3));
+            }
+            // Diagonal dominance keeps the test system well conditioned.
+            a[(i, i)] += Complex::from_real(2.0 * n as f64);
+        }
+        let b: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+            .collect();
+        let exact = CLuDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        let sol = gmres(&a, &b, None, &GmresOptions::default()).unwrap();
+        assert!(sol.converged, "residual {}", sol.residual_norm);
+        for (g, e) in sol.x.iter().zip(&exact) {
+            assert!((*g - *e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn restart_cycles_still_converge() {
+        let mut rng = SplitMix64::new(5);
+        let a = random_spd(30, &mut rng);
+        let b: Vec<f64> = (0..30).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let opts = GmresOptions {
+            restart: 5,
+            max_iterations: 400,
+            ..GmresOptions::default()
+        };
+        let sol = gmres(&a, &b, None, &opts).unwrap();
+        assert!(sol.converged);
+        assert!(sol.restarts > 0, "expected at least one restart cycle");
+        let mut r = vec![0.0; 30];
+        a.apply(&sol.x, &mut r);
+        let res: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(ax, bi)| (ax - bi) * (ax - bi))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-10 * norm(&b) * 10.0, "true residual {res}");
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = Matrix::identity(4);
+        let sol = gmres(&a, &[0.0; 4], None, &GmresOptions::default()).unwrap();
+        assert!(sol.converged);
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.x.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        let mut rng = SplitMix64::new(77);
+        // An ill-conditioned dense system with a one-iteration budget.
+        let a = random_spd(16, &mut rng);
+        let b: Vec<f64> = (0..16).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let opts = GmresOptions {
+            restart: 4,
+            max_iterations: 1,
+            rel_tol: 1e-15,
+            ..GmresOptions::default()
+        };
+        let sol = gmres(&a, &b, None, &opts).unwrap();
+        assert!(!sol.converged);
+        assert!(matches!(
+            sol.into_converged(),
+            Err(NumericError::DidNotConverge { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let a = Matrix::identity(3);
+        assert!(gmres(&a, &[1.0, 2.0], None, &GmresOptions::default()).is_err());
+    }
+
+    #[test]
+    fn initial_guess_is_used() {
+        let a = Matrix::identity(6);
+        let b = vec![2.0; 6];
+        let x0 = vec![2.0; 6];
+        let sol = gmres(&a, &b, Some(&x0), &GmresOptions::default()).unwrap();
+        assert!(sol.converged);
+        assert_eq!(sol.iterations, 0, "exact initial guess needs no iterations");
+    }
+}

@@ -11,6 +11,9 @@
 //!   refactorization and transposed solves,
 //! * [`condest`] — Hager one-norm condition estimation and iterative
 //!   refinement over solve callbacks (dense or sparse),
+//! * [`gmres`] — restarted GMRES over `f64`/[`Complex`] with a matrix-free
+//!   [`gmres::LinearOperator`] trait, the Krylov engine behind the fast
+//!   PEEC solve path,
 //! * [`sparse`] — triplet→CSC sparse matrices, a fill-reducing
 //!   minimum-degree ordering and a symbolic/numeric-split sparse LU
 //!   ([`sparse::SparseLu`]) that the MNA circuit solves run on,
@@ -51,6 +54,7 @@
 pub mod cholesky;
 pub mod complex;
 pub mod condest;
+pub mod gmres;
 pub mod lu;
 pub mod matrix;
 pub mod obs;
@@ -66,8 +70,11 @@ mod error;
 
 pub use complex::Complex;
 pub use error::NumericError;
+pub use gmres::{gmres, GmresOptions, GmresSolution, LinearOperator};
 pub use matrix::{CMatrix, Matrix};
-pub use parallel::{par_map, par_map_threads, par_map_threads_timed, par_map_timed, thread_count};
+pub use parallel::{
+    balanced_index, par_map, par_map_threads, par_map_threads_timed, par_map_timed, thread_count,
+};
 pub use rng::{SplitMix64, UniformRng};
 pub use sparse::{CscMatrix, SparseLu, TripletBuilder};
 pub use timing::Timings;

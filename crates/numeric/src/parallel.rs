@@ -47,6 +47,26 @@ pub fn thread_count() -> usize {
         .unwrap_or(1)
 }
 
+/// Interleaves index `k` of `n` so contiguous shards get balanced work when
+/// per-index cost varies monotonically with the index.
+///
+/// Even `k` walk up from the cheap end (`0, 1, 2, …`), odd `k` walk down
+/// from the expensive end (`n-1, n-2, …`), so every contiguous chunk of
+/// `0..n` mixes cheap and expensive items. The map is a bijection of
+/// `0..n` onto itself: callers evaluate item `balanced_index(k, n)` at
+/// position `k` and scatter results back by the returned index. Used by
+/// the PEEC upper-triangle assembly (row `i` costs `n - i` entries) and
+/// the table characterization sweeps (quadrature cost falls with spacing).
+#[inline]
+pub fn balanced_index(k: usize, n: usize) -> usize {
+    debug_assert!(k < n);
+    if k.is_multiple_of(2) {
+        k / 2
+    } else {
+        n - 1 - k / 2
+    }
+}
+
 /// Maps `f` over `0..n` with the default [`thread_count`], returning the
 /// results in index order.
 ///
@@ -155,6 +175,29 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn balanced_index_is_a_permutation_even_and_odd() {
+        for n in [1usize, 2, 3, 4, 7, 8, 33, 100] {
+            let mut seen: Vec<usize> = (0..n).map(|k| balanced_index(k, n)).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn balanced_index_interleaves_ends() {
+        // Even n: 0, n-1, 1, n-2, …
+        assert_eq!(
+            (0..6).map(|k| balanced_index(k, 6)).collect::<Vec<_>>(),
+            vec![0, 5, 1, 4, 2, 3]
+        );
+        // Odd n: the middle element lands last.
+        assert_eq!(
+            (0..5).map(|k| balanced_index(k, 5)).collect::<Vec<_>>(),
+            vec![0, 4, 1, 3, 2]
+        );
+    }
 
     #[test]
     fn matches_serial_map() {

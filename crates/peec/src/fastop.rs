@@ -1,0 +1,989 @@
+//! Matrix-free fast PEEC operator: translation-invariance kernel caching,
+//! hierarchical low-rank far-field compression (ACA) and a block-diagonal
+//! preconditioner for the GMRES solve path.
+//!
+//! The dense path in [`crate::solver`] assembles the full `n × n` filament
+//! impedance matrix (`n²` GMD quadratures) and factors it (`n³`). This
+//! module replaces both costs for large meshes:
+//!
+//! * **Kernel caching** ([`KernelCache`]) — a uniform filament mesh of
+//!   parallel equal-span conductors contains only `O(#distinct offsets)`
+//!   geometrically distinct pairs. Partial-inductance values are memoized
+//!   by the canonicalized relative placement `(w1, t1, w2, t2, dt, dz)`,
+//!   collapsing the `O(n²)` quadratures of the dense assembly to the few
+//!   thousand distinct ones.
+//! * **Near/far splitting with ACA** ([`FastZOperator`]) — a bisection
+//!   cluster tree over cross-section centers partitions the interaction
+//!   matrix; blocks whose clusters are well separated (gap ≥ η·max diam)
+//!   are compressed into low-rank `U·Vᵀ` factors by adaptive cross
+//!   approximation with partial pivoting, everything else stays exact.
+//!   The operator then applies `Z·x = R∘x + jω(Lp·x)` without ever
+//!   forming `Lp`.
+//! * **Preconditioning** ([`BlockDiagPrecond`]) — the per-conductor
+//!   diagonal blocks of `Z` (the dominant couplings) are factored exactly
+//!   with [`CLuDecomposition`] and applied as a right preconditioner, so
+//!   GMRES converges in tens of iterations and minimizes the *true*
+//!   residual.
+//!
+//! [`SolverBackend`] selects between this path and the dense one;
+//! [`SolverBackend::Auto`] keeps dense below [`ITERATIVE_CUTOVER`]
+//! filaments so all pre-existing results stay bit-identical.
+//!
+//! Metrics: `fastop.kernel.hits` / `fastop.kernel.misses` (counters),
+//! `aca.rank` (histogram — `max` is the largest far-block rank),
+//! `fastop.near.blocks` / `fastop.far.blocks` (gauges) and `gmres.iters`
+//! (histogram, one observation per Krylov solve).
+
+use crate::gmd;
+use crate::partial::{dc_resistance, mutual_partial_relative, self_partial};
+use crate::{PeecError, Result};
+use rlcx_geom::Bar;
+use rlcx_numeric::gmres::{gmres, GmresOptions, LinearOperator};
+use rlcx_numeric::lu::CLuDecomposition;
+use rlcx_numeric::{obs, CMatrix, Complex};
+use std::collections::HashMap;
+
+/// Which engine [`crate::PartialSystem`] uses for the filament-level solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Always assemble and factor the dense filament matrix.
+    Dense,
+    /// Always use the matrix-free GMRES path.
+    Iterative,
+    /// Dense below [`ITERATIVE_CUTOVER`] filaments (bit-identical to the
+    /// pre-existing dense results), iterative above.
+    #[default]
+    Auto,
+}
+
+/// Filament count at which [`SolverBackend::Auto`] switches to the
+/// iterative path. Below this the dense LU is fast and its results are the
+/// historical reference; above it the O(n³) factor dominates and the
+/// Krylov path wins.
+pub const ITERATIVE_CUTOVER: usize = 420;
+
+impl SolverBackend {
+    /// Resolves the backend choice for a system of `n_filaments`.
+    pub fn is_iterative(self, n_filaments: usize) -> bool {
+        match self {
+            SolverBackend::Dense => false,
+            SolverBackend::Iterative => true,
+            SolverBackend::Auto => n_filaments >= ITERATIVE_CUTOVER,
+        }
+    }
+
+    /// Stable lowercase name, used in cache keys and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverBackend::Dense => "dense",
+            SolverBackend::Iterative => "iterative",
+            SolverBackend::Auto => "auto",
+        }
+    }
+}
+
+/// Tuning knobs for [`FastZOperator`].
+#[derive(Debug, Clone, Copy)]
+pub struct FastOpOptions {
+    /// Cluster-tree leaf size (filaments per undivided cluster).
+    pub leaf_size: usize,
+    /// Admissibility parameter: clusters are far when their bounding-box
+    /// gap is at least `eta ×` the larger box diameter.
+    pub eta: f64,
+    /// ACA stopping tolerance relative to the estimated block Frobenius
+    /// norm.
+    pub aca_tol: f64,
+    /// Rank cap per far block; blocks that fail to converge within it fall
+    /// back to exact storage.
+    pub max_rank: usize,
+}
+
+impl Default for FastOpOptions {
+    fn default() -> Self {
+        FastOpOptions {
+            leaf_size: 48,
+            eta: 1.0,
+            aca_tol: 1e-10,
+            max_rank: 96,
+        }
+    }
+}
+
+/// Memoizes partial-inductance kernel evaluations by relative placement.
+///
+/// Valid for filament meshes in which every filament shares one axial span
+/// (the configuration [`crate::PartialSystem`] enforces for frequency
+/// solves): the mutual partial inductance of a pair then depends only on
+/// the two cross-sections and their transverse/vertical offset. Keys are
+/// the raw `f64` bit patterns of `(w1, t1, w2, t2, dt, dz)` canonicalized
+/// under pair swap (`(w2, t2, w1, t1, −dt, −dz)` describes the same pair),
+/// so each distinct geometry is evaluated exactly once and always in the
+/// same orientation — lookups are deterministic to the bit.
+///
+/// The key carries a seventh element: the near/far GMD branch taken from
+/// [`gmd::cross_section_is_far`] on the actual bars. Regular meshes place
+/// pairs exactly at the 4× threshold, where absolute and relative center
+/// distances can round to opposite sides; deciding the branch the same way
+/// the dense path does (and caching per branch) keeps the memoized kernel
+/// within quadrature round-off of [`crate::partial::mutual_partial`]
+/// instead of picking up the ~1e-3 far-field approximation jump.
+pub struct KernelCache {
+    length_um: f64,
+    mutuals: HashMap<[u64; 7], f64>,
+    selves: HashMap<[u64; 2], f64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Maps `-0.0` to `+0.0` before taking bits so the two zero encodings
+/// cannot split one geometric key in two.
+#[inline]
+fn key_bits(x: f64) -> u64 {
+    (x + 0.0).to_bits()
+}
+
+impl KernelCache {
+    /// Creates a cache for filaments of shared length `length_um` (µm).
+    pub fn new(length_um: f64) -> Self {
+        KernelCache {
+            length_um,
+            mutuals: HashMap::new(),
+            selves: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Partial self inductance (H) of a filament, memoized by its
+    /// cross-section. Identical bits to [`self_partial`] — the formula is
+    /// already translation-invariant.
+    pub fn self_l(&mut self, fil: &Bar) -> f64 {
+        let key = [key_bits(fil.width()), key_bits(fil.thickness())];
+        if let Some(&v) = self.selves.get(&key) {
+            self.hits += 1;
+            return v;
+        }
+        self.misses += 1;
+        let v = self_partial(fil);
+        self.selves.insert(key, v);
+        v
+    }
+
+    /// Partial mutual inductance (H) between two filaments of the mesh,
+    /// memoized by canonicalized relative placement.
+    pub fn mutual_l(&mut self, a: &Bar, b: &Bar) -> f64 {
+        let (ta, _) = a.transverse_span();
+        let (za, _) = a.vertical_span();
+        let (tb, _) = b.transverse_span();
+        let (zb, _) = b.vertical_span();
+        let fwd = (
+            a.width(),
+            a.thickness(),
+            b.width(),
+            b.thickness(),
+            tb - ta,
+            zb - za,
+        );
+        let rev = (fwd.2, fwd.3, fwd.0, fwd.1, -fwd.4, -fwd.5);
+        let far = gmd::cross_section_is_far(a, b);
+        let keyed = |g: (f64, f64, f64, f64, f64, f64)| {
+            [
+                key_bits(g.0),
+                key_bits(g.1),
+                key_bits(g.2),
+                key_bits(g.3),
+                key_bits(g.4),
+                key_bits(g.5),
+                far as u64,
+            ]
+        };
+        let (kf, kr) = (keyed(fwd), keyed(rev));
+        // Canonical orientation: the lexicographically smaller key. The
+        // kernel is symmetric under the swap, so both orientations name
+        // the same value; always *evaluating* in canonical orientation
+        // keeps the cached bits independent of encounter order.
+        let (key, g) = if kr < kf { (kr, rev) } else { (kf, fwd) };
+        if let Some(&v) = self.mutuals.get(&key) {
+            self.hits += 1;
+            return v;
+        }
+        self.misses += 1;
+        let v = mutual_partial_relative(self.length_um, g.0, g.1, g.2, g.3, g.4, g.5, far);
+        self.mutuals.insert(key, v);
+        v
+    }
+
+    /// Lp kernel entry for filaments `i`, `j` of `fils` (self on the
+    /// diagonal).
+    fn entry(&mut self, fils: &[Bar], i: usize, j: usize) -> f64 {
+        if i == j {
+            self.self_l(&fils[i])
+        } else {
+            self.mutual_l(&fils[i], &fils[j])
+        }
+    }
+
+    /// `(hits, misses)` counters accumulated so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of distinct kernel evaluations stored.
+    pub fn distinct(&self) -> usize {
+        self.mutuals.len() + self.selves.len()
+    }
+}
+
+/// A bisection cluster of filament indices with its cross-section bounding
+/// box `(tmin, tmax, zmin, zmax)`.
+struct Cluster {
+    idx: Vec<usize>,
+    bbox: [f64; 4],
+    children: Option<Box<(Cluster, Cluster)>>,
+}
+
+impl Cluster {
+    fn build(mut idx: Vec<usize>, pts: &[(f64, f64)], leaf_size: usize) -> Cluster {
+        let mut bbox = [
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ];
+        for &i in &idx {
+            let (t, z) = pts[i];
+            bbox[0] = bbox[0].min(t);
+            bbox[1] = bbox[1].max(t);
+            bbox[2] = bbox[2].min(z);
+            bbox[3] = bbox[3].max(z);
+        }
+        if idx.len() <= leaf_size.max(1) {
+            return Cluster {
+                idx,
+                bbox,
+                children: None,
+            };
+        }
+        // Median split along the longer box side; ties broken by index so
+        // the tree is deterministic for any input order.
+        let along_t = (bbox[1] - bbox[0]) >= (bbox[3] - bbox[2]);
+        idx.sort_unstable_by(|&a, &b| {
+            let ka = if along_t { pts[a].0 } else { pts[a].1 };
+            let kb = if along_t { pts[b].0 } else { pts[b].1 };
+            ka.total_cmp(&kb).then(a.cmp(&b))
+        });
+        let right = idx.split_off(idx.len() / 2);
+        let left = Cluster::build(idx, pts, leaf_size);
+        let right = Cluster::build(right, pts, leaf_size);
+        let mut merged = left.idx.clone();
+        merged.extend_from_slice(&right.idx);
+        Cluster {
+            idx: merged,
+            bbox,
+            children: Some(Box::new((left, right))),
+        }
+    }
+
+    fn diameter(&self) -> f64 {
+        (self.bbox[1] - self.bbox[0]).hypot(self.bbox[3] - self.bbox[2])
+    }
+
+    fn gap_to(&self, other: &Cluster) -> f64 {
+        let gap = |lo1: f64, hi1: f64, lo2: f64, hi2: f64| (lo2 - hi1).max(lo1 - hi2).max(0.0);
+        gap(self.bbox[0], self.bbox[1], other.bbox[0], other.bbox[1]).hypot(gap(
+            self.bbox[2],
+            self.bbox[3],
+            other.bbox[2],
+            other.bbox[3],
+        ))
+    }
+}
+
+/// Exact block: `k[(ri, cj)]` in row-major over `rows × cols`. Diagonal
+/// blocks (`diag`) have `rows == cols` and include the self terms;
+/// off-diagonal blocks are applied together with their transpose.
+struct NearBlock {
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    k: Vec<f64>,
+    diag: bool,
+}
+
+/// Low-rank far block `K ≈ Σ_r u_r v_rᵀ`, `u` stored rank-major over rows
+/// and `v` rank-major over cols. Applied together with its transpose.
+struct FarBlock {
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    u: Vec<f64>,
+    v: Vec<f64>,
+    rank: usize,
+}
+
+/// Build/compression statistics of a [`FastZOperator`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastOpStats {
+    /// Kernel-cache hits during assembly.
+    pub kernel_hits: u64,
+    /// Kernel-cache misses (distinct quadratures actually evaluated).
+    pub kernel_misses: u64,
+    /// Largest ACA rank over all far blocks.
+    pub max_rank: usize,
+    /// Exact blocks stored.
+    pub near_blocks: usize,
+    /// Compressed blocks stored.
+    pub far_blocks: usize,
+    /// Admissible blocks that hit the rank cap and were stored exactly.
+    pub dense_fallbacks: usize,
+    /// Fraction of the full `n²` interaction pairs covered by far blocks.
+    pub compressed_fraction: f64,
+}
+
+/// The matrix-free filament impedance operator `Z = diag(R) + jω·Lp`.
+pub struct FastZOperator {
+    n: usize,
+    omega: f64,
+    r: Vec<f64>,
+    near: Vec<NearBlock>,
+    far: Vec<FarBlock>,
+    stats: FastOpStats,
+}
+
+impl FastZOperator {
+    /// Assembles the operator for filaments `fils` (shared axial span) with
+    /// resistivities `rhos` at angular frequency `omega`, reusing (and
+    /// filling) `kernel` for every partial-inductance evaluation.
+    pub fn new(
+        fils: &[Bar],
+        rhos: &[f64],
+        omega: f64,
+        kernel: &mut KernelCache,
+        opts: &FastOpOptions,
+    ) -> Self {
+        let n = fils.len();
+        let r: Vec<f64> = fils
+            .iter()
+            .zip(rhos)
+            .map(|(f, &rho)| dc_resistance(f, rho))
+            .collect();
+        let pts: Vec<(f64, f64)> = fils
+            .iter()
+            .map(|f| {
+                let (t0, t1) = f.transverse_span();
+                let (z0, z1) = f.vertical_span();
+                (0.5 * (t0 + t1), 0.5 * (z0 + z1))
+            })
+            .collect();
+        let root = Cluster::build((0..n).collect(), &pts, opts.leaf_size);
+
+        let mut near_pairs: Vec<(&Cluster, &Cluster)> = Vec::new();
+        let mut diag_leaves: Vec<&Cluster> = Vec::new();
+        let mut far_pairs: Vec<(&Cluster, &Cluster)> = Vec::new();
+        collect_diag(
+            &root,
+            opts,
+            &mut diag_leaves,
+            &mut near_pairs,
+            &mut far_pairs,
+        );
+
+        let hits0 = kernel.stats();
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        let mut stats = FastOpStats::default();
+        for c in diag_leaves {
+            let m = c.idx.len();
+            let mut k = vec![0.0; m * m];
+            for (a, &i) in c.idx.iter().enumerate() {
+                for (b, &j) in c.idx.iter().enumerate() {
+                    k[a * m + b] = kernel.entry(fils, i, j);
+                }
+            }
+            near.push(NearBlock {
+                rows: c.idx.clone(),
+                cols: c.idx.clone(),
+                k,
+                diag: true,
+            });
+        }
+        for (a, b) in near_pairs {
+            near.push(dense_block(a, b, fils, kernel));
+        }
+        let mut far_covered = 0usize;
+        for (a, b) in far_pairs {
+            match aca_block(a, b, fils, kernel, opts) {
+                Some(fb) => {
+                    stats.max_rank = stats.max_rank.max(fb.rank);
+                    obs::observe("aca.rank", fb.rank as f64);
+                    far_covered += fb.rows.len() * fb.cols.len();
+                    far.push(fb);
+                }
+                None => {
+                    stats.dense_fallbacks += 1;
+                    near.push(dense_block(a, b, fils, kernel));
+                }
+            }
+        }
+        let (h1, m1) = kernel.stats();
+        stats.kernel_hits = h1 - hits0.0;
+        stats.kernel_misses = m1 - hits0.1;
+        stats.near_blocks = near.len();
+        stats.far_blocks = far.len();
+        stats.compressed_fraction = if n == 0 {
+            0.0
+        } else {
+            // Off-diagonal far blocks cover their transpose too.
+            (2 * far_covered) as f64 / (n * n) as f64
+        };
+        obs::counter_add("fastop.kernel.hits", stats.kernel_hits);
+        obs::counter_add("fastop.kernel.misses", stats.kernel_misses);
+        obs::gauge_set("fastop.near.blocks", stats.near_blocks as f64);
+        obs::gauge_set("fastop.far.blocks", stats.far_blocks as f64);
+
+        FastZOperator {
+            n,
+            omega,
+            r,
+            near,
+            far,
+            stats,
+        }
+    }
+
+    /// Build/compression statistics.
+    pub fn stats(&self) -> &FastOpStats {
+        &self.stats
+    }
+
+    /// Per-filament series resistances (Ω).
+    pub fn resistances(&self) -> &[f64] {
+        &self.r
+    }
+}
+
+fn dense_block(a: &Cluster, b: &Cluster, fils: &[Bar], kernel: &mut KernelCache) -> NearBlock {
+    let (nr, nc) = (a.idx.len(), b.idx.len());
+    let mut k = vec![0.0; nr * nc];
+    for (ri, &i) in a.idx.iter().enumerate() {
+        for (cj, &j) in b.idx.iter().enumerate() {
+            k[ri * nc + cj] = kernel.entry(fils, i, j);
+        }
+    }
+    NearBlock {
+        rows: a.idx.clone(),
+        cols: b.idx.clone(),
+        k,
+        diag: false,
+    }
+}
+
+/// Walks the diagonal of the block cluster tree, collecting exact leaf
+/// diagonal blocks and delegating off-diagonal pairs to [`collect_pair`].
+fn collect_diag<'a>(
+    c: &'a Cluster,
+    opts: &FastOpOptions,
+    diag: &mut Vec<&'a Cluster>,
+    near: &mut Vec<(&'a Cluster, &'a Cluster)>,
+    far: &mut Vec<(&'a Cluster, &'a Cluster)>,
+) {
+    match &c.children {
+        None => diag.push(c),
+        Some(ch) => {
+            let (l, r) = (&ch.0, &ch.1);
+            collect_diag(l, opts, diag, near, far);
+            collect_diag(r, opts, diag, near, far);
+            collect_pair(l, r, opts, near, far);
+        }
+    }
+}
+
+/// Partitions an off-diagonal cluster pair into admissible (far) and
+/// inadmissible-leaf (near) blocks. Pairs are only ever generated in one
+/// orientation; the apply loop adds the transpose contribution.
+fn collect_pair<'a>(
+    a: &'a Cluster,
+    b: &'a Cluster,
+    opts: &FastOpOptions,
+    near: &mut Vec<(&'a Cluster, &'a Cluster)>,
+    far: &mut Vec<(&'a Cluster, &'a Cluster)>,
+) {
+    let admissible = a.gap_to(b) >= opts.eta * a.diameter().max(b.diameter())
+        && a.idx.len().min(b.idx.len()) >= 16;
+    if admissible {
+        far.push((a, b));
+        return;
+    }
+    match (&a.children, &b.children) {
+        (None, None) => near.push((a, b)),
+        (Some(ac), None) => {
+            collect_pair(&ac.0, b, opts, near, far);
+            collect_pair(&ac.1, b, opts, near, far);
+        }
+        (None, Some(bc)) => {
+            collect_pair(a, &bc.0, opts, near, far);
+            collect_pair(a, &bc.1, opts, near, far);
+        }
+        (Some(ac), Some(bc)) => {
+            collect_pair(&ac.0, &bc.0, opts, near, far);
+            collect_pair(&ac.0, &bc.1, opts, near, far);
+            collect_pair(&ac.1, &bc.0, opts, near, far);
+            collect_pair(&ac.1, &bc.1, opts, near, far);
+        }
+    }
+}
+
+/// Compresses the `a × b` kernel block with partially pivoted ACA.
+/// Returns `None` when the block fails to reach `aca_tol` within
+/// `max_rank` terms (the caller stores it exactly instead).
+fn aca_block(
+    a: &Cluster,
+    b: &Cluster,
+    fils: &[Bar],
+    kernel: &mut KernelCache,
+    opts: &FastOpOptions,
+) -> Option<FarBlock> {
+    let rows = &a.idx;
+    let cols = &b.idx;
+    let (nr, nc) = (rows.len(), cols.len());
+    let max_rank = opts.max_rank.min(nr.min(nc));
+    let mut us: Vec<Vec<f64>> = Vec::new();
+    let mut vs: Vec<Vec<f64>> = Vec::new();
+    let mut row_used = vec![false; nr];
+    let mut norm2_est = 0.0f64;
+    let mut i_star = 0usize;
+    let mut converged = false;
+
+    while us.len() < max_rank {
+        // Residual of the pivot row.
+        let mut rrow: Vec<f64> = (0..nc)
+            .map(|j| kernel.entry(fils, rows[i_star], cols[j]))
+            .collect();
+        for (u, v) in us.iter().zip(&vs) {
+            let ui = u[i_star];
+            for (rj, vj) in rrow.iter_mut().zip(v) {
+                *rj -= ui * vj;
+            }
+        }
+        row_used[i_star] = true;
+        let (j_star, pivot) = rrow
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.abs().total_cmp(&y.1.abs()))
+            .map(|(j, &p)| (j, p))
+            .unwrap_or((0, 0.0));
+        if pivot.abs() < 1e-300 {
+            // Degenerate pivot row; try the next unused one.
+            match row_used.iter().position(|&u| !u) {
+                Some(next) => {
+                    i_star = next;
+                    continue;
+                }
+                None => {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+        let v: Vec<f64> = rrow.iter().map(|&r| r / pivot).collect();
+        let mut u: Vec<f64> = (0..nr)
+            .map(|i| kernel.entry(fils, rows[i], cols[j_star]))
+            .collect();
+        for (uk, vk) in us.iter().zip(&vs) {
+            let vj = vk[j_star];
+            for (ui, uki) in u.iter_mut().zip(uk) {
+                *ui -= vj * uki;
+            }
+        }
+        let unorm2: f64 = u.iter().map(|x| x * x).sum();
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        let mut cross = 0.0;
+        for (uk, vk) in us.iter().zip(&vs) {
+            let du: f64 = u.iter().zip(uk).map(|(x, y)| x * y).sum();
+            let dv: f64 = v.iter().zip(vk).map(|(x, y)| x * y).sum();
+            cross += du * dv;
+        }
+        norm2_est = (norm2_est + unorm2 * vnorm2 + 2.0 * cross).max(0.0);
+        let step = (unorm2 * vnorm2).sqrt();
+        us.push(u);
+        vs.push(v);
+        if step <= opts.aca_tol * norm2_est.sqrt() {
+            converged = true;
+            break;
+        }
+        // Next pivot row: largest |u| entry among unused rows.
+        let last_u = us.last().expect("just pushed");
+        i_star = (0..nr)
+            .filter(|&i| !row_used[i])
+            .max_by(|&x, &y| last_u[x].abs().total_cmp(&last_u[y].abs()))?;
+    }
+    if !converged {
+        return None;
+    }
+    let rank = us.len();
+    let mut u = vec![0.0; rank * nr];
+    let mut v = vec![0.0; rank * nc];
+    for (k, (uk, vk)) in us.iter().zip(&vs).enumerate() {
+        u[k * nr..(k + 1) * nr].copy_from_slice(uk);
+        v[k * nc..(k + 1) * nc].copy_from_slice(vk);
+    }
+    Some(FarBlock {
+        rows: rows.clone(),
+        cols: cols.clone(),
+        u,
+        v,
+        rank,
+    })
+}
+
+impl LinearOperator<Complex> for FastZOperator {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// `y = R∘x + jω·(Lp·x)` with `Lp` applied block-wise: exact blocks
+    /// (and their transposes) plus `U(Vᵀx)` for compressed blocks.
+    fn apply(&self, x: &[Complex], y: &mut [Complex]) {
+        let mut w = vec![Complex::ZERO; self.n];
+        for blk in &self.near {
+            let nc = blk.cols.len();
+            for (ri, &i) in blk.rows.iter().enumerate() {
+                let krow = &blk.k[ri * nc..(ri + 1) * nc];
+                let mut acc = Complex::ZERO;
+                for (kij, &j) in krow.iter().zip(&blk.cols) {
+                    acc += x[j] * *kij;
+                }
+                w[i] += acc;
+                if !blk.diag {
+                    let xi = x[i];
+                    for (kij, &j) in krow.iter().zip(&blk.cols) {
+                        w[j] += xi * *kij;
+                    }
+                }
+            }
+        }
+        for blk in &self.far {
+            let (nr, nc) = (blk.rows.len(), blk.cols.len());
+            for k in 0..blk.rank {
+                let vk = &blk.v[k * nc..(k + 1) * nc];
+                let uk = &blk.u[k * nr..(k + 1) * nr];
+                let mut t = Complex::ZERO;
+                for (vj, &j) in vk.iter().zip(&blk.cols) {
+                    t += x[j] * *vj;
+                }
+                for (ui, &i) in uk.iter().zip(&blk.rows) {
+                    w[i] += t * *ui;
+                }
+                // Transpose contribution.
+                let mut s = Complex::ZERO;
+                for (ui, &i) in uk.iter().zip(&blk.rows) {
+                    s += x[i] * *ui;
+                }
+                for (vj, &j) in vk.iter().zip(&blk.cols) {
+                    w[j] += s * *vj;
+                }
+            }
+        }
+        for ((yi, &xi), (&ri, &wi)) in y.iter_mut().zip(x).zip(self.r.iter().zip(&w)) {
+            *yi = xi.scale(ri) + Complex::new(-self.omega * wi.im, self.omega * wi.re);
+        }
+    }
+}
+
+/// Exact per-conductor diagonal blocks of `Z`, LU-factored, applied as a
+/// right preconditioner `M⁻¹`.
+pub struct BlockDiagPrecond {
+    blocks: Vec<(Vec<usize>, CLuDecomposition)>,
+    n: usize,
+}
+
+impl BlockDiagPrecond {
+    /// Factors the diagonal block of every conductor (`owner` maps each
+    /// filament to its conductor, `0..n_cond`).
+    ///
+    /// # Errors
+    ///
+    /// [`PeecError::Numeric`] if a conductor block is singular.
+    pub fn new(
+        fils: &[Bar],
+        rhos: &[f64],
+        owner: &[usize],
+        n_cond: usize,
+        omega: f64,
+        kernel: &mut KernelCache,
+    ) -> Result<Self> {
+        let mut blocks = Vec::with_capacity(n_cond);
+        for ci in 0..n_cond {
+            let idx: Vec<usize> = (0..fils.len()).filter(|&i| owner[i] == ci).collect();
+            let m = idx.len();
+            let mut z = CMatrix::zeros(m, m);
+            for (a, &i) in idx.iter().enumerate() {
+                for (b, &j) in idx.iter().enumerate() {
+                    z[(a, b)] = if a == b {
+                        Complex::new(
+                            dc_resistance(&fils[i], rhos[i]),
+                            omega * kernel.self_l(&fils[i]),
+                        )
+                    } else {
+                        Complex::from_imag(omega * kernel.mutual_l(&fils[i], &fils[j]))
+                    };
+                }
+            }
+            blocks.push((idx, CLuDecomposition::new(&z)?));
+        }
+        Ok(BlockDiagPrecond {
+            blocks,
+            n: fils.len(),
+        })
+    }
+
+    /// `y = M⁻¹·x` (block-wise gather / solve / scatter).
+    pub fn solve_into(&self, x: &[Complex], y: &mut [Complex]) {
+        for (idx, lu) in &self.blocks {
+            let xb: Vec<Complex> = idx.iter().map(|&i| x[i]).collect();
+            let mut yb = vec![Complex::ZERO; idx.len()];
+            lu.solve_into(&xb, &mut yb)
+                .expect("factored block solve cannot fail on matching dims");
+            for (&i, &v) in idx.iter().zip(&yb) {
+                y[i] = v;
+            }
+        }
+    }
+}
+
+/// The right-preconditioned operator `x ↦ Z·(M⁻¹·x)` GMRES iterates on.
+struct RightPreconditioned<'a> {
+    z: &'a FastZOperator,
+    m: &'a BlockDiagPrecond,
+}
+
+impl LinearOperator<Complex> for RightPreconditioned<'_> {
+    fn dim(&self) -> usize {
+        self.z.dim()
+    }
+    fn apply(&self, x: &[Complex], y: &mut [Complex]) {
+        let mut t = vec![Complex::ZERO; x.len()];
+        self.m.solve_into(x, &mut t);
+        self.z.apply(&t, y);
+    }
+}
+
+/// Krylov tolerances used by the iterative impedance path: tight enough
+/// that backend disagreement stays below 1e-9 relative.
+pub fn impedance_gmres_options() -> GmresOptions {
+    GmresOptions {
+        restart: 100,
+        max_iterations: 2000,
+        rel_tol: 1e-12,
+        abs_tol: 0.0,
+    }
+}
+
+/// Conductor-level admittance `Y = A·Z⁻¹·Aᵀ` via one preconditioned GMRES
+/// solve per conductor (`A` is the filament-ownership incidence matrix):
+/// column `j` of `Z⁻¹·Aᵀ` is the filament current vector under a unit
+/// voltage on conductor `j`, and summing it per conductor gives `Y`'s
+/// column `j`.
+///
+/// # Errors
+///
+/// [`PeecError::Numeric`] with
+/// [`rlcx_numeric::NumericError::DidNotConverge`] if any solve exhausts
+/// its iteration budget.
+pub fn conductor_admittance(
+    op: &FastZOperator,
+    pre: &BlockDiagPrecond,
+    owner: &[usize],
+    n_cond: usize,
+) -> Result<CMatrix> {
+    let n = op.dim();
+    debug_assert_eq!(owner.len(), n);
+    debug_assert_eq!(pre.n, n);
+    let sys = RightPreconditioned { z: op, m: pre };
+    let opts = impedance_gmres_options();
+    let mut y = CMatrix::zeros(n_cond, n_cond);
+    for cj in 0..n_cond {
+        let rhs: Vec<Complex> = owner
+            .iter()
+            .map(|&ci| {
+                if ci == cj {
+                    Complex::ONE
+                } else {
+                    Complex::ZERO
+                }
+            })
+            .collect();
+        let sol = gmres(&sys, &rhs, None, &opts)
+            .map_err(PeecError::from)?
+            .into_converged()
+            .map_err(PeecError::from)?;
+        // Un-precondition: the iterate solves Z·M⁻¹·u = b, so x = M⁻¹·u.
+        let mut x = vec![Complex::ZERO; n];
+        pre.solve_into(&sol.x, &mut x);
+        for (i, xi) in x.iter().enumerate() {
+            y[(owner[i], cj)] += *xi;
+        }
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlcx_geom::units::RHO_COPPER;
+    use rlcx_geom::{Axis, Point3};
+
+    /// A grid of well-separated filament clusters for ACA behaviour tests:
+    /// two 6×6 filament bundles `sep` µm apart.
+    fn two_bundles(sep: f64) -> (Vec<Bar>, Vec<f64>) {
+        let mut fils = Vec::new();
+        for base in [0.0, sep] {
+            for i in 0..6 {
+                for j in 0..6 {
+                    let b = Bar::new(
+                        Point3::new(0.0, base + i as f64 * 1.0, 10.0 + j as f64 * 1.0),
+                        Axis::X,
+                        1000.0,
+                        0.9,
+                        0.9,
+                    )
+                    .unwrap();
+                    fils.push(b);
+                }
+            }
+        }
+        let rhos = vec![RHO_COPPER; fils.len()];
+        (fils, rhos)
+    }
+
+    #[test]
+    fn kernel_cache_collapses_uniform_mesh_pairs() {
+        let (fils, _) = two_bundles(100.0);
+        let mut kernel = KernelCache::new(1000.0);
+        for i in 0..fils.len() {
+            for j in 0..fils.len() {
+                kernel.entry(&fils, i, j);
+            }
+        }
+        let (hits, misses) = kernel.stats();
+        // 72 filaments → 5184 lookups but only O(#offsets) distinct
+        // geometries: a 6×6 bundle pair has far fewer distinct offsets
+        // than pairs.
+        assert_eq!(hits + misses, 72 * 72);
+        assert!(
+            kernel.distinct() < 600,
+            "expected heavy memoization, got {} distinct",
+            kernel.distinct()
+        );
+        assert!(hits > 9 * misses, "hit rate too low: {hits} vs {misses}");
+    }
+
+    #[test]
+    fn kernel_cache_matches_direct_evaluation() {
+        let (fils, _) = two_bundles(40.0);
+        let mut kernel = KernelCache::new(1000.0);
+        for (i, a) in fils.iter().enumerate().step_by(7) {
+            for (j, b) in fils.iter().enumerate().step_by(5) {
+                if i == j {
+                    continue;
+                }
+                let cached = kernel.mutual_l(a, b);
+                let direct = crate::partial::mutual_partial(a, b);
+                let rel = (cached - direct).abs() / direct.abs();
+                assert!(rel < 1e-11, "({i},{j}): {cached} vs {direct}");
+            }
+        }
+    }
+
+    #[test]
+    fn aca_rank_stays_small_for_well_separated_clusters() {
+        // Satellite: rank growth sanity. Two 36-filament bundles at
+        // increasing separation — the interaction becomes smoother, so the
+        // ACA rank must stay far below min(nr, nc) = 36 and shrink (weakly)
+        // with distance.
+        let opts = FastOpOptions::default();
+        let mut last_rank = usize::MAX - 2;
+        for sep in [40.0, 160.0, 640.0] {
+            let (fils, _) = two_bundles(sep);
+            let pts: Vec<(f64, f64)> = fils
+                .iter()
+                .map(|f| {
+                    let (t0, t1) = f.transverse_span();
+                    let (z0, z1) = f.vertical_span();
+                    (0.5 * (t0 + t1), 0.5 * (z0 + z1))
+                })
+                .collect();
+            let a = Cluster::build((0..36).collect(), &pts, 64);
+            let b = Cluster::build((36..72).collect(), &pts, 64);
+            assert!(a.gap_to(&b) >= a.diameter().max(b.diameter()));
+            let mut kernel = KernelCache::new(1000.0);
+            let fb = aca_block(&a, &b, &fils, &mut kernel, &opts).expect("ACA must converge");
+            assert!(fb.rank <= 18, "sep {sep}: rank {} too large", fb.rank);
+            assert!(
+                fb.rank <= last_rank + 2,
+                "rank should not grow with separation"
+            );
+            last_rank = fb.rank;
+
+            // And the factorization reproduces the block to tolerance.
+            let mut worst = 0.0f64;
+            let mut scale = 0.0f64;
+            for (ri, &i) in fb.rows.iter().enumerate() {
+                for (cj, &j) in fb.cols.iter().enumerate() {
+                    let exact = kernel.entry(&fils, i, j);
+                    let mut approx = 0.0;
+                    for k in 0..fb.rank {
+                        approx += fb.u[k * 36 + ri] * fb.v[k * 36 + cj];
+                    }
+                    worst = worst.max((exact - approx).abs());
+                    scale = scale.max(exact.abs());
+                }
+            }
+            assert!(
+                worst <= 1e-6 * scale,
+                "sep {sep}: ACA error {worst:.3e} vs scale {scale:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_operator_matches_dense_apply() {
+        let (fils, rhos) = two_bundles(30.0);
+        let omega = 2.0 * std::f64::consts::PI * 3.2e9;
+        let mut kernel = KernelCache::new(1000.0);
+        let op = FastZOperator::new(&fils, &rhos, omega, &mut kernel, &FastOpOptions::default());
+        let n = fils.len();
+        // Dense reference.
+        let mut z = CMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                z[(i, j)] = if i == j {
+                    Complex::new(
+                        dc_resistance(&fils[i], rhos[i]),
+                        omega * self_partial(&fils[i]),
+                    )
+                } else {
+                    Complex::from_imag(omega * crate::partial::mutual_partial(&fils[i], &fils[j]))
+                };
+            }
+        }
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.71).cos()))
+            .collect();
+        let mut y_fast = vec![Complex::ZERO; n];
+        let mut y_dense = vec![Complex::ZERO; n];
+        op.apply(&x, &mut y_fast);
+        z.apply(&x, &mut y_dense);
+        let scale = y_dense.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        for (f, d) in y_fast.iter().zip(&y_dense) {
+            assert!((*f - *d).abs() <= 1e-9 * scale, "{f} vs {d}");
+        }
+    }
+
+    #[test]
+    fn backend_cutover_policy() {
+        assert!(!SolverBackend::Dense.is_iterative(100_000));
+        assert!(SolverBackend::Iterative.is_iterative(4));
+        assert!(!SolverBackend::Auto.is_iterative(ITERATIVE_CUTOVER - 1));
+        assert!(SolverBackend::Auto.is_iterative(ITERATIVE_CUTOVER));
+        assert_eq!(SolverBackend::Auto.name(), "auto");
+    }
+}

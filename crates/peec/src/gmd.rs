@@ -73,14 +73,8 @@ pub fn mutual_gmd(
 /// Panics if the bars are not parallel.
 pub fn bar_gmd(a: &Bar, b: &Bar) -> f64 {
     assert!(a.is_parallel(b), "GMD requires parallel bars");
-    let center = a.cross_section_distance(b);
-    let scale = a
-        .width()
-        .max(a.thickness())
-        .max(b.width())
-        .max(b.thickness());
-    if center > 4.0 * scale {
-        return center;
+    if cross_section_is_far(a, b) {
+        return a.cross_section_distance(b);
     }
     let (ta, _) = a.transverse_span();
     let (za, _) = a.vertical_span();
@@ -95,10 +89,89 @@ pub fn bar_gmd(a: &Bar, b: &Bar) -> f64 {
     )
 }
 
+/// [`bar_gmd`]'s near/far classification as a standalone predicate: far
+/// when the center distance exceeds 4× the largest cross-section
+/// dimension.
+///
+/// Regular filament meshes routinely place pairs *exactly at* this
+/// threshold (the center distance is an integer multiple of the filament
+/// pitch), where the absolute-coordinate center in [`bar_gmd`] and the
+/// relative-coordinate center in [`relative_gmd`] can round to opposite
+/// sides of the comparison — and the two branches differ by up to the
+/// far-field approximation error (~1e-3). Any code that must reproduce
+/// [`bar_gmd`]'s values (the fast-operator kernel cache) therefore takes
+/// the branch from this predicate on the actual bars and forces it via
+/// [`relative_gmd_with`], instead of re-deciding from relative offsets.
+pub fn cross_section_is_far(a: &Bar, b: &Bar) -> bool {
+    let center = a.cross_section_distance(b);
+    let scale = a
+        .width()
+        .max(a.thickness())
+        .max(b.width())
+        .max(b.thickness());
+    center > 4.0 * scale
+}
+
+/// GMD of two rectangular cross-sections given in *relative* coordinates:
+/// rectangle 1 is anchored at the origin (`w1 × t1`), rectangle 2 at offset
+/// `(dt, dz)` (`w2 × t2`). Same near/far policy as [`bar_gmd`] — center
+/// distance beyond `4×` the largest dimension, numerical integral at
+/// order 8 otherwise.
+///
+/// Because the quadrature always runs in origin-anchored coordinates, the
+/// result depends only on the relative placement — two filament pairs with
+/// the same cross-sections and offset produce the *same bits*, which is
+/// what the fast-operator kernel cache memoizes on. [`bar_gmd`] evaluates
+/// the same integral in absolute coordinates and can differ from this in
+/// the last few ULPs; the dense path keeps using [`bar_gmd`] so its
+/// results stay bit-identical.
+pub fn relative_gmd(w1: f64, t1: f64, w2: f64, t2: f64, dt: f64, dz: f64) -> f64 {
+    let cx = dt + 0.5 * (w2 - w1);
+    let cz = dz + 0.5 * (t2 - t1);
+    let center = cx.hypot(cz);
+    let scale = w1.max(t1).max(w2).max(t2);
+    relative_gmd_with(w1, t1, w2, t2, dt, dz, center > 4.0 * scale)
+}
+
+/// [`relative_gmd`] with the near/far branch decided by the caller — see
+/// [`cross_section_is_far`] for why borderline pairs must inherit the
+/// branch from the absolute-coordinate test rather than re-deriving it.
+pub fn relative_gmd_with(w1: f64, t1: f64, w2: f64, t2: f64, dt: f64, dz: f64, far: bool) -> f64 {
+    if far {
+        let cx = dt + 0.5 * (w2 - w1);
+        let cz = dz + 0.5 * (t2 - t1);
+        return cx.hypot(cz);
+    }
+    mutual_gmd((0.0, w1), (0.0, t1), (dt, w2), (dz, t2), 8)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rlcx_geom::{Axis, Point3};
+
+    #[test]
+    fn relative_gmd_matches_bar_gmd_closely() {
+        // Same geometry through both entry points: absolute-coordinate
+        // bar_gmd vs origin-anchored relative_gmd agree to quadrature
+        // round-off (they evaluate the same integral at shifted nodes).
+        let a = Bar::new(Point3::new(0.0, 3.0, 7.0), Axis::X, 100.0, 5.0, 2.0).unwrap();
+        let b = Bar::new(Point3::new(0.0, 9.5, 7.0), Axis::X, 100.0, 10.0, 2.0).unwrap();
+        let g_abs = bar_gmd(&a, &b);
+        let g_rel = relative_gmd(5.0, 2.0, 10.0, 2.0, 6.5, 0.0);
+        assert!((g_abs - g_rel).abs() / g_abs < 1e-12, "{g_abs} vs {g_rel}");
+    }
+
+    #[test]
+    fn relative_gmd_is_translation_invariant_to_the_bit() {
+        // The whole point: the same relative placement gives the same bits
+        // no matter where the pair sits in absolute space (there is no
+        // absolute space in the arguments at all — this asserts that the
+        // far-field branch also only sees relative quantities).
+        let g1 = relative_gmd(1.0, 2.0, 3.0, 2.0, 10.0, -4.0);
+        let g2 = relative_gmd(1.0, 2.0, 3.0, 2.0, 10.0, -4.0);
+        assert_eq!(g1.to_bits(), g2.to_bits());
+    }
 
     #[test]
     fn self_gmd_of_square() {

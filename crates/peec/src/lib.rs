@@ -14,6 +14,10 @@
 //!   the significant frequency `0.32/t_r`,
 //! * [`solver`] — [`PartialSystem`]: conductor-level `R(ω)`/`L(ω)` from the
 //!   filament-level complex impedance solve,
+//! * [`fastop`] — the matrix-free fast path behind [`SolverBackend`]:
+//!   translation-invariance kernel caching, cluster-tree near/far
+//!   splitting with ACA low-rank far blocks, and a block-diagonal
+//!   preconditioner for the `rlcx_numeric::gmres` Krylov solve,
 //! * [`loop_l`] — loop-inductance reduction with the paper's *merged ground
 //!   node at the far end* convention, plus ground-plane strip meshing and
 //!   the [`BlockExtractor`] convenience layer used by the table builder,
@@ -41,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod fastop;
 pub mod gmd;
 pub mod loop_l;
 pub mod mesh;
@@ -52,6 +57,7 @@ pub mod tree_solver;
 mod error;
 
 pub use error::PeecError;
+pub use fastop::{FastOpOptions, SolverBackend, ITERATIVE_CUTOVER};
 pub use loop_l::{BlockExtraction, BlockExtractor, PlaneSpec};
 pub use mesh::MeshSpec;
 pub use network::{AcNetwork, Branch};

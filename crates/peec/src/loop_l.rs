@@ -10,6 +10,7 @@
 //! the significant frequency, reduce — which is what the table builder in
 //! `rlcx-core` calls for every grid point.
 
+use crate::fastop::SolverBackend;
 use crate::mesh::MeshSpec;
 use crate::solver::{Conductor, PartialSystem};
 use crate::{PeecError, Result};
@@ -54,15 +55,17 @@ pub fn loop_impedance(z: &CMatrix, signals: &[usize], grounds: &[usize]) -> Resu
         }
         seen[i] = true;
     }
-    let zss = z.submatrix(signals, signals);
-    let zsg = z.submatrix(signals, grounds);
-    let zgs = z.submatrix(grounds, signals);
+    // Only the ground-ground block is ever factored, so it is the only
+    // submatrix materialized; the signal rows/columns are read straight out
+    // of `z` through the index lists, and the per-column buffers are hoisted
+    // out of the loop and refilled in place. Entry-for-entry this performs
+    // the same arithmetic as the submatrix formulation — results are
+    // bit-identical, just without the three signal-block copies.
     let zgg = z.submatrix(grounds, grounds);
     let ng = grounds.len();
     let ns = signals.len();
     let lu = CLuDecomposition::new(&zgg)?;
-    // w = Z_GG⁻¹ · 1 and q_k = Z_GG⁻¹ · (Z_GS e_k). The per-column
-    // buffers are hoisted out of the loop and refilled in place.
+    // w = Z_GG⁻¹ · 1 and q_k = Z_GG⁻¹ · (Z_GS e_k).
     let ones = vec![Complex::ONE; ng];
     let w = lu.solve(&ones)?;
     let w_sum: Complex = w.iter().copied().sum();
@@ -70,9 +73,9 @@ pub fn loop_impedance(z: &CMatrix, signals: &[usize], grounds: &[usize]) -> Resu
     let mut zgs_col = vec![Complex::ZERO; ng];
     let mut q = vec![Complex::ZERO; ng];
     let mut ig = vec![Complex::ZERO; ng];
-    for k in 0..ns {
-        for g in 0..ng {
-            zgs_col[g] = zgs[(g, k)];
+    for (k, &sk) in signals.iter().enumerate() {
+        for (col, &g) in zgs_col.iter_mut().zip(grounds) {
+            *col = z[(g, sk)];
         }
         lu.solve_into(&zgs_col, &mut q)?;
         let q_sum: Complex = q.iter().copied().sum();
@@ -83,10 +86,10 @@ pub fn loop_impedance(z: &CMatrix, signals: &[usize], grounds: &[usize]) -> Resu
             *gi = -(v_far * wi) - qi;
         }
         // Port voltages: V_port = V_far + Z_SS e_k + Z_SG I_G.
-        for i in 0..ns {
-            let mut v = v_far + zss[(i, k)];
-            for g in 0..ng {
-                v += zsg[(i, g)] * ig[g];
+        for (i, &si) in signals.iter().enumerate() {
+            let mut v = v_far + z[(si, sk)];
+            for (&g, &igg) in grounds.iter().zip(&ig) {
+                v += z[(si, g)] * igg;
             }
             out[(i, k)] = v;
         }
@@ -184,7 +187,8 @@ pub struct BlockExtractor {
     frequency: f64,
     mesh: MeshSpec,
     plane_margin_factor: f64,
-    plane_strips: usize,
+    plane_strips: Option<usize>,
+    backend: SolverBackend,
 }
 
 impl BlockExtractor {
@@ -203,7 +207,8 @@ impl BlockExtractor {
             frequency: 3.2e9,
             mesh: MeshSpec::default(),
             plane_margin_factor: 1.0,
-            plane_strips: 12,
+            plane_strips: None,
+            backend: SolverBackend::Auto,
         })
     }
 
@@ -230,10 +235,37 @@ impl BlockExtractor {
     }
 
     /// Sets the number of strips each ground plane is meshed into.
+    ///
+    /// When not set explicitly, the extractor uses 12 strips on the dense
+    /// default path, and 24 when the [`SolverBackend::Iterative`] fast path
+    /// is requested — the matrix-free solve makes the finer plane
+    /// resolution affordable.
     #[must_use]
     pub fn plane_strips(mut self, strips: usize) -> Self {
-        self.plane_strips = strips.max(1);
+        self.plane_strips = Some(strips.max(1));
         self
+    }
+
+    /// Selects the filament-level solver backend used by [`extract`].
+    ///
+    /// [`extract`]: BlockExtractor::extract
+    #[must_use]
+    pub fn backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The plane strip count [`extract`] will actually use: the explicit
+    /// setting if any, otherwise 24 for the iterative backend and 12 for
+    /// dense/auto.
+    ///
+    /// [`extract`]: BlockExtractor::extract
+    pub fn effective_plane_strips(&self) -> usize {
+        match (self.plane_strips, self.backend) {
+            (Some(strips), _) => strips,
+            (None, SolverBackend::Iterative) => 24,
+            (None, _) => 12,
+        }
     }
 
     /// The extraction frequency (Hz).
@@ -277,13 +309,14 @@ impl BlockExtractor {
         let mut grounds: Vec<usize> = block.ground_indices();
         let plane_width = block.total_width() * (1.0 + 2.0 * self.plane_margin_factor);
         let plane_t0 = -block.total_width() * self.plane_margin_factor;
+        let strips = self.effective_plane_strips();
         let add_plane = |sys: &mut PartialSystem, plane_layer: &rlcx_geom::Layer| {
             let spec = PlaneSpec {
                 z_bottom: plane_layer.z_bottom(),
                 thickness: plane_layer.thickness(),
                 transverse_origin: plane_t0,
                 width: plane_width,
-                strips: self.plane_strips,
+                strips,
                 rho: plane_layer.resistivity(),
             };
             for bar in spec.to_bars(Axis::X, 0.0, block.length()) {
@@ -313,13 +346,17 @@ impl BlockExtractor {
         // filaments (the strip decomposition already resolves the plane's
         // transverse current distribution).
         let mesh = self.mesh;
-        let z = sys.impedance_at_with(self.frequency, |ci| {
-            if ci < n_traces {
-                mesh
-            } else {
-                MeshSpec::single()
-            }
-        })?;
+        let z = sys.impedance_at_with_backend(
+            self.frequency,
+            |ci| {
+                if ci < n_traces {
+                    mesh
+                } else {
+                    MeshSpec::single()
+                }
+            },
+            self.backend,
+        )?;
         let signals = block.signal_indices();
         let z_loop = loop_impedance(&z, &signals, &grounds)?;
         let omega = 2.0 * std::f64::consts::PI * self.frequency;

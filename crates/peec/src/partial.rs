@@ -14,7 +14,7 @@
 //! All functions here take geometry in **microns** (consistent with
 //! `rlcx-geom`) and return SI henries/ohms.
 
-use crate::gmd::{bar_gmd, self_gmd};
+use crate::gmd::{bar_gmd, relative_gmd_with, self_gmd};
 use rlcx_geom::units::{um_to_m, MU_0};
 use rlcx_geom::Bar;
 
@@ -122,6 +122,46 @@ pub fn mutual_partial(a: &Bar, b: &Bar) -> f64 {
         um_to_m(b2),
         um_to_m(d_um),
     )
+}
+
+/// Partial mutual inductance (H) between two *aligned, equal-length*
+/// parallel bars expressed purely in relative cross-section coordinates:
+/// length `length_um`, cross-sections `w1 × t1` and `w2 × t2`, rectangle 2
+/// offset by `(dt, dz)` from rectangle 1's anchor corner — all microns.
+///
+/// Mirrors [`mutual_partial`] for the uniform-filament-mesh case (every
+/// filament of a meshed system shares the axial span), but is a pure
+/// function of the relative placement, so the fast-operator kernel cache
+/// can memoize it by `(w1, t1, w2, t2, dt, dz)`. Values agree with
+/// [`mutual_partial`] to quadrature round-off (~1e-14 relative); the dense
+/// path keeps the absolute-coordinate route for bit-stability.
+///
+/// `far` is the near/far GMD branch, which the caller must take from
+/// [`crate::gmd::cross_section_is_far`] on the actual bars: regular meshes
+/// put pairs exactly at the threshold, where re-deriving the branch from
+/// relative offsets can land on the other side and pick up the full
+/// far-field approximation error (~1e-3) against [`mutual_partial`].
+#[allow(clippy::too_many_arguments)] // six scalars fully describe the relative pair
+pub fn mutual_partial_relative(
+    length_um: f64,
+    w1: f64,
+    t1: f64,
+    w2: f64,
+    t2: f64,
+    dt: f64,
+    dz: f64,
+    far: bool,
+) -> f64 {
+    let scale = w1.max(t1).max(w2).max(t2);
+    let cx = dt + 0.5 * (w2 - w1);
+    let cz = dz + 0.5 * (t2 - t1);
+    let center = cx.hypot(cz);
+    let d_um = if center < 1e-9 * scale.max(1.0) {
+        self_gmd(0.5 * (w1 + w2), 0.5 * (t1 + t2))
+    } else {
+        relative_gmd_with(w1, t1, w2, t2, dt, dz, far)
+    };
+    mutual_filaments_aligned_m(um_to_m(length_um), um_to_m(d_um))
 }
 
 /// Volume-overlap test with a relative tolerance: filament tilings touch at
@@ -297,6 +337,29 @@ mod tests {
             &b.translated(50.0, 30.0, 0.0),
         );
         assert!((m0 - m1).abs() / m0 < 1e-12);
+    }
+
+    #[test]
+    fn relative_mutual_matches_absolute_mutual() {
+        // Aligned equal-length pairs through both entry points agree to
+        // quadrature round-off across near (integrated GMD), collinear
+        // (self-GMD) and far (center-distance) branches.
+        let cases = [
+            (6.0, 0.0),  // near: 1 µm gap, coplanar
+            (0.0, 30.0), // far: stacked 30 µm apart
+            (6.5, -4.0), // diagonal offset
+        ];
+        for (dy, dz) in cases {
+            let a = Bar::new(Point3::new(0.0, 2.0, 10.0), Axis::X, 1000.0, 5.0, 2.0).unwrap();
+            let b = a.translated(0.0, dy, dz);
+            let m_abs = mutual_partial(&a, &b);
+            let far = crate::gmd::cross_section_is_far(&a, &b);
+            let m_rel = mutual_partial_relative(1000.0, 5.0, 2.0, 5.0, 2.0, dy, dz, far);
+            assert!(
+                (m_abs - m_rel).abs() / m_abs.abs().max(1e-300) < 1e-11,
+                "dy={dy} dz={dz}: {m_abs} vs {m_rel}"
+            );
+        }
     }
 
     #[test]

@@ -7,30 +7,17 @@
 //! * the frequency-dependent conductor impedance matrix `Z(ω)` including
 //!   skin and proximity effects, via the volume-filament solve.
 
+use crate::fastop::{
+    self, BlockDiagPrecond, FastOpOptions, FastZOperator, KernelCache, SolverBackend,
+};
 use crate::mesh::MeshSpec;
 use crate::partial::{dc_resistance, mutual_partial, self_partial};
 use crate::{PeecError, Result};
 use rlcx_geom::Bar;
 use rlcx_numeric::lu::CLuDecomposition;
 use rlcx_numeric::obs;
-use rlcx_numeric::parallel::{par_map_threads, thread_count};
+use rlcx_numeric::parallel::{balanced_index, par_map_threads, thread_count};
 use rlcx_numeric::{CMatrix, Complex, Matrix, Timings};
-
-/// Row index of the `k`-th work item when the `n` upper-triangle rows are
-/// walked heaviest-first interleaved with lightest-first (0, n−1, 1, n−2, …).
-///
-/// Row `i` of the upper triangle holds `n − i` entries, so contiguous
-/// index sharding would hand the first thread almost all the work; this
-/// pairing keeps every contiguous shard near the average load while the
-/// *output* row stays identified by its true index — determinism is
-/// untouched.
-fn balanced_row(k: usize, n: usize) -> usize {
-    if k.is_multiple_of(2) {
-        k / 2
-    } else {
-        n - 1 - k / 2
-    }
-}
 
 /// One conductor of a [`PartialSystem`]: a bar plus its resistivity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,7 +121,7 @@ impl PartialSystem {
         let n = self.len();
         obs::counter_add("peec.lp.conductors", n as u64);
         let rows = par_map_threads(threads, n, |k| {
-            let i = balanced_row(k, n);
+            let i = balanced_index(k, n);
             // Entries (i, i..n) of the upper triangle.
             let mut row = vec![0.0; n - i];
             row[0] = self_partial(&self.conductors[i].bar);
@@ -200,6 +187,10 @@ impl PartialSystem {
     /// `assemble` (filament Z fill), `factor` (LU inverse) and `reduce`
     /// (conductor-level admittance collapse) are accumulated into `timings`.
     ///
+    /// Uses [`SolverBackend::Auto`]: dense below
+    /// [`crate::fastop::ITERATIVE_CUTOVER`] filaments (bit-identical to the
+    /// historical dense-only behaviour), the matrix-free GMRES path above.
+    ///
     /// # Errors
     ///
     /// Same as [`PartialSystem::impedance_at`].
@@ -207,6 +198,45 @@ impl PartialSystem {
         &self,
         f: f64,
         mesh_for: impl Fn(usize) -> MeshSpec,
+        timings: &mut Timings,
+    ) -> Result<CMatrix> {
+        self.impedance_at_backend(f, mesh_for, SolverBackend::Auto, timings)
+    }
+
+    /// [`PartialSystem::impedance_at_with`] with an explicit
+    /// [`SolverBackend`] (and no timing capture).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PartialSystem::impedance_at`]; the iterative backend can
+    /// additionally fail with
+    /// [`rlcx_numeric::NumericError::DidNotConverge`] (wrapped in
+    /// [`PeecError::Numeric`]) if GMRES exhausts its iteration budget.
+    pub fn impedance_at_with_backend(
+        &self,
+        f: f64,
+        mesh_for: impl Fn(usize) -> MeshSpec,
+        backend: SolverBackend,
+    ) -> Result<CMatrix> {
+        let mut scratch = Timings::new();
+        self.impedance_at_backend(f, mesh_for, backend, &mut scratch)
+    }
+
+    /// The full impedance entry point: per-conductor mesh, explicit
+    /// [`SolverBackend`], per-stage timings. The stage names are shared by
+    /// both backends — `mesh`, `assemble` (dense fill / fast-operator
+    /// build), `factor` (dense LU inverse / block-preconditioner LUs) and
+    /// `reduce` (admittance collapse; on the iterative path this includes
+    /// the GMRES solves).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PartialSystem::impedance_at_with_backend`].
+    pub fn impedance_at_backend(
+        &self,
+        f: f64,
+        mesh_for: impl Fn(usize) -> MeshSpec,
+        backend: SolverBackend,
         timings: &mut Timings,
     ) -> Result<CMatrix> {
         if !(f > 0.0 && f.is_finite()) {
@@ -233,6 +263,9 @@ impl PartialSystem {
         });
         obs::counter_add("peec.filaments", fils.len() as u64);
         let omega = 2.0 * std::f64::consts::PI * f;
+        if backend.is_iterative(fils.len()) {
+            return self.impedance_iterative(&fils, &owner, &rhos, omega, timings);
+        }
         let zf = timings.time("assemble", || {
             obs::with_span("peec.assemble", || {
                 filament_z_matrix(&fils, &rhos, omega, thread_count())
@@ -257,8 +290,43 @@ impl PartialSystem {
         })
     }
 
+    /// The matrix-free path: kernel-cached hierarchical operator,
+    /// per-conductor block preconditioner, one GMRES solve per conductor.
+    fn impedance_iterative(
+        &self,
+        fils: &[Bar],
+        owner: &[usize],
+        rhos: &[f64],
+        omega: f64,
+        timings: &mut Timings,
+    ) -> Result<CMatrix> {
+        obs::counter_add("peec.solves.iterative", 1);
+        // Every filament shares the conductors' common axial span, so the
+        // kernel cache key never needs the axial coordinate.
+        let mut kernel = KernelCache::new(self.conductors[0].bar.length());
+        let op = timings.time("assemble", || {
+            obs::with_span("peec.assemble", || {
+                FastZOperator::new(fils, rhos, omega, &mut kernel, &FastOpOptions::default())
+            })
+        });
+        let pre = timings.time("factor", || {
+            obs::with_span("peec.factor", || {
+                BlockDiagPrecond::new(fils, rhos, owner, self.len(), omega, &mut kernel)
+            })
+        })?;
+        let _reduce_span = obs::span("peec.reduce");
+        timings.time("reduce", || {
+            let ycond = fastop::conductor_admittance(&op, &pre, owner, self.len())?;
+            Ok(CLuDecomposition::new(&ycond)?.inverse()?)
+        })
+    }
+
     /// Meshes every conductor into filaments, returning the filament bars,
     /// the owning conductor index of each filament, and its resistivity.
+    ///
+    /// The resistivity is a per-conductor constant, computed once and
+    /// replicated across that conductor's filaments (it used to be pushed
+    /// filament-by-filament, re-reading the conductor each time).
     fn meshed_filaments(
         &self,
         mesh_for: impl Fn(usize) -> MeshSpec,
@@ -267,11 +335,12 @@ impl PartialSystem {
         let mut owner: Vec<usize> = Vec::new();
         let mut rhos: Vec<f64> = Vec::new();
         for (ci, c) in self.conductors.iter().enumerate() {
-            for fil in mesh_for(ci).filaments(&c.bar) {
-                fils.push(fil);
-                owner.push(ci);
-                rhos.push(c.rho);
-            }
+            let conductor_fils = mesh_for(ci).filaments(&c.bar);
+            let count = conductor_fils.len();
+            let rho = c.rho;
+            fils.extend(conductor_fils);
+            owner.extend(std::iter::repeat_n(ci, count));
+            rhos.extend(std::iter::repeat_n(rho, count));
         }
         (fils, owner, rhos)
     }
@@ -326,7 +395,21 @@ impl PartialSystem {
     ///
     /// Propagates [`PartialSystem::impedance_at`] errors.
     pub fn rl_at(&self, f: f64, mesh: MeshSpec) -> Result<(Matrix, Matrix)> {
-        let z = self.impedance_at(f, mesh)?;
+        self.rl_at_backend(f, mesh, SolverBackend::Auto)
+    }
+
+    /// [`PartialSystem::rl_at`] with an explicit [`SolverBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartialSystem::impedance_at_with_backend`] errors.
+    pub fn rl_at_backend(
+        &self,
+        f: f64,
+        mesh: MeshSpec,
+        backend: SolverBackend,
+    ) -> Result<(Matrix, Matrix)> {
+        let z = self.impedance_at_with_backend(f, |_| mesh, backend)?;
         let omega = 2.0 * std::f64::consts::PI * f;
         let n = z.rows();
         let mut r = Matrix::zeros(n, n);
@@ -351,7 +434,7 @@ impl PartialSystem {
 fn filament_z_matrix(fils: &[Bar], rhos: &[f64], omega: f64, threads: usize) -> CMatrix {
     let nf = fils.len();
     let rows = par_map_threads(threads, nf, |k| {
-        let i = balanced_row(k, nf);
+        let i = balanced_index(k, nf);
         let mut row = vec![Complex::ZERO; nf - i];
         row[0] = Complex::new(
             dc_resistance(&fils[i], rhos[i]),
@@ -552,9 +635,11 @@ mod tests {
     }
 
     #[test]
-    fn balanced_row_is_a_permutation() {
+    fn balanced_index_is_a_permutation() {
+        // The interleave now lives in rlcx_numeric::parallel; this keeps
+        // the solver-level contract pinned from this crate too.
         for n in [1, 2, 3, 8, 17] {
-            let mut seen: Vec<usize> = (0..n).map(|k| balanced_row(k, n)).collect();
+            let mut seen: Vec<usize> = (0..n).map(|k| balanced_index(k, n)).collect();
             seen.sort_unstable();
             assert_eq!(seen, (0..n).collect::<Vec<_>>(), "n={n}");
         }
@@ -597,6 +682,74 @@ mod tests {
             .unwrap();
         for stage in ["mesh", "assemble", "factor", "reduce"] {
             assert!(timings.get(stage).is_some(), "missing stage {stage}");
+        }
+    }
+
+    #[test]
+    fn meshed_filaments_rho_precompute_regression() {
+        // Satellite bugfix regression: precomputing rho once per conductor
+        // must leave filament counts and resistances exactly as the old
+        // per-filament push produced them.
+        let sys = cpw_system(1200.0);
+        let mesh = MeshSpec::new(4, 3);
+        let (fils, owner, rhos) = sys.meshed_filaments(|_| mesh);
+        assert_eq!(fils.len(), 3 * mesh.filament_count());
+        assert_eq!(owner.len(), fils.len());
+        assert_eq!(rhos.len(), fils.len());
+        for (k, (fil, (&ci, &rho))) in fils.iter().zip(owner.iter().zip(&rhos)).enumerate() {
+            // Reference semantics: one rho per filament, read off its owner.
+            let expect = sys.conductors()[ci].rho;
+            assert_eq!(rho.to_bits(), expect.to_bits(), "filament {k}");
+            let r = dc_resistance(fil, rho);
+            let r_old = dc_resistance(fil, sys.conductors()[k / mesh.filament_count()].rho);
+            assert_eq!(r.to_bits(), r_old.to_bits(), "filament {k} resistance");
+        }
+    }
+
+    #[test]
+    fn iterative_backend_matches_dense_on_cpw() {
+        let sys = cpw_system(1500.0);
+        let mesh = MeshSpec::new(4, 3);
+        let f = 3.2e9;
+        let zd = sys
+            .impedance_at_with_backend(f, |_| mesh, SolverBackend::Dense)
+            .unwrap();
+        let zi = sys
+            .impedance_at_with_backend(f, |_| mesh, SolverBackend::Iterative)
+            .unwrap();
+        let scale = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| zd[(i, j)].abs())
+            .fold(0.0, f64::max);
+        for i in 0..3 {
+            for j in 0..3 {
+                let err = (zd[(i, j)] - zi[(i, j)]).abs();
+                assert!(
+                    err <= 1e-9 * scale,
+                    "({i},{j}): dense {} vs iterative {}",
+                    zd[(i, j)],
+                    zi[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_backend_is_dense_below_cutover() {
+        // The default path must stay bit-identical to the historical dense
+        // solve for every system below the cutover.
+        let sys = cpw_system(900.0);
+        let mesh = MeshSpec::new(3, 2);
+        assert!(3 * mesh.filament_count() < crate::fastop::ITERATIVE_CUTOVER);
+        let z_auto = sys.impedance_at(2e9, mesh).unwrap();
+        let z_dense = sys
+            .impedance_at_with_backend(2e9, |_| mesh, SolverBackend::Dense)
+            .unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(z_auto[(i, j)].re.to_bits(), z_dense[(i, j)].re.to_bits());
+                assert_eq!(z_auto[(i, j)].im.to_bits(), z_dense[(i, j)].im.to_bits());
+            }
         }
     }
 

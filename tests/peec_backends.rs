@@ -1,0 +1,122 @@
+//! Backend-equivalence properties of the filament impedance solve over
+//! seeded random geometries: the matrix-free iterative path (kernel-cached
+//! hierarchical operator + preconditioned GMRES) must reproduce the dense
+//! LU path to far beyond table accuracy, and the automatic backend must be
+//! bit-identical to dense below the cutover.
+
+use rlcx::geom::units::RHO_COPPER;
+use rlcx::geom::{Axis, Bar, Point3};
+use rlcx::numeric::rng::{SplitMix64, UniformRng};
+use rlcx::peec::{Conductor, MeshSpec, PartialSystem, SolverBackend, ITERATIVE_CUTOVER};
+
+/// A random coplanar bus: `n` parallel traces on one layer with random
+/// widths and gaps, random thickness and length.
+fn random_cpw(rng: &mut SplitMix64, n: usize) -> PartialSystem {
+    let len = rng.uniform(300.0, 2500.0);
+    let t = rng.uniform(1.0, 3.0);
+    let mut y = 0.0;
+    (0..n)
+        .map(|_| {
+            let w = rng.uniform(1.0, 12.0);
+            let bar = Bar::new(Point3::new(0.0, y, 10.0), Axis::X, len, w, t).unwrap();
+            y += w + rng.uniform(0.6, 8.0);
+            Conductor::new(bar, RHO_COPPER).unwrap()
+        })
+        .collect()
+}
+
+/// A random microstrip: one signal trace over a wide plane conductor two
+/// to six microns below it.
+fn random_microstrip(rng: &mut SplitMix64) -> PartialSystem {
+    let len = rng.uniform(300.0, 2500.0);
+    let t = rng.uniform(1.0, 3.0);
+    let w = rng.uniform(2.0, 12.0);
+    let h = rng.uniform(2.0, 6.0);
+    let plane_w = rng.uniform(30.0, 80.0);
+    let sig = Bar::new(
+        Point3::new(0.0, 0.5 * (plane_w - w), 8.0 + h),
+        Axis::X,
+        len,
+        w,
+        t,
+    )
+    .unwrap();
+    let plane = Bar::new(Point3::new(0.0, 0.0, 8.0 - t), Axis::X, len, plane_w, t).unwrap();
+    [sig, plane]
+        .into_iter()
+        .map(|bar| Conductor::new(bar, RHO_COPPER).unwrap())
+        .collect()
+}
+
+/// Max entrywise |dense − iterative| relative to the largest dense entry.
+fn backend_disagreement(sys: &PartialSystem, f: f64, mesh: MeshSpec) -> f64 {
+    let zd = sys
+        .impedance_at_with_backend(f, |_| mesh, SolverBackend::Dense)
+        .unwrap();
+    let zi = sys
+        .impedance_at_with_backend(f, |_| mesh, SolverBackend::Iterative)
+        .unwrap();
+    let n = sys.len();
+    let mut scale = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            scale = scale.max(zd[(i, j)].abs());
+        }
+    }
+    let mut err = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            err = err.max((zd[(i, j)] - zi[(i, j)]).abs() / scale);
+        }
+    }
+    err
+}
+
+#[test]
+fn iterative_backend_matches_dense_on_random_cpw_buses() {
+    let mut rng = SplitMix64::new(0x5EEC);
+    for round in 0..6 {
+        let n = 2 + (rng.next_u64() % 3) as usize;
+        let sys = random_cpw(&mut rng, n);
+        let f = rng.uniform(5e8, 8e9);
+        let err = backend_disagreement(&sys, f, MeshSpec::new(4, 3));
+        assert!(err < 1e-9, "round {round}: backends disagree by {err:.3e}");
+    }
+}
+
+#[test]
+fn iterative_backend_matches_dense_on_random_microstrips() {
+    let mut rng = SplitMix64::new(0xA11C);
+    for round in 0..6 {
+        let sys = random_microstrip(&mut rng);
+        let f = rng.uniform(5e8, 8e9);
+        let err = backend_disagreement(&sys, f, MeshSpec::new(5, 3));
+        assert!(err < 1e-9, "round {round}: backends disagree by {err:.3e}");
+    }
+}
+
+#[test]
+fn auto_backend_crosses_to_iterative_and_still_agrees() {
+    // A mesh big enough that Auto takes the matrix-free path; Auto must
+    // then be bit-identical to the explicitly iterative backend, and both
+    // within solver precision of dense.
+    let mut rng = SplitMix64::new(0xC0DE);
+    let sys = random_cpw(&mut rng, 3);
+    let mesh = MeshSpec::new(15, 10);
+    assert!(sys.len() * mesh.nw() * mesh.nt() > ITERATIVE_CUTOVER);
+    let f = 3.2e9;
+    let za = sys
+        .impedance_at_with_backend(f, |_| mesh, SolverBackend::Auto)
+        .unwrap();
+    let zi = sys
+        .impedance_at_with_backend(f, |_| mesh, SolverBackend::Iterative)
+        .unwrap();
+    for i in 0..3 {
+        for j in 0..3 {
+            assert_eq!(za[(i, j)].re.to_bits(), zi[(i, j)].re.to_bits());
+            assert_eq!(za[(i, j)].im.to_bits(), zi[(i, j)].im.to_bits());
+        }
+    }
+    let err = backend_disagreement(&sys, f, mesh);
+    assert!(err < 1e-9, "above-cutover disagreement {err:.3e}");
+}
