@@ -9,7 +9,9 @@
 //! * [`BufferModel`] — Thevenin clock buffer: source resistance, input
 //!   capacitance, intrinsic delay, output edge rate,
 //! * [`ClockTreeAnalyzer`] — per-stage transient simulation via
-//!   `rlcx-core`'s netlist formulation, path-accumulated delays,
+//!   `rlcx-core`'s netlist formulation, path-accumulated delays; or, via
+//!   [`ClockTreeAnalyzer::reduced`], closed-form delay queries against a
+//!   PRIMA-reduced passive macromodel of each stage,
 //! * [`SkewReport`] — per-sink insertion delays and skew.
 //!
 //! # Example
@@ -61,7 +63,7 @@ use rlcx_core::{ClocktreeExtractor, CoreError, TreeNetlistBuilder};
 use rlcx_geom::{Block, HTree, SegmentTree};
 use rlcx_numeric::obs;
 use rlcx_numeric::rng::UniformRng;
-use rlcx_spice::{measure, Stepping, Transient, Waveform};
+use rlcx_spice::{measure, Reduce, ReductionOrder, Stepping, Transient, Waveform};
 
 /// Convenient result alias (clocktree analysis surfaces `rlcx-core` errors).
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -149,6 +151,7 @@ pub struct ClockTreeAnalyzer<'a> {
     timestep: f64,
     duration: f64,
     stepping: Stepping,
+    reduction: Option<ReductionOrder>,
 }
 
 impl<'a> ClockTreeAnalyzer<'a> {
@@ -164,7 +167,20 @@ impl<'a> ClockTreeAnalyzer<'a> {
             timestep: 0.5e-12,
             duration: 3e-9,
             stepping: Stepping::default(),
+            reduction: None,
         }
+    }
+
+    /// Switches stage delay evaluation from transient simulation to a
+    /// PRIMA-reduced macromodel: each stage netlist is characterized once
+    /// (block-Arnoldi projection to [`ReductionOrder::order`] states) and
+    /// every sink's 50 % delay is then answered in closed form from the
+    /// pole/residue view — no time stepping. The per-stage window set by
+    /// [`ClockTreeAnalyzer::duration`] still bounds the crossing search.
+    #[must_use]
+    pub fn reduced(mut self, order: ReductionOrder) -> Self {
+        self.reduction = Some(order);
+        self
     }
 
     /// Enables or disables series inductance (RC baseline when false).
@@ -246,6 +262,27 @@ impl<'a> ClockTreeAnalyzer<'a> {
             ))
             .sink_caps(sink_caps.to_vec())
             .build(stage, cross)?;
+        if let Some(order) = self.reduction {
+            // Macromodel path: reduce once, answer every sink in closed
+            // form. The source drives `drv_in` directly, so the reduced
+            // model's source-referenced delay is the same quantity the
+            // transient path measures from the `drv_in` waveform.
+            let model = Reduce::new(&out.netlist)
+                .order(order)
+                .outputs(out.sinks.iter().map(String::as_str))
+                .run()
+                .map_err(CoreError::Spice)?;
+            let raw = model
+                .delay_50_all(self.duration)
+                .map_err(CoreError::Spice)?;
+            let mut delays = Vec::with_capacity(out.sinks.len());
+            for (sink, d) in out.sinks.iter().zip(raw) {
+                delays.push(d.ok_or_else(|| CoreError::MissingTable {
+                    what: format!("sink {sink} never reached midswing — lengthen the window"),
+                })?);
+            }
+            return Ok(delays);
+        }
         let res = Transient::new(&out.netlist)
             .timestep(self.timestep)
             .duration(self.duration)
@@ -554,6 +591,41 @@ mod tests {
         assert!(an
             .stage_delays_with_loads(&stage, &cpw(), &[1e-15])
             .is_err());
+    }
+
+    #[test]
+    fn reduced_stage_matches_transient_delays() {
+        let ex = extractor();
+        let htree = HTree::new(1, 6400.0).unwrap();
+        let stage = htree.level(0).unwrap().stage_tree();
+        // Imbalanced loads so the sinks genuinely differ.
+        let loads = [300e-15, 60e-15, 60e-15, 60e-15];
+        let full = ClockTreeAnalyzer::new(&ex, BufferModel::strong())
+            .timestep(0.1e-12)
+            .stage_delays_with_loads(&stage, &cpw(), &loads)
+            .unwrap();
+        let reduced = ClockTreeAnalyzer::new(&ex, BufferModel::strong())
+            .reduced(ReductionOrder::new(24))
+            .stage_delays_with_loads(&stage, &cpw(), &loads)
+            .unwrap();
+        for (f, r) in full.iter().zip(&reduced) {
+            assert!(
+                (f - r).abs() < 0.1e-12,
+                "transient {f} vs reduced {r} disagree beyond 0.1 ps"
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_analysis_keeps_the_symmetric_tree_skew_free() {
+        let ex = extractor();
+        let an =
+            ClockTreeAnalyzer::new(&ex, BufferModel::strong()).reduced(ReductionOrder::default());
+        let htree = HTree::new(2, 3200.0).unwrap();
+        let report = an.analyze(&htree, &cpw()).unwrap();
+        assert_eq!(report.sink_delays.len(), 16);
+        assert!(report.skew() < 1e-15);
+        assert!(report.insertion_delay > 0.1e-9);
     }
 
     #[test]

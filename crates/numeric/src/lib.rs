@@ -14,6 +14,9 @@
 //! * [`gmres`] — restarted GMRES over `f64`/[`Complex`] with a matrix-free
 //!   [`gmres::LinearOperator`] trait, the Krylov engine behind the fast
 //!   PEEC solve path,
+//! * [`mor`] — PRIMA-style passive model-order reduction: block-Arnoldi
+//!   moment matching, congruence projection, a dense eigensolver for the
+//!   reduced pencil and closed-form pole/residue delay queries,
 //! * [`sparse`] — triplet→CSC sparse matrices, a fill-reducing
 //!   minimum-degree ordering and a symbolic/numeric-split sparse LU
 //!   ([`sparse::SparseLu`]) that the MNA circuit solves run on,
@@ -57,6 +60,7 @@ pub mod condest;
 pub mod gmres;
 pub mod lu;
 pub mod matrix;
+pub mod mor;
 pub mod obs;
 pub mod parallel;
 pub mod quadrature;

@@ -1,0 +1,645 @@
+//! Dense nonsymmetric eigensolver for the reduced pencils.
+//!
+//! The matrices diagonalized here are the k×k operators `K̂⁻¹Ĉ` of a
+//! PRIMA projection — tens of states — so a textbook O(k³) dense path is
+//! the right tool: real Householder reduction to Hessenberg form, a
+//! complex single-shift QR iteration with Wilkinson shifts and Givens
+//! rotations for the eigenvalues, and shifted inverse iteration for the
+//! right eigenvectors. Arbitrary real spectra (complex-conjugate pairs
+//! from underdamped RLC modes included) are handled by running the QR
+//! sweep in complex arithmetic from the start.
+
+use crate::lu::CLuDecomposition;
+use crate::{CMatrix, Complex, Matrix, NumericError, Result};
+
+/// An eigendecomposition `A = X·diag(λ)·X⁻¹` of a real square matrix.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues, in QR deflation order.
+    pub values: Vec<Complex>,
+    /// Right eigenvectors as the columns of `X`, each L2-normalized.
+    pub vectors: CMatrix,
+}
+
+/// Computes the eigenvalues of a real square matrix.
+///
+/// # Errors
+///
+/// * [`NumericError::DimensionMismatch`] for a non-square input.
+/// * [`NumericError::DidNotConverge`] if the QR iteration exhausts its
+///   budget (does not occur for the well-scaled reduced pencils this
+///   module exists for).
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>> {
+    let balanced = balance(a)?;
+    let h = hessenberg(&balanced)?;
+    qr_eigenvalues(&h)
+}
+
+/// Parlett–Reinsch balancing: a diagonal similarity `D⁻¹AD` with
+/// power-of-two scale factors (exact in floating point) that equalizes
+/// each row/column 1-norm pair. Eigenvalues are untouched, but the norm
+/// of a badly scaled matrix shrinks toward its spectral radius — without
+/// this, the small eigenvalues of the `K̂⁻¹Ĉ` pencils (which mix O(1)
+/// voltage and O(L) flux scales) drown in `eps·‖A‖` round-off and can
+/// surface as spurious right-half-plane poles.
+fn balance(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(NumericError::DimensionMismatch {
+            expected: "square matrix".into(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    const RADIX: f64 = 2.0;
+    const B2: f64 = RADIX * RADIX;
+    let n = a.rows();
+    let mut m = a.clone();
+    loop {
+        let mut converged = true;
+        for i in 0..n {
+            let mut c = 0.0f64;
+            let mut r = 0.0f64;
+            for j in 0..n {
+                if j != i {
+                    c += m[(j, i)].abs();
+                    r += m[(i, j)].abs();
+                }
+            }
+            if c == 0.0 || r == 0.0 || !(c.is_finite() && r.is_finite()) {
+                continue;
+            }
+            let s = c + r;
+            let mut f = 1.0f64;
+            let mut g = r / RADIX;
+            while c < g {
+                f *= RADIX;
+                c *= B2;
+            }
+            g = r * RADIX;
+            while c >= g {
+                f /= RADIX;
+                c /= B2;
+            }
+            if (c + r) / f < 0.95 * s {
+                converged = false;
+                let ginv = 1.0 / f;
+                for j in 0..n {
+                    m[(i, j)] *= ginv;
+                }
+                for j in 0..n {
+                    m[(j, i)] *= f;
+                }
+            }
+        }
+        if converged {
+            return Ok(m);
+        }
+    }
+}
+
+/// Computes eigenvalues and right eigenvectors of a real square matrix.
+///
+/// # Errors
+///
+/// As [`eigenvalues`], plus [`NumericError::DidNotConverge`] when
+/// inverse iteration cannot separate a defective cluster.
+pub fn eigen_dense(a: &Matrix) -> Result<Eigen> {
+    let values = eigenvalues(a)?;
+    let vectors = right_vectors(a, &values)?;
+    Ok(Eigen { values, vectors })
+}
+
+/// Eigendecomposition `A = U·diag(λ)·Uᵀ` of a symmetric matrix by cyclic
+/// Jacobi rotations, `U` orthonormal. Jacobi is the right tool for the
+/// projected storage matrices `Ĉ = VᵀCV`: their spectra hold tight
+/// clusters straddling zero (physical capacitances next to round-off
+/// images of storage-free constraint rows), where shifted-QR inverse
+/// iteration cannot separate eigenvectors but Jacobi converges
+/// unconditionally with orthogonality by construction.
+///
+/// # Errors
+///
+/// * [`NumericError::DimensionMismatch`] for a non-square input.
+/// * [`NumericError::DidNotConverge`] if the off-diagonal mass has not
+///   collapsed after the sweep budget (does not occur for symmetric
+///   input).
+pub fn eigen_symmetric(a: &Matrix) -> Result<(Vec<f64>, Matrix)> {
+    if !a.is_square() {
+        return Err(NumericError::DimensionMismatch {
+            expected: "square matrix".into(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut u = Matrix::zeros(n, n);
+    for i in 0..n {
+        u[(i, i)] = 1.0;
+    }
+    if n <= 1 {
+        let values = (0..n).map(|i| m[(i, i)]).collect();
+        return Ok((values, u));
+    }
+    let scale = max_abs(a).max(f64::MIN_POSITIVE);
+    let mut converged = false;
+    for _sweep in 0..64 {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                off = off.max(m[(i, j)].abs());
+            }
+        }
+        if off <= f64::EPSILON * scale {
+            converged = true;
+            break;
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                let apq = m[(i, j)];
+                if apq.abs() <= f64::EPSILON * scale * 1e-3 {
+                    continue;
+                }
+                let theta = (m[(j, j)] - m[(i, i)]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + theta.hypot(1.0));
+                let c = 1.0 / t.hypot(1.0);
+                let s = t * c;
+                // M ← JᵀMJ with J rotating columns (i, j); U ← UJ.
+                for r in 0..n {
+                    let mi = m[(r, i)];
+                    let mj = m[(r, j)];
+                    m[(r, i)] = c * mi - s * mj;
+                    m[(r, j)] = s * mi + c * mj;
+                }
+                for r in 0..n {
+                    let mi = m[(i, r)];
+                    let mj = m[(j, r)];
+                    m[(i, r)] = c * mi - s * mj;
+                    m[(j, r)] = s * mi + c * mj;
+                }
+                m[(i, j)] = 0.0;
+                m[(j, i)] = 0.0;
+                for r in 0..n {
+                    let ui = u[(r, i)];
+                    let uj = u[(r, j)];
+                    u[(r, i)] = c * ui - s * uj;
+                    u[(r, j)] = s * ui + c * uj;
+                }
+            }
+        }
+    }
+    if !converged {
+        return Err(NumericError::DidNotConverge {
+            iterations: 64,
+            residual: scale,
+        });
+    }
+    let values = (0..n).map(|i| m[(i, i)]).collect();
+    Ok((values, u))
+}
+
+/// Householder reduction of a real matrix to upper Hessenberg form.
+fn hessenberg(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(NumericError::DimensionMismatch {
+            expected: "square matrix".into(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    let n = a.rows();
+    let mut h = a.clone();
+    if n < 3 {
+        return Ok(h);
+    }
+    let mut v = vec![0.0; n];
+    for k in 0..n - 2 {
+        let mut xnorm = 0.0f64;
+        for i in k + 1..n {
+            xnorm = xnorm.hypot(h[(i, k)]);
+        }
+        if xnorm == 0.0 {
+            continue;
+        }
+        let alpha = if h[(k + 1, k)] >= 0.0 { -xnorm } else { xnorm };
+        v[k + 1] = h[(k + 1, k)] - alpha;
+        for i in k + 2..n {
+            v[i] = h[(i, k)];
+        }
+        let vnorm2: f64 = (k + 1..n).map(|i| v[i] * v[i]).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        let beta = 2.0 / vnorm2;
+        // Left: H ← (I − βvvᵀ)H on rows k+1.. (columns k.. suffice).
+        for j in k..n {
+            let dot: f64 = (k + 1..n).map(|i| v[i] * h[(i, j)]).sum();
+            let dot = beta * dot;
+            for i in k + 1..n {
+                h[(i, j)] -= dot * v[i];
+            }
+        }
+        // Right: H ← H(I − βvvᵀ) on columns k+1.. (all rows).
+        for i in 0..n {
+            let dot: f64 = (k + 1..n).map(|j| h[(i, j)] * v[j]).sum();
+            let dot = beta * dot;
+            for j in k + 1..n {
+                h[(i, j)] -= dot * v[j];
+            }
+        }
+        // The reflection zeroes the column below the subdiagonal exactly.
+        h[(k + 1, k)] = alpha;
+        for i in k + 2..n {
+            h[(i, k)] = 0.0;
+        }
+    }
+    Ok(h)
+}
+
+/// Complex Givens rotation `G = [[c, s̄], [−s, c]]` (c real) with
+/// `G·[a; b] = [r; 0]`.
+fn givens(a: Complex, b: Complex) -> (f64, Complex, Complex) {
+    let na = a.abs();
+    let nb = b.abs();
+    if nb == 0.0 {
+        return (1.0, Complex::ZERO, a);
+    }
+    let r = na.hypot(nb);
+    if na == 0.0 {
+        return (0.0, b.scale(1.0 / nb), Complex::from_real(nb));
+    }
+    let c = na / r;
+    let s = (b * a.conj()).scale(1.0 / (r * na));
+    (c, s, a.scale(r / na))
+}
+
+/// Wilkinson shift: the eigenvalue of the trailing 2×2 block closest to
+/// the corner entry.
+fn wilkinson_shift(m: &CMatrix, hi: usize) -> Complex {
+    let a = m[(hi - 1, hi - 1)];
+    let b = m[(hi - 1, hi)];
+    let c = m[(hi, hi - 1)];
+    let d = m[(hi, hi)];
+    let mid = (a + d).scale(0.5);
+    let half = (a - d).scale(0.5);
+    let sq = (half * half + b * c).sqrt();
+    let l1 = mid + sq;
+    let l2 = mid - sq;
+    if (l1 - d).abs() <= (l2 - d).abs() {
+        l1
+    } else {
+        l2
+    }
+}
+
+/// One explicit shifted QR sweep on the active window `[lo, hi]`:
+/// `H − σI = QR` via Givens rotations, then `H ← RQ + σI`.
+fn qr_step(m: &mut CMatrix, lo: usize, hi: usize, shift: Complex) {
+    for i in lo..=hi {
+        m[(i, i)] -= shift;
+    }
+    let mut rots = Vec::with_capacity(hi - lo);
+    for i in lo..hi {
+        let (c, s, r) = givens(m[(i, i)], m[(i + 1, i)]);
+        m[(i, i)] = r;
+        m[(i + 1, i)] = Complex::ZERO;
+        for j in i + 1..=hi {
+            let t1 = m[(i, j)];
+            let t2 = m[(i + 1, j)];
+            m[(i, j)] = t1.scale(c) + s.conj() * t2;
+            m[(i + 1, j)] = t2.scale(c) - s * t1;
+        }
+        rots.push((c, s));
+    }
+    for (idx, &(c, s)) in rots.iter().enumerate() {
+        let i = lo + idx;
+        for r in lo..=(i + 1).min(hi) {
+            let t1 = m[(r, i)];
+            let t2 = m[(r, i + 1)];
+            m[(r, i)] = t1.scale(c) + s * t2;
+            m[(r, i + 1)] = t2.scale(c) - s.conj() * t1;
+        }
+    }
+    for i in lo..=hi {
+        m[(i, i)] += shift;
+    }
+}
+
+/// Shifted-QR eigenvalues of a real upper-Hessenberg matrix.
+fn qr_eigenvalues(h: &Matrix) -> Result<Vec<Complex>> {
+    let n = h.rows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut m = CMatrix::zeros(n, n);
+    let mut hnorm = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = Complex::from_real(h[(i, j)]);
+            hnorm = hnorm.max(h[(i, j)].abs());
+        }
+    }
+    if hnorm == 0.0 {
+        hnorm = 1.0;
+    }
+    let eps = f64::EPSILON;
+    let mut values = vec![Complex::ZERO; n];
+    let mut hi = n - 1;
+    let mut its = 0usize;
+    let mut total = 0usize;
+    let max_total = 100 * n + 100;
+    loop {
+        if hi == 0 {
+            values[0] = m[(0, 0)];
+            break;
+        }
+        // Deflation scan: find the top of the unreduced trailing block.
+        let mut lo = hi;
+        while lo > 0 {
+            let s = m[(lo - 1, lo - 1)].abs() + m[(lo, lo)].abs();
+            let s = if s == 0.0 { hnorm } else { s };
+            if m[(lo, lo - 1)].abs() <= eps * s {
+                break;
+            }
+            lo -= 1;
+        }
+        if lo > 0 {
+            m[(lo, lo - 1)] = Complex::ZERO;
+        }
+        if lo == hi {
+            values[hi] = m[(hi, hi)];
+            hi -= 1;
+            its = 0;
+            continue;
+        }
+        total += 1;
+        its += 1;
+        if total > max_total {
+            return Err(NumericError::DidNotConverge {
+                iterations: total,
+                residual: m[(hi, hi - 1)].abs(),
+            });
+        }
+        let shift = if its.is_multiple_of(12) {
+            // Exceptional shift to break rare symmetric cycles.
+            let extra = if hi >= 2 {
+                m[(hi - 1, hi - 2)].abs()
+            } else {
+                0.0
+            };
+            m[(hi, hi)] + Complex::from_real(m[(hi, hi - 1)].abs() + extra)
+        } else {
+            wilkinson_shift(&m, hi)
+        };
+        qr_step(&mut m, lo, hi, shift);
+    }
+    Ok(values)
+}
+
+fn max_abs(a: &Matrix) -> f64 {
+    a.as_slice().iter().fold(0.0f64, |acc, v| acc.max(v.abs()))
+}
+
+/// Right eigenvectors by shifted inverse iteration against the original
+/// matrix, with in-cluster orthogonalization so (near-)repeated
+/// eigenvalues still produce an invertible eigenvector matrix when the
+/// matrix is diagonalizable.
+fn right_vectors(a: &Matrix, values: &[Complex]) -> Result<CMatrix> {
+    let n = a.rows();
+    let mut x = CMatrix::zeros(n, n);
+    if n == 0 {
+        return Ok(x);
+    }
+    let anorm = max_abs(a).max(f64::MIN_POSITIVE);
+    let mut xv = vec![Complex::ZERO; n];
+    for (i, &lambda) in values.iter().enumerate() {
+        let cluster_tol = 1e-8 * (anorm + lambda.abs());
+        let mut pert = f64::EPSILON * (anorm + lambda.abs());
+        let mut lu = None;
+        for _ in 0..8 {
+            let mut shifted = CMatrix::zeros(n, n);
+            for r in 0..n {
+                for cidx in 0..n {
+                    shifted[(r, cidx)] = Complex::from_real(a[(r, cidx)]);
+                }
+                shifted[(r, r)] -= lambda + Complex::new(pert, pert);
+            }
+            match CLuDecomposition::new(&shifted) {
+                Ok(f) => {
+                    lu = Some(f);
+                    break;
+                }
+                Err(_) => pert *= 100.0,
+            }
+        }
+        let lu = lu.ok_or(NumericError::Singular { pivot: i })?;
+        for attempt in 0..3usize {
+            // Deterministic varied start (no external RNG in this crate's
+            // hot path; SplitMix-style mixing of the indices suffices).
+            for (j, slot) in xv.iter_mut().enumerate() {
+                let mix = (i + 1)
+                    .wrapping_mul(0x9e37)
+                    .wrapping_add((j + 1).wrapping_mul(0x85eb))
+                    .wrapping_add(attempt.wrapping_mul(0xc2b2));
+                *slot = Complex::new(
+                    1.0 + ((mix % 19) as f64) / 19.0,
+                    0.5 - ((mix % 23) as f64) / 23.0,
+                );
+            }
+            for _ in 0..3 {
+                let solved = lu.solve(&xv)?;
+                xv.copy_from_slice(&solved);
+                normalize_by_peak(&mut xv);
+            }
+            // Orthogonalize against earlier members of the same cluster.
+            for j in 0..i {
+                if (values[j] - lambda).abs() <= cluster_tol {
+                    let h: Complex = (0..n).map(|r| x[(r, j)].conj() * xv[r]).sum();
+                    for (r, slot) in xv.iter_mut().enumerate() {
+                        *slot -= h * x[(r, j)];
+                    }
+                }
+            }
+            let nrm = xv.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+            if nrm > 1e-8 {
+                let inv = 1.0 / nrm;
+                for slot in xv.iter_mut() {
+                    *slot = slot.scale(inv);
+                }
+                for r in 0..n {
+                    x[(r, i)] = xv[r];
+                }
+                break;
+            }
+            if attempt == 2 {
+                return Err(NumericError::DidNotConverge {
+                    iterations: attempt + 1,
+                    residual: nrm,
+                });
+            }
+        }
+    }
+    Ok(x)
+}
+
+/// Divides by the largest-magnitude component, pinning its phase.
+fn normalize_by_peak(v: &mut [Complex]) {
+    let mut peak = Complex::ZERO;
+    let mut best = 0.0f64;
+    for &c in v.iter() {
+        let a = c.abs();
+        if a > best {
+            best = a;
+            peak = c;
+        }
+    }
+    if best > 0.0 {
+        let inv = peak.recip();
+        for c in v.iter_mut() {
+            *c *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_by_re_im(mut v: Vec<Complex>) -> Vec<Complex> {
+        v.sort_by(|a, b| {
+            (a.re, a.im)
+                .partial_cmp(&(b.re, b.im))
+                .expect("finite eigenvalues")
+        });
+        v
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a =
+            Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 7.5]]).unwrap();
+        let ev = sorted_by_re_im(eigenvalues(&a).unwrap());
+        let expect = [-1.0, 3.0, 7.5];
+        for (e, x) in ev.iter().zip(expect) {
+            assert!((e.re - x).abs() < 1e-12 && e.im.abs() < 1e-12, "{e}");
+        }
+    }
+
+    #[test]
+    fn rotation_matrix_has_conjugate_pair() {
+        // [[0, -1], [1, 0]] has eigenvalues ±i.
+        let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]).unwrap();
+        let ev = sorted_by_re_im(eigenvalues(&a).unwrap());
+        assert!(ev[0].re.abs() < 1e-12 && (ev[0].im + 1.0).abs() < 1e-12);
+        assert!(ev[1].re.abs() < 1e-12 && (ev[1].im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn companion_matrix_recovers_polynomial_roots() {
+        // x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3).
+        let a =
+            Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]).unwrap();
+        let ev = sorted_by_re_im(eigenvalues(&a).unwrap());
+        for (e, x) in ev.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((e.re - x).abs() < 1e-9 && e.im.abs() < 1e-9, "{e} vs {x}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_the_definition() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.0, 0.2],
+            &[0.5, 3.0, -1.0, 0.0],
+            &[0.0, 2.0, 1.0, 0.3],
+            &[0.1, 0.0, 0.4, -2.0],
+        ])
+        .unwrap();
+        let eig = eigen_dense(&a).unwrap();
+        let n = a.rows();
+        for (i, &lambda) in eig.values.iter().enumerate() {
+            for r in 0..n {
+                let av: Complex = (0..n).map(|c| eig.vectors[(c, i)].scale(a[(r, c)])).sum();
+                let lv = lambda * eig.vectors[(r, i)];
+                assert!(
+                    (av - lv).abs() < 1e-8 * (1.0 + lambda.abs()),
+                    "row {r}, eigenvalue {lambda}: {av} vs {lv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_eigenvalues_still_give_an_invertible_basis() {
+        // Diagonalizable with a double eigenvalue: diag(2, 2, 5).
+        let a = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[0.0, 2.0, 0.0], &[0.0, 0.0, 5.0]]).unwrap();
+        let eig = eigen_dense(&a).unwrap();
+        assert!(CLuDecomposition::new(&eig.vectors).is_ok());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(eigenvalues(&Matrix::zeros(2, 3)).is_err());
+        assert!(eigen_symmetric(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn jacobi_recovers_a_known_symmetric_spectrum() {
+        // Q·diag(9, 4, 1)·Qᵀ for a handrolled orthogonal Q.
+        let q = {
+            let (c, s) = (0.8f64, 0.6f64);
+            Matrix::from_rows(&[&[c, -s, 0.0], &[s, c, 0.0], &[0.0, 0.0, 1.0]]).unwrap()
+        };
+        let d = [9.0, 4.0, 1.0];
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                a[(i, j)] = (0..3).map(|r| q[(i, r)] * d[r] * q[(j, r)]).sum();
+            }
+        }
+        let (mut lam, u) = eigen_symmetric(&a).unwrap();
+        lam.sort_by(f64::total_cmp);
+        for (l, want) in lam.iter().zip([1.0, 4.0, 9.0]) {
+            assert!((l - want).abs() < 1e-12, "{l} vs {want}");
+        }
+        // U orthonormal and A·U = U·diag(λ) columnwise.
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = (0..3).map(|r| u[(r, i)] * u[(r, j)]).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_separates_a_clustered_near_singular_spectrum() {
+        // diag(1e-11, 3e-27, -1e-27, 1e-11) rotated: the near-zero pair
+        // must come back at round-off scale, not smeared into the big
+        // eigenvalues — the regime shifted-QR inverse iteration fails in.
+        let d = [1e-11, 3e-27, -1e-27, 1.0000001e-11];
+        let mut a = Matrix::zeros(4, 4);
+        let ang: f64 = 0.3;
+        let (c, s) = (ang.cos(), ang.sin());
+        let q = Matrix::from_rows(&[
+            &[c, -s, 0.0, 0.0],
+            &[s, c, 0.0, 0.0],
+            &[0.0, 0.0, c, -s],
+            &[0.0, 0.0, s, c],
+        ])
+        .unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                a[(i, j)] = (0..4).map(|r| q[(i, r)] * d[r] * q[(j, r)]).sum();
+            }
+        }
+        let (mut lam, _u) = eigen_symmetric(&a).unwrap();
+        lam.sort_by(f64::total_cmp);
+        assert!(lam[0].abs() < 1e-25 && lam[1].abs() < 1e-25, "{lam:?}");
+        assert!((lam[2] - 1e-11).abs() < 1e-17 && (lam[3] - 1.0000001e-11).abs() < 1e-17);
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = Matrix::from_rows(&[&[-4.25]]).unwrap();
+        let eig = eigen_dense(&a).unwrap();
+        assert!((eig.values[0].re + 4.25).abs() < 1e-15);
+        assert!((eig.vectors[(0, 0)].abs() - 1.0).abs() < 1e-15);
+    }
+}

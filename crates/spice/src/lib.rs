@@ -14,6 +14,9 @@
 //!   and skew over sink groups,
 //! * [`ac`] — small-signal frequency sweeps (transfer functions, resonance
 //!   location),
+//! * [`reduce`] — PRIMA model-order reduction into a passive pole/residue
+//!   macromodel that answers delay queries in closed form, no time
+//!   stepping,
 //! * [`writer`] — SPICE-format netlist export for cross-checking.
 //!
 //! # Example: RC step response
@@ -40,6 +43,7 @@ pub mod ac;
 mod diagnose;
 pub mod measure;
 pub mod netlist;
+pub mod reduce;
 pub mod stamp;
 pub mod transient;
 pub mod waveform;
@@ -50,6 +54,7 @@ mod error;
 pub use ac::{Ac, AcResult, Sweep};
 pub use error::SpiceError;
 pub use netlist::{InductorId, Netlist, NodeId, GROUND};
+pub use reduce::{Reduce, ReducedModel, ReductionOrder};
 pub use stamp::{SolverEngine, SPARSE_CUTOVER};
 pub use transient::{AdaptiveOptions, IntegrationMethod, Stepping, Transient, TransientResult};
 pub use waveform::Waveform;

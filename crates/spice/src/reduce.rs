@@ -1,0 +1,904 @@
+//! PRIMA model-order reduction of a netlist into a passive macromodel.
+//!
+//! A clocktree is extracted once but queried many times — every sink's
+//! 50 % delay, slew and skew. Transient simulation answers each query by
+//! re-integrating the full RLC network; this module instead characterizes
+//! the netlist *once* into a small reduced model and answers delay
+//! queries in closed form:
+//!
+//! 1. The MNA descriptor system `(G + sC)x = Bu`, `y = Lᵀx` is exported
+//!    in *passive form*: the branch (KVL) rows of the symmetric stamp are
+//!    negated, which makes `C ⪰ 0` and `G + Gᵀ ⪰ 0` so that congruence
+//!    projection provably preserves passivity (the PRIMA argument).
+//! 2. [`rlcx_numeric::mor::block_arnoldi`] builds an orthonormal Krylov
+//!    basis of `(G + s₀C)⁻¹C` about the expansion frequency `s₀`, reusing
+//!    the workspace sparse LU for the inner solves, and
+//!    [`rlcx_numeric::mor::project`] congruence-transforms the system
+//!    down to [`ReductionOrder::order`] states.
+//! 3. The reduced pencil is diagonalized into a pole/residue view, so a
+//!    piecewise-linear source waveform yields an *analytic* response —
+//!    50 % crossings come from bisection on an exact expression, not from
+//!    time stepping.
+//!
+//! With `q` Krylov vectors the reduction matches the first `q` transfer
+//! moments about `s₀` (one moment per vector for a single source); build
+//! with `2q` vectors when the verification suite checks `2q` moments.
+//! [`ReducedModel::moment_residual`] measures exactly that agreement
+//! against the retained full-size system.
+//!
+//! # Example
+//!
+//! ```
+//! use rlcx_spice::{Netlist, Waveform, GROUND};
+//! use rlcx_spice::reduce::{Reduce, ReductionOrder};
+//!
+//! # fn main() -> Result<(), rlcx_spice::SpiceError> {
+//! let mut ckt = Netlist::new();
+//! let inp = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.vsource("Vin", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 50e-12))?;
+//! ckt.resistor("R1", inp, out, 1e3)?;
+//! ckt.capacitor("C1", out, GROUND, 1e-13)?;
+//! let model = Reduce::new(&ckt)
+//!     .order(ReductionOrder::new(4))
+//!     .output("out")
+//!     .run()?;
+//! let delay = model.delay_50("out", 5e-9)?.expect("crosses midswing");
+//! assert!(delay > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::netlist::{Element, Netlist};
+use crate::stamp::MnaLayout;
+use crate::waveform::Waveform;
+use crate::{Result, SpiceError};
+use rlcx_numeric::mor::{self, PoleResidueModel, Pwl, ReducedSystem};
+use rlcx_numeric::sparse::TripletBuilder;
+use rlcx_numeric::{CMatrix, Complex, CscMatrix, Matrix, SparseLu};
+
+/// Reduction controls: how many states to keep and where to expand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReductionOrder {
+    /// Maximum number of Krylov vectors (reduced states). The basis may
+    /// come out smaller when the Krylov space is exhausted (breakdown).
+    pub order: usize,
+    /// Expansion frequency `s₀` in rad/s. Moments are matched about this
+    /// point; pick it near the band the delay measurement lives in
+    /// (clock harmonics — the default sits at ~1.6 GHz).
+    pub s0: f64,
+    /// Relative norm collapse below which an Arnoldi candidate is
+    /// deflated as linearly dependent.
+    pub deflation_tol: f64,
+}
+
+impl Default for ReductionOrder {
+    fn default() -> Self {
+        ReductionOrder {
+            order: 32,
+            s0: 1e10,
+            deflation_tol: 1e-10,
+        }
+    }
+}
+
+impl ReductionOrder {
+    /// A reduction to at most `order` states with default expansion point.
+    pub fn new(order: usize) -> Self {
+        ReductionOrder {
+            order,
+            ..Default::default()
+        }
+    }
+
+    /// Moves the expansion frequency to `s0` (rad/s).
+    pub fn about(mut self, s0: f64) -> Self {
+        self.s0 = s0;
+        self
+    }
+}
+
+/// Builder for a [`ReducedModel`]: select outputs, pick the order, run.
+pub struct Reduce<'a> {
+    nl: &'a Netlist,
+    opts: ReductionOrder,
+    outputs: Vec<String>,
+}
+
+impl<'a> Reduce<'a> {
+    /// Starts a reduction of `nl` with default [`ReductionOrder`].
+    pub fn new(nl: &'a Netlist) -> Self {
+        Reduce {
+            nl,
+            opts: ReductionOrder::default(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Sets the reduction order/expansion controls.
+    pub fn order(mut self, opts: ReductionOrder) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Adds an observed node; its voltage becomes an output column.
+    pub fn output(mut self, node: &str) -> Self {
+        self.outputs.push(node.into());
+        self
+    }
+
+    /// Adds several observed nodes at once.
+    pub fn outputs<I, S>(mut self, nodes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.outputs.extend(nodes.into_iter().map(Into::into));
+        self
+    }
+
+    /// Exports the passive-form MNA descriptor, builds the Krylov basis,
+    /// projects, and diagonalizes into a [`ReducedModel`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::BadSimParams`] for a zero order, a non-positive or
+    ///   non-finite `s0`, no outputs, no voltage source, or a ground
+    ///   output.
+    /// * [`SpiceError::Unknown`] for an output node name not in the
+    ///   netlist.
+    /// * [`SpiceError::Numeric`] when `G + s₀C` is singular or the
+    ///   reduced eigensolve fails.
+    pub fn run(self) -> Result<ReducedModel> {
+        let opts = self.opts;
+        if opts.order == 0 {
+            return Err(SpiceError::BadSimParams {
+                what: "reduction order must be at least 1".into(),
+            });
+        }
+        if !opts.s0.is_finite() || opts.s0 <= 0.0 {
+            return Err(SpiceError::BadSimParams {
+                what: format!(
+                    "expansion frequency must be positive and finite, got {}",
+                    opts.s0
+                ),
+            });
+        }
+        if self.outputs.is_empty() {
+            return Err(SpiceError::BadSimParams {
+                what: "reduction needs at least one output node".into(),
+            });
+        }
+        let nl = self.nl;
+        let layout = MnaLayout::new(nl)?;
+        let dim = layout.dim;
+
+        // Inputs: one column per voltage source, in branch-row order.
+        let mut inputs: Vec<(String, Waveform, usize)> = Vec::new();
+        for &ei in &layout.branch_elems {
+            if let Element::VSource { name, wave, .. } = &nl.elements[ei] {
+                inputs.push((name.clone(), wave.clone(), layout.branch(ei)));
+            }
+        }
+        if inputs.is_empty() {
+            return Err(SpiceError::BadSimParams {
+                what: "reduction needs at least one voltage source input".into(),
+            });
+        }
+
+        // Passive-form stamp: node equations keep the symmetric pattern,
+        // branch (KVL) rows are negated. Then G = [[N, A], [−Aᵀ, 0]] with
+        // N ⪰ 0 (resistor conductances) so G + Gᵀ ⪰ 0, and C = diag(Q, H)
+        // with Q the node capacitances and H the (mutual-)inductance
+        // matrix, both PSD — the preconditions of the PRIMA passivity
+        // proof.
+        let mut gt = TripletBuilder::new(dim, dim);
+        let mut ct = TripletBuilder::new(dim, dim);
+        let two_terminal = |tb: &mut TripletBuilder<f64>, p, n, y: f64| {
+            let (p, n) = (MnaLayout::var(p), MnaLayout::var(n));
+            if let Some(ip) = p {
+                tb.add(ip, ip, y);
+            }
+            if let Some(in_) = n {
+                tb.add(in_, in_, y);
+            }
+            if let (Some(ip), Some(in_)) = (p, n) {
+                tb.add(ip, in_, -y);
+                tb.add(in_, ip, -y);
+            }
+        };
+        let incidence = |tb: &mut TripletBuilder<f64>, p, n, row: usize| {
+            if let Some(ip) = MnaLayout::var(p) {
+                tb.add(ip, row, 1.0);
+                tb.add(row, ip, -1.0);
+            }
+            if let Some(in_) = MnaLayout::var(n) {
+                tb.add(in_, row, -1.0);
+                tb.add(row, in_, 1.0);
+            }
+        };
+        for (ei, e) in nl.elements.iter().enumerate() {
+            match e {
+                Element::Resistor { p, n, ohms, .. } => {
+                    two_terminal(&mut gt, *p, *n, 1.0 / ohms);
+                }
+                Element::Capacitor { p, n, farads, .. } => {
+                    two_terminal(&mut ct, *p, *n, *farads);
+                }
+                Element::Inductor { p, n, henries, .. } => {
+                    let row = layout.branch(ei);
+                    incidence(&mut gt, *p, *n, row);
+                    ct.add(row, row, *henries);
+                }
+                Element::VSource { p, n, .. } => {
+                    incidence(&mut gt, *p, *n, layout.branch(ei));
+                }
+            }
+        }
+        for m in &nl.mutuals {
+            let ra = layout.branch(nl.inductors[m.a.0]);
+            let rb = layout.branch(nl.inductors[m.b.0]);
+            ct.add(ra, rb, m.m);
+            ct.add(rb, ra, m.m);
+        }
+        let gs = gt.build();
+        let cs = ct.build();
+
+        // B: the negated source KVL row reads −v_p + v_n = −u, so the
+        // input column carries −1 on the branch row. With that sign,
+        // y = Bᵀx is the current *delivered* by each source and
+        // uᵀy = Σ uᵢ·iᵢ is the power flowing into the network —
+        // Y(s) = Bᵀ(G + sC)⁻¹B is positive-real.
+        let mut b = Matrix::zeros(dim, inputs.len());
+        for (jm, (_, _, row)) in inputs.iter().enumerate() {
+            b[(*row, jm)] = -1.0;
+        }
+        // L: unit voltage selectors on the observed nodes.
+        let mut l = Matrix::zeros(dim, self.outputs.len());
+        for (jo, name) in self.outputs.iter().enumerate() {
+            let node = nl.find_node(name)?;
+            let var = MnaLayout::var(node).ok_or_else(|| SpiceError::BadSimParams {
+                what: format!("output node {name} is ground (the voltage reference)"),
+            })?;
+            l[(var, jo)] = 1.0;
+        }
+
+        let klu = SparseLu::factor(&shifted(&gs, &cs, opts.s0))?;
+        let mut start = Vec::with_capacity(inputs.len());
+        for jm in 0..inputs.len() {
+            let col: Vec<f64> = (0..dim).map(|i| b[(i, jm)]).collect();
+            start.push(klu.solve(&col)?);
+        }
+        let mut scratch = vec![0.0; dim];
+        let basis = mor::block_arnoldi(
+            &start,
+            |v, w| {
+                let cv = cs.mul_vec(v)?;
+                klu.solve_into(&cv, &mut scratch, w)
+            },
+            opts.order,
+            opts.deflation_tol,
+        )?;
+        let system = mor::project(&basis, &cs, &gs, &b, &l, opts.s0)?;
+        let model = system.pole_residue()?;
+        Ok(ReducedModel {
+            system,
+            model,
+            deflations: basis.deflations,
+            full_c: cs,
+            full_g: gs,
+            full_b: b,
+            full_l: l,
+            inputs: inputs.into_iter().map(|(n, w, _)| (n, w)).collect(),
+            outputs: self.outputs,
+        })
+    }
+}
+
+/// `K = G + s₀C` assembled from the two CSC factors.
+fn shifted(g: &CscMatrix<f64>, c: &CscMatrix<f64>, s0: f64) -> CscMatrix<f64> {
+    let mut kt = TripletBuilder::new(g.nrows(), g.ncols());
+    for j in 0..g.ncols() {
+        for (&i, &v) in g.col_rows(j).iter().zip(g.col_values(j)) {
+            kt.add(i, j, v);
+        }
+        for (&i, &v) in c.col_rows(j).iter().zip(c.col_values(j)) {
+            kt.add(i, j, s0 * v);
+        }
+    }
+    kt.build()
+}
+
+/// A reduced clocktree macromodel: the projected state space, its
+/// pole/residue diagonalization, and the retained full-size descriptor
+/// for verification queries.
+pub struct ReducedModel {
+    system: ReducedSystem,
+    model: PoleResidueModel,
+    deflations: usize,
+    full_c: CscMatrix<f64>,
+    full_g: CscMatrix<f64>,
+    full_b: Matrix,
+    full_l: Matrix,
+    /// `(source name, waveform)` per input column, in branch order.
+    inputs: Vec<(String, Waveform)>,
+    /// Node name per output column.
+    outputs: Vec<String>,
+}
+
+impl ReducedModel {
+    /// Number of retained states.
+    pub fn order(&self) -> usize {
+        self.system.order()
+    }
+
+    /// Size of the original MNA system the model was reduced from.
+    pub fn full_order(&self) -> usize {
+        self.full_c.nrows()
+    }
+
+    /// Arnoldi candidates dropped as linearly dependent.
+    pub fn deflations(&self) -> usize {
+        self.deflations
+    }
+
+    /// The projected state-space system (for AC sweeps and moments).
+    pub fn system(&self) -> &ReducedSystem {
+        &self.system
+    }
+
+    /// The pole/residue transfer view (for closed-form responses).
+    pub fn poles(&self) -> &[Complex] {
+        self.model.poles()
+    }
+
+    /// Reduced poles with a positive real part beyond eigensolve
+    /// round-off — zero for a passive projection.
+    pub fn unstable_count(&self) -> usize {
+        self.model.unstable_count()
+    }
+
+    /// Observed node names, in output-column order.
+    pub fn output_names(&self) -> impl Iterator<Item = &str> {
+        self.outputs.iter().map(String::as_str)
+    }
+
+    /// Output column of a node name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Unknown`] when the node was not selected as
+    /// an output at build time.
+    pub fn output_index(&self, node: &str) -> Result<usize> {
+        self.outputs
+            .iter()
+            .position(|n| n == node)
+            .ok_or_else(|| SpiceError::Unknown {
+                what: format!("reduced output {node}"),
+            })
+    }
+
+    /// Reduced transfer matrix `Ĥ(s)` (outputs × inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Numeric`] when `s` lands exactly on a pole.
+    pub fn transfer_at(&self, s: Complex) -> Result<CMatrix> {
+        Ok(self.system.transfer(s)?)
+    }
+
+    /// Reduced input admittance `Ŷ(s)`; `Re{Ŷ(jω)} ⪰ 0` is the
+    /// positive-realness certificate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Numeric`] when `s` lands exactly on a pole.
+    pub fn admittance_at(&self, s: Complex) -> Result<CMatrix> {
+        Ok(self.system.admittance(s)?)
+    }
+
+    /// Full-size transfer matrix `H(s)` from the retained descriptor —
+    /// a sparse complex solve, used to verify the reduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Numeric`] when `G + sC` is singular at `s`.
+    pub fn full_transfer_at(&self, s: Complex) -> Result<CMatrix> {
+        let dim = self.full_c.nrows();
+        let mut kt = TripletBuilder::new(dim, dim);
+        for j in 0..dim {
+            for (&i, &v) in self
+                .full_g
+                .col_rows(j)
+                .iter()
+                .zip(self.full_g.col_values(j))
+            {
+                kt.add(i, j, Complex::from_real(v));
+            }
+            for (&i, &v) in self
+                .full_c
+                .col_rows(j)
+                .iter()
+                .zip(self.full_c.col_values(j))
+            {
+                kt.add(i, j, s.scale(v));
+            }
+        }
+        let klu = SparseLu::factor(&kt.build())?;
+        let m = self.inputs.len();
+        let p = self.outputs.len();
+        let mut h = CMatrix::zeros(p, m);
+        let mut scratch = vec![Complex::ZERO; dim];
+        let mut x = vec![Complex::ZERO; dim];
+        for jm in 0..m {
+            let rhs: Vec<Complex> = (0..dim)
+                .map(|i| Complex::from_real(self.full_b[(i, jm)]))
+                .collect();
+            klu.solve_into(&rhs, &mut scratch, &mut x)?;
+            for jp in 0..p {
+                h[(jp, jm)] = (0..dim).map(|r| x[r].scale(self.full_l[(r, jp)])).sum();
+            }
+        }
+        Ok(h)
+    }
+
+    /// First `count` transfer moments of the reduced model about `s₀`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Numeric`] when the reduced `K̂` is singular.
+    pub fn moments(&self, count: usize) -> Result<Vec<Matrix>> {
+        Ok(self.system.moments(count)?)
+    }
+
+    /// Worst relative mismatch between the first `count` reduced and
+    /// full-system transfer moments about `s₀` — each moment's entries
+    /// are compared against that moment's largest full-system magnitude,
+    /// so the wildly different scales of successive moments don't mask
+    /// (or fake) disagreement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Numeric`] when either `K` is singular.
+    pub fn moment_residual(&self, count: usize) -> Result<f64> {
+        let reduced = self.moments(count)?;
+        let dim = self.full_c.nrows();
+        let klu = SparseLu::factor(&shifted(&self.full_g, &self.full_c, self.system.s0))?;
+        let m = self.inputs.len();
+        let p = self.outputs.len();
+        let mut r: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for jm in 0..m {
+            let col: Vec<f64> = (0..dim).map(|i| self.full_b[(i, jm)]).collect();
+            r.push(klu.solve(&col)?);
+        }
+        let mut worst: f64 = 0.0;
+        for red in reduced.iter().take(count) {
+            let mut full = Matrix::zeros(p, m);
+            for jp in 0..p {
+                for jm in 0..m {
+                    full[(jp, jm)] = (0..dim).map(|i| self.full_l[(i, jp)] * r[jm][i]).sum();
+                }
+            }
+            let scale = (0..p)
+                .flat_map(|jp| (0..m).map(move |jm| (jp, jm)))
+                .map(|(jp, jm)| full[(jp, jm)].abs())
+                .fold(0.0, f64::max)
+                .max(1e-300);
+            for jp in 0..p {
+                for jm in 0..m {
+                    worst = worst.max((full[(jp, jm)] - red[(jp, jm)]).abs() / scale);
+                }
+            }
+            for col in r.iter_mut() {
+                let cv = self.full_c.mul_vec(col)?;
+                *col = klu.solve(&cv)?;
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Converts every source waveform to the closed-form [`Pwl`] shape
+    /// on `[0, horizon]`, verifying the zero-initial-state premise.
+    fn stimuli(&self, horizon: f64) -> Result<Vec<Pwl>> {
+        if !horizon.is_finite() || horizon <= 0.0 {
+            return Err(SpiceError::BadSimParams {
+                what: format!("horizon must be positive and finite, got {horizon}"),
+            });
+        }
+        self.inputs
+            .iter()
+            .map(|(name, w)| {
+                let at0 = w.eval(0.0);
+                if at0 != 0.0 {
+                    return Err(SpiceError::BadSimParams {
+                        what: format!(
+                            "source {name} is {at0} at t = 0; closed-form responses assume a \
+                             zero initial state (start every source at 0, e.g. a step or ramp \
+                             from 0)"
+                        ),
+                    });
+                }
+                Ok(waveform_to_pwl(w, horizon)?)
+            })
+            .collect()
+    }
+
+    /// Output voltage at time `t ≥ 0` from the closed-form response.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::Unknown`] for a non-output node,
+    /// [`SpiceError::BadSimParams`] for a negative/non-finite `t` or a
+    /// source that is nonzero at `t = 0`.
+    pub fn voltage(&self, node: &str, t: f64) -> Result<f64> {
+        let out = self.output_index(node)?;
+        let stim = self.stimuli(t.max(f64::MIN_POSITIVE))?;
+        if t < 0.0 {
+            return Err(SpiceError::BadSimParams {
+                what: format!("query time must be non-negative, got {t}"),
+            });
+        }
+        Ok(self.model.response(out, &stim, t)?)
+    }
+
+    /// First time the node's response reaches `threshold` in
+    /// `[0, horizon]`, by scan + bisection on the exact expression.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReducedModel::voltage`].
+    pub fn cross_time(&self, node: &str, threshold: f64, horizon: f64) -> Result<Option<f64>> {
+        let out = self.output_index(node)?;
+        let stim = self.stimuli(horizon)?;
+        Ok(self.model.cross_time(out, &stim, threshold, horizon)?)
+    }
+
+    /// The unique swinging source and its midswing threshold.
+    fn swinging_input(&self) -> Result<(usize, f64)> {
+        let mut found: Option<(usize, f64)> = None;
+        for (jm, (name, w)) in self.inputs.iter().enumerate() {
+            let (lo, hi) = w.levels();
+            if lo != hi {
+                if found.is_some() {
+                    return Err(SpiceError::BadSimParams {
+                        what: format!(
+                            "delay_50 needs exactly one swinging source, but {name} also swings"
+                        ),
+                    });
+                }
+                found = Some((jm, 0.5 * (lo + hi)));
+            }
+        }
+        found.ok_or_else(|| SpiceError::BadSimParams {
+            what: "delay_50 needs a swinging source (all sources are constant)".into(),
+        })
+    }
+
+    /// Closed-form 50 % delay from the swinging source to `node`:
+    /// output midswing crossing minus source midswing crossing, both
+    /// within `[0, horizon]`. `None` if the output never crosses.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReducedModel::voltage`]; additionally
+    /// [`SpiceError::BadSimParams`] unless exactly one source swings.
+    pub fn delay_50(&self, node: &str, horizon: f64) -> Result<Option<f64>> {
+        let out = self.output_index(node)?;
+        let (jm, mid) = self.swinging_input()?;
+        let stim = self.stimuli(horizon)?;
+        let Some(t_in) = stim[jm].cross(mid) else {
+            return Ok(None);
+        };
+        Ok(self
+            .model
+            .cross_time(out, &stim, mid, horizon)?
+            .map(|t_out| t_out - t_in))
+    }
+
+    /// [`ReducedModel::delay_50`] for every output, sharing one stimulus
+    /// conversion — the bulk query behind skew reports.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReducedModel::delay_50`].
+    pub fn delay_50_all(&self, horizon: f64) -> Result<Vec<Option<f64>>> {
+        let (jm, mid) = self.swinging_input()?;
+        let stim = self.stimuli(horizon)?;
+        let Some(t_in) = stim[jm].cross(mid) else {
+            return Ok(vec![None; self.outputs.len()]);
+        };
+        (0..self.outputs.len())
+            .map(|out| {
+                Ok(self
+                    .model
+                    .cross_time(out, &stim, mid, horizon)?
+                    .map(|t_out| t_out - t_in))
+            })
+            .collect()
+    }
+}
+
+/// Converts a [`Waveform`] to the closed-form [`Pwl`] representation on
+/// `[0, t_end]` — exact, not sampled: DC and PWL sources map knot for
+/// knot, pulse trains unroll their corner times (duplicate-time knots
+/// encode ideal edges as jumps).
+fn waveform_to_pwl(w: &Waveform, t_end: f64) -> rlcx_numeric::Result<Pwl> {
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    match w {
+        Waveform::Dc(v) => out.push((0.0, *v)),
+        Waveform::Pwl(points) => {
+            if points.is_empty() {
+                out.push((0.0, 0.0));
+            } else {
+                // The waveform is constant before its first knot (and the
+                // numeric Pwl is *zero* before its first point), so the
+                // t = 0 value must be materialized explicitly.
+                if points[0].0 > 0.0 {
+                    out.push((0.0, points[0].1));
+                } else if points[0].0 < 0.0 {
+                    out.push((0.0, w.eval(0.0)));
+                }
+                let mut clipped = false;
+                for &(t, v) in points {
+                    if t < 0.0 {
+                        continue;
+                    }
+                    if t > t_end {
+                        clipped = true;
+                        break;
+                    }
+                    out.push((t, v));
+                }
+                if clipped {
+                    out.push((t_end, w.eval(t_end)));
+                }
+                if out.is_empty() {
+                    // Every knot sits in the past: constant at the held value.
+                    out.push((0.0, w.eval(0.0)));
+                }
+            }
+        }
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => {
+            let cycle = rise + width + fall;
+            let effective = if *period > 0.0 {
+                period.max(cycle)
+            } else {
+                0.0
+            };
+            out.push((0.0, *v0));
+            let mut base = *delay;
+            while base <= t_end {
+                for (t, v) in [
+                    (base, *v0),
+                    (base + rise, *v1),
+                    (base + rise + width, *v1),
+                    (base + cycle, *v0),
+                ] {
+                    if t <= t_end {
+                        out.push((t, v));
+                    }
+                }
+                if effective <= 0.0 {
+                    break;
+                }
+                base += effective;
+            }
+            // Close mid-ramp clips (and mid-plateau ones, harmlessly) with
+            // the exact endpoint value.
+            out.push((t_end, w.eval(t_end)));
+        }
+    }
+    Pwl::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+    use crate::netlist::GROUND;
+    use crate::transient::Transient;
+
+    /// A driver-resistance RC ladder: Vin — Rdrv — n1 — R — n2 … — nN,
+    /// each node loaded to ground by `c`.
+    fn ladder(n: usize, rdrv: f64, r: f64, c: f64, wave: Waveform) -> Netlist {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        nl.vsource("Vin", inp, GROUND, wave).unwrap();
+        let mut prev = inp;
+        for i in 1..=n {
+            let node = nl.node(format!("n{i}"));
+            let ohms = if i == 1 { rdrv } else { r };
+            nl.resistor(&format!("R{i}"), prev, node, ohms).unwrap();
+            nl.capacitor(&format!("C{i}"), node, GROUND, c).unwrap();
+            prev = node;
+        }
+        nl
+    }
+
+    #[test]
+    fn reduced_delay_matches_transient_on_an_rc_ladder() {
+        let wave = Waveform::ramp(0.0, 1.0, 0.0, 50e-12);
+        let nl = ladder(20, 100.0, 10.0, 20e-15, wave);
+        let model = Reduce::new(&nl)
+            .order(ReductionOrder::new(12))
+            .output("n20")
+            .run()
+            .unwrap();
+        let horizon = 2e-9;
+        let reduced = model.delay_50("n20", horizon).unwrap().unwrap();
+        let result = Transient::new(&nl)
+            .timestep(0.05e-12)
+            .duration(horizon)
+            .run()
+            .unwrap();
+        let full = measure::delay_50(
+            result.time(),
+            result.voltage("in").unwrap(),
+            result.voltage("n20").unwrap(),
+            0.0,
+            1.0,
+        )
+        .unwrap();
+        assert!(
+            (reduced - full).abs() <= 0.1e-12,
+            "reduced {reduced} vs transient {full}"
+        );
+    }
+
+    #[test]
+    fn reduction_is_passive_on_an_rlc_net() {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        nl.vsource("V", inp, GROUND, Waveform::step(1.0, 20e-12))
+            .unwrap();
+        let mut prev = inp;
+        let mut coils = Vec::new();
+        for i in 1..=8 {
+            let mid = nl.node(format!("m{i}"));
+            let node = nl.node(format!("n{i}"));
+            nl.resistor(&format!("R{i}"), prev, mid, 5.0).unwrap();
+            coils.push(nl.inductor(&format!("L{i}"), mid, node, 0.5e-9).unwrap());
+            nl.capacitor(&format!("C{i}"), node, GROUND, 25e-15)
+                .unwrap();
+            prev = node;
+        }
+        for i in 0..coils.len() - 1 {
+            nl.mutual(&format!("K{i}"), coils[i], coils[i + 1], 0.1e-9)
+                .unwrap();
+        }
+        let model = Reduce::new(&nl)
+            .order(ReductionOrder::new(14))
+            .output("n8")
+            .run()
+            .unwrap();
+        assert_eq!(model.unstable_count(), 0);
+        for pole in model.poles() {
+            assert!(pole.re <= 0.0, "pole {pole} outside the closed LHP");
+        }
+        for &f in &[1e8, 1e9, 5e9, 2e10, 1e11] {
+            let s = Complex::from_imag(2.0 * std::f64::consts::PI * f);
+            let y = model.admittance_at(s).unwrap();
+            assert!(
+                y[(0, 0)].re >= -1e-12,
+                "Re Y(j·2π·{f}) = {} < 0",
+                y[(0, 0)].re
+            );
+        }
+    }
+
+    #[test]
+    fn full_order_reduction_matches_the_full_transfer_and_moments() {
+        let wave = Waveform::ramp(0.0, 1.0, 0.0, 30e-12);
+        let nl = ladder(6, 50.0, 20.0, 15e-15, wave);
+        // dim = 6 nodes + in + source branch = 8. The Krylov space
+        // saturates one short of dim (the source KVL row has no C
+        // entries), but an A-invariant basis reproduces the transfer
+        // exactly anyway.
+        let model = Reduce::new(&nl)
+            .order(ReductionOrder::new(8))
+            .output("n6")
+            .run()
+            .unwrap();
+        assert!(model.order() >= model.full_order() - 1);
+        let s = Complex::from_imag(2.0 * std::f64::consts::PI * 2.3e9);
+        let red = model.transfer_at(s).unwrap()[(0, 0)];
+        let full = model.full_transfer_at(s).unwrap()[(0, 0)];
+        assert!(
+            (red - full).abs() <= 1e-9 * full.abs(),
+            "reduced {red} vs full {full}"
+        );
+        assert!(model.moment_residual(6).unwrap() <= 1e-8);
+    }
+
+    #[test]
+    fn truncated_reduction_matches_the_first_q_moments() {
+        let wave = Waveform::ramp(0.0, 1.0, 0.0, 30e-12);
+        let nl = ladder(30, 80.0, 12.0, 25e-15, wave);
+        let q = 6;
+        let model = Reduce::new(&nl)
+            .order(ReductionOrder::new(q))
+            .output("n30")
+            .run()
+            .unwrap();
+        assert!(model.order() < model.full_order());
+        let res = model.moment_residual(q).unwrap();
+        assert!(res <= 1e-8, "first {q} moments disagree: {res}");
+    }
+
+    #[test]
+    fn nonzero_initial_source_is_rejected_for_time_queries() {
+        let nl = ladder(4, 50.0, 10.0, 10e-15, Waveform::Dc(1.0));
+        let model = Reduce::new(&nl)
+            .order(ReductionOrder::new(4))
+            .output("n4")
+            .run()
+            .unwrap();
+        // AC-style queries are fine…
+        model.transfer_at(Complex::from_imag(1e9)).unwrap();
+        // …but closed-form time-domain ones need a zero initial state.
+        assert!(matches!(
+            model.voltage("n4", 1e-10),
+            Err(SpiceError::BadSimParams { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        let wave = Waveform::ramp(0.0, 1.0, 0.0, 10e-12);
+        let nl = ladder(3, 50.0, 10.0, 10e-15, wave);
+        assert!(matches!(
+            Reduce::new(&nl).output("nope").run(),
+            Err(SpiceError::Unknown { .. })
+        ));
+        assert!(matches!(
+            Reduce::new(&nl).run(),
+            Err(SpiceError::BadSimParams { .. })
+        ));
+        assert!(matches!(
+            Reduce::new(&nl)
+                .order(ReductionOrder::new(0))
+                .output("n3")
+                .run(),
+            Err(SpiceError::BadSimParams { .. })
+        ));
+        assert!(matches!(
+            Reduce::new(&nl).output("0").run(),
+            Err(SpiceError::BadSimParams { .. })
+        ));
+        let model = Reduce::new(&nl).output("n3").run().unwrap();
+        assert!(matches!(
+            model.delay_50("n1", 1e-9),
+            Err(SpiceError::Unknown { .. })
+        ));
+    }
+
+    #[test]
+    fn pulse_and_pwl_conversions_are_exact() {
+        let pulse = Waveform::pulse(0.0, 1.8, 50e-12, 20e-12, 30e-12, 100e-12, 400e-12);
+        let t_end = 1.1e-9;
+        let pwl = waveform_to_pwl(&pulse, t_end).unwrap();
+        for k in 0..=1000 {
+            let t = t_end * k as f64 / 1000.0;
+            let want = pulse.eval(t);
+            let got = pwl.value(t);
+            assert!((want - got).abs() <= 1e-12, "t={t}: {want} vs {got}");
+        }
+        // A PWL with history before t = 0 and knots beyond the horizon.
+        let w = Waveform::Pwl(vec![(-1e-9, -1.0), (1e-9, 1.0), (3e-9, 0.0)]);
+        let pwl = waveform_to_pwl(&w, 2e-9).unwrap();
+        for &t in &[1e-12, 0.5e-9, 1e-9, 1.5e-9, 2e-9] {
+            assert!((pwl.value(t) - w.eval(t)).abs() <= 1e-12, "t={t}");
+        }
+        // An ideal step survives as a jump.
+        let step = waveform_to_pwl(&Waveform::step(1.0, 0.0), 1e-9).unwrap();
+        assert_eq!(step.value(1e-15), 1.0);
+    }
+}

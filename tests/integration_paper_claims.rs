@@ -8,7 +8,7 @@ use rlcx::geom::units::RHO_COPPER;
 use rlcx::geom::{Block, SegmentTree, Stackup};
 use rlcx::peec::partial::{mutual_filaments_aligned_m, self_partial_ruehli};
 use rlcx::peec::{FlatTreeSolver, MeshSpec};
-use rlcx::spice::{measure, Transient, Waveform};
+use rlcx::spice::{measure, AdaptiveOptions, Stepping, Transient, Waveform};
 
 /// E1 (Figures 1–3): with a strong driver the 6 mm CPW's delay with
 /// inductance clearly exceeds the RC-only delay and the RLC waveform
@@ -184,4 +184,89 @@ fn guards_enable_cascading() {
     // Unguarded self-L underestimation for the same split is >10 % (per the
     // previous test: 2M/L_whole); guarded cascading is several times better.
     assert!(guarded_err < 0.06, "guarded cascading error {guarded_err}");
+}
+
+/// Table V: skew sign-off needs inductance-aware delays. On an asymmetric
+/// tree the passive PRIMA macromodel — answering every sink in closed
+/// form — stays within 0.1 ps of the transient reference, while the
+/// Elmore (first-moment RC) screen misjudges the same skew by well over
+/// 10 %: the paper's RLC-vs-Elmore gap.
+#[test]
+fn table_v_reduced_rlc_skew_vs_elmore_gap() {
+    use rlcx::clocktree::elmore;
+    use rlcx::spice::reduce::{Reduce, ReductionOrder};
+
+    let stackup = Stackup::hp_six_metal_copper();
+    let tables = TableBuilder::new(stackup.clone(), 5)
+        .unwrap()
+        .widths(vec![5.0, 10.0, 20.0])
+        .spacings(vec![0.5, 1.0, 2.0])
+        .lengths(vec![1000.0, 2500.0, 6000.0])
+        .mesh(MeshSpec::new(2, 1))
+        .build()
+        .unwrap();
+    let ex = ClocktreeExtractor::new(stackup, 5, tables).unwrap();
+    // Asymmetric tree: one short sink, one long two-segment path.
+    let mut tree = SegmentTree::new(0.0, 0.0);
+    tree.add_node(0, 2000.0, 0.0).unwrap();
+    let mid = tree.add_node(0, 0.0, 2500.0).unwrap();
+    tree.add_node(mid, 3000.0, 2500.0).unwrap();
+    let cross = Block::coplanar_waveguide(1.0, 10.0, 5.0, 1.0).unwrap();
+    let out = TreeNetlistBuilder::new(&ex)
+        .sections_per_segment(8)
+        .driver_resistance(15.0)
+        .input(Waveform::ramp(0.0, 1.8, 0.0, 50e-12))
+        .sink_cap(30e-15)
+        .build(&tree, &cross)
+        .unwrap();
+
+    // Closed-form sink delays from the reduced macromodel.
+    let horizon = 1.5e-9;
+    let model = Reduce::new(&out.netlist)
+        .order(ReductionOrder::new(36))
+        .outputs(out.sinks.iter().map(String::as_str))
+        .run()
+        .unwrap();
+    assert_eq!(model.unstable_count(), 0);
+    let reduced: Vec<f64> = model
+        .delay_50_all(horizon)
+        .unwrap()
+        .into_iter()
+        .map(|d| d.expect("sink crosses midswing"))
+        .collect();
+
+    // Transient reference: the macromodel must agree to 0.1 ps per sink.
+    let res = Transient::new(&out.netlist)
+        .stepping(Stepping::Adaptive(AdaptiveOptions {
+            reltol: 1e-6,
+            abstol: 1e-9,
+            ..Default::default()
+        }))
+        .timestep(1e-12)
+        .duration(horizon)
+        .run()
+        .unwrap();
+    let t = res.time().to_vec();
+    let vin = res.voltage("drv_in").unwrap().to_vec();
+    for (sink, red) in out.sinks.iter().zip(&reduced) {
+        let vout = res.voltage(sink).unwrap();
+        let full = measure::delay_50(&t, &vin, vout, 0.0, 1.8).unwrap();
+        let err_ps = (full - red).abs() * 1e12;
+        assert!(err_ps <= 0.1, "{sink}: reduced vs transient {err_ps:.4} ps");
+    }
+
+    // The Elmore screen misjudges the same skew by well over 10 %.
+    let est = elmore::estimate(&ex, &tree, &cross, 15.0, 30e-15).unwrap();
+    let skew = |d: &[f64]| {
+        d.iter().fold(f64::NEG_INFINITY, |a, &v| a.max(v))
+            - d.iter().fold(f64::INFINITY, |a, &v| a.min(v))
+    };
+    let skew_rlc = skew(&reduced);
+    let skew_elmore = skew(&est.elmore);
+    assert!(skew_rlc > 1e-12, "degenerate RLC skew {skew_rlc}");
+    let gap = (skew_rlc - skew_elmore).abs() / skew_rlc;
+    assert!(
+        gap > 0.10,
+        "RLC skew {skew_rlc:.3e} vs Elmore {skew_elmore:.3e}: gap {gap:.3}"
+    );
 }

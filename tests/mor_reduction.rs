@@ -1,0 +1,242 @@
+//! Property suite for the PRIMA reduction stage.
+//!
+//! Seeded random RLC ladders (with mutual coupling) and randomized
+//! asymmetric H-trees, checked for the three contracts the reduction
+//! stage advertises:
+//!
+//! * moment matching — an order-`2q` model reproduces the first `2q`
+//!   transfer moments of the full system about `s₀`,
+//! * time-domain accuracy — closed-form 50 % delays agree with the
+//!   LTE-controlled adaptive transient to well under 0.1 ps,
+//! * passivity — all poles in the closed left half-plane and
+//!   `Re{Ŷ(jω)} ≥ 0` across the band.
+
+use rlcx::numeric::rng::{SplitMix64, UniformRng};
+use rlcx::numeric::Complex;
+use rlcx::spice::reduce::{Reduce, ReductionOrder};
+use rlcx::spice::{measure, AdaptiveOptions, Netlist, Stepping, Transient, Waveform, GROUND};
+
+fn ramp() -> Waveform {
+    Waveform::ramp(0.0, 1.0, 0.0, 20e-12)
+}
+
+/// Seeded random grounded ladder: `sections` series R(+L) segments with a
+/// grounded C each, driven by a 20 ps ramp. With `coupled`, adjacent
+/// coils get a mutual with coupling coefficient in [0.05, 0.25).
+fn random_ladder(seed: u64, sections: usize, with_l: bool, coupled: bool) -> (Netlist, String) {
+    let mut rng = SplitMix64::new(seed);
+    let mut nl = Netlist::new();
+    let input = nl.node("in");
+    nl.vsource("Vin", input, GROUND, ramp()).unwrap();
+    let mut prev = input;
+    let mut coils = Vec::new();
+    let mut henries = Vec::new();
+    let mut last = String::new();
+    for i in 0..sections {
+        let r = rng.uniform(2.0, 40.0);
+        let c = rng.uniform(4e-15, 40e-15);
+        let name = format!("n{i}");
+        let out = nl.node(&name);
+        if with_l {
+            let l = rng.uniform(50e-12, 400e-12);
+            let mid = nl.node(format!("m{i}"));
+            nl.resistor(&format!("R{i}"), prev, mid, r).unwrap();
+            coils.push(nl.inductor(&format!("L{i}"), mid, out, l).unwrap());
+            henries.push(l);
+        } else {
+            nl.resistor(&format!("R{i}"), prev, out, r).unwrap();
+        }
+        nl.capacitor(&format!("C{i}"), out, GROUND, c).unwrap();
+        prev = out;
+        last = name;
+    }
+    if coupled {
+        for i in 0..coils.len().saturating_sub(1) {
+            let k = rng.uniform(0.05, 0.25);
+            let m = k * (henries[i] * henries[i + 1]).sqrt();
+            nl.mutual(&format!("K{i}"), coils[i], coils[i + 1], m)
+                .unwrap();
+        }
+    }
+    (nl, last)
+}
+
+/// Randomized asymmetric H-tree: every branch draws its own per-section
+/// R/L/C, so sink delays genuinely differ and skew is a real quantity.
+fn random_h_tree(seed: u64, depth: usize, sections: usize) -> (Netlist, Vec<String>) {
+    let mut rng = SplitMix64::new(seed);
+    let mut nl = Netlist::new();
+    let root = nl.node("root");
+    nl.vsource("Vdrv", root, GROUND, ramp()).unwrap();
+    let drv = nl.node("drv");
+    nl.resistor("Rdrv", root, drv, 25.0).unwrap();
+    let mut frontier = vec![drv];
+    let mut names = Vec::new();
+    let mut id = 0usize;
+    for level in 0..depth {
+        let scale = 0.5f64.powi(level as i32);
+        let mut next = Vec::new();
+        let mut next_names = Vec::new();
+        for parent in std::mem::take(&mut frontier) {
+            for _ in 0..2 {
+                let mut prev = parent;
+                for _ in 0..sections {
+                    id += 1;
+                    let r = rng.uniform(0.8, 1.6) * 2.0 * scale;
+                    let l = rng.uniform(0.8, 1.6) * 0.15e-9 * scale;
+                    let c = rng.uniform(0.8, 1.6) * 8e-15 * scale;
+                    let mid = nl.node(format!("m{id}"));
+                    let out = nl.node(format!("n{id}"));
+                    nl.resistor(&format!("R{id}"), prev, mid, r).unwrap();
+                    nl.inductor(&format!("L{id}"), mid, out, l).unwrap();
+                    nl.capacitor(&format!("C{id}"), out, GROUND, c).unwrap();
+                    prev = out;
+                }
+                next.push(prev);
+                next_names.push(format!("n{id}"));
+            }
+        }
+        frontier = next;
+        names = next_names;
+    }
+    for (k, &leaf) in frontier.iter().enumerate() {
+        nl.capacitor(&format!("Cload{k}"), leaf, GROUND, 4e-15)
+            .unwrap();
+    }
+    (nl, names)
+}
+
+/// Adaptive-transient reference delays for the given sinks.
+fn adaptive_delays(nl: &Netlist, source_node: &str, sinks: &[String], horizon: f64) -> Vec<f64> {
+    let res = Transient::new(nl)
+        .stepping(Stepping::Adaptive(AdaptiveOptions {
+            reltol: 1e-6,
+            abstol: 1e-9,
+            ..Default::default()
+        }))
+        .timestep(1e-12)
+        .duration(horizon)
+        .run()
+        .unwrap();
+    let t = res.time().to_vec();
+    let vin = res.voltage(source_node).unwrap().to_vec();
+    sinks
+        .iter()
+        .map(|s| {
+            let vout = res.voltage(s).unwrap();
+            measure::delay_50(&t, &vin, vout, 0.0, 1.0).unwrap()
+        })
+        .collect()
+}
+
+/// An order-2q model matches the first 2q moments of the full transfer
+/// function about s₀ on random coupled RLC ladders.
+#[test]
+fn random_ladders_match_two_q_moments() {
+    let q = 6;
+    for seed in [101u64, 202, 303] {
+        let (nl, sink) = random_ladder(seed, 15, true, true);
+        let model = Reduce::new(&nl)
+            .order(ReductionOrder::new(2 * q))
+            .output(&sink)
+            .run()
+            .unwrap();
+        assert_eq!(model.order(), 2 * q, "seed {seed}");
+        let resid = model.moment_residual(2 * q).unwrap();
+        assert!(resid <= 1e-8, "seed {seed}: 2q-moment residual {resid:.3e}");
+    }
+}
+
+/// Closed-form 50 % delays from the reduced model agree with the
+/// adaptive transient to 0.1 ps on random ladders, with and without
+/// inductance and mutual coupling.
+#[test]
+fn random_ladder_delays_match_adaptive_transient() {
+    for (seed, with_l, coupled) in [(7u64, true, true), (8, true, false), (9, false, false)] {
+        let (nl, sink) = random_ladder(seed, 12, with_l, coupled);
+        let horizon = 2e-9;
+        let full = adaptive_delays(&nl, "in", std::slice::from_ref(&sink), horizon)[0];
+        let model = Reduce::new(&nl)
+            .order(ReductionOrder::new(20))
+            .output(&sink)
+            .run()
+            .unwrap();
+        let reduced = model
+            .delay_50(&sink, horizon)
+            .unwrap()
+            .expect("sink crosses midswing");
+        let err_ps = (full - reduced).abs() * 1e12;
+        assert!(
+            err_ps <= 0.1,
+            "seed {seed} (L={with_l}, K={coupled}): delay err {err_ps:.4} ps"
+        );
+    }
+}
+
+/// Every reduced model of a passive random network is itself passive:
+/// no right-half-plane poles and a positive-real input admittance.
+#[test]
+fn random_ladder_reductions_are_passive() {
+    for seed in [41u64, 42, 43, 44, 45] {
+        let (nl, sink) = random_ladder(seed, 14, true, seed % 2 == 0);
+        let model = Reduce::new(&nl)
+            .order(ReductionOrder::new(18))
+            .output(&sink)
+            .run()
+            .unwrap();
+        assert_eq!(model.unstable_count(), 0, "seed {seed}");
+        for pole in model.poles() {
+            assert!(
+                pole.re <= 0.0,
+                "seed {seed}: pole {pole} outside the closed LHP"
+            );
+        }
+        for f in [1e7, 1e8, 1e9, 5e9, 2e10, 1e11] {
+            let s = Complex::from_imag(2.0 * std::f64::consts::PI * f);
+            let y = model.admittance_at(s).unwrap()[(0, 0)];
+            assert!(
+                y.re >= -1e-9 * y.abs().max(1.0),
+                "seed {seed}, f={f}: Re Y = {}",
+                y.re
+            );
+        }
+    }
+}
+
+/// On a randomized asymmetric H-tree, per-sink delays and the resulting
+/// skew from the reduced model agree with the adaptive transient to
+/// 0.1 ps.
+#[test]
+fn random_h_tree_delays_and_skew_match() {
+    let (nl, sinks) = random_h_tree(977, 3, 2);
+    let horizon = 1.5e-9;
+    let full = adaptive_delays(&nl, "root", &sinks, horizon);
+    let model = Reduce::new(&nl)
+        .order(ReductionOrder::new(24))
+        .outputs(sinks.iter().map(String::as_str))
+        .run()
+        .unwrap();
+    assert_eq!(model.unstable_count(), 0);
+    let reduced: Vec<f64> = model
+        .delay_50_all(horizon)
+        .unwrap()
+        .into_iter()
+        .map(|d| d.expect("sink crosses midswing"))
+        .collect();
+    for ((sink, f), r) in sinks.iter().zip(&full).zip(&reduced) {
+        let err_ps = (f - r).abs() * 1e12;
+        assert!(err_ps <= 0.1, "{sink}: delay err {err_ps:.4} ps");
+    }
+    let skew = |d: &[f64]| {
+        d.iter().fold(f64::NEG_INFINITY, |a, &v| a.max(v))
+            - d.iter().fold(f64::INFINITY, |a, &v| a.min(v))
+    };
+    let (skew_full, skew_red) = (skew(&full), skew(&reduced));
+    // The randomized branches must produce a real, nonzero skew for this
+    // comparison to mean anything.
+    assert!(skew_full > 0.5e-12, "degenerate skew {skew_full}");
+    assert!(
+        (skew_full - skew_red).abs() * 1e12 <= 0.1,
+        "skew {skew_full} vs reduced {skew_red}"
+    );
+}

@@ -130,3 +130,43 @@ fn run_report_round_trips_through_json() {
     let build = parsed.spans.iter().find(|s| s.path == "table.build");
     assert!(build.is_some_and(|s| s.count >= 1 && s.total_s > 0.0));
 }
+
+/// A PRIMA reduction publishes its macromodel health metrics: the
+/// reduced-order and unstable-pole gauges and the Arnoldi deflation
+/// counter (which must at least exist afterwards, deflated or not).
+#[test]
+fn reduction_publishes_mor_metrics() {
+    use rlcx::spice::reduce::{Reduce, ReductionOrder};
+    use rlcx::spice::{Netlist, Waveform, GROUND};
+
+    let mut nl = Netlist::new();
+    let inp = nl.node("in");
+    nl.vsource("Vin", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 10e-12))
+        .unwrap();
+    let mut prev = inp;
+    for i in 0..6 {
+        let out = nl.node(format!("n{i}"));
+        nl.resistor(&format!("R{i}"), prev, out, 10.0).unwrap();
+        nl.capacitor(&format!("C{i}"), out, GROUND, 10e-15).unwrap();
+        prev = out;
+    }
+    let deflations_before = obs::counter_value("mor.arnoldi.deflations");
+    let model = Reduce::new(&nl)
+        .order(ReductionOrder::new(5))
+        .output("n5")
+        .run()
+        .unwrap();
+    match obs::metric_value("mor.order") {
+        Some(m) => assert_eq!(m.as_f64(), model.order() as f64),
+        None => panic!("mor.order gauge missing"),
+    }
+    match obs::metric_value("mor.poles.unstable") {
+        Some(m) => assert_eq!(m.as_f64(), 0.0),
+        None => panic!("mor.poles.unstable gauge missing"),
+    }
+    assert!(
+        obs::counter_value("mor.arnoldi.deflations")
+            >= deflations_before + model.deflations() as u64,
+        "deflation counter did not accumulate"
+    );
+}
