@@ -129,11 +129,23 @@ pub fn finish_report(mut report: RunReport) -> PathBuf {
             obs::counter_value("cache.hit"),
             obs::counter_value("cache.miss"),
         );
+        for s in &report.series {
+            eprintln!(
+                "[rlcx-trace] series {:<20} {} pts (of {} pushed, cap {})",
+                s.name,
+                s.points.len(),
+                s.pushed,
+                s.capacity,
+            );
+        }
     }
     let path = report
         .write_to(reports_dir())
         .expect("write run report JSON");
     println!("report: {}", path.display());
+    if let Some(trace) = obs::trace_out_path() {
+        println!("chrome trace: {}", trace.display());
+    }
     path
 }
 

@@ -350,6 +350,7 @@ where
             k += 1;
 
             residual = g[k].abs();
+            obs::series_push("gmres.residual", total_iters as f64, residual);
             let breakdown = hnext <= f64::EPSILON * beta.max(1.0);
             if !breakdown {
                 let mut vnext = std::mem::replace(&mut w, vec![T::ZERO; n]);
@@ -395,9 +396,13 @@ where
             }
         }
         restarts += 1;
+        // Restart event: the iteration it happened at and the residual the
+        // next cycle starts from.
+        obs::series_push("gmres.restart", total_iters as f64, residual);
     }
 
     obs::observe("gmres.iters", total_iters as f64);
+    obs::observe("gmres.restarts", restarts as f64);
     Ok(GmresSolution {
         x,
         iterations: total_iters,

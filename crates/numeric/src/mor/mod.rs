@@ -135,6 +135,7 @@ where
             let orig = norm(&w);
             if orig <= 0.0 || !orig.is_finite() {
                 deflations += 1;
+                obs::series_push("mor.deflation", basis.len() as f64, 0.0);
                 continue;
             }
             for _ in 0..2 {
@@ -148,11 +149,15 @@ where
             let nrm = norm(&w);
             if nrm <= defl_tol * orig {
                 deflations += 1;
+                obs::series_push("mor.deflation", basis.len() as f64, nrm / orig);
                 continue;
             }
             let inv = 1.0 / nrm;
             w.iter_mut().for_each(|x| *x *= inv);
             basis.push(w);
+            // Orthogonalization survival ratio per accepted basis vector:
+            // values near defl_tol flag a nearly-dependent Krylov direction.
+            obs::series_push("mor.ortho", basis.len() as f64, nrm / orig);
             survivors.push(basis.len() - 1);
             if basis.len() == max_order {
                 break;

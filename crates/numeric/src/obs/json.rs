@@ -4,7 +4,17 @@
 //! Only what the run reports need: objects keep insertion order, numbers
 //! are `f64` written with Rust's shortest-round-trip formatting, strings
 //! escape the JSON control set. The parser accepts any standard JSON
-//! document (it is not limited to report files).
+//! document (it is not limited to report files), with nesting capped at
+//! [`MAX_DEPTH`] so hostile input cannot overflow the stack.
+//!
+//! Non-finite `f64` values have no JSON number syntax; the writer emits
+//! them as the strings `"NaN"`, `"Infinity"`, `"-Infinity"` (the Chrome
+//! trace viewer and `report_diff` both load these), and [`Json::as_f64`]
+//! maps those strings back, so numeric round-trips survive non-finite
+//! values instead of degrading to `null`.
+
+/// Maximum nesting depth the parser accepts before erroring out.
+pub const MAX_DEPTH: usize = 512;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,10 +42,17 @@ impl Json {
         }
     }
 
-    /// The value as `f64`, if it is a number.
+    /// The value as `f64`, if it is a number — or one of the writer's
+    /// non-finite sentinel strings (`"NaN"`, `"Infinity"`, `"-Infinity"`).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(v) => Some(*v),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "Infinity" => Some(f64::INFINITY),
+                "-Infinity" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -163,7 +180,7 @@ impl Json {
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -173,12 +190,17 @@ impl Json {
 }
 
 /// `f64` → JSON number. `{:?}` is Rust's shortest round-trip formatting;
-/// non-finite values (not valid JSON) degrade to null.
+/// non-finite values (not valid JSON numbers) become sentinel strings
+/// that [`Json::as_f64`] maps back.
 fn write_num(v: f64, out: &mut String) {
     if v.is_finite() {
         out.push_str(&format!("{v:?}"));
+    } else if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v > 0.0 {
+        out.push_str("\"Infinity\"");
     } else {
-        out.push_str("null");
+        out.push_str("\"-Infinity\"");
     }
 }
 
@@ -213,11 +235,14 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
@@ -299,7 +324,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -308,7 +333,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -321,7 +346,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'{')?;
     let mut members = Vec::new();
     skip_ws(bytes, pos);
@@ -334,7 +359,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         members.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -405,8 +430,96 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_numbers_degrade_to_null() {
-        assert_eq!(Json::Num(f64::NAN).to_json(), "null");
-        assert_eq!(Json::Num(f64::INFINITY).to_json(), "null");
+    fn non_finite_numbers_round_trip_as_strings() {
+        assert_eq!(Json::Num(f64::NAN).to_json(), "\"NaN\"");
+        assert_eq!(Json::Num(f64::INFINITY).to_json(), "\"Infinity\"");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_json(), "\"-Infinity\"");
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let parsed = Json::parse(&Json::Num(v).to_json()).unwrap();
+            let back = parsed.as_f64().expect("sentinel maps back to f64");
+            assert!(back.is_nan() == v.is_nan() && (v.is_nan() || back == v));
+        }
+        // Ordinary strings do not accidentally become numbers.
+        assert_eq!(Json::Str("nan".into()).as_f64(), None);
+        assert_eq!(Json::Str("Inf".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn deep_nesting_parses_up_to_the_cap() {
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&deep).is_ok(), "100 levels are fine");
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 2),
+            "]".repeat(MAX_DEPTH + 2)
+        );
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.contains("nesting"), "got: {err}");
+        // Objects hit the same cap.
+        let obj_deep = format!(
+            "{}1{}",
+            "{\"k\":".repeat(MAX_DEPTH + 2),
+            "}".repeat(MAX_DEPTH + 2)
+        );
+        assert!(Json::parse(&obj_deep).is_err());
+    }
+
+    #[test]
+    fn escaped_strings_round_trip() {
+        let original = "quote\" back\\slash /slash\nnewline\ttab\r\u{8}\u{c}\u{1} µ—✓";
+        let text = Json::Str(original.into()).to_json();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(original));
+        // Explicit escape forms parse to the right scalars.
+        assert_eq!(Json::parse(r#""Aµ\t\/""#).unwrap().as_str(), Some("Aµ\t/"));
+        // A lone surrogate cannot be a char; it degrades to U+FFFD.
+        assert_eq!(
+            Json::parse(r#""\ud800""#).unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+    }
+
+    #[test]
+    fn scientific_notation_shortest_repr_round_trips() {
+        // Deterministic pseudo-random sweep across magnitudes: the writer's
+        // shortest-repr output must re-parse to the identical bits.
+        use crate::rng::UniformRng;
+        let mut rng = crate::rng::SplitMix64::new(0x0b5ec4b1e5);
+        for _ in 0..200 {
+            let mag = (rng.next_f64() - 0.5) * 600.0; // exponents in ±300
+            let v = (rng.next_f64() - 0.5) * 10f64.powf(mag.clamp(-300.0, 300.0));
+            let text = Json::Num(v).to_json();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via {text}");
+        }
+        for text in ["2.5e2", "2.5E2", "25e-1", "1e0"] {
+            let v = Json::parse(text).unwrap().as_f64().unwrap();
+            assert_eq!(
+                Json::parse(&Json::Num(v).to_json()).unwrap().as_f64(),
+                Some(v)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_error_cleanly() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"",
+            "{\"a\":",
+            "{\"a\":1",
+            "{\"a\":1,",
+            "[",
+            "[1",
+            "[1,",
+            "\"abc",
+            "\"abc\\",
+            "\"abc\\u00",
+            "tr",
+            "nul",
+            "-",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
     }
 }

@@ -1,13 +1,63 @@
-//! A light global registry of counters, gauges and histogram summaries.
+//! A global registry of counters, gauges and histograms, sharded for the
+//! hot paths.
 //!
-//! Metrics are always on (unlike spans, they are never recorded inside
-//! per-element loops — only per solve, per build, per run), so recording
-//! is a mutex-guarded map update: cheap, thread-safe, and allocation-free
-//! after a name's first use. Names follow the `crate.subject[.aspect]`
-//! scheme documented in the [module docs](super).
+//! Metrics are always on. Before the flight-recorder rework every update
+//! took a process-wide mutex around a `BTreeMap` — fine per solve, painful
+//! per iteration. Recording is now lock-free after a name's first use:
+//!
+//! * names are interned once into a fixed pool of metric ids (an `RwLock`
+//!   read on the hot path, a write only on first registration),
+//! * counters and histograms live in **per-thread shards** of atomics
+//!   (thread ordinal modulo [`SHARDS`]), so concurrent writers on
+//!   different threads touch different cache lines and merge on read,
+//! * histograms keep count/sum/min/max exactly and bucket samples into
+//!   **log-spaced bins** ([`BUCKETS_PER_OCTAVE`] per factor of two), from
+//!   which [`quantile`] answers p50/p90/p99 queries within one bin width,
+//! * gauges are last-write-wins and live in one global slot per id.
+//!
+//! [`reset_metrics`] is **epoch-based**: it bumps a generation counter
+//! instead of clearing storage, so a reset that races with concurrently
+//! recording shards can never tear a value or corrupt the registry — at
+//! worst a sample in flight across the bump lands in the old generation
+//! and is dropped. Slots lazily re-zero themselves the first time they are
+//! written in a new generation.
+//!
+//! Names follow the `crate.subject[.aspect]` scheme documented in the
+//! [module docs](super).
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Number of write shards for counters and histograms. Thread ordinals map
+/// onto shards modulo this, so more concurrent threads than shards still
+/// work — they just share.
+pub const SHARDS: usize = 8;
+
+/// Hard cap on distinct metric names. Registration past the cap silently
+/// drops (recorded on the `obs.metrics.dropped` diagnostic slot would
+/// itself need a slot, so the writer simply no-ops).
+pub const MAX_METRICS: usize = 256;
+
+/// Log-histogram resolution: bins per factor of two. Quantile answers are
+/// exact to within one bin, i.e. a factor of `2^(1/4) ≈ 1.19`.
+pub const BUCKETS_PER_OCTAVE: usize = 4;
+
+/// Smallest binned magnitude exponent: values at or below `2^MIN_EXP` (and
+/// all non-positive values) land in the underflow bin.
+const MIN_EXP: i32 = -40;
+
+/// Largest binned magnitude exponent: values at or above `2^MAX_EXP` land
+/// in the overflow bin.
+const MAX_EXP: i32 = 40;
+
+/// Underflow bin + log bins + overflow bin.
+const N_BUCKETS: usize = 2 + (MAX_EXP - MIN_EXP) as usize * BUCKETS_PER_OCTAVE;
+
+const KIND_UNSET: u8 = 0;
+const KIND_COUNTER: u8 = 1;
+const KIND_GAUGE: u8 = 2;
+const KIND_HIST: u8 = 3;
 
 /// The current value of one metric.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,7 +66,9 @@ pub enum MetricValue {
     Counter(u64),
     /// Last-write-wins measurement ([`gauge_set`]).
     Gauge(f64),
-    /// Streaming summary of observed samples ([`observe`]).
+    /// Streaming summary of observed samples ([`observe`]). Count, sum,
+    /// min and max are exact; the quantiles are log-bucket estimates
+    /// (within one bin width, clamped to `[min, max]`).
     Histogram {
         /// Number of samples.
         count: u64,
@@ -26,6 +78,12 @@ pub enum MetricValue {
         min: f64,
         /// Largest sample.
         max: f64,
+        /// Estimated median.
+        p50: f64,
+        /// Estimated 90th percentile.
+        p90: f64,
+        /// Estimated 99th percentile.
+        p99: f64,
     },
 }
 
@@ -47,70 +105,367 @@ impl MetricValue {
     }
 }
 
-fn registry() -> &'static Mutex<BTreeMap<String, MetricValue>> {
-    static REGISTRY: OnceLock<Mutex<BTreeMap<String, MetricValue>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+/// One shard's storage for one metric id. Counters use `count`;
+/// histograms use all fields. A slot belongs to the generation in `epoch`;
+/// stale slots are logically empty and re-zeroed on the next write.
+struct Slot {
+    epoch: AtomicU64,
+    gen: AtomicU64,
+    kind: AtomicU8,
+    count: AtomicU64,
+    sum: AtomicU64, // f64 bits
+    min: AtomicU64, // f64 bits
+    max: AtomicU64, // f64 bits
+    buckets: OnceLock<Box<[AtomicU64]>>,
 }
 
-fn with_registry<R>(f: impl FnOnce(&mut BTreeMap<String, MetricValue>) -> R) -> Option<R> {
-    registry().lock().ok().map(|mut m| f(&mut m))
-}
-
-/// Adds `delta` to the counter `name` (creating it at zero).
-pub fn counter_add(name: &str, delta: u64) {
-    with_registry(|m| match m.get_mut(name) {
-        Some(MetricValue::Counter(n)) => *n += delta,
-        Some(other) => *other = MetricValue::Counter(delta),
-        None => {
-            m.insert(name.to_string(), MetricValue::Counter(delta));
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            epoch: AtomicU64::new(0),
+            gen: AtomicU64::new(0),
+            kind: AtomicU8::new(KIND_UNSET),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: OnceLock::new(),
         }
-    });
-}
+    }
 
-/// Sets the gauge `name` to `value`.
-pub fn gauge_set(name: &str, value: f64) {
-    with_registry(|m| match m.get_mut(name) {
-        Some(slot) => *slot = MetricValue::Gauge(value),
-        None => {
-            m.insert(name.to_string(), MetricValue::Gauge(value));
+    /// Prepares the slot for a write of `kind` in reset generation `epoch`
+    /// and kind generation `gen`, re-zeroing it if it still holds data
+    /// from an older generation or a different kind. Racing writers may
+    /// both clear; an increment that lands between a racer's check and
+    /// clear is dropped, never torn.
+    fn touch(&self, epoch: u64, gen: u64, kind: u8) {
+        if self.live(epoch, gen, kind) {
+            return;
         }
-    });
-}
-
-/// Records `sample` into the histogram `name`.
-pub fn observe(name: &str, sample: f64) {
-    with_registry(|m| match m.get_mut(name) {
-        Some(MetricValue::Histogram {
-            count,
-            sum,
-            min,
-            max,
-        }) => {
-            *count += 1;
-            *sum += sample;
-            *min = min.min(sample);
-            *max = max.max(sample);
-        }
-        Some(other) => {
-            *other = MetricValue::Histogram {
-                count: 1,
-                sum: sample,
-                min: sample,
-                max: sample,
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+        if let Some(buckets) = self.buckets.get() {
+            for b in buckets.iter() {
+                b.store(0, Ordering::Relaxed);
             }
         }
-        None => {
-            m.insert(
-                name.to_string(),
-                MetricValue::Histogram {
-                    count: 1,
-                    sum: sample,
-                    min: sample,
-                    max: sample,
-                },
-            );
+        self.kind.store(kind, Ordering::Relaxed);
+        self.gen.store(gen, Ordering::Relaxed);
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    fn live(&self, epoch: u64, gen: u64, kind: u8) -> bool {
+        self.epoch.load(Ordering::Acquire) == epoch
+            && self.gen.load(Ordering::Relaxed) == gen
+            && self.kind.load(Ordering::Relaxed) == kind
+    }
+
+    fn bucket_slice(&self) -> &[AtomicU64] {
+        self.buckets.get_or_init(|| {
+            (0..N_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        })
+    }
+}
+
+/// Global gauge storage: gauges are last-write-wins, so one slot per id.
+struct GaugeSlot {
+    epoch: AtomicU64,
+    gen: AtomicU64,
+    bits: AtomicU64,
+}
+
+struct Pool {
+    /// `shards[s][id]` — counter/histogram storage.
+    shards: Vec<Vec<Slot>>,
+    gauges: Vec<GaugeSlot>,
+    /// Latest kind written under each id; readers merge shards of this kind.
+    kinds: Vec<AtomicU8>,
+    /// Bumped when an id's kind flips, invalidating the old kind's data.
+    kind_gens: Vec<AtomicU64>,
+    /// Current reset generation. Starts at 1 so freshly-zeroed slots
+    /// (epoch 0) are born stale.
+    epoch: AtomicU64,
+    /// name → id, plus id → name. Ids are never recycled.
+    names: RwLock<(BTreeMap<String, usize>, Vec<String>)>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shards: (0..SHARDS)
+            .map(|_| (0..MAX_METRICS).map(|_| Slot::new()).collect())
+            .collect(),
+        gauges: (0..MAX_METRICS)
+            .map(|_| GaugeSlot {
+                epoch: AtomicU64::new(0),
+                gen: AtomicU64::new(0),
+                bits: AtomicU64::new(0),
+            })
+            .collect(),
+        kinds: (0..MAX_METRICS)
+            .map(|_| AtomicU8::new(KIND_UNSET))
+            .collect(),
+        kind_gens: (0..MAX_METRICS).map(|_| AtomicU64::new(0)).collect(),
+        epoch: AtomicU64::new(1),
+        names: RwLock::new((BTreeMap::new(), Vec::new())),
+    })
+}
+
+/// Publishes `kind` as the id's current kind, bumping the kind generation
+/// on a flip so the previous kind's shard data is logically discarded.
+/// Read-only on the hot path (the kind of a metric almost never changes).
+fn publish_kind(p: &Pool, id: usize, kind: u8) -> u64 {
+    if p.kinds[id].load(Ordering::Relaxed) != kind {
+        let prev = p.kinds[id].swap(kind, Ordering::AcqRel);
+        if prev != kind && prev != KIND_UNSET {
+            p.kind_gens[id].fetch_add(1, Ordering::AcqRel);
         }
-    });
+    }
+    p.kind_gens[id].load(Ordering::Acquire)
+}
+
+fn shard_index() -> usize {
+    super::trace::thread_ordinal() as usize % SHARDS
+}
+
+/// Interns `name`, registering it on first use. `None` once the pool is
+/// full (the metric is silently dropped rather than blocking a solver).
+fn intern(name: &str) -> Option<usize> {
+    let p = pool();
+    if let Ok(names) = p.names.read() {
+        if let Some(&id) = names.0.get(name) {
+            return Some(id);
+        }
+    }
+    let mut names = p.names.write().ok()?;
+    if let Some(&id) = names.0.get(name) {
+        return Some(id);
+    }
+    if names.1.len() >= MAX_METRICS {
+        return None;
+    }
+    let id = names.1.len();
+    names.1.push(name.to_string());
+    names.0.insert(name.to_string(), id);
+    Some(id)
+}
+
+/// Looks up `name` without registering it.
+fn lookup(name: &str) -> Option<usize> {
+    pool().names.read().ok()?.0.get(name).copied()
+}
+
+fn f64_fetch_add(a: &AtomicU64, v: f64) {
+    let mut cur = a.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + v).to_bits();
+        match a.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+fn f64_fetch_min(a: &AtomicU64, v: f64) {
+    let mut cur = a.load(Ordering::Relaxed);
+    while v < f64::from_bits(cur) {
+        match a.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+fn f64_fetch_max(a: &AtomicU64, v: f64) {
+    let mut cur = a.load(Ordering::Relaxed);
+    while v > f64::from_bits(cur) {
+        match a.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Log-bin index of a sample: 0 for non-positive/underflow, `N_BUCKETS-1`
+/// for overflow, otherwise `1 + (log2 − MIN_EXP)·BUCKETS_PER_OCTAVE`.
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 || !v.is_finite() {
+        return if v.is_finite() { 0 } else { N_BUCKETS - 1 };
+    }
+    let scaled = (v.log2() - MIN_EXP as f64) * BUCKETS_PER_OCTAVE as f64;
+    if scaled < 0.0 {
+        0
+    } else {
+        (1 + scaled as usize).min(N_BUCKETS - 1)
+    }
+}
+
+/// Geometric midpoint of bin `i` (its representative value for quantile
+/// answers). The under/overflow bins defer to the exact min/max clamp.
+fn bucket_value(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else if i == N_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        let l = MIN_EXP as f64 + (i as f64 - 0.5) / BUCKETS_PER_OCTAVE as f64;
+        l.exp2()
+    }
+}
+
+/// Adds `delta` to the counter `name` (creating it at zero). Lock-free
+/// after the name's first registration.
+pub fn counter_add(name: &str, delta: u64) {
+    let Some(id) = intern(name) else { return };
+    let p = pool();
+    let epoch = p.epoch.load(Ordering::Acquire);
+    let gen = publish_kind(p, id, KIND_COUNTER);
+    let slot = &p.shards[shard_index()][id];
+    slot.touch(epoch, gen, KIND_COUNTER);
+    slot.count.fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Sets the gauge `name` to `value` (last write wins across threads).
+pub fn gauge_set(name: &str, value: f64) {
+    let Some(id) = intern(name) else { return };
+    let p = pool();
+    let epoch = p.epoch.load(Ordering::Acquire);
+    let gen = publish_kind(p, id, KIND_GAUGE);
+    p.gauges[id].bits.store(value.to_bits(), Ordering::Relaxed);
+    p.gauges[id].gen.store(gen, Ordering::Relaxed);
+    p.gauges[id].epoch.store(epoch, Ordering::Release);
+}
+
+/// Records `sample` into the histogram `name`. Lock-free after the name's
+/// first use on each recording thread.
+pub fn observe(name: &str, sample: f64) {
+    let Some(id) = intern(name) else { return };
+    let p = pool();
+    let epoch = p.epoch.load(Ordering::Acquire);
+    let gen = publish_kind(p, id, KIND_HIST);
+    let slot = &p.shards[shard_index()][id];
+    slot.touch(epoch, gen, KIND_HIST);
+    slot.count.fetch_add(1, Ordering::Relaxed);
+    f64_fetch_add(&slot.sum, sample);
+    f64_fetch_min(&slot.min, sample);
+    f64_fetch_max(&slot.max, sample);
+    slot.bucket_slice()[bucket_index(sample)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Merged histogram state for one id: (count, sum, min, max, buckets).
+fn merge_hist(id: usize) -> (u64, f64, f64, f64, [u64; N_BUCKETS]) {
+    let p = pool();
+    let epoch = p.epoch.load(Ordering::Acquire);
+    let gen = p.kind_gens[id].load(Ordering::Acquire);
+    let mut count = 0u64;
+    let mut sum = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut buckets = [0u64; N_BUCKETS];
+    for shard in &p.shards {
+        let slot = &shard[id];
+        if !slot.live(epoch, gen, KIND_HIST) {
+            continue;
+        }
+        count += slot.count.load(Ordering::Relaxed);
+        sum += f64::from_bits(slot.sum.load(Ordering::Relaxed));
+        min = min.min(f64::from_bits(slot.min.load(Ordering::Relaxed)));
+        max = max.max(f64::from_bits(slot.max.load(Ordering::Relaxed)));
+        if let Some(b) = slot.buckets.get() {
+            for (acc, x) in buckets.iter_mut().zip(b.iter()) {
+                *acc += x.load(Ordering::Relaxed);
+            }
+        }
+    }
+    (count, sum, min, max, buckets)
+}
+
+/// Quantile estimate over merged buckets, clamped to the exact `[min, max]`.
+fn bucket_quantile(q: f64, count: u64, min: f64, max: f64, buckets: &[u64; N_BUCKETS]) -> f64 {
+    if count == 0 {
+        return f64::NAN;
+    }
+    // The extremes are tracked exactly; only interior quantiles need bins.
+    if q <= 0.0 {
+        return min;
+    }
+    if q >= 1.0 {
+        return max;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        cum += b;
+        if cum >= target {
+            return bucket_value(i).clamp(min, max);
+        }
+    }
+    max
+}
+
+/// The estimated `q`-quantile (`0 ≤ q ≤ 1`) of the histogram `name`, if it
+/// has samples in the current generation. Accurate to within one log bin
+/// (a factor of `2^(1/BUCKETS_PER_OCTAVE)`), exact at the extremes.
+pub fn quantile(name: &str, q: f64) -> Option<f64> {
+    let id = lookup(name)?;
+    if pool().kinds[id].load(Ordering::Relaxed) != KIND_HIST {
+        return None;
+    }
+    let (count, _, min, max, buckets) = merge_hist(id);
+    if count == 0 {
+        return None;
+    }
+    Some(bucket_quantile(
+        q.clamp(0.0, 1.0),
+        count,
+        min,
+        max,
+        &buckets,
+    ))
+}
+
+fn read_metric(id: usize) -> Option<MetricValue> {
+    let p = pool();
+    let epoch = p.epoch.load(Ordering::Acquire);
+    let gen = p.kind_gens[id].load(Ordering::Acquire);
+    match p.kinds[id].load(Ordering::Relaxed) {
+        KIND_COUNTER => {
+            let mut total = 0u64;
+            let mut live = false;
+            for shard in &p.shards {
+                let slot = &shard[id];
+                if slot.live(epoch, gen, KIND_COUNTER) {
+                    live = true;
+                    total += slot.count.load(Ordering::Relaxed);
+                }
+            }
+            live.then_some(MetricValue::Counter(total))
+        }
+        KIND_GAUGE => {
+            let g = &p.gauges[id];
+            (g.epoch.load(Ordering::Acquire) == epoch && g.gen.load(Ordering::Relaxed) == gen)
+                .then(|| MetricValue::Gauge(f64::from_bits(g.bits.load(Ordering::Relaxed))))
+        }
+        KIND_HIST => {
+            let (count, sum, min, max, buckets) = merge_hist(id);
+            (count > 0).then(|| MetricValue::Histogram {
+                count,
+                sum,
+                min,
+                max,
+                p50: bucket_quantile(0.50, count, min, max, &buckets),
+                p90: bucket_quantile(0.90, count, min, max, &buckets),
+                p99: bucket_quantile(0.99, count, min, max, &buckets),
+            })
+        }
+        _ => None,
+    }
 }
 
 /// The counter `name`, or 0 if it was never incremented (or is not a
@@ -122,20 +477,30 @@ pub fn counter_value(name: &str) -> u64 {
     }
 }
 
-/// The current value of `name`, if recorded.
+/// The current value of `name`, if recorded in the current generation.
 pub fn metric_value(name: &str) -> Option<MetricValue> {
-    with_registry(|m| m.get(name).copied()).flatten()
+    read_metric(lookup(name)?)
 }
 
-/// Every metric, sorted by name.
+/// Every metric with data in the current generation, sorted by name.
 pub fn metrics_snapshot() -> Vec<(String, MetricValue)> {
-    with_registry(|m| m.iter().map(|(k, v)| (k.clone(), *v)).collect()).unwrap_or_default()
+    let p = pool();
+    let Ok(names) = p.names.read() else {
+        return Vec::new();
+    };
+    names
+        .0
+        .iter()
+        .filter_map(|(name, &id)| Some((name.clone(), read_metric(id)?)))
+        .collect()
 }
 
-/// Clears the registry (tests and multi-phase binaries that want per-phase
-/// deltas).
+/// Logically clears the registry by bumping the reset generation; stale
+/// shard data is ignored by readers and re-zeroed lazily on the next
+/// write. Safe to call while other threads are recording — a sample in
+/// flight across the bump may be dropped, but nothing tears or blocks.
 pub fn reset_metrics() {
-    with_registry(|m| m.clear());
+    pool().epoch.fetch_add(1, Ordering::AcqRel);
 }
 
 #[cfg(test)]
@@ -174,13 +539,58 @@ mod tests {
                 sum,
                 min,
                 max,
+                p50,
+                p99,
+                ..
             }) => {
                 assert!(count >= 3);
                 assert!(sum >= 6.5);
                 assert_eq!(min, 0.5);
                 assert_eq!(max, 4.0);
+                assert!((0.5..=4.0).contains(&p50));
+                assert!((0.5..=4.0).contains(&p99));
             }
             other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantiles_are_bin_accurate() {
+        let name = "metrics.test.quant";
+        // 100 samples 1..=100: p50 ≈ 50, p99 ≈ 99, within one log bin
+        // (factor 2^(1/4) ≈ 1.19).
+        for i in 1..=100 {
+            observe(name, i as f64);
+        }
+        let tol = 2f64.powf(1.0 / BUCKETS_PER_OCTAVE as f64);
+        let p50 = quantile(name, 0.5).unwrap();
+        let p99 = quantile(name, 0.99).unwrap();
+        assert!(p50 / 50.0 < tol && 50.0 / p50 < tol, "p50 = {p50}");
+        assert!(p99 / 99.0 < tol && 99.0 / p99 < tol, "p99 = {p99}");
+        // Extremes clamp to the exact min/max.
+        assert_eq!(quantile(name, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(name, 1.0).unwrap(), 100.0);
+        assert!(quantile("metrics.test.no_such", 0.5).is_none());
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for e in -60..60 {
+            let idx = bucket_index((e as f64).exp2());
+            assert!(idx >= last, "bucket index must be monotone");
+            assert!(idx < N_BUCKETS);
+            last = idx;
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::INFINITY), N_BUCKETS - 1);
+        assert_eq!(bucket_index(f64::NAN), N_BUCKETS - 1);
+        // Representative values invert the index mapping to within a bin.
+        for e in [-10.0f64, -1.0, 0.0, 3.0, 17.0] {
+            let v = e.exp2() * 1.1;
+            let rep = bucket_value(bucket_index(v));
+            assert!(rep / v < 1.2 && v / rep < 1.2, "{v} → {rep}");
         }
     }
 
@@ -212,5 +622,15 @@ mod tests {
             }
         });
         assert_eq!(counter_value(name), before + 800);
+    }
+
+    #[test]
+    fn kind_change_takes_over() {
+        let name = "metrics.test.kindflip";
+        counter_add(name, 7);
+        gauge_set(name, 1.25);
+        assert_eq!(metric_value(name), Some(MetricValue::Gauge(1.25)));
+        counter_add(name, 2);
+        assert_eq!(metric_value(name), Some(MetricValue::Counter(2)));
     }
 }

@@ -14,10 +14,21 @@
 //!   `verbose` collect [`SpanRecord`]s for the span tree and run reports.
 //! * [`metrics`] — a global registry of counters, gauges and histogram
 //!   summaries (`cache.hit`, `peec.filaments`, `lu.factor.n`, …), always
-//!   on (recording is a mutex-guarded map update off every hot loop).
-//! * [`report`] — [`RunReport`]: spans + metrics + bench samples +
-//!   paper-accuracy figures serialized to a stable, hand-rolled JSON file
-//!   (`target/reports/<name>.json`) so experiment outputs diff across PRs.
+//!   on. Since PR 7 the store is *sharded*: per-thread atomic slots with
+//!   log-bucketed histograms, so hot-loop recording is lock-free and
+//!   allocation-free, and [`quantile`] answers p50/p90/p99 queries.
+//! * [`series`] — the flight recorder: bounded ring-buffer channels of
+//!   `(step, value)` pairs ([`series_push`]) capturing convergence
+//!   trajectories (GMRES residuals, ACA ranks, adaptive step sizes, …),
+//!   serialized into RunReport v2.
+//! * [`report`] — [`RunReport`]: spans, metrics, series, bench samples
+//!   and paper-accuracy figures serialized to a stable, hand-rolled JSON
+//!   file (`target/reports/<name>.json`) so experiment outputs diff across
+//!   PRs — and, via the `report_diff` bench binary, against committed
+//!   baselines in CI.
+//! * [`chrome`] — `RLCX_TRACE_OUT=<path>` exports the raw spans as a
+//!   Chrome/Perfetto `traceEvents` JSON any run can open in
+//!   `chrome://tracing`.
 //! * [`json`] — the minimal JSON value model ([`Json`]) behind the report
 //!   writer/parser; no serde, same policy as the table cache format.
 //!
@@ -44,17 +55,24 @@
 //! assert!(obs::counter_value("demo.widgets") >= 3);
 //! ```
 
+pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod series;
 pub mod trace;
 
+pub use chrome::{chrome_trace_json, trace_out_path, write_chrome_trace, TRACE_OUT_ENV};
 pub use json::Json;
 pub use metrics::{
-    counter_add, counter_value, gauge_set, metric_value, metrics_snapshot, observe, reset_metrics,
-    MetricValue,
+    counter_add, counter_value, gauge_set, metric_value, metrics_snapshot, observe, quantile,
+    reset_metrics, MetricValue,
 };
 pub use report::{BenchSample, RunReport, SpanSummary};
+pub use series::{
+    reset_series, series_points, series_push, series_push_with_capacity, series_snapshot,
+    SeriesSnapshot,
+};
 pub use trace::{
     set_trace_level, span, span_tree, take_spans, trace_level, with_span, Span, SpanRecord,
     TraceLevel,

@@ -6,12 +6,12 @@
 //! tree, serialized as stable JSON under `target/reports/<name>.json` so
 //! successive PRs can diff them.
 //!
-//! # Schema (`rlcx-report` version 1)
+//! # Schema (`rlcx-report` version 2)
 //!
 //! ```json
 //! {
 //!   "schema": "rlcx-report",
-//!   "version": 1,
+//!   "version": 2,
 //!   "name": "exp_table_accuracy",
 //!   "created_unix": 1754500000,
 //!   "env": {"threads": "8", "trace": "summary"},
@@ -19,12 +19,21 @@
 //!   "samples": [{"name": "lookup", "median_s": 1e-6, "min_s": 9e-7, "n": 10}],
 //!   "timings": {"self-table": 0.41},
 //!   "metrics": {"cache.hit": {"type": "counter", "value": 1}},
-//!   "spans": [{"path": "table.build", "depth": 0, "count": 1, "total_s": 0.5}]
+//!   "spans": [{"path": "table.build", "depth": 0, "count": 1, "total_s": 0.5}],
+//!   "series": [{"name": "gmres.residual", "capacity": 4096, "pushed": 37,
+//!               "points": [[0.0, 1.0], [1.0, 0.1]]}]
 //! }
 //! ```
+//!
+//! Version 2 (PR 7) added the `series` array — the flight-recorder
+//! channels of [`series_push`](super::series::series_push) — and extended
+//! histogram metrics with `p50`/`p90`/`p99` quantile estimates from the
+//! sharded log-bucketed store. [`RunReport::from_json`] still accepts
+//! version-1 documents (they simply have no series and no quantiles).
 
 use super::json::Json;
 use super::metrics::{self, MetricValue};
+use super::series::{self, SeriesSnapshot};
 use super::trace::{self, SpanRecord};
 use crate::timing::Timings;
 use std::path::{Path, PathBuf};
@@ -74,6 +83,8 @@ pub struct RunReport {
     pub metrics: Vec<(String, MetricValue)>,
     /// Aggregated spans (filled by [`RunReport::finish`]).
     pub spans: Vec<SpanSummary>,
+    /// Time-series channel snapshots (filled by [`RunReport::finish`]).
+    pub series: Vec<SeriesSnapshot>,
 }
 
 impl RunReport {
@@ -142,18 +153,27 @@ impl RunReport {
         }
     }
 
-    /// Captures the current metric registry and drains the recorded spans
-    /// into the report. Call once, at the end of the run.
+    /// Captures the current metric registry, the series channels and the
+    /// recorded spans (drained) into the report. Call once, at the end of
+    /// the run. If `RLCX_TRACE_OUT` names a file, the raw spans are also
+    /// exported as a Chrome `traceEvents` JSON before aggregation.
     pub fn finish(&mut self) {
         self.metrics = metrics::metrics_snapshot();
-        self.spans = aggregate_spans(&trace::take_spans());
+        self.series = series::series_snapshot();
+        let raw = trace::take_spans();
+        if let Some(path) = super::chrome::trace_out_path() {
+            if let Err(e) = super::chrome::write_chrome_trace(&path, &raw, &self.metrics) {
+                eprintln!("[rlcx-obs] chrome trace write to {path:?} failed: {e}");
+            }
+        }
+        self.spans = aggregate_spans(&raw);
     }
 
     /// Serializes to pretty JSON (schema above).
     pub fn to_json(&self) -> String {
         let mut root = vec![
             ("schema".to_string(), Json::Str("rlcx-report".into())),
-            ("version".to_string(), Json::Num(1.0)),
+            ("version".to_string(), Json::Num(2.0)),
             ("name".to_string(), Json::Str(self.name.clone())),
         ];
         if let Some(t) = self.created_unix {
@@ -227,6 +247,32 @@ impl RunReport {
                     .collect(),
             ),
         ));
+        root.push((
+            "series".into(),
+            Json::Arr(
+                self.series
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(s.name.clone())),
+                            ("capacity".into(), Json::Num(s.capacity as f64)),
+                            ("pushed".into(), Json::Num(s.pushed as f64)),
+                            (
+                                "points".into(),
+                                Json::Arr(
+                                    s.points
+                                        .iter()
+                                        .map(|&(step, value)| {
+                                            Json::Arr(vec![Json::Num(step), Json::Num(value)])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
         Json::Obj(root).to_json_pretty()
     }
 
@@ -240,7 +286,8 @@ impl RunReport {
         if root.get("schema").and_then(Json::as_str) != Some("rlcx-report") {
             return Err("not an rlcx-report document".into());
         }
-        if root.get("version").and_then(Json::as_u64) != Some(1) {
+        let version = root.get("version").and_then(Json::as_u64);
+        if !matches!(version, Some(1 | 2)) {
             return Err("unsupported rlcx-report version".into());
         }
         let name = root
@@ -314,6 +361,31 @@ impl RunReport {
                     .collect()
             })
             .unwrap_or_default();
+        let series = root
+            .get("series")
+            .and_then(Json::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|s| {
+                        Some(SeriesSnapshot {
+                            name: s.get("name")?.as_str()?.to_string(),
+                            capacity: s.get("capacity")?.as_u64()?,
+                            pushed: s.get("pushed")?.as_u64()?,
+                            points: s
+                                .get("points")?
+                                .as_array()?
+                                .iter()
+                                .filter_map(|p| {
+                                    let p = p.as_array()?;
+                                    Some((p.first()?.as_f64()?, p.get(1)?.as_f64()?))
+                                })
+                                .collect(),
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         Ok(RunReport {
             name,
             created_unix: root.get("created_unix").and_then(Json::as_u64),
@@ -323,6 +395,7 @@ impl RunReport {
             timings: num_pairs("timings"),
             metrics,
             spans,
+            series,
         })
     }
 
@@ -355,12 +428,18 @@ fn metric_to_json(v: &MetricValue) -> Json {
             sum,
             min,
             max,
+            p50,
+            p90,
+            p99,
         } => Json::Obj(vec![
             ("type".into(), Json::Str("histogram".into())),
             ("count".into(), Json::Num(count as f64)),
             ("sum".into(), Json::Num(sum)),
             ("min".into(), Json::Num(min)),
             ("max".into(), Json::Num(max)),
+            ("p50".into(), Json::Num(p50)),
+            ("p90".into(), Json::Num(p90)),
+            ("p99".into(), Json::Num(p99)),
         ]),
     }
 }
@@ -369,12 +448,21 @@ fn metric_from_json(v: &Json) -> Option<MetricValue> {
     match v.get("type")?.as_str()? {
         "counter" => Some(MetricValue::Counter(v.get("value")?.as_u64()?)),
         "gauge" => Some(MetricValue::Gauge(v.get("value")?.as_f64()?)),
-        "histogram" => Some(MetricValue::Histogram {
-            count: v.get("count")?.as_u64()?,
-            sum: v.get("sum")?.as_f64()?,
-            min: v.get("min")?.as_f64()?,
-            max: v.get("max")?.as_f64()?,
-        }),
+        "histogram" => {
+            let min = v.get("min")?.as_f64()?;
+            let max = v.get("max")?.as_f64()?;
+            Some(MetricValue::Histogram {
+                count: v.get("count")?.as_u64()?,
+                sum: v.get("sum")?.as_f64()?,
+                min,
+                max,
+                // Version-1 histograms carried no quantiles; fall back to
+                // the range so old baselines stay loadable.
+                p50: v.get("p50").and_then(Json::as_f64).unwrap_or(min),
+                p90: v.get("p90").and_then(Json::as_f64).unwrap_or(max),
+                p99: v.get("p99").and_then(Json::as_f64).unwrap_or(max),
+            })
+        }
         _ => None,
     }
 }
@@ -429,6 +517,9 @@ mod tests {
                     sum: 30.0,
                     min: 6.0,
                     max: 18.0,
+                    p50: 6.0,
+                    p90: 18.0,
+                    p99: 18.0,
                 },
             ),
         ];
@@ -437,6 +528,12 @@ mod tests {
             depth: 1,
             count: 1,
             total_s: 0.41,
+        }];
+        r.series = vec![SeriesSnapshot {
+            name: "gmres.residual".into(),
+            capacity: 4096,
+            pushed: 3,
+            points: vec![(0.0, 1.0), (1.0, 0.25), (2.0, 1e-8)],
         }];
         r
     }
@@ -462,9 +559,29 @@ mod tests {
     fn rejects_foreign_documents() {
         assert!(RunReport::from_json("{}").is_err());
         assert!(
-            RunReport::from_json(r#"{"schema":"rlcx-report","version":2,"name":"x"}"#).is_err()
+            RunReport::from_json(r#"{"schema":"rlcx-report","version":3,"name":"x"}"#).is_err()
         );
         assert!(RunReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn accepts_version_1_documents() {
+        // A PR 2-era report: no series, histograms without quantiles.
+        let v1 = r#"{
+            "schema": "rlcx-report", "version": 1, "name": "old",
+            "metrics": {"lu.n": {"type": "histogram",
+                                 "count": 2, "sum": 10.0, "min": 4.0, "max": 6.0}}
+        }"#;
+        let r = RunReport::from_json(v1).unwrap();
+        assert_eq!(r.name, "old");
+        assert!(r.series.is_empty());
+        match &r.metrics[0].1 {
+            MetricValue::Histogram { p50, p99, .. } => {
+                assert_eq!(*p50, 4.0, "quantiles default to the range");
+                assert_eq!(*p99, 6.0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Time-series channels: the solver flight recorder.
+//!
+//! Counters and gauges summarize a run *after the fact*; the failure modes
+//! of the iterative machinery (GMRES stagnation, ACA rank blow-up,
+//! adaptive-step thrashing, Arnoldi deflation cascades) are *trajectories*.
+//! A series channel records `(step, value)` pairs into a bounded ring
+//! buffer — cheap enough to call once per solver iteration, impossible to
+//! grow without bound — and the whole channel set is serialized into the
+//! [`RunReport`](super::report::RunReport) (schema v2) so a CI run's
+//! convergence history ships with its scalar figures.
+//!
+//! `step` is whatever x-axis the instrumented loop has: the iteration
+//! number (GMRES), simulated time (adaptive transient), a block or column
+//! index (ACA, sparse LU). Channels are created on first push with
+//! [`DEFAULT_CAPACITY`] points; once full, the oldest points are
+//! overwritten, keeping the *tail* of the trajectory — the part that
+//! explains a hang or a blow-up.
+//!
+//! Recording is a mutex-guarded map update, but pushes to an existing
+//! channel never allocate (the ring is pre-sized at creation), so
+//! instrumented hot loops stay allocation-free — asserted by the
+//! counting-allocator harness in `tests/obs_overhead.rs`.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Ring capacity of a channel created by [`series_push`].
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// A drained or copied view of one channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Channel name (`crate.subject[.aspect]`, same scheme as metrics).
+    pub name: String,
+    /// Ring capacity the channel was created with.
+    pub capacity: u64,
+    /// Total points pushed over the channel's lifetime (≥ `points.len()`;
+    /// larger when the ring wrapped and old points were overwritten).
+    pub pushed: u64,
+    /// Retained `(step, value)` points, oldest first.
+    pub points: Vec<(f64, f64)>,
+}
+
+struct Ring {
+    capacity: usize,
+    pushed: u64,
+    /// Storage; grows by plain `push` until `capacity`, then wraps.
+    buf: Vec<(f64, f64)>,
+    /// Index of the oldest point once the ring has wrapped.
+    head: usize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            capacity: capacity.max(1),
+            pushed: 0,
+            buf: Vec::with_capacity(capacity.max(1)),
+            head: 0,
+        }
+    }
+
+    fn push(&mut self, step: f64, value: f64) {
+        if self.buf.len() < self.capacity {
+            self.buf.push((step, value));
+        } else {
+            self.buf[self.head] = (step, value);
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    fn points(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Ring>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Ring>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Records `(step, value)` into the channel `name`, creating it with
+/// [`DEFAULT_CAPACITY`] on first use. Allocation-free once the channel
+/// exists.
+pub fn series_push(name: &str, step: f64, value: f64) {
+    series_push_with_capacity(name, step, value, DEFAULT_CAPACITY);
+}
+
+/// [`series_push`] with an explicit ring capacity for the channel's
+/// creation (ignored if the channel already exists).
+pub fn series_push_with_capacity(name: &str, step: f64, value: f64, capacity: usize) {
+    let Ok(mut map) = registry().lock() else {
+        return;
+    };
+    match map.get_mut(name) {
+        Some(ring) => ring.push(step, value),
+        None => {
+            let mut ring = Ring::new(capacity);
+            ring.push(step, value);
+            map.insert(name.to_string(), ring);
+        }
+    }
+}
+
+/// The retained points of channel `name` (oldest first), if it exists.
+pub fn series_points(name: &str) -> Option<Vec<(f64, f64)>> {
+    registry().lock().ok()?.get(name).map(Ring::points)
+}
+
+/// Every channel, sorted by name, with its retained points.
+pub fn series_snapshot() -> Vec<SeriesSnapshot> {
+    match registry().lock() {
+        Ok(map) => map
+            .iter()
+            .map(|(name, ring)| SeriesSnapshot {
+                name: name.clone(),
+                capacity: ring.capacity as u64,
+                pushed: ring.pushed,
+                points: ring.points(),
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Removes every channel (tests and multi-phase binaries that want
+/// per-phase trajectories).
+pub fn reset_series() {
+    if let Ok(mut map) = registry().lock() {
+        map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let mut ring = Ring::new(4);
+        for i in 0..10 {
+            ring.push(i as f64, (10 * i) as f64);
+        }
+        assert_eq!(ring.pushed, 10);
+        let pts = ring.points();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0], (6.0, 60.0), "oldest retained point");
+        assert_eq!(pts[3], (9.0, 90.0), "newest point last");
+    }
+
+    #[test]
+    fn ring_before_wrap_is_in_order() {
+        let mut ring = Ring::new(8);
+        for i in 0..3 {
+            ring.push(i as f64, -(i as f64));
+        }
+        assert_eq!(ring.points(), vec![(0.0, -0.0), (1.0, -1.0), (2.0, -2.0)]);
+    }
+
+    #[test]
+    fn channels_register_and_snapshot_sorted() {
+        series_push("series.test.b", 0.0, 1.0);
+        series_push("series.test.a", 0.0, 2.0);
+        series_push("series.test.a", 1.0, 3.0);
+        let snap = series_snapshot();
+        let a = snap
+            .iter()
+            .find(|s| s.name == "series.test.a")
+            .expect("channel a");
+        assert_eq!(a.pushed, 2);
+        assert_eq!(a.capacity, DEFAULT_CAPACITY as u64);
+        assert_eq!(a.points.last(), Some(&(1.0, 3.0)));
+        let ia = snap.iter().position(|s| s.name == "series.test.a");
+        let ib = snap.iter().position(|s| s.name == "series.test.b");
+        assert!(ia < ib, "snapshot sorted by name");
+        assert_eq!(series_points("series.test.b").unwrap().len(), 1);
+        assert!(series_points("series.test.missing").is_none());
+    }
+
+    #[test]
+    fn explicit_capacity_bounds_the_channel() {
+        // No reset_series() here — it would race the other tests in this
+        // binary; the channel name is unique to this test instead.
+        for i in 0..100 {
+            series_push_with_capacity("series.test.cap", i as f64, 0.0, 16);
+        }
+        let pts = series_points("series.test.cap").unwrap();
+        assert_eq!(pts.len(), 16);
+        assert_eq!(pts[0].0, 84.0);
+    }
+}

@@ -100,8 +100,9 @@ fn records() -> &'static Mutex<Vec<SpanRecord>> {
     RECORDS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
-/// Sequential per-thread id, assigned on each thread's first span.
-fn thread_ordinal() -> u64 {
+/// Sequential per-thread id, assigned on each thread's first use of the
+/// obs layer (spans and the sharded metric store share the numbering).
+pub(crate) fn thread_ordinal() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(0);
     thread_local! {
         static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);

@@ -242,6 +242,14 @@ impl<T: Scalar> SparseLu<T> {
             flops += lower.len() as u64;
             lu.l_colptr.push(lu.l_rows.len());
             lu.u_colptr.push(lu.u_rows.len());
+            // Fill per eliminated column (L + U + pivot entries); only in
+            // the symbolic+numeric path — refactor_into reuses the pattern
+            // and stays allocation-free for the adaptive hot loop.
+            obs::series_push(
+                "sparse.lu.colfill",
+                k as f64,
+                (upper.len() + lower.len()) as f64,
+            );
         }
 
         obs::counter_add("sparse.lu.flops", flops);

@@ -414,6 +414,7 @@ impl FastZOperator {
                 Some(fb) => {
                     stats.max_rank = stats.max_rank.max(fb.rank);
                     obs::observe("aca.rank", fb.rank as f64);
+                    obs::series_push("aca.rank", far.len() as f64, fb.rank as f64);
                     far_covered += fb.rows.len() * fb.cols.len();
                     far.push(fb);
                 }

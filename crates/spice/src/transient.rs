@@ -567,6 +567,8 @@ impl<'a> Transient<'a> {
                     break (h_try, snap, err, t_new);
                 }
                 rejected += 1;
+                obs::series_push("transient.lte", t + h_try, err);
+                obs::series_push("transient.accept", t + h_try, 0.0);
                 let shrink = if err.is_finite() && err > 0.0 {
                     (0.9 * err.powf(err_exp(trap))).clamp(0.1, 0.5)
                 } else {
@@ -584,6 +586,9 @@ impl<'a> Transient<'a> {
                 t_new
             };
             accepted += 1;
+            obs::series_push("transient.h", t, h_eff);
+            obs::series_push("transient.lte", t, err);
+            obs::series_push("transient.accept", t, 1.0);
             time.push(t);
             record(&x, &mut volts, &mut branch_currents);
 

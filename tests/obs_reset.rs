@@ -1,0 +1,83 @@
+//! Regression test for epoch-based `reset_metrics()` (PR 7): resetting
+//! while writer threads are mid-flight must never clear-under-load (the
+//! old failure mode: a racing writer re-publishing a half-cleared shard),
+//! and data recorded *after* the last reset must be exactly attributable.
+//!
+//! This lives in its own test binary: `reset_metrics()` invalidates every
+//! metric process-wide, which would break the delta-based assertions of
+//! any concurrently running observability test sharing the process.
+
+use rlcx::obs::{self, MetricValue};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[test]
+fn reset_under_load_is_race_free_and_exact() {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Writers hammer a counter, a gauge and a histogram continuously.
+        for _ in 0..4 {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    obs::counter_add("reset.test.counter", 1);
+                    obs::gauge_set("reset.test.gauge", 1.0);
+                    obs::observe("reset.test.hist", 2.0);
+                }
+            });
+        }
+        // Interleave resets with the writes. Any torn shard state (the
+        // pre-epoch failure mode) shows up below as an impossible value.
+        for _ in 0..200 {
+            obs::reset_metrics();
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Quiescent now. A final reset starts a fresh generation; everything
+    // the writers recorded must be invisible.
+    obs::reset_metrics();
+    assert_eq!(obs::counter_value("reset.test.counter"), 0);
+    assert_eq!(obs::metric_value("reset.test.gauge"), None);
+    assert_eq!(obs::quantile("reset.test.hist", 0.5), None);
+    assert!(
+        !obs::metrics_snapshot()
+            .iter()
+            .any(|(n, _)| n.starts_with("reset.test.")),
+        "stale generations must not appear in snapshots"
+    );
+
+    // Post-reset recordings are exact — no resurrection from old shards.
+    obs::counter_add("reset.test.counter", 5);
+    obs::gauge_set("reset.test.gauge", 2.5);
+    for v in [1.0, 4.0] {
+        obs::observe("reset.test.hist", v);
+    }
+    assert_eq!(obs::counter_value("reset.test.counter"), 5);
+    assert_eq!(
+        obs::metric_value("reset.test.gauge"),
+        Some(MetricValue::Gauge(2.5))
+    );
+    match obs::metric_value("reset.test.hist") {
+        Some(MetricValue::Histogram {
+            count, min, max, ..
+        }) => {
+            assert_eq!(count, 2, "exactly the post-reset samples");
+            assert_eq!((min, max), (1.0, 4.0));
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+}
+
+#[test]
+fn series_reset_clears_channels() {
+    obs::series_push("reset.test.series", 0.0, 1.0);
+    assert!(obs::series_points("reset.test.series").is_some());
+    obs::reset_series();
+    assert!(obs::series_points("reset.test.series").is_none());
+    // The channel comes back cleanly after a reset.
+    obs::series_push("reset.test.series", 1.0, 2.0);
+    assert_eq!(
+        obs::series_points("reset.test.series"),
+        Some(vec![(1.0, 2.0)])
+    );
+}

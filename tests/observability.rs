@@ -131,6 +131,205 @@ fn run_report_round_trips_through_json() {
     assert!(build.is_some_and(|s| s.count >= 1 && s.total_s > 0.0));
 }
 
+/// The flight recorder through the facade: an adaptive transient run must
+/// leave `(t, h)`, `(t, lte)` and accept/reject traces in the series
+/// channels, and a sparse factorization must leave a fill-per-column
+/// trace — the RunReport v2 payload for every CI-gated experiment.
+#[test]
+fn adaptive_run_records_series_channels() {
+    use rlcx::spice::{
+        AdaptiveOptions, Netlist, SolverEngine, Stepping, Transient, Waveform, GROUND,
+    };
+
+    // Serialized via level_lock: this test calls `finish()`, which honors
+    // RLCX_TRACE_OUT — the env-driven export test must not interleave.
+    let _guard = level_lock();
+    let mut nl = Netlist::new();
+    let inp = nl.node("in");
+    nl.vsource("V", inp, GROUND, Waveform::ramp(0.0, 1.0, 0.0, 20e-12))
+        .unwrap();
+    let mut prev = inp;
+    for i in 0..20 {
+        let mid = nl.node(format!("m{i}"));
+        let out = nl.node(format!("n{i}"));
+        nl.resistor(&format!("R{i}"), prev, mid, 10.0).unwrap();
+        nl.inductor(&format!("L{i}"), mid, out, 0.5e-9).unwrap();
+        nl.capacitor(&format!("C{i}"), out, GROUND, 20e-15).unwrap();
+        prev = out;
+    }
+    let pushed_before = |name: &str| {
+        obs::series_snapshot()
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0, |s| s.pushed)
+    };
+    let (h0, lte0, acc0, fill0) = (
+        pushed_before("transient.h"),
+        pushed_before("transient.lte"),
+        pushed_before("transient.accept"),
+        pushed_before("sparse.lu.colfill"),
+    );
+    let res = Transient::new(&nl)
+        .engine(SolverEngine::Sparse)
+        .timestep(1e-12)
+        .duration(300e-12)
+        .stepping(Stepping::Adaptive(AdaptiveOptions::default()))
+        .run()
+        .unwrap();
+    let accepted = res.steps_accepted() as u64;
+    assert!(accepted > 0);
+
+    let snap = obs::series_snapshot();
+    let channel = |name: &str| {
+        snap.iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("channel {name} missing"))
+    };
+    assert!(channel("transient.h").pushed >= h0 + accepted);
+    assert!(channel("transient.lte").pushed >= lte0 + accepted);
+    assert!(channel("transient.accept").pushed >= acc0 + accepted);
+    assert!(
+        channel("sparse.lu.colfill").pushed > fill0,
+        "sparse factorization must trace its fill"
+    );
+    // Step sizes are positive and time is monotone over the retained tail.
+    let h = channel("transient.h");
+    assert!(h.points.iter().all(|&(_, hv)| hv > 0.0));
+    assert!(h.points.windows(2).all(|w| w[0].0 <= w[1].0));
+    // Accept/reject is a 0/1 channel.
+    assert!(channel("transient.accept")
+        .points
+        .iter()
+        .all(|&(_, v)| v == 0.0 || v == 1.0));
+
+    // The channels land in a v2 report and survive the round-trip.
+    let mut report = RunReport::new("observability_series_test");
+    report.finish();
+    assert!(report.series.iter().any(|s| s.name == "transient.h"));
+    let parsed = RunReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed.series, report.series);
+}
+
+/// `write_chrome_trace` output is valid Chrome `traceEvents` JSON: re-parse
+/// the file and replay every thread track, asserting non-decreasing
+/// timestamps and strictly matched, properly nested B/E pairs.
+#[test]
+fn chrome_trace_export_is_valid_and_nested() {
+    let _guard = level_lock();
+    obs::set_trace_level(TraceLevel::Summary);
+    obs::take_spans();
+    // Real nested work on the main thread plus a worker-thread span.
+    {
+        let _outer = obs::span("chrome.test.outer");
+        {
+            let _inner = obs::span("chrome.test.inner");
+            let _leaf = obs::span("chrome.test.leaf");
+        }
+        let _sibling = obs::span("chrome.test.sibling");
+    }
+    std::thread::spawn(|| {
+        let _w = obs::span("chrome.test.worker");
+    })
+    .join()
+    .unwrap();
+    obs::set_trace_level(TraceLevel::Off);
+    let spans = obs::take_spans();
+    assert!(spans.len() >= 5, "all test spans recorded");
+
+    let path = std::env::temp_dir().join(format!("rlcx_chrome_{}.json", std::process::id()));
+    obs::write_chrome_trace(
+        &path,
+        &spans,
+        &[("demo.count".into(), obs::MetricValue::Counter(2))],
+    )
+    .unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let doc = obs::Json::parse(&text).expect("trace file is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(obs::Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut tids: Vec<u64> = events
+        .iter()
+        .filter_map(|e| e.get("tid").and_then(obs::Json::as_u64))
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(tids.len() >= 2, "main + worker thread tracks");
+
+    let mut b_seen = 0usize;
+    for tid in tids {
+        let mut last_ts = f64::NEG_INFINITY;
+        let mut stack: Vec<String> = Vec::new();
+        for e in events {
+            if e.get("tid").and_then(obs::Json::as_u64) != Some(tid) {
+                continue;
+            }
+            let ph = e.get("ph").and_then(obs::Json::as_str).expect("ph");
+            if ph == "M" {
+                continue;
+            }
+            let ts = e.get("ts").and_then(obs::Json::as_f64).expect("ts");
+            assert!(ts >= last_ts, "timestamps non-decreasing per tid");
+            last_ts = ts;
+            let name = e.get("name").and_then(obs::Json::as_str).expect("name");
+            match ph {
+                "B" => {
+                    b_seen += 1;
+                    stack.push(name.to_string());
+                }
+                "E" => {
+                    assert_eq!(
+                        stack.pop().as_deref(),
+                        Some(name),
+                        "E must close the innermost open B"
+                    );
+                }
+                "C" => {}
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert!(stack.is_empty(), "every B on tid {tid} closed by an E");
+    }
+    assert!(b_seen >= 5, "every span became a B/E pair");
+    // The counter track made it in.
+    assert!(events.iter().any(|e| {
+        e.get("ph").and_then(obs::Json::as_str) == Some("C")
+            && e.get("name").and_then(obs::Json::as_str) == Some("demo.count")
+    }));
+}
+
+/// `RLCX_TRACE_OUT` is honored end-to-end by `RunReport::finish`.
+#[test]
+fn finish_exports_chrome_trace_when_env_is_set() {
+    let _guard = level_lock();
+    let path = std::env::temp_dir().join(format!("rlcx_finish_trace_{}.json", std::process::id()));
+    std::env::set_var("RLCX_TRACE_OUT", &path);
+    obs::set_trace_level(TraceLevel::Summary);
+    obs::take_spans();
+    {
+        let _s = obs::span("chrome.finish.test");
+    }
+    obs::set_trace_level(TraceLevel::Off);
+    let mut report = RunReport::new("finish_trace_test");
+    report.finish();
+    std::env::remove_var("RLCX_TRACE_OUT");
+
+    let text = std::fs::read_to_string(&path).expect("finish wrote the chrome trace");
+    std::fs::remove_file(&path).ok();
+    let doc = obs::Json::parse(&text).unwrap();
+    assert!(doc
+        .get("traceEvents")
+        .and_then(obs::Json::as_array)
+        .is_some_and(|events| events
+            .iter()
+            .any(|e| e.get("name").and_then(obs::Json::as_str) == Some("chrome.finish.test"))));
+}
+
 /// A PRIMA reduction publishes its macromodel health metrics: the
 /// reduced-order and unstable-pole gauges and the Arnoldi deflation
 /// counter (which must at least exist afterwards, deflated or not).
