@@ -376,6 +376,13 @@ impl TableBuilder {
         let _ = writeln!(desc, "loop_spacing {:016x}", self.loop_spacing.to_bits());
         let _ = writeln!(desc, "plane_strips {}", self.plane_strips);
         let _ = writeln!(desc, "backend {}", self.backend.name());
+        if self.backend != SolverBackend::Dense {
+            // The fast-operator numerics changed when the H² far field and
+            // batched kernels landed; invalidate tables that may have been
+            // characterized through the pre-H² iterative path. Dense-backend
+            // tables are bit-identical across that change and keep their key.
+            let _ = writeln!(desc, "fastop h2-v2");
+        }
         format!("{:016x}", crate::cache::fnv1a64(desc.as_bytes()))
     }
 

@@ -4,6 +4,9 @@
 //! cross-sections as `ln g = (1/(A₁A₂)) ∬∬ ln r dA₁ dA₂`, a smooth 4-D
 //! integral for which Gauss–Legendre product rules converge rapidly.
 
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
 /// Nodes (first) and weights (second) of an `n`-point Gauss–Legendre rule on
 /// `[-1, 1]`, computed by Newton iteration on the Legendre polynomial.
 ///
@@ -44,17 +47,42 @@ pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
     (nodes, weights)
 }
 
+/// [`gauss_legendre`] through a process-wide cache: the Newton solve for a
+/// given order runs once and the rule is leaked with `'static` lifetime.
+///
+/// The PEEC GMD quadrature evaluates the *same* order-8 rule millions of
+/// times; recomputing the nodes per call is pure overhead. Cached values
+/// come from the same [`gauss_legendre`] computation, so callers that
+/// switch to the cache keep bit-identical results. Only a handful of
+/// distinct orders ever exist in practice, which bounds the leak.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn gauss_legendre_cached(n: usize) -> &'static (Vec<f64>, Vec<f64>) {
+    type Rule = &'static (Vec<f64>, Vec<f64>);
+    static CACHE: OnceLock<Mutex<BTreeMap<usize, Rule>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = cache.lock().expect("quadrature cache poisoned");
+    if let Some(&rule) = map.get(&n) {
+        return rule;
+    }
+    let rule: &'static (Vec<f64>, Vec<f64>) = Box::leak(Box::new(gauss_legendre(n)));
+    map.insert(n, rule);
+    rule
+}
+
 /// Integrates `f` over `[a, b]` with an `n`-point Gauss–Legendre rule.
 ///
 /// # Panics
 ///
 /// Panics if `n == 0`.
 pub fn integrate<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> f64 {
-    let (xs, ws) = gauss_legendre(n);
+    let (xs, ws) = gauss_legendre_cached(n);
     let half = 0.5 * (b - a);
     let mid = 0.5 * (a + b);
     xs.iter()
-        .zip(&ws)
+        .zip(ws)
         .map(|(&x, &w)| w * f(mid + half * x))
         .sum::<f64>()
         * half
@@ -72,15 +100,15 @@ pub fn integrate_2d<F: FnMut(f64, f64) -> f64>(
     (ay, by): (f64, f64),
     n: usize,
 ) -> f64 {
-    let (xs, ws) = gauss_legendre(n);
+    let (xs, ws) = gauss_legendre_cached(n);
     let hx = 0.5 * (bx - ax);
     let mx = 0.5 * (bx + ax);
     let hy = 0.5 * (by - ay);
     let my = 0.5 * (by + ay);
     let mut acc = 0.0;
-    for (xi, wi) in xs.iter().zip(&ws) {
+    for (xi, wi) in xs.iter().zip(ws) {
         let x = mx + hx * xi;
-        for (yj, wj) in xs.iter().zip(&ws) {
+        for (yj, wj) in xs.iter().zip(ws) {
             let y = my + hy * yj;
             acc += wi * wj * f(x, y);
         }
@@ -103,16 +131,16 @@ pub fn integrate_4d<F: FnMut(f64, f64, f64, f64) -> f64>(
     rect2: ((f64, f64), (f64, f64)),
     n: usize,
 ) -> f64 {
-    let (xs, ws) = gauss_legendre(n);
+    let (xs, ws) = gauss_legendre_cached(n);
     let map = |(a, b): (f64, f64), t: f64| (0.5 * (a + b) + 0.5 * (b - a) * t, 0.5 * (b - a));
     let mut acc = 0.0;
-    for (t1, w1) in xs.iter().zip(&ws) {
+    for (t1, w1) in xs.iter().zip(ws) {
         let (x1, jx1) = map(rect1.0, *t1);
-        for (t2, w2) in xs.iter().zip(&ws) {
+        for (t2, w2) in xs.iter().zip(ws) {
             let (y1, jy1) = map(rect1.1, *t2);
-            for (t3, w3) in xs.iter().zip(&ws) {
+            for (t3, w3) in xs.iter().zip(ws) {
                 let (x2, jx2) = map(rect2.0, *t3);
-                for (t4, w4) in xs.iter().zip(&ws) {
+                for (t4, w4) in xs.iter().zip(ws) {
                     let (y2, jy2) = map(rect2.1, *t4);
                     acc += w1 * w2 * w3 * w4 * jx1 * jy1 * jx2 * jy2 * f(x1, y1, x2, y2);
                 }
@@ -227,5 +255,21 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_order_panics() {
         gauss_legendre(0);
+    }
+
+    #[test]
+    fn cached_rule_is_bit_identical_to_direct() {
+        for n in [1, 2, 7, 8, 16] {
+            let (xs_d, ws_d) = gauss_legendre(n);
+            let (xs_c, ws_c) = gauss_legendre_cached(n);
+            assert_eq!(xs_c.len(), n);
+            for i in 0..n {
+                assert_eq!(xs_d[i].to_bits(), xs_c[i].to_bits(), "node {i} of {n}");
+                assert_eq!(ws_d[i].to_bits(), ws_c[i].to_bits(), "weight {i} of {n}");
+            }
+            // Second lookup returns the same leaked rule.
+            let again = gauss_legendre_cached(n);
+            assert!(std::ptr::eq(gauss_legendre_cached(n), again));
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Matrix-free fast PEEC operator: translation-invariance kernel caching,
-//! hierarchical low-rank far-field compression (ACA) and a block-diagonal
-//! preconditioner for the GMRES solve path.
+//! hierarchical low-rank far-field compression (flat ACA or H² nested
+//! bases) and a block-diagonal preconditioner for the GMRES solve path.
 //!
 //! The dense path in [`crate::solver`] assembles the full `n × n` filament
 //! impedance matrix (`n²` GMD quadratures) and factors it (`n³`). This
@@ -11,14 +11,25 @@
 //!   geometrically distinct pairs. Partial-inductance values are memoized
 //!   by the canonicalized relative placement `(w1, t1, w2, t2, dt, dz)`,
 //!   collapsing the `O(n²)` quadratures of the dense assembly to the few
-//!   thousand distinct ones.
-//! * **Near/far splitting with ACA** ([`FastZOperator`]) — a bisection
-//!   cluster tree over cross-section centers partitions the interaction
-//!   matrix; blocks whose clusters are well separated (gap ≥ η·max diam)
-//!   are compressed into low-rank `U·Vᵀ` factors by adaptive cross
-//!   approximation with partial pivoting, everything else stays exact.
-//!   The operator then applies `Z·x = R∘x + jω(Lp·x)` without ever
-//!   forming `Lp`.
+//!   thousand distinct ones. Block fills go through
+//!   [`KernelCache::fill_block`], which batches every missing quadrature
+//!   into one [`crate::partial::mutual_partial_batch`] call so the hot
+//!   4-D GMD loop runs over contiguous SoA lanes.
+//! * **Near/far splitting** ([`FastZOperator`]) — a bisection cluster
+//!   tree over cross-section centers partitions the interaction matrix;
+//!   blocks whose clusters are well separated (gap ≥ η·max diam) are
+//!   compressed, everything else stays exact. Two far-field
+//!   representations exist, selected by [`Compression`]:
+//!   [`Compression::FlatAca`] gives every admissible block its own
+//!   low-rank `U·Vᵀ` factor by adaptive cross approximation (`O(n log n)`
+//!   far memory), while the default [`Compression::H2`] routes admissible
+//!   pairs whose gap also clears `4×` the largest cross-section dimension
+//!   (so every filament pair is in the far GMD branch) into an H²
+//!   structure with *nested* per-cluster bases and tiny skeleton coupling
+//!   matrices — see [`crate::h2`] — dropping far-field memory and matvec
+//!   cost toward `O(n)`. Admissible pairs too close for the all-far
+//!   guarantee keep the flat ACA treatment. The operator then applies
+//!   `Z·x = R∘x + jω(Lp·x)` without ever forming `Lp`.
 //! * **Preconditioning** ([`BlockDiagPrecond`]) — the per-conductor
 //!   diagonal blocks of `Z` (the dominant couplings) are factored exactly
 //!   with [`CLuDecomposition`] and applied as a right preconditioner, so
@@ -26,22 +37,30 @@
 //!   residual.
 //!
 //! [`SolverBackend`] selects between this path and the dense one;
-//! [`SolverBackend::Auto`] keeps dense below [`ITERATIVE_CUTOVER`]
-//! filaments so all pre-existing results stay bit-identical.
+//! [`SolverBackend::Auto`] keeps dense below [`iterative_cutover`]
+//! filaments (default [`ITERATIVE_CUTOVER`], overridable via the
+//! `RLCX_PEEC_CUTOVER` environment variable) so all pre-existing results
+//! stay bit-identical.
 //!
-//! Metrics: `fastop.kernel.hits` / `fastop.kernel.misses` (counters),
-//! `aca.rank` (histogram — `max` is the largest far-block rank),
-//! `fastop.near.blocks` / `fastop.far.blocks` (gauges) and `gmres.iters`
-//! (histogram, one observation per Krylov solve).
+//! Metrics: `fastop.kernel.hits` / `fastop.kernel.misses` and
+//! `aca.rank_cap.hits` (counters), `aca.rank` / `h2.basis.rank`
+//! (histograms), `fastop.near.blocks` / `fastop.far.blocks` /
+//! `fastop.dense.fallbacks` / `fastop.far.mem.f64` (gauges), the
+//! `aca.rank` / `h2.rank` series channels, and `gmres.iters` (histogram,
+//! one observation per Krylov solve).
 
 use crate::gmd;
-use crate::partial::{dc_resistance, mutual_partial_relative, self_partial};
+use crate::h2;
+use crate::partial::{
+    dc_resistance, mutual_partial_batch, mutual_partial_relative, self_partial, PairGeom,
+};
 use crate::{PeecError, Result};
 use rlcx_geom::Bar;
 use rlcx_numeric::gmres::{gmres, GmresOptions, LinearOperator};
 use rlcx_numeric::lu::CLuDecomposition;
 use rlcx_numeric::{obs, CMatrix, Complex};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Which engine [`crate::PartialSystem`] uses for the filament-level solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,17 +69,51 @@ pub enum SolverBackend {
     Dense,
     /// Always use the matrix-free GMRES path.
     Iterative,
-    /// Dense below [`ITERATIVE_CUTOVER`] filaments (bit-identical to the
+    /// Dense below [`iterative_cutover`] filaments (bit-identical to the
     /// pre-existing dense results), iterative above.
     #[default]
     Auto,
 }
 
-/// Filament count at which [`SolverBackend::Auto`] switches to the
+/// Default filament count at which [`SolverBackend::Auto`] switches to the
 /// iterative path. Below this the dense LU is fast and its results are the
 /// historical reference; above it the O(n³) factor dominates and the
-/// Krylov path wins.
+/// Krylov path wins. Override per process with the `RLCX_PEEC_CUTOVER`
+/// environment variable — see [`iterative_cutover`].
 pub const ITERATIVE_CUTOVER: usize = 420;
+
+/// The effective [`SolverBackend::Auto`] cutover: `RLCX_PEEC_CUTOVER` when
+/// set to a positive integer, [`ITERATIVE_CUTOVER`] otherwise. The batched
+/// kernels shift the dense/iterative crossover per machine, so deployments
+/// can tune it without a rebuild. Invalid values warn once on stderr and
+/// fall back to the default; the variable is read once per process.
+pub fn iterative_cutover() -> usize {
+    static CUTOVER: OnceLock<usize> = OnceLock::new();
+    *CUTOVER.get_or_init(|| cutover_from(std::env::var("RLCX_PEEC_CUTOVER").ok().as_deref()))
+}
+
+/// Pure parsing core of [`iterative_cutover`]: `None` or an empty string
+/// means "unset", anything that is not a positive integer is rejected with
+/// a warning.
+fn cutover_from(raw: Option<&str>) -> usize {
+    let Some(s) = raw else {
+        return ITERATIVE_CUTOVER;
+    };
+    let trimmed = s.trim();
+    if trimmed.is_empty() {
+        return ITERATIVE_CUTOVER;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(v) if v >= 1 => v,
+        _ => {
+            eprintln!(
+                "rlcx: ignoring invalid RLCX_PEEC_CUTOVER={s:?} \
+                 (expected a positive integer); using default {ITERATIVE_CUTOVER}"
+            );
+            ITERATIVE_CUTOVER
+        }
+    }
+}
 
 impl SolverBackend {
     /// Resolves the backend choice for a system of `n_filaments`.
@@ -68,7 +121,7 @@ impl SolverBackend {
         match self {
             SolverBackend::Dense => false,
             SolverBackend::Iterative => true,
-            SolverBackend::Auto => n_filaments >= ITERATIVE_CUTOVER,
+            SolverBackend::Auto => n_filaments >= iterative_cutover(),
         }
     }
 
@@ -82,6 +135,21 @@ impl SolverBackend {
     }
 }
 
+/// Far-field representation used by [`FastZOperator`] for admissible
+/// cluster pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Flat H-matrix: every admissible block stores its own ACA `U·Vᵀ`
+    /// factor.
+    FlatAca,
+    /// H² nested bases: one skeleton basis per cluster (children reused
+    /// through transfer operators) plus small per-pair coupling matrices;
+    /// admissible pairs that fail the stricter all-far-branch test stay on
+    /// the flat ACA path.
+    #[default]
+    H2,
+}
+
 /// Tuning knobs for [`FastZOperator`].
 #[derive(Debug, Clone, Copy)]
 pub struct FastOpOptions {
@@ -90,12 +158,16 @@ pub struct FastOpOptions {
     /// Admissibility parameter: clusters are far when their bounding-box
     /// gap is at least `eta ×` the larger box diameter.
     pub eta: f64,
-    /// ACA stopping tolerance relative to the estimated block Frobenius
-    /// norm.
+    /// ACA / H² skeleton stopping tolerance relative to the estimated
+    /// block (or sampled far-field) norm.
     pub aca_tol: f64,
-    /// Rank cap per far block; blocks that fail to converge within it fall
-    /// back to exact storage.
+    /// Rank cap per far block and per H² cluster basis; ACA blocks that
+    /// fail to converge within it fall back to exact storage.
     pub max_rank: usize,
+    /// Far-field representation for admissible pairs.
+    pub compression: Compression,
+    /// Far-field sample budget per cluster for the H² skeleton build.
+    pub h2_sample_cap: usize,
 }
 
 impl Default for FastOpOptions {
@@ -105,6 +177,18 @@ impl Default for FastOpOptions {
             eta: 1.0,
             aca_tol: 1e-10,
             max_rank: 96,
+            compression: Compression::H2,
+            h2_sample_cap: 256,
+        }
+    }
+}
+
+impl FastOpOptions {
+    /// Default options with the flat-ACA far field (the pre-H² behaviour).
+    pub fn flat_aca() -> Self {
+        FastOpOptions {
+            compression: Compression::FlatAca,
+            ..FastOpOptions::default()
         }
     }
 }
@@ -142,6 +226,51 @@ fn key_bits(x: f64) -> u64 {
     (x + 0.0).to_bits()
 }
 
+/// Canonical cache key and evaluation geometry of a filament pair: the
+/// lexicographically smaller of the two swap-equivalent keys, so the
+/// cached bits are independent of encounter order.
+fn canonical_mutual(a: &Bar, b: &Bar) -> ([u64; 7], PairGeom) {
+    let (ta, _) = a.transverse_span();
+    let (za, _) = a.vertical_span();
+    let (tb, _) = b.transverse_span();
+    let (zb, _) = b.vertical_span();
+    let fwd = (
+        a.width(),
+        a.thickness(),
+        b.width(),
+        b.thickness(),
+        tb - ta,
+        zb - za,
+    );
+    let rev = (fwd.2, fwd.3, fwd.0, fwd.1, -fwd.4, -fwd.5);
+    let far = gmd::cross_section_is_far(a, b);
+    let keyed = |g: (f64, f64, f64, f64, f64, f64)| {
+        [
+            key_bits(g.0),
+            key_bits(g.1),
+            key_bits(g.2),
+            key_bits(g.3),
+            key_bits(g.4),
+            key_bits(g.5),
+            far as u64,
+        ]
+    };
+    let (kf, kr) = (keyed(fwd), keyed(rev));
+    let (key, g) = if kr < kf { (kr, rev) } else { (kf, fwd) };
+    (
+        key,
+        PairGeom {
+            w1: g.0,
+            t1: g.1,
+            w2: g.2,
+            t2: g.3,
+            dt: g.4,
+            dz: g.5,
+            far,
+        },
+    )
+}
+
 impl KernelCache {
     /// Creates a cache for filaments of shared length `length_um` (µm).
     pub fn new(length_um: f64) -> Self {
@@ -152,6 +281,11 @@ impl KernelCache {
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Shared axial span (µm) this cache evaluates kernels for.
+    pub fn length_um(&self) -> f64 {
+        self.length_um
     }
 
     /// Partial self inductance (H) of a filament, memoized by its
@@ -172,54 +306,83 @@ impl KernelCache {
     /// Partial mutual inductance (H) between two filaments of the mesh,
     /// memoized by canonicalized relative placement.
     pub fn mutual_l(&mut self, a: &Bar, b: &Bar) -> f64 {
-        let (ta, _) = a.transverse_span();
-        let (za, _) = a.vertical_span();
-        let (tb, _) = b.transverse_span();
-        let (zb, _) = b.vertical_span();
-        let fwd = (
-            a.width(),
-            a.thickness(),
-            b.width(),
-            b.thickness(),
-            tb - ta,
-            zb - za,
-        );
-        let rev = (fwd.2, fwd.3, fwd.0, fwd.1, -fwd.4, -fwd.5);
-        let far = gmd::cross_section_is_far(a, b);
-        let keyed = |g: (f64, f64, f64, f64, f64, f64)| {
-            [
-                key_bits(g.0),
-                key_bits(g.1),
-                key_bits(g.2),
-                key_bits(g.3),
-                key_bits(g.4),
-                key_bits(g.5),
-                far as u64,
-            ]
-        };
-        let (kf, kr) = (keyed(fwd), keyed(rev));
-        // Canonical orientation: the lexicographically smaller key. The
-        // kernel is symmetric under the swap, so both orientations name
-        // the same value; always *evaluating* in canonical orientation
-        // keeps the cached bits independent of encounter order.
-        let (key, g) = if kr < kf { (kr, rev) } else { (kf, fwd) };
+        let (key, g) = canonical_mutual(a, b);
         if let Some(&v) = self.mutuals.get(&key) {
             self.hits += 1;
             return v;
         }
         self.misses += 1;
-        let v = mutual_partial_relative(self.length_um, g.0, g.1, g.2, g.3, g.4, g.5, far);
+        let v = mutual_partial_relative(self.length_um, g.w1, g.t1, g.w2, g.t2, g.dt, g.dz, g.far);
         self.mutuals.insert(key, v);
         v
     }
 
     /// Lp kernel entry for filaments `i`, `j` of `fils` (self on the
-    /// diagonal).
-    fn entry(&mut self, fils: &[Bar], i: usize, j: usize) -> f64 {
+    /// diagonal). Single-entry counterpart of [`KernelCache::fill_block`].
+    pub fn entry(&mut self, fils: &[Bar], i: usize, j: usize) -> f64 {
         if i == j {
             self.self_l(&fils[i])
         } else {
             self.mutual_l(&fils[i], &fils[j])
+        }
+    }
+
+    /// Fills the row-major `rows × cols` kernel block into `out`, batching
+    /// every *distinct missing* geometry into one
+    /// [`mutual_partial_batch`] call so the 4-D GMD quadratures run over
+    /// contiguous SoA lanes instead of one scalar call per entry.
+    ///
+    /// Values and hit/miss accounting are identical to looping
+    /// [`KernelCache::entry`] over the block in row-major order: the first
+    /// encounter of a missing geometry counts as the miss, duplicates
+    /// within the same fill count as hits, and the batched quadrature is
+    /// bit-identical to the scalar one.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `out.len() != rows.len() * cols.len()`.
+    pub fn fill_block(&mut self, fils: &[Bar], rows: &[usize], cols: &[usize], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), rows.len() * cols.len());
+        let nc = cols.len();
+        // Distinct geometries to evaluate, in first-encounter order, and
+        // the out slots each one scatters to.
+        let mut pending: Vec<([u64; 7], PairGeom)> = Vec::new();
+        let mut pending_pos: HashMap<[u64; 7], usize> = HashMap::new();
+        let mut slots: Vec<(usize, usize)> = Vec::new();
+        for (a, &i) in rows.iter().enumerate() {
+            for (b, &j) in cols.iter().enumerate() {
+                let o = a * nc + b;
+                if i == j {
+                    out[o] = self.self_l(&fils[i]);
+                    continue;
+                }
+                let (key, g) = canonical_mutual(&fils[i], &fils[j]);
+                if let Some(&v) = self.mutuals.get(&key) {
+                    self.hits += 1;
+                    out[o] = v;
+                } else if let Some(&pi) = pending_pos.get(&key) {
+                    self.hits += 1;
+                    slots.push((o, pi));
+                } else {
+                    self.misses += 1;
+                    let pi = pending.len();
+                    pending_pos.insert(key, pi);
+                    pending.push((key, g));
+                    slots.push((o, pi));
+                }
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let geoms: Vec<PairGeom> = pending.iter().map(|&(_, g)| g).collect();
+        let mut vals = vec![0.0f64; geoms.len()];
+        mutual_partial_batch(self.length_um, &geoms, &mut vals);
+        for ((key, _), &v) in pending.iter().zip(&vals) {
+            self.mutuals.insert(*key, v);
+        }
+        for (o, pi) in slots {
+            out[o] = vals[pi];
         }
     }
 
@@ -234,68 +397,129 @@ impl KernelCache {
     }
 }
 
-/// A bisection cluster of filament indices with its cross-section bounding
-/// box `(tmin, tmax, zmin, zmax)`.
-struct Cluster {
-    idx: Vec<usize>,
+/// One node of the flattened [`ClusterTree`]: a contiguous `perm` range
+/// with its cross-section bounding box `(tmin, tmax, zmin, zmax)`, the
+/// largest member cross-section dimension (for the all-far-branch H²
+/// admissibility test) and the depth in the tree.
+pub(crate) struct ClusterNode {
+    start: usize,
+    end: usize,
     bbox: [f64; 4],
-    children: Option<Box<(Cluster, Cluster)>>,
+    smax: f64,
+    level: usize,
+    children: Option<(usize, usize)>,
 }
 
-impl Cluster {
-    fn build(mut idx: Vec<usize>, pts: &[(f64, f64)], leaf_size: usize) -> Cluster {
+/// Bisection cluster tree over filament cross-section centers, flattened
+/// into a permutation plus an array of nodes. Node ids are allocated
+/// parent-before-children, so ascending id order is a valid top-down
+/// traversal and descending order a valid bottom-up one — the invariant
+/// the H² upward/downward passes rely on.
+pub(crate) struct ClusterTree {
+    perm: Vec<usize>,
+    nodes: Vec<ClusterNode>,
+}
+
+impl ClusterTree {
+    /// Builds the tree for centers `pts` with per-filament maximum
+    /// cross-section dimensions `dims`. Median split along the longer box
+    /// side; ties broken by index so the tree is deterministic for any
+    /// input order (and identical to the recursive per-vector splits it
+    /// replaces).
+    fn build(pts: &[(f64, f64)], dims: &[f64], leaf_size: usize) -> Self {
+        let mut tree = ClusterTree {
+            perm: (0..pts.len()).collect(),
+            nodes: Vec::new(),
+        };
+        tree.build_node(0, pts.len(), 0, pts, dims, leaf_size.max(1));
+        tree
+    }
+
+    fn build_node(
+        &mut self,
+        start: usize,
+        end: usize,
+        level: usize,
+        pts: &[(f64, f64)],
+        dims: &[f64],
+        leaf_size: usize,
+    ) -> usize {
         let mut bbox = [
             f64::INFINITY,
             f64::NEG_INFINITY,
             f64::INFINITY,
             f64::NEG_INFINITY,
         ];
-        for &i in &idx {
+        let mut smax = 0.0f64;
+        for &i in &self.perm[start..end] {
             let (t, z) = pts[i];
             bbox[0] = bbox[0].min(t);
             bbox[1] = bbox[1].max(t);
             bbox[2] = bbox[2].min(z);
             bbox[3] = bbox[3].max(z);
+            smax = smax.max(dims[i]);
         }
-        if idx.len() <= leaf_size.max(1) {
-            return Cluster {
-                idx,
-                bbox,
-                children: None,
-            };
-        }
-        // Median split along the longer box side; ties broken by index so
-        // the tree is deterministic for any input order.
-        let along_t = (bbox[1] - bbox[0]) >= (bbox[3] - bbox[2]);
-        idx.sort_unstable_by(|&a, &b| {
-            let ka = if along_t { pts[a].0 } else { pts[a].1 };
-            let kb = if along_t { pts[b].0 } else { pts[b].1 };
-            ka.total_cmp(&kb).then(a.cmp(&b))
-        });
-        let right = idx.split_off(idx.len() / 2);
-        let left = Cluster::build(idx, pts, leaf_size);
-        let right = Cluster::build(right, pts, leaf_size);
-        let mut merged = left.idx.clone();
-        merged.extend_from_slice(&right.idx);
-        Cluster {
-            idx: merged,
+        let id = self.nodes.len();
+        self.nodes.push(ClusterNode {
+            start,
+            end,
             bbox,
-            children: Some(Box::new((left, right))),
+            smax,
+            level,
+            children: None,
+        });
+        if end - start > leaf_size {
+            let along_t = (bbox[1] - bbox[0]) >= (bbox[3] - bbox[2]);
+            self.perm[start..end].sort_unstable_by(|&a, &b| {
+                let ka = if along_t { pts[a].0 } else { pts[a].1 };
+                let kb = if along_t { pts[b].0 } else { pts[b].1 };
+                ka.total_cmp(&kb).then(a.cmp(&b))
+            });
+            let mid = start + (end - start) / 2;
+            let l = self.build_node(start, mid, level + 1, pts, dims, leaf_size);
+            let r = self.build_node(mid, end, level + 1, pts, dims, leaf_size);
+            self.nodes[id].children = Some((l, r));
         }
+        id
     }
 
-    fn diameter(&self) -> f64 {
-        (self.bbox[1] - self.bbox[0]).hypot(self.bbox[3] - self.bbox[2])
+    /// Number of nodes (root included).
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
-    fn gap_to(&self, other: &Cluster) -> f64 {
+    /// Filament indices of cluster `c`, in tree order.
+    pub(crate) fn indices(&self, c: usize) -> &[usize] {
+        &self.perm[self.nodes[c].start..self.nodes[c].end]
+    }
+
+    /// Child node ids of `c`, `None` for leaves.
+    pub(crate) fn children(&self, c: usize) -> Option<(usize, usize)> {
+        self.nodes[c].children
+    }
+
+    /// Depth of `c` (root is 0).
+    pub(crate) fn level(&self, c: usize) -> usize {
+        self.nodes[c].level
+    }
+
+    fn len(&self, c: usize) -> usize {
+        self.nodes[c].end - self.nodes[c].start
+    }
+
+    fn diameter(&self, c: usize) -> f64 {
+        let b = &self.nodes[c].bbox;
+        (b[1] - b[0]).hypot(b[3] - b[2])
+    }
+
+    fn gap(&self, a: usize, b: usize) -> f64 {
+        let (ba, bb) = (&self.nodes[a].bbox, &self.nodes[b].bbox);
         let gap = |lo1: f64, hi1: f64, lo2: f64, hi2: f64| (lo2 - hi1).max(lo1 - hi2).max(0.0);
-        gap(self.bbox[0], self.bbox[1], other.bbox[0], other.bbox[1]).hypot(gap(
-            self.bbox[2],
-            self.bbox[3],
-            other.bbox[2],
-            other.bbox[3],
-        ))
+        gap(ba[0], ba[1], bb[0], bb[1]).hypot(gap(ba[2], ba[3], bb[2], bb[3]))
+    }
+
+    fn smax(&self, c: usize) -> f64 {
+        self.nodes[c].smax
     }
 }
 
@@ -326,16 +550,30 @@ pub struct FastOpStats {
     pub kernel_hits: u64,
     /// Kernel-cache misses (distinct quadratures actually evaluated).
     pub kernel_misses: u64,
-    /// Largest ACA rank over all far blocks.
+    /// Largest ACA rank over all flat far blocks.
     pub max_rank: usize,
     /// Exact blocks stored.
     pub near_blocks: usize,
-    /// Compressed blocks stored.
+    /// Flat-ACA compressed blocks stored.
     pub far_blocks: usize,
-    /// Admissible blocks that hit the rank cap and were stored exactly.
+    /// ACA runs that reached the rank cap (whether or not the final step
+    /// converged).
+    pub rank_cap_hits: usize,
+    /// Admissible blocks that failed to converge within the rank cap and
+    /// were stored exactly.
     pub dense_fallbacks: usize,
-    /// Fraction of the full `n²` interaction pairs covered by far blocks.
+    /// Fraction of the full `n²` interaction pairs covered by compressed
+    /// (flat or H²) far blocks.
     pub compressed_fraction: f64,
+    /// Total `f64`s stored by the far field (flat `U`/`V` factors plus H²
+    /// bases, transfers and couplings).
+    pub far_mem_f64: usize,
+    /// Admissible pairs stored as H² couplings.
+    pub h2_couplings: usize,
+    /// Largest H² cluster-basis rank.
+    pub h2_max_rank: usize,
+    /// `f64`s stored by the H² part alone.
+    pub h2_mem_f64: usize,
 }
 
 /// The matrix-free filament impedance operator `Z = diag(R) + jω·Lp`.
@@ -343,8 +581,10 @@ pub struct FastZOperator {
     n: usize,
     omega: f64,
     r: Vec<f64>,
+    tree: ClusterTree,
     near: Vec<NearBlock>,
     far: Vec<FarBlock>,
+    h2: Option<h2::H2Field>,
     stats: FastOpStats,
 }
 
@@ -373,17 +613,21 @@ impl FastZOperator {
                 (0.5 * (t0 + t1), 0.5 * (z0 + z1))
             })
             .collect();
-        let root = Cluster::build((0..n).collect(), &pts, opts.leaf_size);
+        let dims: Vec<f64> = fils.iter().map(|f| f.width().max(f.thickness())).collect();
+        let tree = ClusterTree::build(&pts, &dims, opts.leaf_size);
 
-        let mut near_pairs: Vec<(&Cluster, &Cluster)> = Vec::new();
-        let mut diag_leaves: Vec<&Cluster> = Vec::new();
-        let mut far_pairs: Vec<(&Cluster, &Cluster)> = Vec::new();
+        let mut diag_leaves: Vec<usize> = Vec::new();
+        let mut near_pairs: Vec<(usize, usize)> = Vec::new();
+        let mut far_pairs: Vec<(usize, usize)> = Vec::new();
+        let mut h2_pairs: Vec<(usize, usize)> = Vec::new();
         collect_diag(
-            &root,
+            &tree,
+            0,
             opts,
             &mut diag_leaves,
             &mut near_pairs,
             &mut far_pairs,
+            &mut h2_pairs,
         );
 
         let hits0 = kernel.stats();
@@ -391,39 +635,59 @@ impl FastZOperator {
         let mut far = Vec::new();
         let mut stats = FastOpStats::default();
         for c in diag_leaves {
-            let m = c.idx.len();
+            let idx = tree.indices(c);
+            let m = idx.len();
             let mut k = vec![0.0; m * m];
-            for (a, &i) in c.idx.iter().enumerate() {
-                for (b, &j) in c.idx.iter().enumerate() {
-                    k[a * m + b] = kernel.entry(fils, i, j);
-                }
-            }
+            kernel.fill_block(fils, idx, idx, &mut k);
             near.push(NearBlock {
-                rows: c.idx.clone(),
-                cols: c.idx.clone(),
+                rows: idx.to_vec(),
+                cols: idx.to_vec(),
                 k,
                 diag: true,
             });
         }
-        for (a, b) in near_pairs {
-            near.push(dense_block(a, b, fils, kernel));
+        for &(a, b) in &near_pairs {
+            near.push(dense_block(tree.indices(a), tree.indices(b), fils, kernel));
         }
         let mut far_covered = 0usize;
-        for (a, b) in far_pairs {
-            match aca_block(a, b, fils, kernel, opts) {
+        for &(a, b) in &far_pairs {
+            let (block, capped) = aca_block(tree.indices(a), tree.indices(b), fils, kernel, opts);
+            if capped {
+                stats.rank_cap_hits += 1;
+            }
+            match block {
                 Some(fb) => {
                     stats.max_rank = stats.max_rank.max(fb.rank);
                     obs::observe("aca.rank", fb.rank as f64);
                     obs::series_push("aca.rank", far.len() as f64, fb.rank as f64);
                     far_covered += fb.rows.len() * fb.cols.len();
+                    stats.far_mem_f64 += fb.rank * (fb.rows.len() + fb.cols.len());
                     far.push(fb);
                 }
                 None => {
                     stats.dense_fallbacks += 1;
-                    near.push(dense_block(a, b, fils, kernel));
+                    near.push(dense_block(tree.indices(a), tree.indices(b), fils, kernel));
                 }
             }
         }
+        let h2_field = if h2_pairs.is_empty() {
+            None
+        } else {
+            let params = h2::H2Params {
+                tol: opts.aca_tol,
+                max_rank: opts.max_rank,
+                sample_cap: opts.h2_sample_cap.max(1),
+            };
+            let field = h2::build(&tree, &h2_pairs, &pts, kernel.length_um(), &params);
+            for &(a, b) in &h2_pairs {
+                far_covered += tree.len(a) * tree.len(b);
+            }
+            stats.h2_couplings = field.coupling_count();
+            stats.h2_max_rank = field.max_rank;
+            stats.h2_mem_f64 = field.mem_f64;
+            stats.far_mem_f64 += field.mem_f64;
+            Some(field)
+        };
         let (h1, m1) = kernel.stats();
         stats.kernel_hits = h1 - hits0.0;
         stats.kernel_misses = m1 - hits0.1;
@@ -437,15 +701,20 @@ impl FastZOperator {
         };
         obs::counter_add("fastop.kernel.hits", stats.kernel_hits);
         obs::counter_add("fastop.kernel.misses", stats.kernel_misses);
+        obs::counter_add("aca.rank_cap.hits", stats.rank_cap_hits as u64);
         obs::gauge_set("fastop.near.blocks", stats.near_blocks as f64);
         obs::gauge_set("fastop.far.blocks", stats.far_blocks as f64);
+        obs::gauge_set("fastop.dense.fallbacks", stats.dense_fallbacks as f64);
+        obs::gauge_set("fastop.far.mem.f64", stats.far_mem_f64 as f64);
 
         FastZOperator {
             n,
             omega,
             r,
+            tree,
             near,
             far,
+            h2: h2_field,
             stats,
         }
     }
@@ -461,17 +730,17 @@ impl FastZOperator {
     }
 }
 
-fn dense_block(a: &Cluster, b: &Cluster, fils: &[Bar], kernel: &mut KernelCache) -> NearBlock {
-    let (nr, nc) = (a.idx.len(), b.idx.len());
-    let mut k = vec![0.0; nr * nc];
-    for (ri, &i) in a.idx.iter().enumerate() {
-        for (cj, &j) in b.idx.iter().enumerate() {
-            k[ri * nc + cj] = kernel.entry(fils, i, j);
-        }
-    }
+fn dense_block(
+    rows: &[usize],
+    cols: &[usize],
+    fils: &[Bar],
+    kernel: &mut KernelCache,
+) -> NearBlock {
+    let mut k = vec![0.0; rows.len() * cols.len()];
+    kernel.fill_block(fils, rows, cols, &mut k);
     NearBlock {
-        rows: a.idx.clone(),
-        cols: b.idx.clone(),
+        rows: rows.to_vec(),
+        cols: cols.to_vec(),
         k,
         diag: false,
     }
@@ -479,20 +748,22 @@ fn dense_block(a: &Cluster, b: &Cluster, fils: &[Bar], kernel: &mut KernelCache)
 
 /// Walks the diagonal of the block cluster tree, collecting exact leaf
 /// diagonal blocks and delegating off-diagonal pairs to [`collect_pair`].
-fn collect_diag<'a>(
-    c: &'a Cluster,
+#[allow(clippy::too_many_arguments)]
+fn collect_diag(
+    tree: &ClusterTree,
+    c: usize,
     opts: &FastOpOptions,
-    diag: &mut Vec<&'a Cluster>,
-    near: &mut Vec<(&'a Cluster, &'a Cluster)>,
-    far: &mut Vec<(&'a Cluster, &'a Cluster)>,
+    diag: &mut Vec<usize>,
+    near: &mut Vec<(usize, usize)>,
+    far: &mut Vec<(usize, usize)>,
+    h2: &mut Vec<(usize, usize)>,
 ) {
-    match &c.children {
+    match tree.children(c) {
         None => diag.push(c),
-        Some(ch) => {
-            let (l, r) = (&ch.0, &ch.1);
-            collect_diag(l, opts, diag, near, far);
-            collect_diag(r, opts, diag, near, far);
-            collect_pair(l, r, opts, near, far);
+        Some((l, r)) => {
+            collect_diag(tree, l, opts, diag, near, far, h2);
+            collect_diag(tree, r, opts, diag, near, far, h2);
+            collect_pair(tree, l, r, opts, near, far, h2);
         }
     }
 }
@@ -500,50 +771,65 @@ fn collect_diag<'a>(
 /// Partitions an off-diagonal cluster pair into admissible (far) and
 /// inadmissible-leaf (near) blocks. Pairs are only ever generated in one
 /// orientation; the apply loop adds the transpose contribution.
-fn collect_pair<'a>(
-    a: &'a Cluster,
-    b: &'a Cluster,
+///
+/// Admissible pairs whose gap also *strictly* clears `4×` the largest
+/// member cross-section dimension go to the H² list when enabled: the
+/// center distance of every filament pair in such a block then exceeds the
+/// [`gmd::cross_section_is_far`] threshold, so the whole block lives in
+/// the smooth far-branch kernel the nested bases are built on. Admissible
+/// pairs without that guarantee keep the flat ACA treatment.
+#[allow(clippy::too_many_arguments)]
+fn collect_pair(
+    tree: &ClusterTree,
+    a: usize,
+    b: usize,
     opts: &FastOpOptions,
-    near: &mut Vec<(&'a Cluster, &'a Cluster)>,
-    far: &mut Vec<(&'a Cluster, &'a Cluster)>,
+    near: &mut Vec<(usize, usize)>,
+    far: &mut Vec<(usize, usize)>,
+    h2: &mut Vec<(usize, usize)>,
 ) {
-    let admissible = a.gap_to(b) >= opts.eta * a.diameter().max(b.diameter())
-        && a.idx.len().min(b.idx.len()) >= 16;
+    let gap = tree.gap(a, b);
+    let admissible = gap >= opts.eta * tree.diameter(a).max(tree.diameter(b))
+        && tree.len(a).min(tree.len(b)) >= 16;
     if admissible {
-        far.push((a, b));
+        let all_far = gap > 4.0 * tree.smax(a).max(tree.smax(b));
+        if opts.compression == Compression::H2 && all_far {
+            h2.push((a, b));
+        } else {
+            far.push((a, b));
+        }
         return;
     }
-    match (&a.children, &b.children) {
+    match (tree.children(a), tree.children(b)) {
         (None, None) => near.push((a, b)),
-        (Some(ac), None) => {
-            collect_pair(&ac.0, b, opts, near, far);
-            collect_pair(&ac.1, b, opts, near, far);
+        (Some((a1, a2)), None) => {
+            collect_pair(tree, a1, b, opts, near, far, h2);
+            collect_pair(tree, a2, b, opts, near, far, h2);
         }
-        (None, Some(bc)) => {
-            collect_pair(a, &bc.0, opts, near, far);
-            collect_pair(a, &bc.1, opts, near, far);
+        (None, Some((b1, b2))) => {
+            collect_pair(tree, a, b1, opts, near, far, h2);
+            collect_pair(tree, a, b2, opts, near, far, h2);
         }
-        (Some(ac), Some(bc)) => {
-            collect_pair(&ac.0, &bc.0, opts, near, far);
-            collect_pair(&ac.0, &bc.1, opts, near, far);
-            collect_pair(&ac.1, &bc.0, opts, near, far);
-            collect_pair(&ac.1, &bc.1, opts, near, far);
+        (Some((a1, a2)), Some((b1, b2))) => {
+            collect_pair(tree, a1, b1, opts, near, far, h2);
+            collect_pair(tree, a1, b2, opts, near, far, h2);
+            collect_pair(tree, a2, b1, opts, near, far, h2);
+            collect_pair(tree, a2, b2, opts, near, far, h2);
         }
     }
 }
 
-/// Compresses the `a × b` kernel block with partially pivoted ACA.
-/// Returns `None` when the block fails to reach `aca_tol` within
-/// `max_rank` terms (the caller stores it exactly instead).
+/// Compresses the `rows × cols` kernel block with partially pivoted ACA.
+/// Returns `(None, _)` when the block fails to reach `aca_tol` within
+/// `max_rank` terms (the caller stores it exactly instead); the second
+/// element reports whether the run reached the rank cap at all.
 fn aca_block(
-    a: &Cluster,
-    b: &Cluster,
+    rows: &[usize],
+    cols: &[usize],
     fils: &[Bar],
     kernel: &mut KernelCache,
     opts: &FastOpOptions,
-) -> Option<FarBlock> {
-    let rows = &a.idx;
-    let cols = &b.idx;
+) -> (Option<FarBlock>, bool) {
     let (nr, nc) = (rows.len(), cols.len());
     let max_rank = opts.max_rank.min(nr.min(nc));
     let mut us: Vec<Vec<f64>> = Vec::new();
@@ -552,12 +838,12 @@ fn aca_block(
     let mut norm2_est = 0.0f64;
     let mut i_star = 0usize;
     let mut converged = false;
+    let mut rrow = vec![0.0f64; nc];
+    let mut ucol = vec![0.0f64; nr];
 
     while us.len() < max_rank {
         // Residual of the pivot row.
-        let mut rrow: Vec<f64> = (0..nc)
-            .map(|j| kernel.entry(fils, rows[i_star], cols[j]))
-            .collect();
+        kernel.fill_block(fils, &rows[i_star..i_star + 1], cols, &mut rrow);
         for (u, v) in us.iter().zip(&vs) {
             let ui = u[i_star];
             for (rj, vj) in rrow.iter_mut().zip(v) {
@@ -585,9 +871,8 @@ fn aca_block(
             }
         }
         let v: Vec<f64> = rrow.iter().map(|&r| r / pivot).collect();
-        let mut u: Vec<f64> = (0..nr)
-            .map(|i| kernel.entry(fils, rows[i], cols[j_star]))
-            .collect();
+        kernel.fill_block(fils, rows, &cols[j_star..j_star + 1], &mut ucol);
+        let mut u = ucol.clone();
         for (uk, vk) in us.iter().zip(&vs) {
             let vj = vk[j_star];
             for (ui, uki) in u.iter_mut().zip(uk) {
@@ -612,12 +897,19 @@ fn aca_block(
         }
         // Next pivot row: largest |u| entry among unused rows.
         let last_u = us.last().expect("just pushed");
-        i_star = (0..nr)
+        let Some(next) = (0..nr)
             .filter(|&i| !row_used[i])
-            .max_by(|&x, &y| last_u[x].abs().total_cmp(&last_u[y].abs()))?;
+            .max_by(|&x, &y| last_u[x].abs().total_cmp(&last_u[y].abs()))
+        else {
+            // Ran out of unused pivot rows before converging (not a rank
+            // cap hit).
+            return (None, false);
+        };
+        i_star = next;
     }
+    let capped = us.len() >= max_rank;
     if !converged {
-        return None;
+        return (None, capped);
     }
     let rank = us.len();
     let mut u = vec![0.0; rank * nr];
@@ -626,13 +918,16 @@ fn aca_block(
         u[k * nr..(k + 1) * nr].copy_from_slice(uk);
         v[k * nc..(k + 1) * nc].copy_from_slice(vk);
     }
-    Some(FarBlock {
-        rows: rows.clone(),
-        cols: cols.clone(),
-        u,
-        v,
-        rank,
-    })
+    (
+        Some(FarBlock {
+            rows: rows.to_vec(),
+            cols: cols.to_vec(),
+            u,
+            v,
+            rank,
+        }),
+        capped,
+    )
 }
 
 impl LinearOperator<Complex> for FastZOperator {
@@ -641,7 +936,8 @@ impl LinearOperator<Complex> for FastZOperator {
     }
 
     /// `y = R∘x + jω·(Lp·x)` with `Lp` applied block-wise: exact blocks
-    /// (and their transposes) plus `U(Vᵀx)` for compressed blocks.
+    /// (and their transposes), `U(Vᵀx)` for flat-compressed blocks, and
+    /// the H² upward/coupling/downward passes for nested-basis pairs.
     fn apply(&self, x: &[Complex], y: &mut [Complex]) {
         let mut w = vec![Complex::ZERO; self.n];
         for blk in &self.near {
@@ -683,6 +979,9 @@ impl LinearOperator<Complex> for FastZOperator {
                 }
             }
         }
+        if let Some(h2) = &self.h2 {
+            h2.apply(&self.tree, x, &mut w);
+        }
         for ((yi, &xi), (&ri, &wi)) in y.iter_mut().zip(x).zip(self.r.iter().zip(&w)) {
             *yi = xi.scale(ri) + Complex::new(-self.omega * wi.im, self.omega * wi.re);
         }
@@ -715,16 +1014,15 @@ impl BlockDiagPrecond {
         for ci in 0..n_cond {
             let idx: Vec<usize> = (0..fils.len()).filter(|&i| owner[i] == ci).collect();
             let m = idx.len();
+            let mut k = vec![0.0; m * m];
+            kernel.fill_block(fils, &idx, &idx, &mut k);
             let mut z = CMatrix::zeros(m, m);
             for (a, &i) in idx.iter().enumerate() {
-                for (b, &j) in idx.iter().enumerate() {
+                for b in 0..m {
                     z[(a, b)] = if a == b {
-                        Complex::new(
-                            dc_resistance(&fils[i], rhos[i]),
-                            omega * kernel.self_l(&fils[i]),
-                        )
+                        Complex::new(dc_resistance(&fils[i], rhos[i]), omega * k[a * m + a])
                     } else {
-                        Complex::from_imag(omega * kernel.mutual_l(&fils[i], &fils[j]))
+                        Complex::from_imag(omega * k[a * m + b])
                     };
                 }
             }
@@ -855,6 +1153,39 @@ mod tests {
         (fils, rhos)
     }
 
+    fn centers_and_dims(fils: &[Bar]) -> (Vec<(f64, f64)>, Vec<f64>) {
+        let pts = fils
+            .iter()
+            .map(|f| {
+                let (t0, t1) = f.transverse_span();
+                let (z0, z1) = f.vertical_span();
+                (0.5 * (t0 + t1), 0.5 * (z0 + z1))
+            })
+            .collect();
+        let dims = fils.iter().map(|f| f.width().max(f.thickness())).collect();
+        (pts, dims)
+    }
+
+    /// Dense reference `Z` for a filament set, assembled the way the dense
+    /// solver path does.
+    fn dense_z(fils: &[Bar], rhos: &[f64], omega: f64) -> CMatrix {
+        let n = fils.len();
+        let mut z = CMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                z[(i, j)] = if i == j {
+                    Complex::new(
+                        dc_resistance(&fils[i], rhos[i]),
+                        omega * self_partial(&fils[i]),
+                    )
+                } else {
+                    Complex::from_imag(omega * crate::partial::mutual_partial(&fils[i], &fils[j]))
+                };
+            }
+        }
+        z
+    }
+
     #[test]
     fn kernel_cache_collapses_uniform_mesh_pairs() {
         let (fils, _) = two_bundles(100.0);
@@ -895,6 +1226,30 @@ mod tests {
     }
 
     #[test]
+    fn fill_block_matches_scalar_entries_bitwise() {
+        // The batched block fill must reproduce the scalar entry loop to
+        // the bit — values, hit/miss accounting and all.
+        let (fils, _) = two_bundles(12.0);
+        let rows: Vec<usize> = (0..24).collect();
+        let cols: Vec<usize> = (12..60).collect(); // overlaps rows → self terms
+        let mut scalar = KernelCache::new(1000.0);
+        let mut reference = vec![0.0; rows.len() * cols.len()];
+        for (a, &i) in rows.iter().enumerate() {
+            for (b, &j) in cols.iter().enumerate() {
+                reference[a * cols.len() + b] = scalar.entry(&fils, i, j);
+            }
+        }
+        let mut batched = KernelCache::new(1000.0);
+        let mut block = vec![0.0; rows.len() * cols.len()];
+        batched.fill_block(&fils, &rows, &cols, &mut block);
+        for (o, (b, r)) in block.iter().zip(&reference).enumerate() {
+            assert_eq!(b.to_bits(), r.to_bits(), "entry {o}: {b} vs {r}");
+        }
+        assert_eq!(batched.stats(), scalar.stats(), "hit/miss accounting");
+        assert_eq!(batched.distinct(), scalar.distinct());
+    }
+
+    #[test]
     fn aca_rank_stays_small_for_well_separated_clusters() {
         // Satellite: rank growth sanity. Two 36-filament bundles at
         // increasing separation — the interaction becomes smoother, so the
@@ -904,19 +1259,16 @@ mod tests {
         let mut last_rank = usize::MAX - 2;
         for sep in [40.0, 160.0, 640.0] {
             let (fils, _) = two_bundles(sep);
-            let pts: Vec<(f64, f64)> = fils
-                .iter()
-                .map(|f| {
-                    let (t0, t1) = f.transverse_span();
-                    let (z0, z1) = f.vertical_span();
-                    (0.5 * (t0 + t1), 0.5 * (z0 + z1))
-                })
-                .collect();
-            let a = Cluster::build((0..36).collect(), &pts, 64);
-            let b = Cluster::build((36..72).collect(), &pts, 64);
-            assert!(a.gap_to(&b) >= a.diameter().max(b.diameter()));
+            let (pts, dims) = centers_and_dims(&fils);
+            let tree = ClusterTree::build(&pts, &dims, 36);
+            let (a, b) = tree.children(0).expect("72 points split once");
+            assert_eq!(tree.len(a), 36);
+            assert!(tree.gap(a, b) >= tree.diameter(a).max(tree.diameter(b)));
             let mut kernel = KernelCache::new(1000.0);
-            let fb = aca_block(&a, &b, &fils, &mut kernel, &opts).expect("ACA must converge");
+            let (fb, capped) =
+                aca_block(tree.indices(a), tree.indices(b), &fils, &mut kernel, &opts);
+            let fb = fb.expect("ACA must converge");
+            assert!(!capped);
             assert!(fb.rank <= 18, "sep {sep}: rank {} too large", fb.rank);
             assert!(
                 fb.rank <= last_rank + 2,
@@ -947,25 +1299,19 @@ mod tests {
 
     #[test]
     fn fast_operator_matches_dense_apply() {
+        // Default options → H² far field. The bundles sit 30 µm apart with
+        // 0.9 µm cross-sections, so the admissible pair clears the 4×
+        // all-far test and must be stored as H² couplings.
         let (fils, rhos) = two_bundles(30.0);
         let omega = 2.0 * std::f64::consts::PI * 3.2e9;
         let mut kernel = KernelCache::new(1000.0);
         let op = FastZOperator::new(&fils, &rhos, omega, &mut kernel, &FastOpOptions::default());
+        assert!(
+            op.stats().h2_couplings > 0,
+            "expected the far pair on the H² path"
+        );
+        let z = dense_z(&fils, &rhos, omega);
         let n = fils.len();
-        // Dense reference.
-        let mut z = CMatrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..n {
-                z[(i, j)] = if i == j {
-                    Complex::new(
-                        dc_resistance(&fils[i], rhos[i]),
-                        omega * self_partial(&fils[i]),
-                    )
-                } else {
-                    Complex::from_imag(omega * crate::partial::mutual_partial(&fils[i], &fils[j]))
-                };
-            }
-        }
         let x: Vec<Complex> = (0..n)
             .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.71).cos()))
             .collect();
@@ -980,11 +1326,109 @@ mod tests {
     }
 
     #[test]
+    fn flat_aca_operator_matches_dense_apply() {
+        // The pre-H² far field stays available and correct.
+        let (fils, rhos) = two_bundles(30.0);
+        let omega = 2.0 * std::f64::consts::PI * 3.2e9;
+        let mut kernel = KernelCache::new(1000.0);
+        let op = FastZOperator::new(&fils, &rhos, omega, &mut kernel, &FastOpOptions::flat_aca());
+        assert_eq!(op.stats().h2_couplings, 0);
+        assert!(op.stats().far_blocks > 0);
+        let z = dense_z(&fils, &rhos, omega);
+        let n = fils.len();
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.53).cos(), (i as f64 * 0.29).sin()))
+            .collect();
+        let mut y_fast = vec![Complex::ZERO; n];
+        let mut y_dense = vec![Complex::ZERO; n];
+        op.apply(&x, &mut y_fast);
+        z.apply(&x, &mut y_dense);
+        let scale = y_dense.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        for (f, d) in y_fast.iter().zip(&y_dense) {
+            assert!((*f - *d).abs() <= 1e-9 * scale, "{f} vs {d}");
+        }
+    }
+
+    #[test]
+    fn h2_memory_beats_flat_aca_on_far_field() {
+        // The point of nested bases: fewer stored f64s for the same far
+        // field. Four bundles in a row give several admissible pairs.
+        let mut fils = Vec::new();
+        for base in [0.0, 30.0, 60.0, 90.0] {
+            for i in 0..6 {
+                for j in 0..6 {
+                    fils.push(
+                        Bar::new(
+                            Point3::new(0.0, base + i as f64, 10.0 + j as f64),
+                            Axis::X,
+                            1000.0,
+                            0.9,
+                            0.9,
+                        )
+                        .unwrap(),
+                    );
+                }
+            }
+        }
+        let rhos = vec![RHO_COPPER; fils.len()];
+        let omega = 2.0 * std::f64::consts::PI * 3.2e9;
+        let mut k1 = KernelCache::new(1000.0);
+        let h2_op = FastZOperator::new(&fils, &rhos, omega, &mut k1, &FastOpOptions::default());
+        let mut k2 = KernelCache::new(1000.0);
+        let flat_op = FastZOperator::new(&fils, &rhos, omega, &mut k2, &FastOpOptions::flat_aca());
+        assert!(h2_op.stats().h2_couplings > 0);
+        assert!(
+            h2_op.stats().far_mem_f64 < flat_op.stats().far_mem_f64,
+            "H² {} f64 vs flat {} f64",
+            h2_op.stats().far_mem_f64,
+            flat_op.stats().far_mem_f64
+        );
+    }
+
+    #[test]
     fn backend_cutover_policy() {
         assert!(!SolverBackend::Dense.is_iterative(100_000));
         assert!(SolverBackend::Iterative.is_iterative(4));
         assert!(!SolverBackend::Auto.is_iterative(ITERATIVE_CUTOVER - 1));
         assert!(SolverBackend::Auto.is_iterative(ITERATIVE_CUTOVER));
         assert_eq!(SolverBackend::Auto.name(), "auto");
+    }
+
+    #[test]
+    fn cutover_env_parsing() {
+        assert_eq!(cutover_from(None), ITERATIVE_CUTOVER);
+        assert_eq!(cutover_from(Some("")), ITERATIVE_CUTOVER);
+        assert_eq!(cutover_from(Some("  ")), ITERATIVE_CUTOVER);
+        assert_eq!(cutover_from(Some("64")), 64);
+        assert_eq!(cutover_from(Some(" 1000 ")), 1000);
+        assert_eq!(cutover_from(Some("0")), ITERATIVE_CUTOVER);
+        assert_eq!(cutover_from(Some("-5")), ITERATIVE_CUTOVER);
+        assert_eq!(cutover_from(Some("fast")), ITERATIVE_CUTOVER);
+        assert_eq!(cutover_from(Some("4.2e3")), ITERATIVE_CUTOVER);
+    }
+
+    #[test]
+    fn cluster_tree_partitions_and_orders_nodes() {
+        let (fils, _) = two_bundles(25.0);
+        let (pts, dims) = centers_and_dims(&fils);
+        let tree = ClusterTree::build(&pts, &dims, 8);
+        // Parent-before-children id order, contiguous child ranges.
+        for c in 0..tree.node_count() {
+            if let Some((l, r)) = tree.children(c) {
+                assert!(l > c && r > l, "node order: {c} -> ({l}, {r})");
+                assert_eq!(tree.nodes[l].start, tree.nodes[c].start);
+                assert_eq!(tree.nodes[l].end, tree.nodes[r].start);
+                assert_eq!(tree.nodes[r].end, tree.nodes[c].end);
+                assert_eq!(tree.level(l), tree.level(c) + 1);
+            } else {
+                assert!(tree.len(c) <= 8);
+            }
+        }
+        // The root permutation is a permutation of 0..n.
+        let mut seen = tree.indices(0).to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..fils.len()).collect::<Vec<_>>());
+        // Every cluster's smax is the grid filament dimension.
+        assert_eq!(tree.smax(0), 0.9);
     }
 }

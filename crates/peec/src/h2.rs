@@ -1,0 +1,468 @@
+//! H² nested-basis far-field compression for the fast PEEC operator.
+//!
+//! The flat H-matrix path in [`crate::fastop`] stores every admissible
+//! cluster pair as its own ACA `U·Vᵀ` factor — `O(n log n)` far-field
+//! memory, because a filament near the middle of the mesh appears in
+//! `O(log n)` far blocks and each block carries its own row basis. The H²
+//! representation removes that redundancy with *nested total cluster
+//! bases*:
+//!
+//! * every cluster `c` that takes part in (or inherits) an admissible
+//!   interaction gets one basis `U_c` that covers its **entire** far field
+//!   `F(c) = partners(c) ∪ F(parent)`,
+//! * leaf bases are stored explicitly; an interior cluster's basis is
+//!   expressed through its children's bases via small **transfer matrices**
+//!   `E₁`, `E₂` (the translation operators), so tall bases are never
+//!   materialized,
+//! * an admissible pair `(a, b)` stores only the tiny **coupling matrix**
+//!   `S_ab` between the two bases instead of an `|a| + |b|`-sized factor.
+//!
+//! The bases are built algebraically by a *skeleton* (interpolative)
+//! decomposition: pivoted modified Gram–Schmidt on the sampled far-field
+//! interaction rows selects real filament rows `J_c` (the skeleton) and an
+//! interpolation `T_c` with `K(c, F) ≈ T_c·K(J_c, F)`, `T_c[J_c,:] = I`.
+//! Nesting is then free — an interior cluster interpolates from the union
+//! of its children's skeletons — and the coupling matrix is just the kernel
+//! evaluated between skeletons: `S_ab = K(J_a, J_b)`.
+//!
+//! Admissibility here is stricter than the flat path's: a pair must also
+//! satisfy `gap > 4·max(s_a, s_b)` (the per-cluster maximum cross-section
+//! dimension), which guarantees **every** filament pair in the block takes
+//! the far GMD branch of [`crate::gmd::cross_section_is_far`]. The kernel
+//! over such a block is exactly the aligned-filament formula at the center
+//! distance — a smooth, quadrature-free function the sampling can evaluate
+//! millions of times for the price of a few near-field table entries.
+//! Admissible pairs that fail the all-far test stay on the flat ACA path.
+//!
+//! Observability: every accepted basis pushes its rank to the `h2.rank`
+//! series channel (step = cluster level) and the `h2.basis.rank` histogram
+//! (its p99 is gated in CI via `report_diff`).
+
+use crate::fastop::ClusterTree;
+use crate::partial::mutual_filaments_aligned_m;
+use rlcx_geom::units::um_to_m;
+use rlcx_numeric::{obs, Complex};
+
+/// Tuning knobs of the H² build, derived from
+/// [`crate::fastop::FastOpOptions`].
+pub(crate) struct H2Params {
+    /// Skeleton truncation tolerance, relative to the first pivot norm.
+    pub tol: f64,
+    /// Rank cap per cluster basis.
+    pub max_rank: usize,
+    /// Far-field sample budget per cluster (columns of the ID matrix).
+    pub sample_cap: usize,
+}
+
+/// One cluster basis: the skeleton filament ids plus either an explicit
+/// leaf interpolation or the pair of child transfer matrices.
+struct Basis {
+    rank: usize,
+    /// Global filament indices of the skeleton rows.
+    skel: Vec<usize>,
+    kind: BasisKind,
+}
+
+enum BasisKind {
+    /// `u` is `|c| × rank` row-major: cluster-local row → basis column.
+    Leaf { u: Vec<f64> },
+    /// Transfer matrices, `rank(child) × rank` row-major each.
+    Interior { e1: Vec<f64>, e2: Vec<f64> },
+}
+
+/// Coupling matrix of one admissible pair: `s` is `rank_a × rank_b`
+/// row-major, `s[i][j] = K(skel_a[i], skel_b[j])`. Applied together with
+/// its transpose (pairs are generated in one orientation only).
+struct Coupling {
+    a: usize,
+    b: usize,
+    s: Vec<f64>,
+}
+
+/// The assembled H² far field: per-node bases plus coupling matrices.
+pub(crate) struct H2Field {
+    bases: Vec<Option<Basis>>,
+    couplings: Vec<Coupling>,
+    /// Largest basis rank over all clusters.
+    pub(crate) max_rank: usize,
+    /// Total `f64`s stored (bases + transfers + couplings).
+    pub(crate) mem_f64: usize,
+}
+
+impl H2Field {
+    /// Number of admissible pairs stored as couplings.
+    pub(crate) fn coupling_count(&self) -> usize {
+        self.couplings.len()
+    }
+
+    /// `w += Lp_far·x` for the H²-compressed part of the far field:
+    /// upward pass (restrict through the nested bases), coupling multiply
+    /// (both orientations), downward pass (prolongate back to filaments).
+    pub(crate) fn apply(&self, tree: &ClusterTree, x: &[Complex], w: &mut [Complex]) {
+        let n_nodes = self.bases.len();
+        // Upward: children before parents — node ids are allocated parent
+        // first, so descending order visits children first.
+        let mut up: Vec<Vec<Complex>> = vec![Vec::new(); n_nodes];
+        for c in (0..n_nodes).rev() {
+            let Some(basis) = &self.bases[c] else {
+                continue;
+            };
+            let rank = basis.rank;
+            let mut xh = vec![Complex::ZERO; rank];
+            match &basis.kind {
+                BasisKind::Leaf { u } => {
+                    for (r, &i) in tree.indices(c).iter().enumerate() {
+                        let xi = x[i];
+                        for (k, xk) in xh.iter_mut().enumerate() {
+                            *xk += xi * u[r * rank + k];
+                        }
+                    }
+                }
+                BasisKind::Interior { e1, e2 } => {
+                    let (c1, c2) = tree.children(c).expect("interior basis on leaf");
+                    for (child, e) in [(c1, e1), (c2, e2)] {
+                        for (r, &xr) in up[child].iter().enumerate() {
+                            for (k, xk) in xh.iter_mut().enumerate() {
+                                *xk += xr * e[r * rank + k];
+                            }
+                        }
+                    }
+                }
+            }
+            up[c] = xh;
+        }
+        // Couplings: yh_a += S·xh_b and yh_b += Sᵀ·xh_a.
+        let mut down: Vec<Vec<Complex>> = self
+            .bases
+            .iter()
+            .map(|b| vec![Complex::ZERO; b.as_ref().map_or(0, |b| b.rank)])
+            .collect();
+        for cp in &self.couplings {
+            let rb = self.bases[cp.b].as_ref().expect("coupling basis b").rank;
+            let ra = self.bases[cp.a].as_ref().expect("coupling basis a").rank;
+            for i in 0..ra {
+                let xa = up[cp.a][i];
+                let mut acc = Complex::ZERO;
+                for j in 0..rb {
+                    let sij = cp.s[i * rb + j];
+                    acc += up[cp.b][j] * sij;
+                    down[cp.b][j] += xa * sij;
+                }
+                down[cp.a][i] += acc;
+            }
+        }
+        // Downward: parents before children — ascending node order.
+        for c in 0..n_nodes {
+            let Some(basis) = &self.bases[c] else {
+                continue;
+            };
+            let rank = basis.rank;
+            match &basis.kind {
+                BasisKind::Leaf { u } => {
+                    let yh = &down[c];
+                    for (r, &i) in tree.indices(c).iter().enumerate() {
+                        let mut acc = Complex::ZERO;
+                        for (k, &yk) in yh.iter().enumerate() {
+                            acc += yk * u[r * rank + k];
+                        }
+                        w[i] += acc;
+                    }
+                }
+                BasisKind::Interior { e1, e2 } => {
+                    let (c1, c2) = tree.children(c).expect("interior basis on leaf");
+                    let yh = down[c].clone();
+                    for (child, e) in [(c1, e1), (c2, e2)] {
+                        for (r, yr) in down[child].iter_mut().enumerate() {
+                            let mut acc = Complex::ZERO;
+                            for (k, &yk) in yh.iter().enumerate() {
+                                acc += yk * e[r * rank + k];
+                            }
+                            *yr += acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the H² far field for the admissible `pairs` of `tree`.
+///
+/// `centers` are the cross-section centers `(t, z)` of every filament and
+/// `length_um` the shared axial span; the far-branch kernel is the
+/// aligned-filament mutual at the center distance, which the H²
+/// admissibility rule guarantees is the *exact* kernel over every stored
+/// pair.
+pub(crate) fn build(
+    tree: &ClusterTree,
+    pairs: &[(usize, usize)],
+    centers: &[(f64, f64)],
+    length_um: f64,
+    params: &H2Params,
+) -> H2Field {
+    let l_m = um_to_m(length_um);
+    let g = |i: usize, j: usize| {
+        let (ti, zi) = centers[i];
+        let (tj, zj) = centers[j];
+        mutual_filaments_aligned_m(l_m, um_to_m((ti - tj).hypot(zi - zj)))
+    };
+    let n_nodes = tree.node_count();
+
+    // Partner lists (both orientations) and parent links.
+    let mut partners: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    for &(a, b) in pairs {
+        partners[a].push(b);
+        partners[b].push(a);
+    }
+    let mut parent = vec![usize::MAX; n_nodes];
+    for c in 0..n_nodes {
+        if let Some((l, r)) = tree.children(c) {
+            parent[l] = c;
+            parent[r] = c;
+        }
+    }
+
+    // Total far-field sample sets, top-down: own partners plus everything
+    // the ancestors interact with, deterministically subsampled to the
+    // column budget. A non-empty set marks the cluster as basis-bearing.
+    let mut farfield: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    for c in 0..n_nodes {
+        let mut f: Vec<usize> = Vec::new();
+        for &p in &partners[c] {
+            extend_subsampled(&mut f, tree.indices(p), 64);
+        }
+        if parent[c] != usize::MAX && !farfield[parent[c]].is_empty() {
+            let inherited = farfield[parent[c]].clone();
+            f.extend_from_slice(&inherited);
+        }
+        subsample_in_place(&mut f, params.sample_cap);
+        farfield[c] = f;
+    }
+
+    // Bases bottom-up: leaves interpolate from their own filaments,
+    // interior clusters from the union of their children's skeletons.
+    let mut bases: Vec<Option<Basis>> = (0..n_nodes).map(|_| None).collect();
+    let mut max_rank = 0usize;
+    let mut mem_f64 = 0usize;
+    for c in (0..n_nodes).rev() {
+        if farfield[c].is_empty() {
+            continue;
+        }
+        let (cand, child_ranks): (Vec<usize>, Option<(usize, usize)>) = match tree.children(c) {
+            None => (tree.indices(c).to_vec(), None),
+            Some((c1, c2)) => {
+                let b1 = bases[c1].as_ref().expect("child basis (F(c1) ⊇ F(c))");
+                let b2 = bases[c2].as_ref().expect("child basis (F(c2) ⊇ F(c))");
+                let mut cand = b1.skel.clone();
+                cand.extend_from_slice(&b2.skel);
+                (cand, Some((b1.rank, b2.rank)))
+            }
+        };
+        let m = cand.len();
+        let s = farfield[c].len();
+        let mut a = vec![0.0f64; m * s];
+        for (r, &i) in cand.iter().enumerate() {
+            for (q, &j) in farfield[c].iter().enumerate() {
+                a[r * s + q] = g(i, j);
+            }
+        }
+        let (piv, interp) = row_id(&a, m, s, params.tol, params.max_rank);
+        let rank = piv.len();
+        debug_assert!(rank > 0, "positive kernel must yield a nonzero basis");
+        obs::observe("h2.basis.rank", rank as f64);
+        obs::series_push("h2.rank", tree.level(c) as f64, rank as f64);
+        max_rank = max_rank.max(rank);
+        mem_f64 += interp.len();
+        let skel: Vec<usize> = piv.iter().map(|&r| cand[r]).collect();
+        let kind = match child_ranks {
+            None => BasisKind::Leaf { u: interp },
+            Some((r1, _)) => {
+                let e1 = interp[..r1 * rank].to_vec();
+                let e2 = interp[r1 * rank..].to_vec();
+                BasisKind::Interior { e1, e2 }
+            }
+        };
+        bases[c] = Some(Basis { rank, skel, kind });
+    }
+
+    // Couplings: the kernel between skeletons.
+    let mut couplings = Vec::with_capacity(pairs.len());
+    for &(ca, cb) in pairs {
+        let sa = &bases[ca].as_ref().expect("basis a").skel;
+        let sb = &bases[cb].as_ref().expect("basis b").skel;
+        let mut s = vec![0.0f64; sa.len() * sb.len()];
+        for (i, &fi) in sa.iter().enumerate() {
+            for (j, &fj) in sb.iter().enumerate() {
+                s[i * sb.len() + j] = g(fi, fj);
+            }
+        }
+        mem_f64 += s.len();
+        couplings.push(Coupling { a: ca, b: cb, s });
+    }
+
+    H2Field {
+        bases,
+        couplings,
+        max_rank,
+        mem_f64,
+    }
+}
+
+/// Row interpolative decomposition by pivoted modified Gram–Schmidt on the
+/// `m × s` row-major matrix `a`: returns the selected skeleton row indices
+/// `J` (in pivot order) and the interpolation matrix `T` (`m × rank`,
+/// row-major) with `A ≈ T·A[J,:]` and `T[J,:] = I` exactly. Stops when the
+/// next pivot's residual norm falls below `tol ×` the first pivot norm, or
+/// at `max_rank`.
+fn row_id(a: &[f64], m: usize, s: usize, tol: f64, max_rank: usize) -> (Vec<usize>, Vec<f64>) {
+    let mut resid = a.to_vec();
+    let mut used = vec![false; m];
+    let mut piv: Vec<usize> = Vec::new();
+    // coeff[r][k] = component of row r along orthonormal direction q_k.
+    let mut coeff: Vec<Vec<f64>> = vec![Vec::new(); m];
+    let mut scale0 = 0.0f64;
+    let cap = max_rank.min(m).max(1);
+    while piv.len() < cap {
+        let mut r_star = usize::MAX;
+        let mut best = -1.0f64;
+        for r in 0..m {
+            if used[r] {
+                continue;
+            }
+            let nrm2: f64 = resid[r * s..(r + 1) * s].iter().map(|v| v * v).sum();
+            if nrm2 > best {
+                best = nrm2;
+                r_star = r;
+            }
+        }
+        if r_star == usize::MAX {
+            break;
+        }
+        let nrm = best.max(0.0).sqrt();
+        if piv.is_empty() {
+            if nrm == 0.0 {
+                break;
+            }
+            scale0 = nrm;
+        } else if nrm <= tol * scale0 {
+            break;
+        }
+        let q: Vec<f64> = resid[r_star * s..(r_star + 1) * s]
+            .iter()
+            .map(|v| v / nrm)
+            .collect();
+        for r in 0..m {
+            let row = &mut resid[r * s..(r + 1) * s];
+            let c: f64 = row.iter().zip(&q).map(|(x, y)| x * y).sum();
+            for (x, y) in row.iter_mut().zip(&q) {
+                *x -= c * y;
+            }
+            coeff[r].push(c);
+        }
+        used[r_star] = true;
+        piv.push(r_star);
+    }
+    let rank = piv.len();
+    // Solve T·C_J = C by back substitution: C_J is lower triangular in
+    // pivot order (a pivot row's residual is zero from its step onward),
+    // with the pivot norms on the diagonal.
+    let mut t = vec![0.0f64; m * rank];
+    for r in 0..m {
+        let c = &coeff[r];
+        for a_idx in (0..rank).rev() {
+            let mut v = c[a_idx];
+            for b_idx in (a_idx + 1)..rank {
+                v -= coeff[piv[b_idx]][a_idx] * t[r * rank + b_idx];
+            }
+            t[r * rank + a_idx] = v / coeff[piv[a_idx]][a_idx];
+        }
+    }
+    (piv, t)
+}
+
+/// Appends a deterministic stride subsample of `src` (at most `cap`
+/// elements) to `dst`.
+fn extend_subsampled(dst: &mut Vec<usize>, src: &[usize], cap: usize) {
+    if src.len() <= cap {
+        dst.extend_from_slice(src);
+    } else {
+        dst.extend((0..cap).map(|k| src[k * src.len() / cap]));
+    }
+}
+
+/// Caps `v` to `cap` elements by deterministic stride subsampling.
+fn subsample_in_place(v: &mut Vec<usize>, cap: usize) {
+    if v.len() > cap {
+        let n = v.len();
+        *v = (0..cap).map(|k| v[k * n / cap]).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_id_reconstructs_low_rank_matrix() {
+        // A rank-2 matrix: rows are combinations of two generators.
+        let (m, s) = (6, 5);
+        let g1: Vec<f64> = (0..s).map(|j| (j as f64 * 0.7).sin()).collect();
+        let g2: Vec<f64> = (0..s).map(|j| (j as f64 * 0.3).cos()).collect();
+        let mut a = vec![0.0; m * s];
+        for r in 0..m {
+            let (c1, c2) = (1.0 + r as f64, (r as f64 * 0.5) - 1.0);
+            for j in 0..s {
+                a[r * s + j] = c1 * g1[j] + c2 * g2[j];
+            }
+        }
+        let (piv, t) = row_id(&a, m, s, 1e-12, 10);
+        assert_eq!(piv.len(), 2, "rank-2 input must give a rank-2 skeleton");
+        // A ≈ T·A[J,:] entrywise.
+        for r in 0..m {
+            for j in 0..s {
+                let mut approx = 0.0;
+                for (k, &p) in piv.iter().enumerate() {
+                    approx += t[r * 2 + k] * a[p * s + j];
+                }
+                assert!(
+                    (approx - a[r * s + j]).abs() < 1e-10,
+                    "({r},{j}): {approx} vs {}",
+                    a[r * s + j]
+                );
+            }
+        }
+        // T restricted to the skeleton rows is the identity, exactly.
+        for (k, &p) in piv.iter().enumerate() {
+            for k2 in 0..piv.len() {
+                let expect: f64 = if k == k2 { 1.0 } else { 0.0 };
+                assert_eq!(t[p * 2 + k2].to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn row_id_truncates_at_tolerance() {
+        // Rows with geometrically decaying magnitude: tolerance cuts the
+        // tail without touching the dominant directions.
+        let (m, s) = (8, 8);
+        let mut a = vec![0.0; m * s];
+        for r in 0..m {
+            a[r * s + r] = 10.0f64.powi(-(r as i32));
+        }
+        let (piv, _) = row_id(&a, m, s, 1e-4, 100);
+        assert!(piv.len() >= 4 && piv.len() <= 6, "rank {}", piv.len());
+    }
+
+    #[test]
+    fn subsample_is_deterministic_and_capped() {
+        let src: Vec<usize> = (0..100).collect();
+        let mut dst = Vec::new();
+        extend_subsampled(&mut dst, &src, 10);
+        assert_eq!(dst.len(), 10);
+        assert_eq!(dst[0], 0);
+        assert!(dst.windows(2).all(|w| w[0] < w[1]));
+        let mut v: Vec<usize> = (0..7).collect();
+        subsample_in_place(&mut v, 16);
+        assert_eq!(v.len(), 7, "under-cap vectors stay untouched");
+    }
+}

@@ -15,8 +15,9 @@
 //! * [`solver`] — [`PartialSystem`]: conductor-level `R(ω)`/`L(ω)` from the
 //!   filament-level complex impedance solve,
 //! * [`fastop`] — the matrix-free fast path behind [`SolverBackend`]:
-//!   translation-invariance kernel caching, cluster-tree near/far
-//!   splitting with ACA low-rank far blocks, and a block-diagonal
+//!   batched translation-invariance kernel caching, cluster-tree near/far
+//!   splitting with an H² nested-basis far field (flat ACA for blocks not
+//!   strictly beyond the GMD far threshold), and a block-diagonal
 //!   preconditioner for the `rlcx_numeric::gmres` Krylov solve,
 //! * [`loop_l`] — loop-inductance reduction with the paper's *merged ground
 //!   node at the far end* convention, plus ground-plane strip meshing and
@@ -47,6 +48,7 @@
 
 pub mod fastop;
 pub mod gmd;
+mod h2;
 pub mod loop_l;
 pub mod mesh;
 pub mod network;
@@ -57,7 +59,7 @@ pub mod tree_solver;
 mod error;
 
 pub use error::PeecError;
-pub use fastop::{FastOpOptions, SolverBackend, ITERATIVE_CUTOVER};
+pub use fastop::{iterative_cutover, Compression, FastOpOptions, SolverBackend, ITERATIVE_CUTOVER};
 pub use loop_l::{BlockExtraction, BlockExtractor, PlaneSpec};
 pub use mesh::MeshSpec;
 pub use network::{AcNetwork, Branch};

@@ -48,6 +48,27 @@ fn random_microstrip(rng: &mut SplitMix64) -> PartialSystem {
         .collect()
 }
 
+/// A random plane-strip system: a wide ground plane with several narrow
+/// strips routed above it — the geometry class the H² far field exists
+/// for (many well-separated same-layer clusters over a common return).
+fn random_plane_strips(rng: &mut SplitMix64, n_strips: usize) -> PartialSystem {
+    let len = rng.uniform(300.0, 2000.0);
+    let t = rng.uniform(0.8, 2.0);
+    let h = rng.uniform(2.0, 5.0);
+    let plane_w = rng.uniform(60.0, 120.0);
+    let mut bars =
+        vec![Bar::new(Point3::new(0.0, 0.0, 8.0 - t), Axis::X, len, plane_w, t).unwrap()];
+    let mut y = rng.uniform(2.0, 6.0);
+    for _ in 0..n_strips {
+        let w = rng.uniform(1.0, 6.0);
+        bars.push(Bar::new(Point3::new(0.0, y, 8.0 + h), Axis::X, len, w, t).unwrap());
+        y += w + rng.uniform(8.0, 20.0);
+    }
+    bars.into_iter()
+        .map(|bar| Conductor::new(bar, RHO_COPPER).unwrap())
+        .collect()
+}
+
 /// Max entrywise |dense − iterative| relative to the largest dense entry.
 fn backend_disagreement(sys: &PartialSystem, f: f64, mesh: MeshSpec) -> f64 {
     let zd = sys
@@ -92,6 +113,42 @@ fn iterative_backend_matches_dense_on_random_microstrips() {
         let f = rng.uniform(5e8, 8e9);
         let err = backend_disagreement(&sys, f, MeshSpec::new(5, 3));
         assert!(err < 1e-9, "round {round}: backends disagree by {err:.3e}");
+    }
+}
+
+#[test]
+fn iterative_backend_matches_dense_on_random_plane_strips() {
+    let mut rng = SplitMix64::new(0x91A7E);
+    for round in 0..4 {
+        let n = 2 + (rng.next_u64() % 2) as usize;
+        let sys = random_plane_strips(&mut rng, n);
+        let f = rng.uniform(5e8, 8e9);
+        let err = backend_disagreement(&sys, f, MeshSpec::new(5, 3));
+        assert!(err < 1e-9, "round {round}: backends disagree by {err:.3e}");
+    }
+}
+
+#[test]
+fn auto_backend_stays_dense_below_cutover() {
+    // Below the cutover Auto must be *bit-identical* to Dense — the H²
+    // far field only ever engages on the iterative side.
+    let mut rng = SplitMix64::new(0xD00D);
+    let sys = random_plane_strips(&mut rng, 2);
+    let mesh = MeshSpec::new(4, 3);
+    assert!(sys.len() * mesh.nw() * mesh.nt() < ITERATIVE_CUTOVER);
+    let f = 3.2e9;
+    let za = sys
+        .impedance_at_with_backend(f, |_| mesh, SolverBackend::Auto)
+        .unwrap();
+    let zd = sys
+        .impedance_at_with_backend(f, |_| mesh, SolverBackend::Dense)
+        .unwrap();
+    let n = sys.len();
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(za[(i, j)].re.to_bits(), zd[(i, j)].re.to_bits());
+            assert_eq!(za[(i, j)].im.to_bits(), zd[(i, j)].im.to_bits());
+        }
     }
 }
 
