@@ -36,10 +36,18 @@
 //! * `h2.matvec.speedup.n4032` / `h2.mem.ratio.n4032` — the H² far field
 //!   beats flat ACA on matvec time and memory at ≥4k filaments,
 //! * `kernel.batch.speedup` — the SoA quadrature beats the scalar loop.
+//!
+//! The extension (PR 10) adds a **thread-scaling sweep** at the 10080
+//! point: the operator is built and applied at `RLCX_THREADS` ∈ {1, 2, 4,
+//! 8} via `with_thread_count`, every matvec result is asserted
+//! bit-identical to the single-threaded run, and CI gates
+//! `fastop.build.par_speedup` (build, 1→8 threads) plus
+//! `fastop.par_speedup.combined8` (build + 20 matvecs, the shape of one
+//! GMRES solve) and `pool.tasks` (the persistent pool actually ran).
 
 use rlcx::geom::units::RHO_COPPER;
 use rlcx::geom::{Axis, Bar, Point3};
-use rlcx::numeric::{CMatrix, Complex, LinearOperator};
+use rlcx::numeric::{with_thread_count, CMatrix, Complex, LinearOperator};
 use rlcx::obs::{self, MetricValue, RunReport};
 use rlcx::peec::fastop::{FastOpOptions, FastZOperator, KernelCache};
 use rlcx::peec::partial::{mutual_partial_batch, mutual_partial_relative, PairGeom};
@@ -155,20 +163,14 @@ fn operator_shootout(report: &mut RunReport, nw: usize, nt: usize, dense_check: 
     let n = fils.len();
     let omega = 2.0 * std::f64::consts::PI * F_SIG;
 
-    let mut kern_h2 = KernelCache::new(LENGTH);
+    let kern_h2 = KernelCache::new(LENGTH);
     let t0 = Instant::now();
-    let op_h2 = FastZOperator::new(&fils, &rhos, omega, &mut kern_h2, &FastOpOptions::default());
+    let op_h2 = FastZOperator::new(&fils, &rhos, omega, &kern_h2, &FastOpOptions::default());
     let build_h2 = t0.elapsed().as_secs_f64();
 
-    let mut kern_flat = KernelCache::new(LENGTH);
+    let kern_flat = KernelCache::new(LENGTH);
     let t0 = Instant::now();
-    let op_flat = FastZOperator::new(
-        &fils,
-        &rhos,
-        omega,
-        &mut kern_flat,
-        &FastOpOptions::flat_aca(),
-    );
+    let op_flat = FastZOperator::new(&fils, &rhos, omega, &kern_flat, &FastOpOptions::flat_aca());
     let build_flat = t0.elapsed().as_secs_f64();
 
     let x = excitation(n);
@@ -240,6 +242,73 @@ fn operator_shootout(report: &mut RunReport, nw: usize, nt: usize, dense_check: 
     println!("       H² vs dense-Z apply: {agree:.2e} max rel err");
     report.figure(format!("h2.agree.n{n}"), agree);
     agree
+}
+
+/// Thread-scaling sweep on the H² operator: builds and applies the same
+/// meshed CPW at 1, 2, 4 and 8 threads (in-process via
+/// `with_thread_count`, so one run covers the whole sweep), asserts every
+/// matvec is bit-identical to the single-threaded result, and reports the
+/// 1→8-thread speedups. The combined figure weighs one build plus 20
+/// matvecs — the shape of a typical preconditioned GMRES solve.
+fn thread_sweep(report: &mut RunReport, nw: usize, nt: usize) {
+    let mesh = MeshSpec::new(nw, nt);
+    let (fils, rhos) = cpw_filaments(mesh);
+    let n = fils.len();
+    let omega = 2.0 * std::f64::consts::PI * F_SIG;
+    let x = excitation(n);
+
+    println!("\nthread scaling at {n} filaments (H² build + matvec)");
+    println!(
+        "{:>8} {:>12} {:>13} {:>10}",
+        "threads", "build (ms)", "matvec (ms)", "combined"
+    );
+    let mut curve: Vec<(usize, f64, f64)> = Vec::new();
+    let mut y_ref: Option<Vec<Complex>> = None;
+    for &t in &[1usize, 2, 4, 8] {
+        let (build_s, mv_s, y) = with_thread_count(t, || {
+            let kern = KernelCache::new(LENGTH);
+            let t0 = Instant::now();
+            let op = FastZOperator::new(&fils, &rhos, omega, &kern, &FastOpOptions::default());
+            let build_s = t0.elapsed().as_secs_f64();
+            let mv_s = time_matvec(&op, &x, 5);
+            let mut y = vec![Complex::ZERO; n];
+            op.apply(&x, &mut y);
+            (build_s, mv_s, y)
+        });
+        match &y_ref {
+            None => y_ref = Some(y),
+            Some(r) => {
+                let identical = y.iter().zip(r.iter()).all(|(a, b)| {
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()
+                });
+                assert!(
+                    identical,
+                    "{t}-thread matvec must be bit-identical to the 1-thread result"
+                );
+            }
+        }
+        println!(
+            "{t:>8} {:>12.0} {:>13.2} {:>10.0}",
+            build_s * 1e3,
+            mv_s * 1e3,
+            (build_s + 20.0 * mv_s) * 1e3
+        );
+        report.figure(format!("par.build.s.t{t}"), build_s);
+        report.figure(format!("par.matvec.s.t{t}"), mv_s);
+        curve.push((t, build_s, mv_s));
+    }
+    let (_, b1, m1) = curve[0];
+    let (_, b8, m8) = *curve.last().expect("sweep point");
+    let build_speedup = b1 / b8;
+    let combined = (b1 + 20.0 * m1) / (b8 + 20.0 * m8);
+    println!(
+        "       1→8 threads: build {build_speedup:.2}x, matvec {:.2}x, combined {combined:.2}x (all matvecs bit-identical)",
+        m1 / m8
+    );
+    report.figure("fastop.build.par_speedup", build_speedup);
+    report.figure("fastop.matvec.par_speedup", m1 / m8);
+    report.figure("fastop.par_speedup.combined8", combined);
+    report.figure("pool.tasks", counter("pool.tasks"));
 }
 
 /// Times the batched SoA quadrature against the scalar loop on identical,
@@ -326,6 +395,8 @@ fn main() {
     );
     let h2_agree = operator_shootout(&mut report, 42, 32, true); // 4032, dense-gated
     operator_shootout(&mut report, 60, 56, false); // 10080: the 10⁴ in-core point
+
+    thread_sweep(&mut report, 60, 56); // the same 10⁴ point across thread counts
 
     batch_kernel_bench(&mut report);
 

@@ -144,18 +144,38 @@ impl TableCache {
 
     /// Writes `tables` under `key`, creating the cache directory if needed.
     ///
+    /// The write is atomic: the body goes to a uniquely named temp file in
+    /// the cache directory which is then renamed over the final path.
+    /// Concurrent readers therefore never observe a half-written file, and
+    /// concurrent writers of the same key (two threads characterizing the
+    /// same stackup) each install a complete file — last rename wins, and
+    /// both bodies are bit-identical anyway because characterization is
+    /// deterministic.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::MissingTable`] wrapping the I/O failure message
     /// if the directory or file cannot be written.
     pub fn store(&self, key: &str, tables: &InductanceTables) -> Result<PathBuf> {
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         std::fs::create_dir_all(&self.dir).map_err(|e| CoreError::MissingTable {
             what: format!("cannot create cache dir {}: {e}", self.dir.display()),
         })?;
         let path = self.path_for(key);
         let body = format!("{CACHE_HEADER}\nkey {key}\n{}", io::to_string(tables));
-        std::fs::write(&path, body).map_err(|e| CoreError::MissingTable {
-            what: format!("cannot write {}: {e}", path.display()),
+        let tmp = self.dir.join(format!(
+            ".tables-{key}.{}.{}.tmp",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        std::fs::write(&tmp, body).map_err(|e| CoreError::MissingTable {
+            what: format!("cannot write {}: {e}", tmp.display()),
+        })?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            std::fs::remove_file(&tmp).ok();
+            CoreError::MissingTable {
+                what: format!("cannot install {}: {e}", path.display()),
+            }
         })?;
         Ok(path)
     }
@@ -270,6 +290,47 @@ mod tests {
             .lengths(vec![200.0, 800.0])
             .mesh(MeshSpec::new(2, 1));
         assert_ne!(k, other_stack.cache_key(), "stackup must change the key");
+    }
+
+    #[test]
+    fn concurrent_store_and_load_never_sees_a_torn_file() {
+        // Writers rewrite the same key in a loop while readers hammer it;
+        // because `store` installs via temp-file + rename, every probe
+        // that finds the file must parse it completely and agree with the
+        // original tables. Before the atomic install this raced a plain
+        // `fs::write` and readers could hit `CacheMiss::Corrupt`.
+        let dir = tmp_dir("concurrent");
+        let cache = TableCache::new(&dir);
+        let tables = small_builder().build().unwrap();
+        let key = small_builder().cache_key();
+        let reference = tables.self_l.lookup(3.0, 500.0);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let cache = TableCache::new(&dir);
+                    for _ in 0..25 {
+                        cache.store(&key, &tables).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let cache = TableCache::new(&dir);
+                    for _ in 0..50 {
+                        match cache.lookup(&key) {
+                            Ok(loaded) => {
+                                assert_eq!(loaded.self_l.lookup(3.0, 500.0), reference)
+                            }
+                            // Only "not there yet" is acceptable — a torn
+                            // or mismatched file is the bug this guards.
+                            Err(reason) => assert_eq!(reason, CacheMiss::Absent),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.load(&key).is_some(), "final state must be a hit");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

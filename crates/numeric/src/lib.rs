@@ -29,9 +29,10 @@
 //!   mean distances between conductor cross-sections,
 //! * [`stats`] — summary statistics and normal sampling for the statistical
 //!   RC / process-variation experiments,
-//! * [`parallel`] — a dependency-free scoped-thread parallel map with
-//!   deterministic index sharding (`RLCX_THREADS` overrides the thread
-//!   count),
+//! * [`parallel`] — a dependency-free parallel map with deterministic
+//!   index sharding (`RLCX_THREADS` overrides the thread count), executed
+//!   on [`pool`], a persistent process-wide worker pool cheap enough to
+//!   dispatch per GMRES matvec,
 //! * [`rng`] — a seedable SplitMix64 generator so the workspace never
 //!   needs an external `rand` crate,
 //! * [`timing`] — ordered stage timers ([`timing::Timings`]) for
@@ -63,6 +64,7 @@ pub mod matrix;
 pub mod mor;
 pub mod obs;
 pub mod parallel;
+pub mod pool;
 pub mod quadrature;
 pub mod rng;
 pub mod sparse;
@@ -78,6 +80,7 @@ pub use gmres::{gmres, GmresOptions, GmresSolution, LinearOperator};
 pub use matrix::{CMatrix, Matrix};
 pub use parallel::{
     balanced_index, par_map, par_map_threads, par_map_threads_timed, par_map_timed, thread_count,
+    with_thread_count,
 };
 pub use rng::{SplitMix64, UniformRng};
 pub use sparse::{CscMatrix, SparseLu, TripletBuilder};

@@ -1,40 +1,75 @@
-//! Dependency-free scoped-thread parallel map.
+//! Dependency-free parallel map on the persistent worker pool.
 //!
 //! The PEEC assembly loops and the table characterization sweeps are
 //! embarrassingly parallel: every matrix entry / grid point is an
 //! independent pure computation. This module provides the one primitive
-//! they all share — [`par_map`] — built directly on
-//! [`std::thread::scope`], so the workspace stays free of external
-//! runtime dependencies.
+//! they all share — [`par_map`] — executed on the process-wide
+//! [`crate::pool`], so the workspace stays free of external runtime
+//! dependencies and repeated calls (one per GMRES matvec on the fast
+//! PEEC path) pay no thread-spawn cost.
 //!
 //! # Determinism
 //!
-//! Work is sharded by *index*, never by work-stealing: thread `k` of `t`
+//! Work is sharded by *index*, never by work-stealing: shard `k` of `t`
 //! computes the contiguous index range `[k·⌈n/t⌉, (k+1)·⌈n/t⌉)` and writes
 //! results straight into its disjoint slice of the output vector. Each
 //! index is evaluated by exactly one call of the (pure) closure, so the
 //! output is bit-identical regardless of thread count — `par_map_threads(1,
 //! n, f)` and `par_map_threads(64, n, f)` return the same `Vec` down to the
-//! last ULP. Tests rely on this.
+//! last ULP. Tests rely on this. (The pool assigns *shards* to threads
+//! dynamically, but a shard's index range — and therefore every output
+//! slot — is fixed by `threads` and `n` alone.)
 //!
 //! # Thread-count policy
 //!
-//! [`thread_count`] honours the `RLCX_THREADS` environment variable when it
-//! parses to a positive integer, and otherwise falls back to
-//! [`std::thread::available_parallelism`]. Callers that need explicit
-//! control (benchmarks, determinism tests) use [`par_map_threads`].
+//! [`thread_count`] honours, in order: a thread-local override installed
+//! by [`with_thread_count`] (determinism tests and benchmark sweeps), the
+//! `RLCX_THREADS` environment variable when it parses to a positive
+//! integer, and [`std::thread::available_parallelism`]. Callers that need
+//! explicit control use [`par_map_threads`].
 
 use crate::obs;
+use crate::pool::{self, SendPtr};
 use crate::timing::Timings;
+use std::cell::Cell;
 use std::thread;
+
+thread_local! {
+    /// `0` means "no override"; see [`with_thread_count`].
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` with [`thread_count`] pinned to `threads` on the current
+/// thread, restoring the previous value afterwards (also on panic).
+///
+/// Unlike mutating `RLCX_THREADS` through `std::env::set_var`, the
+/// override is thread-local and race-free, so determinism tests can pin
+/// different thread counts concurrently. Nested overrides stack; the
+/// innermost wins.
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads >= 1, "thread count override must be positive");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(threads)));
+    f()
+}
 
 /// The number of worker threads the parallel primitives use by default.
 ///
 /// Resolution order:
-/// 1. `RLCX_THREADS` environment variable, if set to a positive integer;
-/// 2. [`std::thread::available_parallelism`];
-/// 3. `1` if neither is available.
+/// 1. a [`with_thread_count`] override on the current thread;
+/// 2. `RLCX_THREADS` environment variable, if set to a positive integer;
+/// 3. [`std::thread::available_parallelism`];
+/// 4. `1` if none of the above are available.
 pub fn thread_count() -> usize {
+    let overridden = THREAD_OVERRIDE.with(Cell::get);
+    if overridden >= 1 {
+        return overridden;
+    }
     if let Ok(v) = std::env::var("RLCX_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
@@ -80,11 +115,12 @@ where
     par_map_threads(thread_count(), n, f)
 }
 
-/// Maps `f` over `0..n` on exactly `threads` scoped threads (clamped to
-/// `[1, n]`), returning the results in index order.
+/// Maps `f` over `0..n` across the calling thread plus pool workers, up
+/// to `threads` claimants (clamped to `[1, n]`), returning the results in
+/// index order.
 ///
 /// With `threads <= 1` (or `n <= 1`) this degenerates to a plain serial
-/// loop with no thread spawn at all.
+/// loop that never touches the pool.
 pub fn par_map_threads<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -96,17 +132,17 @@ where
         return (0..n).map(f).collect();
     }
     let chunk = n.div_ceil(threads);
+    let shards = n.div_ceil(chunk);
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    thread::scope(|scope| {
-        for (k, shard) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                let base = k * chunk;
-                for (offset, slot) in shard.iter_mut().enumerate() {
-                    *slot = Some(f(base + offset));
-                }
-            });
+    let out_ptr = SendPtr::new(out.as_mut_ptr());
+    pool::run(shards, threads, |k| {
+        let base = k * chunk;
+        let end = (base + chunk).min(n);
+        for i in base..end {
+            // SAFETY: shard `k` exclusively owns output slots
+            // `[base, end)`; no other task touches them.
+            unsafe { *out_ptr.get().add(i) = Some(f(i)) };
         }
     });
     out.into_iter()
@@ -143,20 +179,21 @@ where
         return (out, timings);
     }
     let chunk = n.div_ceil(threads);
+    let shards = n.div_ceil(chunk);
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    let shard_count = n.div_ceil(chunk);
-    let mut shard_timings: Vec<Timings> = Vec::with_capacity(shard_count);
-    shard_timings.resize_with(shard_count, Timings::new);
-    thread::scope(|scope| {
-        for ((k, shard), shard_t) in out.chunks_mut(chunk).enumerate().zip(&mut shard_timings) {
-            let f = &f;
-            scope.spawn(move || {
-                let base = k * chunk;
-                for (offset, slot) in shard.iter_mut().enumerate() {
-                    *slot = Some(f(base + offset, shard_t));
-                }
-            });
+    let mut shard_timings: Vec<Timings> = Vec::with_capacity(shards);
+    shard_timings.resize_with(shards, Timings::new);
+    let out_ptr = SendPtr::new(out.as_mut_ptr());
+    let timings_ptr = SendPtr::new(shard_timings.as_mut_ptr());
+    pool::run(shards, threads, |k| {
+        let base = k * chunk;
+        let end = (base + chunk).min(n);
+        // SAFETY: shard `k` exclusively owns timing slot `k` and output
+        // slots `[base, end)`.
+        let shard_t = unsafe { &mut *timings_ptr.get().add(k) };
+        for i in base..end {
+            unsafe { *out_ptr.get().add(i) = Some(f(i, shard_t)) };
         }
     });
     // Deterministic merge: shard 0 first, then shard 1, … — the stage
@@ -235,6 +272,27 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn with_thread_count_overrides_and_restores() {
+        let ambient = thread_count();
+        let inner = with_thread_count(7, || {
+            let seven = thread_count();
+            let nested = with_thread_count(2, thread_count);
+            (seven, nested)
+        });
+        assert_eq!(inner, (7, 2));
+        assert_eq!(thread_count(), ambient, "override must be scoped");
+    }
+
+    #[test]
+    fn with_thread_count_drives_par_map() {
+        let serial: Vec<u64> = (0..97).map(|i| (i as u64) * 3 + 1).collect();
+        for threads in [1usize, 2, 7] {
+            let par = with_thread_count(threads, || par_map(97, |i| (i as u64) * 3 + 1));
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

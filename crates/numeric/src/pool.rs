@@ -1,0 +1,441 @@
+//! Persistent worker pool behind every parallel primitive in the
+//! workspace.
+//!
+//! PR 1's `par_map` spawned scoped threads per call, which is fine for
+//! table characterization (seconds of work per call) but far too
+//! expensive for the fast-PEEC apply path, where restarted GMRES issues
+//! thousands of fine-grained matvec dispatches per solve. This module
+//! keeps one process-wide set of workers alive and hands them jobs
+//! through a single published slot, so a dispatch costs one mutex
+//! round-trip plus a condvar wake instead of N `thread::spawn`s.
+//!
+//! # Execution model
+//!
+//! [`run`]`(tasks, threads, f)` publishes a job of `tasks` independent
+//! task indices. The *caller participates*: it claims indices from a
+//! shared atomic counter alongside at most `threads - 1` pool workers,
+//! and returns only when every index has been executed. Which claimant
+//! runs which index is nondeterministic — callers that need determinism
+//! (all of them, in this workspace) must make each task index a pure
+//! computation into its own disjoint output slot, exactly as
+//! [`crate::parallel`] does. The pool itself never reorders, splits or
+//! merges results.
+//!
+//! # Nesting
+//!
+//! A task that itself calls [`run`] executes the nested job inline and
+//! serially on the current thread. This is load-bearing: table
+//! characterization par-maps over grid points, each of which runs an
+//! impedance solve whose dense assembly par-maps over filaments. The
+//! outer job already owns the pool; letting the inner dispatch queue on
+//! the single job slot would deadlock, and spawning more threads would
+//! oversubscribe. The thread-local [`in_pool_task`] flag makes the inner
+//! call degenerate to a plain loop, which is bit-identical anyway.
+//!
+//! # Panic behavior
+//!
+//! Every claimed task counts toward completion even if the closure
+//! panics (a drop guard increments the done counter), so a panicking
+//! task cannot wedge later dispatches. A panic on a pool worker kills
+//! that worker thread; the job still drains because remaining claimants
+//! pick up the leftover indices, and `par_map` then reports the missing
+//! output slot. Tasks in this workspace are pure numeric kernels and are
+//! not expected to panic.
+//!
+//! # Observability
+//!
+//! * `pool.tasks` — counter, task indices dispatched through the pool;
+//! * `pool.queue.depth` — histogram, tasks per dispatch;
+//! * `pool.steal` — counter, tasks executed by pool workers (the rest
+//!   ran on the dispatching thread);
+//! * `pool.idle` — counter, worker wakeups that found no work (already
+//!   drained, or over the job's helper cap);
+//! * `threads.used` — gauge, claimant width of the latest dispatch.
+
+use crate::obs;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// Hard cap on spawned workers, independent of `RLCX_THREADS`. Worker
+/// threads are never reclaimed, so a runaway thread request must not pin
+/// hundreds of stacks for the process lifetime.
+const MAX_WORKERS: usize = 64;
+
+/// Spins before a completion wait parks on the condvar. Fine-grained
+/// matvec dispatches finish inside the spin window; characterization
+/// shards park.
+const SPIN_LIMIT: u32 = 200;
+
+/// A raw `*mut T` that asserts cross-thread usability. Shard-parallel
+/// callers use it to write disjoint output slots from pool tasks.
+///
+/// # Safety contract
+///
+/// The creator must guarantee that (a) the pointee outlives the dispatch
+/// that captures the pointer, and (b) no two concurrent tasks touch the
+/// same element through it.
+pub struct SendPtr<T>(*mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Wraps a raw pointer; see the type-level safety contract.
+    pub fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
+    /// The wrapped pointer.
+    pub fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Control block of one published job. Lives in an `Arc` so the atomics
+/// stay valid for any worker still spinning on the claim counter after
+/// the dispatcher has returned; the closure pointer itself is only ever
+/// dereferenced before the final `done` increment, while the dispatcher
+/// is still parked inside [`run`].
+struct JobCtl {
+    f: *const (dyn Fn(usize) + Sync),
+    tasks: usize,
+    /// Workers allowed to join (the dispatcher always participates), so
+    /// `RLCX_THREADS`-limited runs use limited concurrency even when the
+    /// pool has more workers alive from an earlier, wider dispatch.
+    max_helpers: usize,
+    helpers: AtomicUsize,
+    next: AtomicUsize,
+    done: AtomicUsize,
+}
+
+// SAFETY: the closure pointer is dereferenced only between a successful
+// index claim and the matching `done` increment; `run` keeps the closure
+// alive until `done == tasks`. All other fields are atomics.
+unsafe impl Send for JobCtl {}
+unsafe impl Sync for JobCtl {}
+
+struct Slot {
+    /// Bumped on every publish so sleeping workers can tell a fresh job
+    /// from the one they already drained.
+    seq: u64,
+    job: Option<Arc<JobCtl>>,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Wakes workers on publish, dispatchers on retire, and completion
+    /// waiters on the final `done` increment.
+    cv: Condvar,
+    workers: AtomicUsize,
+    spawn_lock: Mutex<()>,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared {
+        slot: Mutex::new(Slot { seq: 0, job: None }),
+        cv: Condvar::new(),
+        workers: AtomicUsize::new(0),
+        spawn_lock: Mutex::new(()),
+    })
+}
+
+thread_local! {
+    /// True while this thread is executing pool tasks (always true on
+    /// worker threads); nested dispatches run inline.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is executing a pool task — used by
+/// [`run`] to execute nested dispatches inline.
+pub fn in_pool_task() -> bool {
+    IN_POOL.with(Cell::get)
+}
+
+fn lock_slot(shared: &'static Shared) -> MutexGuard<'static, Slot> {
+    // A poisoned slot mutex can only mean a panic in pool bookkeeping
+    // (user closures never run under the lock); the state is still
+    // consistent, so keep going rather than cascade the panic.
+    shared.slot.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Increments `done` even if the task panics, so a panicking closure
+/// cannot wedge the dispatcher's completion wait; the final increment
+/// wakes parked waiters.
+struct DoneGuard<'a> {
+    ctl: &'a JobCtl,
+    shared: &'static Shared,
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        let prev = self.ctl.done.fetch_add(1, Ordering::Release);
+        if prev + 1 == self.ctl.tasks {
+            // Lost-wakeup window here is bounded by the waiter's
+            // `wait_timeout`, not correctness.
+            self.shared.cv.notify_all();
+        }
+    }
+}
+
+/// Claims and executes task indices until the job is drained; returns
+/// how many this thread executed.
+fn work(ctl: &JobCtl, shared: &'static Shared) -> u64 {
+    let mut executed = 0u64;
+    loop {
+        let i = ctl.next.fetch_add(1, Ordering::Relaxed);
+        if i >= ctl.tasks {
+            return executed;
+        }
+        let _done = DoneGuard { ctl, shared };
+        // SAFETY: per the JobCtl contract the closure is alive until the
+        // final `done` increment, which `_done` has not performed yet.
+        (unsafe { &*ctl.f })(i);
+        executed += 1;
+    }
+}
+
+fn worker_loop(shared: &'static Shared) {
+    // Register the worker-side counters so observability tests can
+    // assert their presence even before the first steal.
+    obs::counter_add("pool.steal", 0);
+    obs::counter_add("pool.idle", 0);
+    IN_POOL.with(|flag| flag.set(true));
+    let mut seen = 0u64;
+    loop {
+        let ctl: Arc<JobCtl> = {
+            let mut slot = lock_slot(shared);
+            loop {
+                if slot.seq != seen {
+                    if let Some(job) = &slot.job {
+                        seen = slot.seq;
+                        break job.clone();
+                    }
+                    seen = slot.seq;
+                }
+                slot = shared.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if ctl.helpers.fetch_add(1, Ordering::Relaxed) >= ctl.max_helpers {
+            obs::counter_add("pool.idle", 1);
+            continue;
+        }
+        let executed = work(&ctl, shared);
+        if executed > 0 {
+            obs::counter_add("pool.steal", executed);
+        } else {
+            obs::counter_add("pool.idle", 1);
+        }
+    }
+}
+
+/// Grows the pool (never shrinks) to at least `wanted` workers.
+fn ensure_workers(shared: &'static Shared, wanted: usize) {
+    let wanted = wanted.min(MAX_WORKERS);
+    if shared.workers.load(Ordering::Relaxed) >= wanted {
+        return;
+    }
+    let _guard = shared.spawn_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let have = shared.workers.load(Ordering::Relaxed);
+    for k in have..wanted {
+        thread::Builder::new()
+            .name(format!("rlcx-pool-{k}"))
+            .spawn(move || worker_loop(shared))
+            .expect("spawn pool worker");
+    }
+    if wanted > have {
+        shared.workers.store(wanted, Ordering::Relaxed);
+    }
+}
+
+/// Restores the caller's `IN_POOL` flag even if its task panics.
+struct FlagGuard(bool);
+
+impl FlagGuard {
+    fn enter() -> Self {
+        FlagGuard(IN_POOL.with(|flag| flag.replace(true)))
+    }
+}
+
+impl Drop for FlagGuard {
+    fn drop(&mut self) {
+        let prev = self.0;
+        IN_POOL.with(|flag| flag.set(prev));
+    }
+}
+
+/// Waits for job completion and retires the slot — as a drop guard, so a
+/// panic inside the dispatcher's own task share still drains the job and
+/// frees the slot for the next dispatch before the panic propagates.
+struct Finish<'a> {
+    ctl: &'a Arc<JobCtl>,
+    shared: &'static Shared,
+}
+
+impl Drop for Finish<'_> {
+    fn drop(&mut self) {
+        let mut spins = 0u32;
+        while self.ctl.done.load(Ordering::Acquire) != self.ctl.tasks {
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                let slot = lock_slot(self.shared);
+                if self.ctl.done.load(Ordering::Acquire) == self.ctl.tasks {
+                    break;
+                }
+                drop(
+                    self.shared
+                        .cv
+                        .wait_timeout(slot, Duration::from_millis(1))
+                        .unwrap_or_else(|e| e.into_inner()),
+                );
+            }
+        }
+        lock_slot(self.shared).job = None;
+        // Wake any dispatcher queued on the now-free slot.
+        self.shared.cv.notify_all();
+    }
+}
+
+/// Executes `f(0), f(1), …, f(tasks - 1)`, each exactly once, across the
+/// calling thread plus at most `threads - 1` pool workers; returns when
+/// all tasks have completed.
+///
+/// With `threads <= 1`, `tasks <= 1`, or when called from inside a pool
+/// task (see the module docs on nesting), the tasks run inline and
+/// serially on the current thread. Task-to-thread assignment is
+/// first-come-first-served and *not* deterministic — each task must be an
+/// independent pure computation into its own output slot.
+pub fn run<F>(tasks: usize, threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if tasks == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(tasks);
+    if threads <= 1 || in_pool_task() {
+        for i in 0..tasks {
+            f(i);
+        }
+        return;
+    }
+    let shared = shared();
+    ensure_workers(shared, threads - 1);
+    obs::counter_add("pool.tasks", tasks as u64);
+    obs::observe("pool.queue.depth", tasks as f64);
+    obs::gauge_set("threads.used", threads as f64);
+
+    let task: &(dyn Fn(usize) + Sync) = &f;
+    // SAFETY: lifetime erasure only — the `Finish` guard keeps this
+    // frame alive until every claimant is done dereferencing `task`.
+    let f_ptr: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+    };
+    let ctl = Arc::new(JobCtl {
+        f: f_ptr,
+        tasks,
+        max_helpers: threads - 1,
+        helpers: AtomicUsize::new(0),
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+    });
+
+    {
+        let mut slot = lock_slot(shared);
+        while slot.job.is_some() {
+            slot = shared.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        slot.seq += 1;
+        slot.job = Some(ctl.clone());
+    }
+    shared.cv.notify_all();
+
+    let finish = Finish { ctl: &ctl, shared };
+    {
+        let _flag = FlagGuard::enter();
+        work(&ctl, shared);
+    }
+    drop(finish);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        for tasks in [1usize, 2, 3, 17, 64, 257] {
+            let counts: Vec<AtomicU64> = (0..tasks).map(|_| AtomicU64::new(0)).collect();
+            run(tasks, 4, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "tasks={tasks} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let total = AtomicU64::new(0);
+        run(4, 3, |_| {
+            run(5, 3, |j| {
+                total.fetch_add(j as u64 + 1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * (1 + 2 + 3 + 4 + 5));
+    }
+
+    #[test]
+    fn concurrent_dispatchers_serialize_on_the_slot() {
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        thread::scope(|scope| {
+            scope.spawn(|| {
+                run(40, 3, |_| {
+                    a.fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            scope.spawn(|| {
+                run(40, 3, |_| {
+                    b.fetch_add(1, Ordering::Relaxed);
+                })
+            });
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 40);
+        assert_eq!(b.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn serial_paths_do_not_touch_the_pool() {
+        // threads == 1 must never publish a job (the determinism suite
+        // relies on 1-thread runs being plain loops).
+        let workers_before = shared().workers.load(Ordering::Relaxed);
+        let hits = AtomicU64::new(0);
+        run(100, 1, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(shared().workers.load(Ordering::Relaxed), workers_before);
+    }
+
+    #[test]
+    fn sequential_dispatches_reuse_workers() {
+        let before = shared().workers.load(Ordering::Relaxed);
+        for _ in 0..20 {
+            let sum = AtomicU64::new(0);
+            run(16, 3, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 120);
+        }
+        let after = shared().workers.load(Ordering::Relaxed);
+        assert!(after <= before.max(2), "pool must not grow per dispatch");
+    }
+}

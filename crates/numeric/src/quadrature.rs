@@ -63,12 +63,20 @@ pub fn gauss_legendre_cached(n: usize) -> &'static (Vec<f64>, Vec<f64>) {
     type Rule = &'static (Vec<f64>, Vec<f64>);
     static CACHE: OnceLock<Mutex<BTreeMap<usize, Rule>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
-    let mut map = cache.lock().expect("quadrature cache poisoned");
-    if let Some(&rule) = map.get(&n) {
+    if let Some(&rule) = cache.lock().expect("quadrature cache poisoned").get(&n) {
         return rule;
     }
-    let rule: &'static (Vec<f64>, Vec<f64>) = Box::leak(Box::new(gauss_legendre(n)));
-    map.insert(n, rule);
+    // Compute *outside* the lock: a first touch of a high order in one
+    // pool task must not serialize every other task's (already cached)
+    // lookups behind the Newton solve. Concurrent first-touchers each
+    // compute the (deterministic, bit-identical) rule; the first insert
+    // wins and later callers keep returning that same allocation, so the
+    // `ptr::eq` stability guarantee holds. Losing duplicates leak, but
+    // only on a first-touch race of a given order — bounded like the
+    // cache itself.
+    let computed: Rule = Box::leak(Box::new(gauss_legendre(n)));
+    let mut map = cache.lock().expect("quadrature cache poisoned");
+    let rule: Rule = *map.entry(n).or_insert(computed);
     rule
 }
 
@@ -270,6 +278,36 @@ mod tests {
             // Second lookup returns the same leaked rule.
             let again = gauss_legendre_cached(n);
             assert!(std::ptr::eq(gauss_legendre_cached(n), again));
+        }
+    }
+
+    #[test]
+    fn concurrent_first_touch_yields_one_correct_rule() {
+        // Eight threads race the first lookup of an order nothing else in
+        // the suite uses. Every thread must get a correct rule, and all
+        // of them must get the *same* leaked allocation (first insert
+        // wins), preserving the `ptr::eq` stability guarantee.
+        const RACED_ORDER: usize = 23;
+        let barrier = std::sync::Barrier::new(8);
+        let rules: Vec<&'static (Vec<f64>, Vec<f64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        gauss_legendre_cached(RACED_ORDER)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let (xs_d, ws_d) = gauss_legendre(RACED_ORDER);
+        for rule in &rules {
+            assert!(std::ptr::eq(rules[0], *rule), "all threads share one rule");
+            let (xs_c, ws_c) = rule;
+            for i in 0..RACED_ORDER {
+                assert_eq!(xs_d[i].to_bits(), xs_c[i].to_bits(), "node {i}");
+                assert_eq!(ws_d[i].to_bits(), ws_c[i].to_bits(), "weight {i}");
+            }
         }
     }
 }

@@ -58,9 +58,11 @@ use crate::{PeecError, Result};
 use rlcx_geom::Bar;
 use rlcx_numeric::gmres::{gmres, GmresOptions, LinearOperator};
 use rlcx_numeric::lu::CLuDecomposition;
-use rlcx_numeric::{obs, CMatrix, Complex};
+use rlcx_numeric::pool::{self, SendPtr};
+use rlcx_numeric::{obs, par_map, thread_count, CMatrix, Complex};
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Which engine [`crate::PartialSystem`] uses for the filament-level solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -211,12 +213,70 @@ impl FastOpOptions {
 /// the dense path does (and caching per branch) keeps the memoized kernel
 /// within quadrature round-off of [`crate::partial::mutual_partial`]
 /// instead of picking up the ~1e-3 far-field approximation jump.
+///
+/// # Concurrency
+///
+/// The cache is shared by reference across the parallel operator build:
+/// its maps live behind [`CACHE_SHARDS`] mutex shards selected by a
+/// deterministic hash of the key, so tasks filling different blocks
+/// contend only when their keys collide mod the shard count. The shard
+/// count is fixed — independent of `RLCX_THREADS` — and every cached
+/// value is a pure function of its key, so the stored bits (and anything
+/// computed from them) are identical for any thread count even when two
+/// tasks race the first touch of a key. Only the hit/miss *counters* can
+/// differ under such a race (both tasks count a miss); they are
+/// diagnostics, not part of the deterministic contract. On the serial
+/// path the accounting is exactly the historical one.
 pub struct KernelCache {
     length_um: f64,
+    shards: [Mutex<CacheShard>; CACHE_SHARDS],
+}
+
+/// Lock shards of [`KernelCache`]. Fixed (never derived from the thread
+/// count) so cache layout and per-shard counter attribution are the same
+/// for every run of the same workload.
+const CACHE_SHARDS: usize = 16;
+
+#[derive(Default)]
+struct CacheShard {
     mutuals: HashMap<[u64; 7], f64>,
     selves: HashMap<[u64; 2], f64>,
     hits: u64,
     misses: u64,
+}
+
+/// Deterministic shard index of a key: FNV-1a over the key words. Stable
+/// across runs, platforms and thread counts.
+#[inline]
+fn shard_of(key: &[u64]) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in key {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % CACHE_SHARDS as u64) as usize
+}
+
+/// Reusable scratch of [`KernelCache::fill_block`], thread-local so the
+/// hot near-field path stops rebuilding its `pending_pos` HashMap (and
+/// friends) on every call: after warm-up a fully-cached fill performs no
+/// heap allocation at all (`tests/obs_overhead.rs` asserts this).
+struct FillScratch {
+    pending: Vec<([u64; 7], PairGeom)>,
+    pending_pos: HashMap<[u64; 7], usize>,
+    slots: Vec<(usize, usize)>,
+    geoms: Vec<PairGeom>,
+    vals: Vec<f64>,
+}
+
+thread_local! {
+    static FILL_SCRATCH: RefCell<FillScratch> = RefCell::new(FillScratch {
+        pending: Vec::new(),
+        pending_pos: HashMap::new(),
+        slots: Vec::new(),
+        geoms: Vec::new(),
+        vals: Vec::new(),
+    });
 }
 
 /// Maps `-0.0` to `+0.0` before taking bits so the two zero encodings
@@ -276,11 +336,14 @@ impl KernelCache {
     pub fn new(length_um: f64) -> Self {
         KernelCache {
             length_um,
-            mutuals: HashMap::new(),
-            selves: HashMap::new(),
-            hits: 0,
-            misses: 0,
+            shards: std::array::from_fn(|_| Mutex::new(CacheShard::default())),
         }
+    }
+
+    fn shard(&self, si: usize) -> MutexGuard<'_, CacheShard> {
+        // Cached values are pure functions of their keys, so a panic
+        // mid-insert cannot leave a shard inconsistent; keep going.
+        self.shards[si].lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Shared axial span (µm) this cache evaluates kernels for.
@@ -291,35 +354,45 @@ impl KernelCache {
     /// Partial self inductance (H) of a filament, memoized by its
     /// cross-section. Identical bits to [`self_partial`] — the formula is
     /// already translation-invariant.
-    pub fn self_l(&mut self, fil: &Bar) -> f64 {
+    pub fn self_l(&self, fil: &Bar) -> f64 {
         let key = [key_bits(fil.width()), key_bits(fil.thickness())];
-        if let Some(&v) = self.selves.get(&key) {
-            self.hits += 1;
-            return v;
+        let si = shard_of(&key);
+        {
+            let mut s = self.shard(si);
+            if let Some(&v) = s.selves.get(&key) {
+                s.hits += 1;
+                return v;
+            }
+            s.misses += 1;
         }
-        self.misses += 1;
+        // Quadrature outside the lock: a first touch must not stall
+        // other tasks' lookups in the same shard.
         let v = self_partial(fil);
-        self.selves.insert(key, v);
+        self.shard(si).selves.insert(key, v);
         v
     }
 
     /// Partial mutual inductance (H) between two filaments of the mesh,
     /// memoized by canonicalized relative placement.
-    pub fn mutual_l(&mut self, a: &Bar, b: &Bar) -> f64 {
+    pub fn mutual_l(&self, a: &Bar, b: &Bar) -> f64 {
         let (key, g) = canonical_mutual(a, b);
-        if let Some(&v) = self.mutuals.get(&key) {
-            self.hits += 1;
-            return v;
+        let si = shard_of(&key);
+        {
+            let mut s = self.shard(si);
+            if let Some(&v) = s.mutuals.get(&key) {
+                s.hits += 1;
+                return v;
+            }
+            s.misses += 1;
         }
-        self.misses += 1;
         let v = mutual_partial_relative(self.length_um, g.w1, g.t1, g.w2, g.t2, g.dt, g.dz, g.far);
-        self.mutuals.insert(key, v);
+        self.shard(si).mutuals.insert(key, v);
         v
     }
 
     /// Lp kernel entry for filaments `i`, `j` of `fils` (self on the
     /// diagonal). Single-entry counterpart of [`KernelCache::fill_block`].
-    pub fn entry(&mut self, fils: &[Bar], i: usize, j: usize) -> f64 {
+    pub fn entry(&self, fils: &[Bar], i: usize, j: usize) -> f64 {
         if i == j {
             self.self_l(&fils[i])
         } else {
@@ -332,23 +405,39 @@ impl KernelCache {
     /// [`mutual_partial_batch`] call so the 4-D GMD quadratures run over
     /// contiguous SoA lanes instead of one scalar call per entry.
     ///
-    /// Values and hit/miss accounting are identical to looping
+    /// Values and (serial) hit/miss accounting are identical to looping
     /// [`KernelCache::entry`] over the block in row-major order: the first
     /// encounter of a missing geometry counts as the miss, duplicates
     /// within the same fill count as hits, and the batched quadrature is
-    /// bit-identical to the scalar one.
+    /// bit-identical to the scalar one. Scratch state is thread-local and
+    /// reused across calls, so a fully-cached fill does not allocate.
     ///
     /// # Panics
     ///
     /// Panics (debug) if `out.len() != rows.len() * cols.len()`.
-    pub fn fill_block(&mut self, fils: &[Bar], rows: &[usize], cols: &[usize], out: &mut [f64]) {
+    pub fn fill_block(&self, fils: &[Bar], rows: &[usize], cols: &[usize], out: &mut [f64]) {
         debug_assert_eq!(out.len(), rows.len() * cols.len());
+        FILL_SCRATCH
+            .with(|cell| self.fill_block_with(fils, rows, cols, out, &mut cell.borrow_mut()));
+    }
+
+    fn fill_block_with(
+        &self,
+        fils: &[Bar],
+        rows: &[usize],
+        cols: &[usize],
+        out: &mut [f64],
+        scratch: &mut FillScratch,
+    ) {
         let nc = cols.len();
         // Distinct geometries to evaluate, in first-encounter order, and
-        // the out slots each one scatters to.
-        let mut pending: Vec<([u64; 7], PairGeom)> = Vec::new();
-        let mut pending_pos: HashMap<[u64; 7], usize> = HashMap::new();
-        let mut slots: Vec<(usize, usize)> = Vec::new();
+        // the out slots each one scatters to. Clearing keeps capacity.
+        scratch.pending.clear();
+        scratch.pending_pos.clear();
+        scratch.slots.clear();
+        // Hit/miss deltas per shard, flushed once at the end so the scan
+        // takes each shard lock O(1) times instead of O(entries).
+        let mut delta = [(0u64, 0u64); CACHE_SHARDS];
         for (a, &i) in rows.iter().enumerate() {
             for (b, &j) in cols.iter().enumerate() {
                 let o = a * nc + b;
@@ -357,43 +446,69 @@ impl KernelCache {
                     continue;
                 }
                 let (key, g) = canonical_mutual(&fils[i], &fils[j]);
-                if let Some(&v) = self.mutuals.get(&key) {
-                    self.hits += 1;
+                let si = shard_of(&key);
+                let cached = self.shard(si).mutuals.get(&key).copied();
+                if let Some(v) = cached {
+                    delta[si].0 += 1;
                     out[o] = v;
-                } else if let Some(&pi) = pending_pos.get(&key) {
-                    self.hits += 1;
-                    slots.push((o, pi));
+                } else if let Some(&pi) = scratch.pending_pos.get(&key) {
+                    delta[si].0 += 1;
+                    scratch.slots.push((o, pi));
                 } else {
-                    self.misses += 1;
-                    let pi = pending.len();
-                    pending_pos.insert(key, pi);
-                    pending.push((key, g));
-                    slots.push((o, pi));
+                    delta[si].1 += 1;
+                    let pi = scratch.pending.len();
+                    scratch.pending_pos.insert(key, pi);
+                    scratch.pending.push((key, g));
+                    scratch.slots.push((o, pi));
                 }
             }
         }
-        if pending.is_empty() {
+        for (si, &(h, m)) in delta.iter().enumerate() {
+            if h != 0 || m != 0 {
+                let mut s = self.shard(si);
+                s.hits += h;
+                s.misses += m;
+            }
+        }
+        if scratch.pending.is_empty() {
             return;
         }
-        let geoms: Vec<PairGeom> = pending.iter().map(|&(_, g)| g).collect();
-        let mut vals = vec![0.0f64; geoms.len()];
-        mutual_partial_batch(self.length_um, &geoms, &mut vals);
-        for ((key, _), &v) in pending.iter().zip(&vals) {
-            self.mutuals.insert(*key, v);
+        scratch.geoms.clear();
+        scratch
+            .geoms
+            .extend(scratch.pending.iter().map(|&(_, g)| g));
+        scratch.vals.clear();
+        scratch.vals.resize(scratch.geoms.len(), 0.0);
+        mutual_partial_batch(self.length_um, &scratch.geoms, &mut scratch.vals);
+        for ((key, _), &v) in scratch.pending.iter().zip(&scratch.vals) {
+            self.shard(shard_of(key)).mutuals.insert(*key, v);
         }
-        for (o, pi) in slots {
-            out[o] = vals[pi];
+        for &(o, pi) in scratch.slots.iter() {
+            out[o] = scratch.vals[pi];
         }
     }
 
-    /// `(hits, misses)` counters accumulated so far.
+    /// `(hits, misses)` counters accumulated so far, summed over the
+    /// shards in fixed shard order.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for si in 0..CACHE_SHARDS {
+            let s = self.shard(si);
+            hits += s.hits;
+            misses += s.misses;
+        }
+        (hits, misses)
     }
 
     /// Number of distinct kernel evaluations stored.
     pub fn distinct(&self) -> usize {
-        self.mutuals.len() + self.selves.len()
+        (0..CACHE_SHARDS)
+            .map(|si| {
+                let s = self.shard(si);
+                s.mutuals.len() + s.selves.len()
+            })
+            .sum()
     }
 }
 
@@ -592,11 +707,18 @@ impl FastZOperator {
     /// Assembles the operator for filaments `fils` (shared axial span) with
     /// resistivities `rhos` at angular frequency `omega`, reusing (and
     /// filling) `kernel` for every partial-inductance evaluation.
+    ///
+    /// The build is parallel over independent units of work — leaf
+    /// diagonal blocks, inadmissible near pairs, admissible ACA pairs,
+    /// and the H² level passes — sharded by block/cluster index, with
+    /// every result scattered back in index order. Each unit is a pure
+    /// computation (kernel values are pure functions of their keys), so
+    /// the assembled operator is bit-identical for any `RLCX_THREADS`.
     pub fn new(
         fils: &[Bar],
         rhos: &[f64],
         omega: f64,
-        kernel: &mut KernelCache,
+        kernel: &KernelCache,
         opts: &FastOpOptions,
     ) -> Self {
         let n = fils.len();
@@ -631,27 +753,37 @@ impl FastZOperator {
         );
 
         let hits0 = kernel.stats();
-        let mut near = Vec::new();
-        let mut far = Vec::new();
         let mut stats = FastOpStats::default();
-        for c in diag_leaves {
-            let idx = tree.indices(c);
+        // Exact leaf diagonal blocks: one independent fill per leaf,
+        // collected in leaf-index order.
+        let mut near: Vec<NearBlock> = par_map(diag_leaves.len(), |di| {
+            let idx = tree.indices(diag_leaves[di]);
             let m = idx.len();
             let mut k = vec![0.0; m * m];
             kernel.fill_block(fils, idx, idx, &mut k);
-            near.push(NearBlock {
+            NearBlock {
                 rows: idx.to_vec(),
                 cols: idx.to_vec(),
                 k,
                 diag: true,
-            });
-        }
-        for &(a, b) in &near_pairs {
-            near.push(dense_block(tree.indices(a), tree.indices(b), fils, kernel));
-        }
+            }
+        });
+        // Inadmissible off-diagonal pairs: exact, one block per pair.
+        near.extend(par_map(near_pairs.len(), |pi| {
+            let (a, b) = near_pairs[pi];
+            dense_block(tree.indices(a), tree.indices(b), fils, kernel)
+        }));
+        // Admissible pairs: ACA per pair in parallel, then a serial
+        // post-pass in pair-index order for the order-sensitive pieces —
+        // stats accumulation and the obs pushes — so metrics and series
+        // steps come out exactly as the serial build emitted them.
+        let aca_blocks: Vec<(Option<FarBlock>, bool)> = par_map(far_pairs.len(), |pi| {
+            let (a, b) = far_pairs[pi];
+            aca_block(tree.indices(a), tree.indices(b), fils, kernel, opts)
+        });
+        let mut far = Vec::new();
         let mut far_covered = 0usize;
-        for &(a, b) in &far_pairs {
-            let (block, capped) = aca_block(tree.indices(a), tree.indices(b), fils, kernel, opts);
+        for ((block, capped), &(a, b)) in aca_blocks.into_iter().zip(&far_pairs) {
             if capped {
                 stats.rank_cap_hits += 1;
             }
@@ -730,12 +862,7 @@ impl FastZOperator {
     }
 }
 
-fn dense_block(
-    rows: &[usize],
-    cols: &[usize],
-    fils: &[Bar],
-    kernel: &mut KernelCache,
-) -> NearBlock {
+fn dense_block(rows: &[usize], cols: &[usize], fils: &[Bar], kernel: &KernelCache) -> NearBlock {
     let mut k = vec![0.0; rows.len() * cols.len()];
     kernel.fill_block(fils, rows, cols, &mut k);
     NearBlock {
@@ -827,7 +954,7 @@ fn aca_block(
     rows: &[usize],
     cols: &[usize],
     fils: &[Bar],
-    kernel: &mut KernelCache,
+    kernel: &KernelCache,
     opts: &FastOpOptions,
 ) -> (Option<FarBlock>, bool) {
     let (nr, nc) = (rows.len(), cols.len());
@@ -930,6 +1057,13 @@ fn aca_block(
     )
 }
 
+/// Fixed number of partial accumulation vectors in the parallel apply.
+/// Deliberately *not* derived from the thread count: block→shard
+/// assignment (`block index mod APPLY_SHARDS`) and the shard-order
+/// reduction fix the f64 addition order, so the matvec bits never change
+/// with `RLCX_THREADS`.
+const APPLY_SHARDS: usize = 16;
+
 impl LinearOperator<Complex> for FastZOperator {
     fn dim(&self) -> usize {
         self.n
@@ -938,53 +1072,89 @@ impl LinearOperator<Complex> for FastZOperator {
     /// `y = R∘x + jω·(Lp·x)` with `Lp` applied block-wise: exact blocks
     /// (and their transposes), `U(Vᵀx)` for flat-compressed blocks, and
     /// the H² upward/coupling/downward passes for nested-basis pairs.
+    ///
+    /// Parallel and deterministic: every near/far block accumulates into
+    /// the partial vector of shard `block_index % APPLY_SHARDS` (blocks
+    /// within a shard in index order), the H² field produces its own
+    /// contribution, and the final combine reduces the partials per
+    /// element in fixed shard order — identical bits for 1 or N threads.
     fn apply(&self, x: &[Complex], y: &mut [Complex]) {
-        let mut w = vec![Complex::ZERO; self.n];
-        for blk in &self.near {
-            let nc = blk.cols.len();
-            for (ri, &i) in blk.rows.iter().enumerate() {
-                let krow = &blk.k[ri * nc..(ri + 1) * nc];
-                let mut acc = Complex::ZERO;
-                for (kij, &j) in krow.iter().zip(&blk.cols) {
-                    acc += x[j] * *kij;
+        let threads = thread_count();
+        let ws: Vec<Vec<Complex>> = par_map(APPLY_SHARDS, |s| {
+            let mut w = vec![Complex::ZERO; self.n];
+            for (bi, blk) in self.near.iter().enumerate() {
+                if bi % APPLY_SHARDS != s {
+                    continue;
                 }
-                w[i] += acc;
-                if !blk.diag {
-                    let xi = x[i];
+                let nc = blk.cols.len();
+                for (ri, &i) in blk.rows.iter().enumerate() {
+                    let krow = &blk.k[ri * nc..(ri + 1) * nc];
+                    let mut acc = Complex::ZERO;
                     for (kij, &j) in krow.iter().zip(&blk.cols) {
-                        w[j] += xi * *kij;
+                        acc += x[j] * *kij;
+                    }
+                    w[i] += acc;
+                    if !blk.diag {
+                        let xi = x[i];
+                        for (kij, &j) in krow.iter().zip(&blk.cols) {
+                            w[j] += xi * *kij;
+                        }
                     }
                 }
             }
-        }
-        for blk in &self.far {
-            let (nr, nc) = (blk.rows.len(), blk.cols.len());
-            for k in 0..blk.rank {
-                let vk = &blk.v[k * nc..(k + 1) * nc];
-                let uk = &blk.u[k * nr..(k + 1) * nr];
-                let mut t = Complex::ZERO;
-                for (vj, &j) in vk.iter().zip(&blk.cols) {
-                    t += x[j] * *vj;
+            for (bi, blk) in self.far.iter().enumerate() {
+                if bi % APPLY_SHARDS != s {
+                    continue;
                 }
-                for (ui, &i) in uk.iter().zip(&blk.rows) {
-                    w[i] += t * *ui;
-                }
-                // Transpose contribution.
-                let mut s = Complex::ZERO;
-                for (ui, &i) in uk.iter().zip(&blk.rows) {
-                    s += x[i] * *ui;
-                }
-                for (vj, &j) in vk.iter().zip(&blk.cols) {
-                    w[j] += s * *vj;
+                let (nr, nc) = (blk.rows.len(), blk.cols.len());
+                for k in 0..blk.rank {
+                    let vk = &blk.v[k * nc..(k + 1) * nc];
+                    let uk = &blk.u[k * nr..(k + 1) * nr];
+                    let mut t = Complex::ZERO;
+                    for (vj, &j) in vk.iter().zip(&blk.cols) {
+                        t += x[j] * *vj;
+                    }
+                    for (ui, &i) in uk.iter().zip(&blk.rows) {
+                        w[i] += t * *ui;
+                    }
+                    // Transpose contribution.
+                    let mut s = Complex::ZERO;
+                    for (ui, &i) in uk.iter().zip(&blk.rows) {
+                        s += x[i] * *ui;
+                    }
+                    for (vj, &j) in vk.iter().zip(&blk.cols) {
+                        w[j] += s * *vj;
+                    }
                 }
             }
-        }
-        if let Some(h2) = &self.h2 {
+            w
+        });
+        let wh2: Option<Vec<Complex>> = self.h2.as_ref().map(|h2| {
+            let mut w = vec![Complex::ZERO; self.n];
             h2.apply(&self.tree, x, &mut w);
-        }
-        for ((yi, &xi), (&ri, &wi)) in y.iter_mut().zip(x).zip(self.r.iter().zip(&w)) {
-            *yi = xi.scale(ri) + Complex::new(-self.omega * wi.im, self.omega * wi.re);
-        }
+            w
+        });
+        // Elementwise reduce + combine over disjoint index ranges; the
+        // per-element sum runs shard 0, 1, …, then H² — a fixed order.
+        let chunk = self.n.div_ceil(APPLY_SHARDS).max(1);
+        let y_ptr = SendPtr::new(y.as_mut_ptr());
+        pool::run(self.n.div_ceil(chunk), threads, |c| {
+            let base = c * chunk;
+            let end = (base + chunk).min(self.n);
+            for i in base..end {
+                let mut wi = Complex::ZERO;
+                for w in &ws {
+                    wi += w[i];
+                }
+                if let Some(wh) = &wh2 {
+                    wi += wh[i];
+                }
+                let v =
+                    x[i].scale(self.r[i]) + Complex::new(-self.omega * wi.im, self.omega * wi.re);
+                // SAFETY: chunk `c` exclusively owns `y[base..end)`.
+                unsafe { *y_ptr.get().add(i) = v };
+            }
+        });
     }
 }
 
@@ -997,7 +1167,9 @@ pub struct BlockDiagPrecond {
 
 impl BlockDiagPrecond {
     /// Factors the diagonal block of every conductor (`owner` maps each
-    /// filament to its conductor, `0..n_cond`).
+    /// filament to its conductor, `0..n_cond`), one parallel task per
+    /// conductor; each block's fill and LU are serial within the task, so
+    /// the factors are bit-identical for any thread count.
     ///
     /// # Errors
     ///
@@ -1008,10 +1180,9 @@ impl BlockDiagPrecond {
         owner: &[usize],
         n_cond: usize,
         omega: f64,
-        kernel: &mut KernelCache,
+        kernel: &KernelCache,
     ) -> Result<Self> {
-        let mut blocks = Vec::with_capacity(n_cond);
-        for ci in 0..n_cond {
+        let factor = |ci: usize| -> Result<(Vec<usize>, CLuDecomposition)> {
             let idx: Vec<usize> = (0..fils.len()).filter(|&i| owner[i] == ci).collect();
             let m = idx.len();
             let mut k = vec![0.0; m * m];
@@ -1026,7 +1197,11 @@ impl BlockDiagPrecond {
                     };
                 }
             }
-            blocks.push((idx, CLuDecomposition::new(&z)?));
+            Ok((idx, CLuDecomposition::new(&z)?))
+        };
+        let mut blocks = Vec::with_capacity(n_cond);
+        for built in par_map(n_cond, factor) {
+            blocks.push(built?);
         }
         Ok(BlockDiagPrecond {
             blocks,
@@ -1189,7 +1364,7 @@ mod tests {
     #[test]
     fn kernel_cache_collapses_uniform_mesh_pairs() {
         let (fils, _) = two_bundles(100.0);
-        let mut kernel = KernelCache::new(1000.0);
+        let kernel = KernelCache::new(1000.0);
         for i in 0..fils.len() {
             for j in 0..fils.len() {
                 kernel.entry(&fils, i, j);
@@ -1211,7 +1386,7 @@ mod tests {
     #[test]
     fn kernel_cache_matches_direct_evaluation() {
         let (fils, _) = two_bundles(40.0);
-        let mut kernel = KernelCache::new(1000.0);
+        let kernel = KernelCache::new(1000.0);
         for (i, a) in fils.iter().enumerate().step_by(7) {
             for (j, b) in fils.iter().enumerate().step_by(5) {
                 if i == j {
@@ -1232,14 +1407,14 @@ mod tests {
         let (fils, _) = two_bundles(12.0);
         let rows: Vec<usize> = (0..24).collect();
         let cols: Vec<usize> = (12..60).collect(); // overlaps rows → self terms
-        let mut scalar = KernelCache::new(1000.0);
+        let scalar = KernelCache::new(1000.0);
         let mut reference = vec![0.0; rows.len() * cols.len()];
         for (a, &i) in rows.iter().enumerate() {
             for (b, &j) in cols.iter().enumerate() {
                 reference[a * cols.len() + b] = scalar.entry(&fils, i, j);
             }
         }
-        let mut batched = KernelCache::new(1000.0);
+        let batched = KernelCache::new(1000.0);
         let mut block = vec![0.0; rows.len() * cols.len()];
         batched.fill_block(&fils, &rows, &cols, &mut block);
         for (o, (b, r)) in block.iter().zip(&reference).enumerate() {
@@ -1264,9 +1439,8 @@ mod tests {
             let (a, b) = tree.children(0).expect("72 points split once");
             assert_eq!(tree.len(a), 36);
             assert!(tree.gap(a, b) >= tree.diameter(a).max(tree.diameter(b)));
-            let mut kernel = KernelCache::new(1000.0);
-            let (fb, capped) =
-                aca_block(tree.indices(a), tree.indices(b), &fils, &mut kernel, &opts);
+            let kernel = KernelCache::new(1000.0);
+            let (fb, capped) = aca_block(tree.indices(a), tree.indices(b), &fils, &kernel, &opts);
             let fb = fb.expect("ACA must converge");
             assert!(!capped);
             assert!(fb.rank <= 18, "sep {sep}: rank {} too large", fb.rank);
@@ -1304,8 +1478,8 @@ mod tests {
         // all-far test and must be stored as H² couplings.
         let (fils, rhos) = two_bundles(30.0);
         let omega = 2.0 * std::f64::consts::PI * 3.2e9;
-        let mut kernel = KernelCache::new(1000.0);
-        let op = FastZOperator::new(&fils, &rhos, omega, &mut kernel, &FastOpOptions::default());
+        let kernel = KernelCache::new(1000.0);
+        let op = FastZOperator::new(&fils, &rhos, omega, &kernel, &FastOpOptions::default());
         assert!(
             op.stats().h2_couplings > 0,
             "expected the far pair on the H² path"
@@ -1330,8 +1504,8 @@ mod tests {
         // The pre-H² far field stays available and correct.
         let (fils, rhos) = two_bundles(30.0);
         let omega = 2.0 * std::f64::consts::PI * 3.2e9;
-        let mut kernel = KernelCache::new(1000.0);
-        let op = FastZOperator::new(&fils, &rhos, omega, &mut kernel, &FastOpOptions::flat_aca());
+        let kernel = KernelCache::new(1000.0);
+        let op = FastZOperator::new(&fils, &rhos, omega, &kernel, &FastOpOptions::flat_aca());
         assert_eq!(op.stats().h2_couplings, 0);
         assert!(op.stats().far_blocks > 0);
         let z = dense_z(&fils, &rhos, omega);
@@ -1372,10 +1546,10 @@ mod tests {
         }
         let rhos = vec![RHO_COPPER; fils.len()];
         let omega = 2.0 * std::f64::consts::PI * 3.2e9;
-        let mut k1 = KernelCache::new(1000.0);
-        let h2_op = FastZOperator::new(&fils, &rhos, omega, &mut k1, &FastOpOptions::default());
-        let mut k2 = KernelCache::new(1000.0);
-        let flat_op = FastZOperator::new(&fils, &rhos, omega, &mut k2, &FastOpOptions::flat_aca());
+        let k1 = KernelCache::new(1000.0);
+        let h2_op = FastZOperator::new(&fils, &rhos, omega, &k1, &FastOpOptions::default());
+        let k2 = KernelCache::new(1000.0);
+        let flat_op = FastZOperator::new(&fils, &rhos, omega, &k2, &FastOpOptions::flat_aca());
         assert!(h2_op.stats().h2_couplings > 0);
         assert!(
             h2_op.stats().far_mem_f64 < flat_op.stats().far_mem_f64,

@@ -41,7 +41,7 @@
 use crate::fastop::ClusterTree;
 use crate::partial::mutual_filaments_aligned_m;
 use rlcx_geom::units::um_to_m;
-use rlcx_numeric::{obs, Complex};
+use rlcx_numeric::{obs, par_map, Complex};
 
 /// Tuning knobs of the H² build, derived from
 /// [`crate::fastop::FastOpOptions`].
@@ -83,6 +83,15 @@ struct Coupling {
 pub(crate) struct H2Field {
     bases: Vec<Option<Basis>>,
     couplings: Vec<Coupling>,
+    /// Basis-bearing node ids grouped by tree depth (`levels[l]` holds the
+    /// level-`l` nodes in ascending id order). The upward/downward passes
+    /// run one level at a time: within a level no node depends on another,
+    /// so each level is a deterministic parallel map.
+    levels: Vec<Vec<usize>>,
+    /// Per-node incident couplings `(index, transposed)`, in global
+    /// coupling order. `transposed` means the node is the `b` side and
+    /// receives `Sᵀ` contributions.
+    incident: Vec<Vec<(usize, bool)>>,
     /// Largest basis rank over all clusters.
     pub(crate) max_rank: usize,
     /// Total `f64`s stored (bases + transfers + couplings).
@@ -98,86 +107,142 @@ impl H2Field {
     /// `w += Lp_far·x` for the H²-compressed part of the far field:
     /// upward pass (restrict through the nested bases), coupling multiply
     /// (both orientations), downward pass (prolongate back to filaments).
+    ///
+    /// All three passes are parallel yet bit-identical for every thread
+    /// count: the up/down sweeps shard by node within a tree level (a node
+    /// only reads one level away), and the coupling multiply is gathered
+    /// per receiving node over its fixed-order incident list, so every
+    /// coefficient sees the same additions in the same order as a serial
+    /// sweep over the couplings.
     pub(crate) fn apply(&self, tree: &ClusterTree, x: &[Complex], w: &mut [Complex]) {
         let n_nodes = self.bases.len();
-        // Upward: children before parents — node ids are allocated parent
-        // first, so descending order visits children first.
+        // Upward: children before parents — deepest level first. A level's
+        // nodes read only their children's coefficients (one level deeper,
+        // already final), so the level is an independent parallel map with
+        // a serial scatter.
         let mut up: Vec<Vec<Complex>> = vec![Vec::new(); n_nodes];
-        for c in (0..n_nodes).rev() {
-            let Some(basis) = &self.bases[c] else {
-                continue;
-            };
-            let rank = basis.rank;
-            let mut xh = vec![Complex::ZERO; rank];
-            match &basis.kind {
-                BasisKind::Leaf { u } => {
-                    for (r, &i) in tree.indices(c).iter().enumerate() {
-                        let xi = x[i];
-                        for (k, xk) in xh.iter_mut().enumerate() {
-                            *xk += xi * u[r * rank + k];
+        for nodes in self.levels.iter().rev() {
+            let computed: Vec<Vec<Complex>> = par_map(nodes.len(), |ni| {
+                let c = nodes[ni];
+                let basis = self.bases[c].as_ref().expect("level node basis");
+                let rank = basis.rank;
+                let mut xh = vec![Complex::ZERO; rank];
+                match &basis.kind {
+                    BasisKind::Leaf { u } => {
+                        for (r, &i) in tree.indices(c).iter().enumerate() {
+                            let xi = x[i];
+                            for (k, xk) in xh.iter_mut().enumerate() {
+                                *xk += xi * u[r * rank + k];
+                            }
                         }
                     }
-                }
-                BasisKind::Interior { e1, e2 } => {
-                    let (c1, c2) = tree.children(c).expect("interior basis on leaf");
-                    for (child, e) in [(c1, e1), (c2, e2)] {
-                        for (r, &xr) in up[child].iter().enumerate() {
-                            for (k, xk) in xh.iter_mut().enumerate() {
-                                *xk += xr * e[r * rank + k];
+                    BasisKind::Interior { e1, e2 } => {
+                        let (c1, c2) = tree.children(c).expect("interior basis on leaf");
+                        for (child, e) in [(c1, e1), (c2, e2)] {
+                            for (r, &xr) in up[child].iter().enumerate() {
+                                for (k, xk) in xh.iter_mut().enumerate() {
+                                    *xk += xr * e[r * rank + k];
+                                }
                             }
                         }
                     }
                 }
-            }
-            up[c] = xh;
-        }
-        // Couplings: yh_a += S·xh_b and yh_b += Sᵀ·xh_a.
-        let mut down: Vec<Vec<Complex>> = self
-            .bases
-            .iter()
-            .map(|b| vec![Complex::ZERO; b.as_ref().map_or(0, |b| b.rank)])
-            .collect();
-        for cp in &self.couplings {
-            let rb = self.bases[cp.b].as_ref().expect("coupling basis b").rank;
-            let ra = self.bases[cp.a].as_ref().expect("coupling basis a").rank;
-            for i in 0..ra {
-                let xa = up[cp.a][i];
-                let mut acc = Complex::ZERO;
-                for j in 0..rb {
-                    let sij = cp.s[i * rb + j];
-                    acc += up[cp.b][j] * sij;
-                    down[cp.b][j] += xa * sij;
-                }
-                down[cp.a][i] += acc;
+                xh
+            });
+            for (&c, xh) in nodes.iter().zip(computed) {
+                up[c] = xh;
             }
         }
-        // Downward: parents before children — ascending node order.
-        for c in 0..n_nodes {
-            let Some(basis) = &self.bases[c] else {
-                continue;
-            };
-            let rank = basis.rank;
-            match &basis.kind {
-                BasisKind::Leaf { u } => {
-                    let yh = &down[c];
-                    for (r, &i) in tree.indices(c).iter().enumerate() {
+        // Couplings: yh_a += S·xh_b and yh_b += Sᵀ·xh_a, gathered on the
+        // receiving side — each node folds its incident list into its own
+        // coefficient vector, so concurrent tasks never share an output.
+        let all: Vec<usize> = self.levels.iter().flatten().copied().collect();
+        let mut down: Vec<Vec<Complex>> = vec![Vec::new(); n_nodes];
+        let gathered: Vec<Vec<Complex>> = par_map(all.len(), |ni| {
+            let c = all[ni];
+            let rank = self.bases[c].as_ref().expect("gather node basis").rank;
+            let mut yh = vec![Complex::ZERO; rank];
+            for &(idx, transposed) in &self.incident[c] {
+                let cp = &self.couplings[idx];
+                if !transposed {
+                    let rb = self.bases[cp.b].as_ref().expect("coupling basis b").rank;
+                    for (i, yi) in yh.iter_mut().enumerate() {
                         let mut acc = Complex::ZERO;
-                        for (k, &yk) in yh.iter().enumerate() {
-                            acc += yk * u[r * rank + k];
+                        for (&ub, &sij) in up[cp.b].iter().zip(&cp.s[i * rb..(i + 1) * rb]) {
+                            acc += ub * sij;
                         }
-                        w[i] += acc;
+                        *yi += acc;
+                    }
+                } else {
+                    for (i, &xa) in up[cp.a].iter().enumerate() {
+                        for (j, yj) in yh.iter_mut().enumerate() {
+                            *yj += xa * cp.s[i * rank + j];
+                        }
                     }
                 }
-                BasisKind::Interior { e1, e2 } => {
-                    let (c1, c2) = tree.children(c).expect("interior basis on leaf");
-                    let yh = down[c].clone();
-                    for (child, e) in [(c1, e1), (c2, e2)] {
-                        for (r, yr) in down[child].iter_mut().enumerate() {
+            }
+            yh
+        });
+        for (&c, yh) in all.iter().zip(gathered) {
+            down[c] = yh;
+        }
+        // Downward: parents before children — top level first. Each node
+        // prolongates its (now final) coefficients into per-child deltas or
+        // leaf contributions; the serial scatter applies them in node order.
+        enum Prolonged {
+            Leaf(Vec<Complex>),
+            Interior(usize, usize, Vec<Complex>, Vec<Complex>),
+        }
+        for nodes in &self.levels {
+            let parts: Vec<Prolonged> = par_map(nodes.len(), |ni| {
+                let c = nodes[ni];
+                let basis = self.bases[c].as_ref().expect("level node basis");
+                let rank = basis.rank;
+                let yh = &down[c];
+                match &basis.kind {
+                    BasisKind::Leaf { u } => {
+                        let rows = tree.indices(c).len();
+                        let mut ws = Vec::with_capacity(rows);
+                        for r in 0..rows {
                             let mut acc = Complex::ZERO;
                             for (k, &yk) in yh.iter().enumerate() {
-                                acc += yk * e[r * rank + k];
+                                acc += yk * u[r * rank + k];
                             }
-                            *yr += acc;
+                            ws.push(acc);
+                        }
+                        Prolonged::Leaf(ws)
+                    }
+                    BasisKind::Interior { e1, e2 } => {
+                        let (c1, c2) = tree.children(c).expect("interior basis on leaf");
+                        let prolong = |e: &[f64], child: usize| -> Vec<Complex> {
+                            let rc = self.bases[child].as_ref().expect("child basis").rank;
+                            (0..rc)
+                                .map(|r| {
+                                    let mut acc = Complex::ZERO;
+                                    for (k, &yk) in yh.iter().enumerate() {
+                                        acc += yk * e[r * rank + k];
+                                    }
+                                    acc
+                                })
+                                .collect()
+                        };
+                        Prolonged::Interior(c1, c2, prolong(e1, c1), prolong(e2, c2))
+                    }
+                }
+            });
+            for (&c, part) in nodes.iter().zip(parts) {
+                match part {
+                    Prolonged::Leaf(ws) => {
+                        for (r, &i) in tree.indices(c).iter().enumerate() {
+                            w[i] += ws[r];
+                        }
+                    }
+                    Prolonged::Interior(c1, c2, d1, d2) => {
+                        for (r, v) in d1.into_iter().enumerate() {
+                            down[c1][r] += v;
+                        }
+                        for (r, v) in d2.into_iter().enumerate() {
+                            down[c2][r] += v;
                         }
                     }
                 }
@@ -239,55 +304,84 @@ pub(crate) fn build(
         farfield[c] = f;
     }
 
-    // Bases bottom-up: leaves interpolate from their own filaments,
-    // interior clusters from the union of their children's skeletons.
+    // Basis-bearing nodes grouped by tree depth. A cluster's basis depends
+    // only on its children's skeletons (one level deeper), so the bases of
+    // one level are mutually independent: each level builds as a parallel
+    // map with a serial scatter, deepest level first. Every node's basis is
+    // a pure function of its inputs, which keeps the build bit-identical
+    // for every thread count.
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    for (c, far) in farfield.iter().enumerate() {
+        if far.is_empty() {
+            continue;
+        }
+        let l = tree.level(c);
+        if levels.len() <= l {
+            levels.resize(l + 1, Vec::new());
+        }
+        levels[l].push(c);
+    }
     let mut bases: Vec<Option<Basis>> = (0..n_nodes).map(|_| None).collect();
+    for nodes in levels.iter().rev() {
+        let built: Vec<Basis> = par_map(nodes.len(), |ni| {
+            let c = nodes[ni];
+            let (cand, child_ranks): (Vec<usize>, Option<(usize, usize)>) = match tree.children(c) {
+                None => (tree.indices(c).to_vec(), None),
+                Some((c1, c2)) => {
+                    let b1 = bases[c1].as_ref().expect("child basis (F(c1) ⊇ F(c))");
+                    let b2 = bases[c2].as_ref().expect("child basis (F(c2) ⊇ F(c))");
+                    let mut cand = b1.skel.clone();
+                    cand.extend_from_slice(&b2.skel);
+                    (cand, Some((b1.rank, b2.rank)))
+                }
+            };
+            let m = cand.len();
+            let s = farfield[c].len();
+            let mut a = vec![0.0f64; m * s];
+            for (r, &i) in cand.iter().enumerate() {
+                for (q, &j) in farfield[c].iter().enumerate() {
+                    a[r * s + q] = g(i, j);
+                }
+            }
+            let (piv, interp) = row_id(&a, m, s, params.tol, params.max_rank);
+            let rank = piv.len();
+            debug_assert!(rank > 0, "positive kernel must yield a nonzero basis");
+            let skel: Vec<usize> = piv.iter().map(|&r| cand[r]).collect();
+            let kind = match child_ranks {
+                None => BasisKind::Leaf { u: interp },
+                Some((r1, _)) => {
+                    let e1 = interp[..r1 * rank].to_vec();
+                    let e2 = interp[r1 * rank..].to_vec();
+                    BasisKind::Interior { e1, e2 }
+                }
+            };
+            Basis { rank, skel, kind }
+        });
+        for (&c, b) in nodes.iter().zip(built) {
+            bases[c] = Some(b);
+        }
+    }
+    // Rank observability and memory accounting, in the order the serial
+    // builder used (descending node id: children before parents) so the
+    // series channel and histograms match it push for push.
     let mut max_rank = 0usize;
     let mut mem_f64 = 0usize;
     for c in (0..n_nodes).rev() {
-        if farfield[c].is_empty() {
+        let Some(b) = &bases[c] else {
             continue;
-        }
-        let (cand, child_ranks): (Vec<usize>, Option<(usize, usize)>) = match tree.children(c) {
-            None => (tree.indices(c).to_vec(), None),
-            Some((c1, c2)) => {
-                let b1 = bases[c1].as_ref().expect("child basis (F(c1) ⊇ F(c))");
-                let b2 = bases[c2].as_ref().expect("child basis (F(c2) ⊇ F(c))");
-                let mut cand = b1.skel.clone();
-                cand.extend_from_slice(&b2.skel);
-                (cand, Some((b1.rank, b2.rank)))
-            }
         };
-        let m = cand.len();
-        let s = farfield[c].len();
-        let mut a = vec![0.0f64; m * s];
-        for (r, &i) in cand.iter().enumerate() {
-            for (q, &j) in farfield[c].iter().enumerate() {
-                a[r * s + q] = g(i, j);
-            }
-        }
-        let (piv, interp) = row_id(&a, m, s, params.tol, params.max_rank);
-        let rank = piv.len();
-        debug_assert!(rank > 0, "positive kernel must yield a nonzero basis");
-        obs::observe("h2.basis.rank", rank as f64);
-        obs::series_push("h2.rank", tree.level(c) as f64, rank as f64);
-        max_rank = max_rank.max(rank);
-        mem_f64 += interp.len();
-        let skel: Vec<usize> = piv.iter().map(|&r| cand[r]).collect();
-        let kind = match child_ranks {
-            None => BasisKind::Leaf { u: interp },
-            Some((r1, _)) => {
-                let e1 = interp[..r1 * rank].to_vec();
-                let e2 = interp[r1 * rank..].to_vec();
-                BasisKind::Interior { e1, e2 }
-            }
+        obs::observe("h2.basis.rank", b.rank as f64);
+        obs::series_push("h2.rank", tree.level(c) as f64, b.rank as f64);
+        max_rank = max_rank.max(b.rank);
+        mem_f64 += match &b.kind {
+            BasisKind::Leaf { u } => u.len(),
+            BasisKind::Interior { e1, e2 } => e1.len() + e2.len(),
         };
-        bases[c] = Some(Basis { rank, skel, kind });
     }
 
-    // Couplings: the kernel between skeletons.
-    let mut couplings = Vec::with_capacity(pairs.len());
-    for &(ca, cb) in pairs {
+    // Couplings: the kernel between skeletons, one independent pair each.
+    let couplings: Vec<Coupling> = par_map(pairs.len(), |pi| {
+        let (ca, cb) = pairs[pi];
         let sa = &bases[ca].as_ref().expect("basis a").skel;
         let sb = &bases[cb].as_ref().expect("basis b").skel;
         let mut s = vec![0.0f64; sa.len() * sb.len()];
@@ -296,13 +390,20 @@ pub(crate) fn build(
                 s[i * sb.len() + j] = g(fi, fj);
             }
         }
-        mem_f64 += s.len();
-        couplings.push(Coupling { a: ca, b: cb, s });
+        Coupling { a: ca, b: cb, s }
+    });
+    let mut incident: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n_nodes];
+    for (idx, cp) in couplings.iter().enumerate() {
+        mem_f64 += cp.s.len();
+        incident[cp.a].push((idx, false));
+        incident[cp.b].push((idx, true));
     }
 
     H2Field {
         bases,
         couplings,
+        levels,
+        incident,
         max_rank,
         mem_f64,
     }

@@ -303,15 +303,15 @@ impl PartialSystem {
         obs::counter_add("peec.solves.iterative", 1);
         // Every filament shares the conductors' common axial span, so the
         // kernel cache key never needs the axial coordinate.
-        let mut kernel = KernelCache::new(self.conductors[0].bar.length());
+        let kernel = KernelCache::new(self.conductors[0].bar.length());
         let op = timings.time("assemble", || {
             obs::with_span("peec.assemble", || {
-                FastZOperator::new(fils, rhos, omega, &mut kernel, &FastOpOptions::default())
+                FastZOperator::new(fils, rhos, omega, &kernel, &FastOpOptions::default())
             })
         });
         let pre = timings.time("factor", || {
             obs::with_span("peec.factor", || {
-                BlockDiagPrecond::new(fils, rhos, owner, self.len(), omega, &mut kernel)
+                BlockDiagPrecond::new(fils, rhos, owner, self.len(), omega, &kernel)
             })
         })?;
         let _reduce_span = obs::span("peec.reduce");

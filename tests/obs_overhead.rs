@@ -273,6 +273,56 @@ fn sharded_metrics_scale_across_threads_without_allocating() {
     );
 }
 
+/// `KernelCache::fill_block` (PR 10) reuses one thread-local scratch —
+/// the pending-key position map, the SoA geometry lanes and the value
+/// buffer — across calls, so a warm-cache fill is pure hash lookups into
+/// the sharded store. Proof by invariance: after warmup, a short and a 3×
+/// longer fill sequence must allocate identically, and both must be zero.
+#[test]
+fn warm_kernel_fill_block_does_not_allocate() {
+    use rlcx::geom::{Axis, Bar, Point3};
+    use rlcx::peec::fastop::KernelCache;
+
+    let _guard = level_lock();
+    obs::set_trace_level(TraceLevel::Off);
+
+    let fils: Vec<Bar> = (0..24)
+        .map(|i| {
+            Bar::new(
+                Point3::new(0.0, (i % 6) as f64 * 1.5, 10.0 + (i / 6) as f64 * 1.2),
+                Axis::X,
+                1000.0,
+                0.9,
+                0.8,
+            )
+            .unwrap()
+        })
+        .collect();
+    let rows: Vec<usize> = (0..12).collect();
+    let cols: Vec<usize> = (6..24).collect();
+    let kernel = KernelCache::new(1000.0);
+    let mut out = vec![0.0f64; rows.len() * cols.len()];
+
+    let mut allocs_for = |fills: usize| -> u64 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for _ in 0..fills {
+            kernel.fill_block(&fils, &rows, &cols, &mut out);
+        }
+        ALLOCATIONS.load(Ordering::Relaxed) - before
+    };
+
+    // Warmup: the first fill computes and caches every distinct entry and
+    // grows the thread-local scratch to block size.
+    let _ = allocs_for(2);
+    let short = allocs_for(5);
+    let long = allocs_for(15);
+    assert_eq!(
+        short, long,
+        "warm fill_block allocation count must not grow with call count"
+    );
+    assert_eq!(short, 0, "warm fill_block must be allocation-free");
+}
+
 /// Enabling tracing does allocate (records are stored) — a sanity check
 /// that the counter itself works, so the zero above is meaningful.
 #[test]

@@ -330,6 +330,62 @@ fn finish_exports_chrome_trace_when_env_is_set() {
             .any(|e| e.get("name").and_then(obs::Json::as_str) == Some("chrome.finish.test"))));
 }
 
+/// The persistent worker pool (PR 10) publishes its dispatch metrics:
+/// the task counter, the per-dispatch queue-depth histogram, the
+/// steal/idle worker counters and the claimant-width gauge — the same
+/// plumbing the fast-operator build and matvec paths dispatch through.
+#[test]
+fn pool_dispatches_publish_metrics() {
+    use rlcx::numeric::{par_map, pool, with_thread_count};
+    use std::time::Duration;
+
+    let _guard = level_lock();
+    let tasks_before = obs::counter_value("pool.tasks");
+    let steal_before = obs::counter_value("pool.steal");
+
+    // Sleeping tasks hold the job open long enough that the woken pool
+    // workers provably claim a share; retry a few dispatches in case the
+    // scheduler lets the caller drain an entire job alone.
+    let mut rounds = 0u64;
+    loop {
+        pool::run(64, 4, |_| std::thread::sleep(Duration::from_millis(1)));
+        rounds += 1;
+        if obs::counter_value("pool.steal") > steal_before || rounds >= 50 {
+            break;
+        }
+    }
+    assert!(
+        obs::counter_value("pool.tasks") >= tasks_before + 64 * rounds,
+        "every dispatched task index is counted"
+    );
+    assert!(
+        obs::counter_value("pool.steal") > steal_before,
+        "pool workers claimed a share of the sleeping tasks"
+    );
+    assert!(
+        obs::metric_value("pool.idle").is_some(),
+        "idle counter registered at worker spawn"
+    );
+    match obs::metric_value("pool.queue.depth") {
+        Some(obs::MetricValue::Histogram { count, max, .. }) => {
+            assert!(max >= 64.0, "queue depth saw the 64-task dispatches");
+            assert!(count >= rounds, "one depth sample per dispatch");
+        }
+        other => panic!("pool.queue.depth histogram missing: {other:?}"),
+    }
+
+    // The parallel map dispatches through the same pool and stamps the
+    // claimant width on the shared gauge.
+    with_thread_count(3, || {
+        let out = par_map(128, |i| i * i);
+        assert_eq!(out[127], 127 * 127);
+    });
+    match obs::metric_value("threads.used") {
+        Some(obs::MetricValue::Gauge(t)) => assert_eq!(t, 3.0),
+        other => panic!("threads.used gauge missing: {other:?}"),
+    }
+}
+
 /// A PRIMA reduction publishes its macromodel health metrics: the
 /// reduced-order and unstable-pole gauges and the Arnoldi deflation
 /// counter (which must at least exist afterwards, deflated or not).
